@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Reproduces the paper's §6 comparison between QuMA's centralized
+ * architecture and the distributed APS2-style system: binaries,
+ * aggregate instruction counts, synchronisation stalls, and makespan
+ * sensitivity to the trigger-distribution latency.
+ */
+
+#include <cstdio>
+
+#include "baseline/aps2_model.hh"
+#include "bench/report.hh"
+
+using namespace quma;
+using namespace quma::baseline;
+
+namespace {
+
+DistributedWorkload
+makeWorkload(unsigned qubits, unsigned segments, unsigned barrierEvery)
+{
+    DistributedWorkload w;
+    w.numQubits = qubits;
+    for (unsigned s = 0; s < segments; ++s) {
+        DistributedWorkload::Segment seg;
+        for (unsigned q = 0; q < qubits; ++q)
+            seg.pulseCycles.push_back((s + q) % 3 == 0 ? 0 : 4);
+        seg.gapCycles = 4;
+        seg.barrier = barrierEvery != 0 && s % barrierEvery == 0;
+        w.segments.push_back(seg);
+    }
+    return w;
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Section 6: QuMA (centralized) vs APS2-style "
+                  "(distributed)");
+
+    std::printf("%-8s %-10s %-12s %-12s %-12s %-12s\n", "qubits",
+                "arch", "binaries", "instrs", "sync stalls",
+                "makespan");
+    bench::rule();
+    for (unsigned qubits : {2u, 4u, 8u}) {
+        auto w = makeWorkload(qubits, 64, 4);
+        Aps2System sys(9, 4);
+        auto d = sys.run(sys.compileWorkload(w));
+        auto c = centralizedCost(w);
+        std::printf("%-8u %-10s %-12zu %-12zu %-12llu %-12llu\n",
+                    qubits, "APS2", d.binaries, d.totalInstructions,
+                    static_cast<unsigned long long>(d.stallCycles),
+                    static_cast<unsigned long long>(d.makespanCycles));
+        std::printf("%-8u %-10s %-12zu %-12zu %-12s %-12llu\n", qubits,
+                    "QuMA", c.binaries, c.totalInstructions, "0",
+                    static_cast<unsigned long long>(c.makespanCycles));
+    }
+    bench::rule();
+
+    bench::banner("makespan vs trigger-distribution latency "
+                  "(8 qubits, barrier every 4 segments)");
+    std::printf("%-18s %-14s %-14s\n", "trigger latency", "APS2",
+                "QuMA");
+    bench::rule();
+    auto w = makeWorkload(8, 64, 4);
+    auto c = centralizedCost(w);
+    for (Cycle lat : {0u, 2u, 4u, 8u, 16u, 32u}) {
+        Aps2System sys(9, lat);
+        auto d = sys.run(sys.compileWorkload(w));
+        std::printf("%-18llu %-14llu %-14llu\n",
+                    static_cast<unsigned long long>(lat),
+                    static_cast<unsigned long long>(d.makespanCycles),
+                    static_cast<unsigned long long>(c.makespanCycles));
+    }
+    bench::rule();
+    std::printf("QuMA needs one binary regardless of qubit count, "
+                "issues fewer\ninstructions (horizontal Pulse + "
+                "explicit Wait vs per-module idle\nwaveforms), and "
+                "its makespan is untouched by synchronisation because "
+                "\nbarriers are just properties of the timing labels "
+                "(paper Section 6).\n");
+    return 0;
+}

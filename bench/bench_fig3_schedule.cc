@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Reproduces paper Figure 3: the waveforms and timings of one round
+ * of the AllXY experiment. The bench runs three combinations of one
+ * round through the full machine and prints the analog schedule that
+ * reaches the chip: pulse start/end times, codewords and the
+ * measurement windows.
+ */
+
+#include <cstdio>
+
+#include "bench/report.hh"
+#include "isa/nametable.hh"
+#include "quma/machine.hh"
+
+using namespace quma;
+
+int
+main()
+{
+    bench::banner("Figure 3: AllXY one-round waveform/timing schedule");
+
+    core::MachineConfig cfg;
+    cfg.traceEnabled = true;
+    core::QumaMachine machine(cfg);
+    machine.loadAssembly(R"(
+        mov r15, 40000
+        # Combination 0: I, I
+        QNopReg r15
+        Pulse {q0}, I
+        Wait 4
+        Pulse {q0}, I
+        Wait 4
+        MPG {q0}, 300
+        MD {q0}, r7
+        # Combination 1: X180, X180
+        QNopReg r15
+        Pulse {q0}, X180
+        Wait 4
+        Pulse {q0}, X180
+        Wait 4
+        MPG {q0}, 300
+        MD {q0}, r7
+        # Combination 17: X180, I
+        QNopReg r15
+        Pulse {q0}, X180
+        Wait 4
+        Pulse {q0}, I
+        Wait 4
+        MPG {q0}, 300
+        MD {q0}, r7
+        Wait 600
+        halt
+    )");
+    auto result = machine.run();
+    auto names = isa::NameTable::standardUops();
+
+    std::printf("%-12s %-12s %-8s %-10s %s\n", "start (ns)", "end (ns)",
+                "kind", "pulse", "notes");
+    bench::rule();
+    for (const auto &p : machine.trace().pulses()) {
+        auto name = names.nameOf(static_cast<std::uint8_t>(p.codeword));
+        std::printf("%-12lld %-12lld %-8s %-10s cw %u on AWG %u\n",
+                    static_cast<long long>(p.t0Ns),
+                    static_cast<long long>(p.t0Ns) +
+                        static_cast<long long>(p.durationNs),
+                    "gate", name ? name->c_str() : "?", p.codeword,
+                    p.awg);
+    }
+    for (const auto &m : machine.trace().measurements()) {
+        std::printf("%-12lld %-12lld %-8s %-10s qubit %u, true |%d>\n",
+                    static_cast<long long>(cyclesToNs(m.windowStart)),
+                    static_cast<long long>(
+                        cyclesToNs(m.windowStart + m.durationCycles)),
+                    "msmt", "MSMT", m.qubit, m.trueOutcome);
+    }
+    bench::rule();
+    std::printf("pulses are back-to-back 20 ns gates; the measurement "
+                "window opens\nimmediately after the second gate "
+                "(paper Figure 3). Timing violations: %zu late, %zu "
+                "stale.\n",
+                result.violations.latePoints,
+                result.violations.staleEvents);
+    return 0;
+}

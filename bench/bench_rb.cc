@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Reproduces the randomized benchmarking experiment of paper §8
+ * (reference [60]): random Clifford sequences with recovery, the
+ * exponential survival decay, and the extracted average error per
+ * Clifford / per primitive gate.
+ *
+ * Environment: QUMA_RB_ROUNDS overrides rounds per sequence
+ * (default 128).
+ */
+
+#include <cstdio>
+
+#include "bench/report.hh"
+#include "experiments/rb.hh"
+
+using namespace quma;
+using namespace quma::experiments;
+
+int
+main()
+{
+    std::size_t rounds = bench::envSize("QUMA_RB_ROUNDS", 128);
+    bench::banner("Section 8: randomized benchmarking (N = " +
+                  std::to_string(rounds) + " per sequence)");
+
+    RbConfig cfg;
+    cfg.lengths = {2, 4, 8, 16, 32, 64, 96};
+    cfg.seedsPerLength = 4;
+    cfg.rounds = rounds;
+    // Deliberately short coherence so the decay is visible at
+    // laptop-scale sequence lengths.
+    cfg.qubitParams.t1Ns = 6000.0;
+    cfg.qubitParams.t2Ns = 5000.0;
+    auto r = runRb(cfg);
+
+    std::printf("%-10s %-12s %s\n", "m", "survival", "plot");
+    bench::rule(60);
+    for (std::size_t i = 0; i < r.lengths.size(); ++i) {
+        int stars = static_cast<int>(r.survival[i] * 40.0 + 0.5);
+        stars = std::max(0, std::min(stars, 44));
+        std::printf("%-10u %-12.4f |%.*s\n", r.lengths[i],
+                    r.survival[i], stars,
+                    "********************************************");
+    }
+    bench::rule(60);
+    std::printf("fit: survival = %.3f * p^m + %.3f with p = %.5f\n",
+                r.fit.amplitude, r.fit.offset, r.p);
+    std::printf("average error per Clifford: %.5f\n",
+                r.errorPerClifford);
+    std::printf("average error per primitive gate: %.5f "
+                "(%.3f primitives per Clifford)\n",
+                r.errorPerGate,
+                CliffordGroup::instance().averageGateCount());
+    std::printf("timing violations: %zu late, %zu stale (must be 0)\n",
+                r.run.violations.latePoints,
+                r.run.violations.staleEvents);
+    return 0;
+}

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Reproduces the paper's §6 scalability discussion: the single
+ * instruction stream limits the operation output rate as more qubits
+ * need pulses per cycle; a VLIW execution controller (the paper's
+ * proposed future work, implemented here as the issue-width
+ * parameter) relieves the pressure.
+ *
+ * The workload asks for dense horizontal pulses across a growing
+ * number of qubits with short waits; the figure of merit is the
+ * number of LATE time points (deterministic-timing violations) the
+ * timing controller records.
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "bench/report.hh"
+#include "quma/machine.hh"
+
+using namespace quma;
+
+namespace {
+
+/** Dense per-qubit pulse bursts with 1-cycle spacing. */
+std::string
+denseProgram(unsigned qubits, unsigned rounds)
+{
+    std::string src = "mov r15, 1000\nQNopReg r15\n";
+    for (unsigned r = 0; r < rounds; ++r) {
+        for (unsigned q = 0; q < qubits; ++q) {
+            src += "Pulse {q" + std::to_string(q) + "}, X90\n";
+            src += "Wait 1\n";
+        }
+    }
+    src += "Wait 600\nhalt\n";
+    return src;
+}
+
+struct Outcome
+{
+    std::size_t latePoints;
+    Cycle lateCycles;
+};
+
+Outcome
+run(unsigned qubits, unsigned issue_width)
+{
+    core::MachineConfig cfg;
+    cfg.qubits.assign(qubits, qsim::paperQubitParams());
+    cfg.numAwgs = qubits;
+    cfg.exec.issueWidth = issue_width;
+    // Small queues sharpen the issue-rate bottleneck.
+    cfg.timing.timingQueueCapacity = 8;
+    cfg.timing.pulseQueueCapacity = 8;
+    cfg.qmbDrainRate = issue_width;
+    core::QumaMachine m(cfg);
+    m.loadAssembly(denseProgram(qubits, 24));
+    auto r = m.run(10'000'000);
+    return {r.violations.latePoints, r.violations.totalLateCycles};
+}
+
+/** Tight-timing program under jitter with a given queue depth. */
+Outcome
+runDepth(std::size_t depth, unsigned wait_cycles)
+{
+    core::MachineConfig cfg;
+    cfg.timing.timingQueueCapacity = depth;
+    cfg.timing.pulseQueueCapacity = depth;
+    cfg.exec.stallInjection = true;
+    cfg.exec.stallProbability = 0.6;
+    cfg.exec.maxStallCycles = 6;
+    cfg.exec.seed = 42;
+    core::QumaMachine m(cfg);
+    std::string src = "mov r15, 1000\nQNopReg r15\n";
+    for (int i = 0; i < 64; ++i) {
+        src += "Pulse {q0}, X90\nWait " +
+               std::to_string(wait_cycles) + "\n";
+    }
+    src += "Wait 600\nhalt\n";
+    m.loadAssembly(src);
+    auto r = m.run(10'000'000);
+    return {r.violations.latePoints, r.violations.totalLateCycles};
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Section 6: issue-rate pressure vs qubit count, "
+                  "VLIW ablation");
+    std::printf("%-8s %-14s %-18s %-14s %-18s\n", "qubits",
+                "late (w=1)", "late cycles (w=1)", "late (w=4)",
+                "late cycles (w=4)");
+    bench::rule();
+    for (unsigned qubits : {1u, 2u, 4u, 6u, 8u}) {
+        Outcome scalar = run(qubits, 1);
+        Outcome vliw = run(qubits, 4);
+        std::printf("%-8u %-14zu %-18llu %-14zu %-18llu\n", qubits,
+                    scalar.latePoints,
+                    static_cast<unsigned long long>(scalar.lateCycles),
+                    vliw.latePoints,
+                    static_cast<unsigned long long>(vliw.lateCycles));
+    }
+    bench::rule();
+    std::printf("with a scalar stream the controller misses "
+                "deadlines once several qubits\ndemand a pulse every "
+                "cycle; widening the issue width (the paper's "
+                "proposed\nVLIW direction) removes or defers the "
+                "violations.\n");
+
+    bench::banner("ablation: queue depth vs. late points under "
+                  "execution jitter");
+    std::printf("%-8s %-16s %-16s %-16s\n", "depth", "late (Wait 2)",
+                "late (Wait 3)", "late (Wait 4)");
+    bench::rule();
+    for (std::size_t depth : {1u, 2u, 4u, 8u, 16u, 32u}) {
+        std::printf("%-8zu %-16zu %-16zu %-16zu\n", depth,
+                    runDepth(depth, 2).latePoints,
+                    runDepth(depth, 3).latePoints,
+                    runDepth(depth, 4).latePoints);
+    }
+    bench::rule();
+    std::printf("deeper queues absorb instruction-timing jitter: the "
+                "producer can run\nfurther ahead, so fewer time "
+                "points arrive after their deadline. With\nenough "
+                "slack per operation (Wait 4+) even shallow queues "
+                "stay clean --\nthe quantitative version of the "
+                "paper's queue-sizing argument.\n");
+    return 0;
+}

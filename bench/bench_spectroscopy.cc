@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Qubit spectroscopy plus a host-session configuration-traffic
+ * summary: the tune-up step that precedes everything in paper §8,
+ * with the host-link accounting that quantifies the §4.2.2
+ * configuration-time argument.
+ */
+
+#include <cstdio>
+
+#include "bench/report.hh"
+#include "experiments/spectroscopy.hh"
+#include "isa/assembler.hh"
+#include "quma/hostlink.hh"
+
+using namespace quma;
+using namespace quma::experiments;
+
+int
+main()
+{
+    std::size_t rounds = bench::envSize("QUMA_SPEC_ROUNDS", 128);
+    bench::banner("qubit spectroscopy (tune-up step 1), N = " +
+                  std::to_string(rounds) + " per point");
+
+    auto cfg = SpectroscopyConfig::withLinearSweep(160.0e6, 21);
+    cfg.rounds = rounds;
+    auto r = runSpectroscopy(cfg);
+
+    std::printf("%-16s %-10s %s\n", "detuning (MHz)", "P(|1>)",
+                "plot");
+    bench::rule(64);
+    for (std::size_t i = 0; i < r.detuningsHz.size(); ++i) {
+        int stars = static_cast<int>(r.population[i] * 40.0 + 0.5);
+        stars = std::max(0, std::min(stars, 44));
+        std::printf("%-16.1f %-10.3f |%.*s\n",
+                    r.detuningsHz[i] * 1e-6, r.population[i], stars,
+                    "********************************************");
+    }
+    bench::rule(64);
+    std::printf("peak at %+.1f MHz (true transition at 0), response "
+                "width %.1f MHz\n(set by the 20 ns probe pulse "
+                "bandwidth)\n\n",
+                r.peakHz * 1e-6, r.fwhmHz * 1e-6);
+
+    bench::banner("host-link traffic for one configured experiment");
+    core::MachineConfig mc;
+    core::QumaMachine machine(mc);
+    core::HostLink link(machine, 30.0e6);
+    link.uploadCalibration();
+    isa::Assembler as;
+    link.uploadProgram(as.assemble(R"(
+        mov r15, 40000
+        QNopReg r15
+        Pulse {q0}, X180
+        Wait 4
+        MPG {q0}, 300
+        MD {q0}, r7
+        Wait 600
+        halt
+    )"));
+    machine.configureDataCollection(1);
+    machine.run();
+    link.retrieveAverages();
+
+    std::printf("%-22s %-10s %s\n", "transfer", "bytes", "direction");
+    bench::rule(48);
+    for (const auto &t : link.transfers())
+        std::printf("%-22s %-10zu %s\n", t.what.c_str(), t.bytes,
+                    t.toDevice ? "to device" : "to host");
+    bench::rule(48);
+    auto stats = link.stats();
+    std::printf("uplink: %zu bytes in %.1f us; the conventional "
+                "waveform flow ships\nentire experiment waveforms on "
+                "every change instead (see\nbench_memory_footprint).\n",
+                stats.bytesUp, stats.secondsUp * 1e6);
+    return 0;
+}

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Shared formatting helpers for the reproduction benches. Every
+ * bench binary regenerates one table or figure of the paper and
+ * prints it in a fixed-width layout so runs can be diffed.
+ */
+
+#ifndef QUMA_BENCH_REPORT_HH
+#define QUMA_BENCH_REPORT_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace quma::bench {
+
+inline void
+banner(const std::string &title)
+{
+    std::printf("\n=== %s ===\n", title.c_str());
+}
+
+inline void
+rule(int width = 72)
+{
+    for (int i = 0; i < width; ++i)
+        std::putchar('-');
+    std::putchar('\n');
+}
+
+/** Read a positive integer parameter from the environment. */
+inline std::size_t
+envSize(const char *name, std::size_t fallback)
+{
+    const char *v = std::getenv(name);
+    if (!v)
+        return fallback;
+    char *end = nullptr;
+    unsigned long long parsed = std::strtoull(v, &end, 10);
+    if (end == v || parsed == 0)
+        return fallback;
+    return static_cast<std::size_t>(parsed);
+}
+
+} // namespace quma::bench
+
+#endif // QUMA_BENCH_REPORT_HH

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Fast feedback control: measurement-conditioned active qubit reset.
+ *
+ * The paper motivates hardware measurement discrimination with
+ * sub-microsecond latency precisely to enable this kind of real-time
+ * feedback (§4.2.1): measure the qubit, and if it reads |1>, apply
+ * an X180 to return it to |0> -- much faster than waiting several T1.
+ *
+ * The program uses the MD write-back into the register file plus a
+ * conditional branch; the scoreboard interlock stalls the branch
+ * until the discrimination result lands. Statistics over many rounds
+ * compare the reset qubit against an un-reset control.
+ *
+ *   $ ./active_reset [rounds]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "quma/machine.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace quma;
+
+    std::size_t rounds =
+        argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 200;
+
+    core::MachineConfig config;
+    // Crisp readout so the feedback decision is reliable.
+    config.qubits[0].readout.noiseSigma = 40.0;
+    core::QumaMachine machine(config);
+    machine.configureDataCollection(2);
+
+    // Each round: excite with 50% probability (X90 then measure
+    // projects to a coin flip), then actively reset, then verify.
+    // Bin 0 records the pre-reset result, bin 1 the post-reset one.
+    std::string src = R"(
+        mov r1, 0
+    )";
+    src += "mov r2, " + std::to_string(rounds) + "\n";
+    src += R"(
+        mov r15, 40000
+        Round:
+        QNopReg r15            # relax to |0>
+        Pulse {q0}, X90        # coin flip
+        Wait 4
+        MPG {q0}, 300
+        MD {q0}, r7            # pre-reset readout
+        Wait 600               # cover discrimination latency
+        beq r7, r0, Verify     # already |0>: skip the flip
+        Pulse {q0}, X180       # conditional reset pulse
+        Wait 4
+        Verify:
+        MPG {q0}, 300
+        MD {q0}, r8            # post-reset readout
+        Wait 600
+        addi r1, r1, 1
+        bne r1, r2, Round
+        halt
+    )";
+    machine.loadAssembly(src);
+    auto result = machine.run(
+        static_cast<Cycle>(rounds) * 100000 + 1'000'000);
+
+    auto bits = machine.dataCollector().bitAverages();
+    std::printf("rounds:                 %zu\n", rounds);
+    std::printf("P(|1>) before reset:    %.3f   (coin flip: ~0.5)\n",
+                bits[0]);
+    std::printf("P(|1>) after reset:     %.3f   (active reset: ~0)\n",
+                bits[1]);
+    std::printf("feedback latency: measurement window (1.5 us) + "
+                "discrimination (0.5 us),\nagainst ~150 us for "
+                "passive reset by waiting 5 T1.\n");
+    std::printf("timing violations: %zu late, %zu stale\n",
+                result.violations.latePoints,
+                result.violations.staleEvents);
+    return 0;
+}

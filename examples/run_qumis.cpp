@@ -1,0 +1,164 @@
+/**
+ * @file
+ * A command-line driver for the simulator: assemble and execute a
+ * QuMIS program from a file (or stdin) and report registers, data
+ * collection averages and, optionally, the full pulse-level trace.
+ *
+ *   $ ./run_qumis program.qasm [--trace] [--bins K] [--qubits N]
+ *   $ echo 'Wait 10
+ *           Pulse {q0}, X180
+ *           Wait 600
+ *           halt' | ./run_qumis -
+ *
+ * This is the tool to poke at the microarchitecture interactively:
+ * write a program, run it, look at exactly when every codeword and
+ * pulse fired.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "isa/nametable.hh"
+#include "quma/machine.hh"
+
+namespace {
+
+void
+usage()
+{
+    std::fprintf(stderr,
+                 "usage: run_qumis <file|-> [--trace] [--bins K] "
+                 "[--qubits N]\n");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace quma;
+
+    if (argc < 2) {
+        usage();
+        return 2;
+    }
+
+    std::string path;
+    bool trace = false;
+    std::size_t bins = 0;
+    unsigned qubits = 1;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--trace") == 0) {
+            trace = true;
+        } else if (std::strcmp(argv[i], "--bins") == 0 &&
+                   i + 1 < argc) {
+            bins = std::strtoull(argv[++i], nullptr, 10);
+        } else if (std::strcmp(argv[i], "--qubits") == 0 &&
+                   i + 1 < argc) {
+            qubits = static_cast<unsigned>(std::atoi(argv[++i]));
+        } else if (path.empty()) {
+            path = argv[i];
+        } else {
+            usage();
+            return 2;
+        }
+    }
+
+    std::string source;
+    if (path == "-") {
+        std::ostringstream buf;
+        buf << std::cin.rdbuf();
+        source = buf.str();
+    } else {
+        std::ifstream in(path);
+        if (!in) {
+            std::fprintf(stderr, "run_qumis: cannot open '%s'\n",
+                         path.c_str());
+            return 1;
+        }
+        std::ostringstream buf;
+        buf << in.rdbuf();
+        source = buf.str();
+    }
+
+    core::MachineConfig config;
+    config.qubits.assign(qubits, qsim::paperQubitParams());
+    config.traceEnabled = trace;
+    core::QumaMachine machine(config);
+    if (bins > 0)
+        machine.configureDataCollection(bins);
+
+    try {
+        machine.loadAssembly(source);
+    } catch (const FatalError &e) {
+        std::fprintf(stderr, "run_qumis: %s\n", e.what());
+        return 1;
+    }
+
+    core::RunResult result;
+    try {
+        result = machine.run();
+    } catch (const FatalError &e) {
+        std::fprintf(stderr, "run_qumis: runtime error: %s\n",
+                     e.what());
+        return 1;
+    }
+
+    std::printf("halted: %s after %llu cycles (%.3f ms)\n",
+                result.halted ? "yes" : "no",
+                static_cast<unsigned long long>(result.cyclesRun),
+                static_cast<double>(cyclesToNs(result.cyclesRun)) *
+                    1e-6);
+    std::printf("timing violations: %zu late, %zu stale\n",
+                result.violations.latePoints,
+                result.violations.staleEvents);
+
+    std::printf("registers (non-zero):\n");
+    for (unsigned r = 0; r < kNumRegisters; ++r) {
+        std::int64_t v = machine.registers().read(
+            static_cast<RegIndex>(r));
+        if (v != 0)
+            std::printf("  r%-3u = %lld\n", r,
+                        static_cast<long long>(v));
+    }
+
+    if (bins > 0) {
+        auto s = machine.dataCollector().averages();
+        auto b = machine.dataCollector().bitAverages();
+        std::printf("data collection (%zu samples):\n",
+                    machine.dataCollector().sampleCount());
+        for (std::size_t i = 0; i < s.size(); ++i)
+            std::printf("  bin %-3zu S = %10.2f   P(|1>) = %.3f\n", i,
+                        s[i], b[i]);
+    }
+
+    if (trace) {
+        auto names = isa::NameTable::standardUops();
+        std::printf("codeword triggers:\n");
+        for (const auto &c : machine.trace().codewords()) {
+            auto n =
+                names.nameOf(static_cast<std::uint8_t>(c.codeword));
+            std::printf("  TD %-10llu CW %-3u (%s) -> CTPG%u\n",
+                        static_cast<unsigned long long>(c.td),
+                        c.codeword, n ? n->c_str() : "?", c.awg);
+        }
+        std::printf("pulses at the chip:\n");
+        for (const auto &p : machine.trace().pulses())
+            std::printf("  t = %-10lld ns  cw %-3u  %4.0f ns  "
+                        "mask 0x%x\n",
+                        static_cast<long long>(p.t0Ns), p.codeword,
+                        p.durationNs, p.mask);
+        std::printf("measurements:\n");
+        for (const auto &m : machine.trace().measurements())
+            std::printf("  window at cycle %-10llu qubit %u  "
+                        "true |%d>\n",
+                        static_cast<unsigned long long>(
+                            m.windowStart),
+                        m.qubit, m.trueOutcome);
+    }
+    return 0;
+}

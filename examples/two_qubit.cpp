@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Two-qubit control: the CNOT microprogram (paper Algorithm 2) and
+ * multiplexed measurement on a two-transmon chip.
+ *
+ * Demonstrates the multilevel decoding on a two-qubit instruction:
+ * `CNOT q0, q1` expands in the Q control store to
+ * Ym90(target) / CZ flux pulse / Y90(target), each pulse routed to
+ * the right AWG board and fired at exact cycles. Measurement of both
+ * qubits packs one result bit per qubit into the destination
+ * register.
+ *
+ *   $ ./two_qubit [rounds]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "quma/machine.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace quma;
+
+    std::size_t rounds =
+        argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 100;
+
+    core::MachineConfig config;
+    qsim::TransmonParams q0 = qsim::paperQubitParams();
+    qsim::TransmonParams q1 = qsim::paperQubitParams();
+    q1.freqHz = 6.100e9; // second transmon on its own drive line
+    config.qubits = {q0, q1};
+    config.numAwgs = 2;
+    config.driveAwg = {0, 1};
+    config.qubits[0].readout.noiseSigma = 40.0;
+    config.qubits[1].readout.noiseSigma = 40.0;
+
+    core::QumaMachine machine(config);
+    machine.configureDataCollection(2); // one bin per qubit
+
+    // Each round: init both, flip the control, CNOT, measure both.
+    // Expected joint outcome: |11> (control flipped the target).
+    std::string src = "mov r1, 0\nmov r2, " + std::to_string(rounds) +
+                      "\nmov r15, 40000\n";
+    src += R"(
+        Round:
+        QNopReg r15
+        Pulse {q1}, X180      # flip the control qubit
+        Wait 4
+        CNOT q0, q1           # expanded by the Q control store
+        Measure q0, r7
+        Measure q1, r8
+        Wait 600
+        addi r1, r1, 1
+        bne r1, r2, Round
+        halt
+    )";
+    machine.loadAssembly(src);
+    auto result = machine.run(
+        static_cast<Cycle>(rounds) * 100000 + 1'000'000);
+
+    auto bits = machine.dataCollector().bitAverages();
+    std::printf("rounds:               %zu\n", rounds);
+    std::printf("P(target q0 = |1>):   %.3f   (expect ~1: flipped by "
+                "CNOT)\n",
+                bits[0]);
+    std::printf("P(control q1 = |1>):  %.3f   (expect ~1)\n", bits[1]);
+    std::printf("last round: r7 = %lld, r8 = %lld\n",
+                static_cast<long long>(machine.registers().read(7)),
+                static_cast<long long>(machine.registers().read(8)));
+    std::printf("timing violations: %zu late, %zu stale\n",
+                result.violations.latePoints,
+                result.violations.staleEvents);
+    return 0;
+}

@@ -1,0 +1,56 @@
+#include "awg/awgmodule.hh"
+
+#include <algorithm>
+
+namespace quma::awg {
+
+AwgModule::AwgModule(AwgConfig config,
+                     microcode::UopSequenceTable seq_table)
+    : cfg(config), uop(std::move(seq_table), config.uopDelayCycles),
+      ctpgUnit(config.ctpg)
+{
+    // Codeword triggers produced by the u-op unit feed the CTPG.
+    uop.setTriggerSink([this](Codeword cw, Cycle td, QubitMask mask) {
+        if (triggerObserver)
+            triggerObserver(cw, td, mask);
+        ctpgUnit.trigger(cw, td, mask);
+    });
+}
+
+void
+AwgModule::setPulseSink(Ctpg::PulseSink sink)
+{
+    ctpgUnit.setPulseSink(std::move(sink));
+}
+
+void
+AwgModule::fireUop(std::uint8_t uop_id, Cycle td, QubitMask mask)
+{
+    // The mask is routing metadata carried through to the emitted
+    // pulse; the QMB already routed the event here, and flux (CZ)
+    // pulses legitimately span qubits served by other boards.
+    uop.fire(uop_id, td, mask);
+}
+
+std::optional<Cycle>
+AwgModule::nextEventCycle() const
+{
+    auto a = uop.nextEventCycle();
+    auto b = ctpgUnit.nextEventCycle();
+    if (!a)
+        return b;
+    if (!b)
+        return a;
+    return std::min(*a, *b);
+}
+
+void
+AwgModule::advanceTo(Cycle now)
+{
+    // The u-op unit may schedule triggers due at `now`; run it first
+    // so the CTPG sees them in this same advance.
+    uop.advanceTo(now);
+    ctpgUnit.advanceTo(now);
+}
+
+} // namespace quma::awg

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * One AWG board of the quantum control box (paper §7.1): a
+ * micro-operation unit feeding a codeword-triggered pulse generation
+ * unit with a two-channel (I/Q) DAC output.
+ */
+
+#ifndef QUMA_AWG_AWGMODULE_HH
+#define QUMA_AWG_AWGMODULE_HH
+
+#include <optional>
+
+#include "awg/ctpg.hh"
+#include "awg/uopunit.hh"
+
+namespace quma::awg {
+
+struct AwgConfig
+{
+    /** Qubits whose drive line this AWG's output is wired to. */
+    QubitMask servedQubits = 0x1;
+    /** u-op unit fixed delay Delta in cycles. */
+    Cycle uopDelayCycles = 2;
+    CtpgConfig ctpg;
+};
+
+class AwgModule
+{
+  public:
+    AwgModule(AwgConfig config, microcode::UopSequenceTable seq_table);
+
+    const AwgConfig &config() const { return cfg; }
+    QubitMask servedQubits() const { return cfg.servedQubits; }
+
+    WaveMemory &waveMemory() { return ctpgUnit.waveMemory(); }
+    const WaveMemory &waveMemory() const { return ctpgUnit.waveMemory(); }
+    UopUnit &uopUnit() { return uop; }
+    Ctpg &ctpg() { return ctpgUnit; }
+
+    /** Pulses leaving the board go to this sink. */
+    void setPulseSink(Ctpg::PulseSink sink);
+
+    /** Observer for codeword triggers entering the CTPG (tracing). */
+    using TriggerObserver =
+        std::function<void(Codeword, Cycle, QubitMask)>;
+    void setTriggerObserver(TriggerObserver observer)
+    {
+        triggerObserver = std::move(observer);
+    }
+
+    /** A pulse-queue event fired by the timing controller. */
+    void fireUop(std::uint8_t uop, Cycle td, QubitMask mask);
+
+    std::optional<Cycle> nextEventCycle() const;
+    void advanceTo(Cycle now);
+
+  private:
+    AwgConfig cfg;
+    UopUnit uop;
+    Ctpg ctpgUnit;
+    TriggerObserver triggerObserver;
+};
+
+} // namespace quma::awg
+
+#endif // QUMA_AWG_AWGMODULE_HH

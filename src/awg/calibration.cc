@@ -1,0 +1,100 @@
+#include "awg/calibration.hh"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/logging.hh"
+#include "isa/nametable.hh"
+#include "signal/envelope.hh"
+#include "signal/modulation.hh"
+
+namespace quma::awg {
+
+double
+calibratedAmplitude(const CalibrationParams &params, double theta)
+{
+    if (params.rabiRadPerAmpNs <= 0)
+        fatal("calibration needs a positive Rabi gain");
+    signal::Envelope unit =
+        signal::Envelope::gaussian(params.pulseNs, 1.0, params.sigmaNs);
+    double unit_area = unit.area();
+    double amp = theta / (params.rabiRadPerAmpNs * unit_area);
+    return amp * (1.0 + params.amplitudeError);
+}
+
+namespace {
+
+StoredPulse
+renderGatePulse(const CalibrationParams &params, const std::string &name,
+                double theta, double phase)
+{
+    StoredPulse out;
+    out.name = name;
+    out.rateHz = params.rateHz;
+    double amp = calibratedAmplitude(params, theta);
+    signal::Envelope env = signal::Envelope::gaussian(
+        params.pulseNs, amp, params.sigmaNs);
+    signal::Waveform base(env.sample(params.rateHz), params.rateHz);
+    // Samples are tau-local: the SSB phase reference is the pulse
+    // start. The carrier phase a pulse actually gets is then set by
+    // its trigger time, which is the timing sensitivity the paper
+    // exploits and AllXY detects.
+    auto [i, q] = signal::ssbModulate(base, params.ssbHz, 0.0, phase);
+    out.i = i.samples();
+    out.q = q.samples();
+    return out;
+}
+
+} // namespace
+
+void
+buildStandardLut(WaveMemory &memory, const CalibrationParams &params)
+{
+    namespace u = isa::uops;
+    const double pi = std::numbers::pi;
+
+    // Identity: a zero pulse of one gate duration keeps the timing
+    // grid uniform.
+    {
+        StoredPulse idle;
+        idle.name = "I";
+        idle.rateHz = params.rateHz;
+        signal::Envelope env = signal::Envelope::zero(params.pulseNs);
+        idle.i = env.sample(params.rateHz);
+        idle.q = env.sample(params.rateHz);
+        memory.upload(u::I, std::move(idle));
+    }
+    memory.upload(u::X180, renderGatePulse(params, "X180", pi, 0.0));
+    memory.upload(u::X90, renderGatePulse(params, "X90", pi / 2, 0.0));
+    memory.upload(u::Xm90, renderGatePulse(params, "Xm90", -pi / 2, 0.0));
+    memory.upload(u::Y180, renderGatePulse(params, "Y180", pi, pi / 2));
+    memory.upload(u::Y90, renderGatePulse(params, "Y90", pi / 2, pi / 2));
+    memory.upload(u::Ym90,
+                  renderGatePulse(params, "Ym90", -pi / 2, pi / 2));
+
+    // Measurement pulse envelope (the master controller normally
+    // gates a dedicated source; the entry keeps Table 1 complete).
+    {
+        StoredPulse msmt;
+        msmt.name = "MSMT";
+        msmt.rateHz = params.rateHz;
+        signal::Envelope env =
+            signal::Envelope::square(params.msmtPulseNs, 1.0);
+        msmt.i = env.sample(params.rateHz);
+        msmt.q.assign(msmt.i.size(), 0.0);
+        memory.upload(u::Msmt, std::move(msmt));
+    }
+    // Flux pulse for the CZ gate (applied via the flux-bias line).
+    {
+        StoredPulse cz;
+        cz.name = "CZ";
+        cz.rateHz = params.rateHz;
+        signal::Envelope env =
+            signal::Envelope::square(params.czPulseNs, 1.0);
+        cz.i = env.sample(params.rateHz);
+        cz.q.assign(cz.i.size(), 0.0);
+        memory.upload(u::Cz, std::move(cz));
+    }
+}
+
+} // namespace quma::awg

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Pulse calibration: builds the Table 1 lookup-table content.
+ *
+ * Mirrors the experimental flow of paper §8: "Prior to the
+ * experiment, the qubit pulses are calibrated and uploaded into
+ * control box AWG 2." Given the qubit's Rabi gain, each rotation's
+ * envelope amplitude is chosen so the integrated drive produces the
+ * target angle, and the I/Q samples (including the fixed SSB
+ * modulation) are rendered once and stored.
+ */
+
+#ifndef QUMA_AWG_CALIBRATION_HH
+#define QUMA_AWG_CALIBRATION_HH
+
+#include "awg/wavememory.hh"
+
+namespace quma::awg {
+
+struct CalibrationParams
+{
+    /** Single-qubit gate pulse duration (ns); paper: 20 ns. */
+    double pulseNs = 20.0;
+    /** Gaussian sigma (ns); defaults to pulseNs / 4 when 0. */
+    double sigmaNs = 0.0;
+    /** SSB modulation frequency (Hz); paper: -50 MHz. */
+    double ssbHz = -50.0e6;
+    /** Qubit Rabi gain (rad per amplitude*ns). */
+    double rabiRadPerAmpNs = 0.0;
+    /** AWG sample rate (Hz). */
+    double rateHz = kAwgSampleRateHz;
+    /**
+     * Fractional amplitude miscalibration applied to every gate
+     * pulse (0 = perfect). Used to inject the AllXY error
+     * signatures of paper §4.1.
+     */
+    double amplitudeError = 0.0;
+    /** Measurement pulse duration stored at the MSMT codeword (ns). */
+    double msmtPulseNs = 1500.0;
+    /** Flux (CZ) pulse duration (ns); paper: ~40 ns. */
+    double czPulseNs = 40.0;
+};
+
+/**
+ * Build the standard single-qubit lookup table (paper Table 1):
+ *
+ *   cw 0: I      cw 1: Rx(pi)    cw 2: Rx(pi/2)   cw 3: Rx(-pi/2)
+ *   cw 4: Ry(pi) cw 5: Ry(pi/2)  cw 6: Ry(-pi/2)  cw 7: MSMT
+ *   cw 8: CZ (flux)
+ *
+ * The calibrated amplitude for angle theta satisfies
+ * |theta| = rabiRadPerAmpNs * amplitude * unitArea; negative angles
+ * flip the envelope sign; y rotations use a 90-degree envelope
+ * phase.
+ */
+void buildStandardLut(WaveMemory &memory, const CalibrationParams &params);
+
+/** The calibrated amplitude for a rotation by theta radians. */
+double calibratedAmplitude(const CalibrationParams &params, double theta);
+
+} // namespace quma::awg
+
+#endif // QUMA_AWG_CALIBRATION_HH

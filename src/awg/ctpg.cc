@@ -1,0 +1,49 @@
+#include "awg/ctpg.hh"
+
+#include "common/logging.hh"
+
+namespace quma::awg {
+
+Ctpg::Ctpg(CtpgConfig config)
+    : cfg(config),
+      dac(config.dacBits, config.dacFullScale, kAwgSampleRateHz)
+{}
+
+void
+Ctpg::trigger(Codeword cw, Cycle td, QubitMask mask)
+{
+    if (!memory.contains(cw))
+        fatal("CTPG triggered with codeword ", cw,
+              " but no pulse is uploaded at that index");
+    pending.push(Pending{td + cfg.delayCycles, cw, mask, orderCounter++});
+}
+
+std::optional<Cycle>
+Ctpg::nextEventCycle() const
+{
+    if (pending.empty())
+        return std::nullopt;
+    return pending.top().emitCycle;
+}
+
+void
+Ctpg::advanceTo(Cycle now)
+{
+    while (!pending.empty() && pending.top().emitCycle <= now) {
+        Pending p = pending.top();
+        pending.pop();
+        const StoredPulse &stored = memory.lookup(p.cw);
+
+        signal::DrivePulse pulse;
+        pulse.t0Ns = cyclesToNs(p.emitCycle);
+        pulse.i = dac.render(stored.i);
+        pulse.q = dac.render(stored.q);
+        pulse.ssbHz = cfg.ssbHz;
+        pulse.carrierHz = cfg.carrierHz;
+        ++emitted;
+        if (pulseSink)
+            pulseSink(pulse, p.cw, p.mask);
+    }
+}
+
+} // namespace quma::awg

@@ -1,0 +1,49 @@
+#include "awg/wavememory.hh"
+
+#include "common/logging.hh"
+
+namespace quma::awg {
+
+void
+WaveMemory::upload(Codeword cw, StoredPulse pulse)
+{
+    if (pulse.i.size() != pulse.q.size())
+        fatal("stored pulse '", pulse.name, "' has mismatched I/Q sizes");
+    table[cw] = std::move(pulse);
+}
+
+bool
+WaveMemory::contains(Codeword cw) const
+{
+    return table.count(cw) != 0;
+}
+
+const StoredPulse &
+WaveMemory::lookup(Codeword cw) const
+{
+    auto it = table.find(cw);
+    if (it == table.end())
+        fatal("wave memory has no pulse at codeword ", cw);
+    return it->second;
+}
+
+std::vector<Codeword>
+WaveMemory::codewords() const
+{
+    std::vector<Codeword> out;
+    out.reserve(table.size());
+    for (const auto &[cw, pulse] : table)
+        out.push_back(cw);
+    return out;
+}
+
+std::size_t
+WaveMemory::memoryBytes(unsigned bits) const
+{
+    std::size_t total_samples = 0;
+    for (const auto &[cw, pulse] : table)
+        total_samples += pulse.i.size() + pulse.q.size();
+    return (total_samples * bits + 7) / 8;
+}
+
+} // namespace quma::awg

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * The wave memory of a codeword-triggered pulse generation unit.
+ *
+ * Organised as a lookup table: each entry, indexed by a codeword,
+ * holds the I/Q sample amplitudes of ONE primitive pulse (paper
+ * §5.1.1, Table 1). Uploading primitives instead of full experiment
+ * waveforms is the paper's central memory argument: the AllXY
+ * experiment needs 7 stored pulses (420 bytes) instead of 21 two-gate
+ * waveforms (2520 bytes).
+ */
+
+#ifndef QUMA_AWG_WAVEMEMORY_HH
+#define QUMA_AWG_WAVEMEMORY_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace quma::awg {
+
+/** One lookup-table entry: a stored I/Q pulse. */
+struct StoredPulse
+{
+    std::string name;
+    std::vector<double> i;
+    std::vector<double> q;
+    /** Sample rate the samples were generated at (Hz). */
+    double rateHz = kAwgSampleRateHz;
+};
+
+class WaveMemory
+{
+  public:
+    /** Upload (or replace) the pulse at a codeword index. */
+    void upload(Codeword cw, StoredPulse pulse);
+
+    bool contains(Codeword cw) const;
+    const StoredPulse &lookup(Codeword cw) const;
+
+    std::size_t entryCount() const { return table.size(); }
+
+    /** All populated codewords in ascending order. */
+    std::vector<Codeword> codewords() const;
+
+    /**
+     * Memory footprint in bytes with the paper's accounting:
+     * samples (I and Q) times the vertical resolution, default
+     * 12 bits (1.5 bytes) per sample.
+     */
+    std::size_t memoryBytes(unsigned bits = kSampleResolutionBits) const;
+
+    void clear() { table.clear(); }
+
+  private:
+    std::map<Codeword, StoredPulse> table;
+};
+
+} // namespace quma::awg
+
+#endif // QUMA_AWG_WAVEMEMORY_HH

@@ -1,0 +1,162 @@
+#include "baseline/aps2_model.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace quma::baseline {
+
+Aps2System::Aps2System(unsigned num_modules, Cycle trigger_latency)
+    : modules(num_modules), triggerLatency(trigger_latency)
+{
+    if (num_modules == 0)
+        fatal("Aps2System needs at least one module");
+}
+
+std::vector<Aps2Binary>
+Aps2System::compileWorkload(const DistributedWorkload &workload) const
+{
+    if (workload.numQubits == 0)
+        fatal("workload needs at least one qubit");
+    // One module per qubit (the APS2 fully controls up to eight
+    // qubits with nine modules; we map 1:1 and fail past capacity).
+    if (workload.numQubits > modules)
+        fatal("workload needs ", workload.numQubits,
+              " modules but the system has ", modules);
+
+    std::vector<Aps2Binary> binaries(workload.numQubits);
+    unsigned syncId = 0;
+    for (unsigned q = 0; q < workload.numQubits; ++q)
+        binaries[q].module = "APS2-" + std::to_string(q);
+
+    for (const auto &seg : workload.segments) {
+        if (seg.pulseCycles.size() != workload.numQubits)
+            fatal("segment qubit count mismatch");
+        if (seg.barrier) {
+            for (auto &b : binaries) {
+                Aps2Instruction sync;
+                sync.kind = Aps2Instruction::Kind::SyncWait;
+                sync.syncId = syncId;
+                b.instructions.push_back(sync);
+            }
+            ++syncId;
+        }
+        for (unsigned q = 0; q < workload.numQubits; ++q) {
+            Cycle dur = seg.pulseCycles[q];
+            Aps2Instruction inst;
+            if (dur > 0) {
+                inst.kind = Aps2Instruction::Kind::PlayWaveform;
+                inst.addr = q; // one waveform slot per qubit
+                inst.durationCycles = dur;
+            } else {
+                // An idle waveform must cover the other qubits'
+                // pulse time to preserve alignment.
+                Cycle longest = 0;
+                for (Cycle d : seg.pulseCycles)
+                    longest = std::max(longest, d);
+                inst.kind = Aps2Instruction::Kind::PlayIdle;
+                inst.durationCycles = longest;
+            }
+            binaries[q].instructions.push_back(inst);
+            if (seg.gapCycles > 0) {
+                Aps2Instruction gap;
+                gap.kind = Aps2Instruction::Kind::PlayIdle;
+                gap.durationCycles = seg.gapCycles;
+                binaries[q].instructions.push_back(gap);
+            }
+        }
+    }
+    return binaries;
+}
+
+Aps2RunStats
+Aps2System::run(const std::vector<Aps2Binary> &binaries) const
+{
+    Aps2RunStats stats;
+    stats.binaries = binaries.size();
+
+    // Cooperative simulation: advance each module until its next
+    // sync point, then release the barrier with the trigger latency.
+    std::vector<std::size_t> pc(binaries.size(), 0);
+    std::vector<Cycle> clock(binaries.size(), 0);
+    std::size_t maxSync = 0;
+    for (const auto &b : binaries) {
+        stats.totalInstructions += b.instructions.size();
+        for (const auto &inst : b.instructions)
+            if (inst.kind == Aps2Instruction::Kind::SyncWait)
+                maxSync = std::max<std::size_t>(maxSync, inst.syncId + 1);
+    }
+    stats.syncPoints = maxSync;
+
+    auto runUntilSync = [&](std::size_t m) {
+        const auto &insts = binaries[m].instructions;
+        while (pc[m] < insts.size()) {
+            const auto &inst = insts[pc[m]];
+            if (inst.kind == Aps2Instruction::Kind::SyncWait)
+                return true; // parked at the barrier
+            clock[m] += inst.durationCycles;
+            ++pc[m];
+        }
+        return false;
+    };
+
+    bool anyParked = true;
+    while (anyParked) {
+        anyParked = false;
+        // Advance everyone to their next barrier (or completion).
+        std::vector<bool> parked(binaries.size(), false);
+        for (std::size_t m = 0; m < binaries.size(); ++m)
+            parked[m] = runUntilSync(m);
+        // Release the lowest pending barrier.
+        Cycle releaseAt = 0;
+        bool found = false;
+        for (std::size_t m = 0; m < binaries.size(); ++m) {
+            if (parked[m]) {
+                releaseAt = std::max(releaseAt, clock[m]);
+                found = true;
+            }
+        }
+        if (found) {
+            releaseAt += triggerLatency;
+            for (std::size_t m = 0; m < binaries.size(); ++m) {
+                if (parked[m]) {
+                    stats.stallCycles += releaseAt - clock[m];
+                    clock[m] = releaseAt;
+                    ++pc[m]; // step past the SyncWait
+                }
+            }
+            anyParked = true;
+        }
+    }
+    for (Cycle c : clock)
+        stats.makespanCycles = std::max(stats.makespanCycles, c);
+    return stats;
+}
+
+CentralizedStats
+centralizedCost(const DistributedWorkload &workload)
+{
+    CentralizedStats stats;
+    Cycle clock = 0;
+    for (const auto &seg : workload.segments) {
+        Cycle longest = 0;
+        bool anyPulse = false;
+        for (Cycle d : seg.pulseCycles) {
+            longest = std::max(longest, d);
+            if (d > 0)
+                anyPulse = true;
+        }
+        // One horizontal Pulse instruction drives every active qubit
+        // in the segment; one Wait spaces to the next segment.
+        // Barriers need no instructions: alignment is a property of
+        // the timing labels.
+        if (anyPulse)
+            stats.totalInstructions += 1;
+        stats.totalInstructions += 1; // the Wait
+        clock += longest + seg.gapCycles;
+    }
+    stats.makespanCycles = clock;
+    return stats;
+}
+
+} // namespace quma::baseline

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Behavioural model of the Raytheon BBN APS2-style distributed
+ * control architecture the paper compares against (§6).
+ *
+ * The APS2 system is distributed: nine APS2 output modules plus a
+ * trigger distribution module (TDM). A quantum application compiles
+ * into one binary PER MODULE; each binary interleaves low-level
+ * output instructions (play waveform at a memory address, play an
+ * idle waveform for spacing) with synchronisation points at which the
+ * module stalls until the TDM broadcasts a trigger over the
+ * interconnect. While waiting, no output instructions can be
+ * processed.
+ *
+ * QuMA's centralized design needs one binary, encodes timing in the
+ * instruction stream, and keeps processing instructions during
+ * waits. The bench built on this model quantifies the §6 comparison:
+ * binary count, aggregate instruction count, sync stalls, and
+ * makespan sensitivity to trigger-network latency.
+ */
+
+#ifndef QUMA_BASELINE_APS2_MODEL_HH
+#define QUMA_BASELINE_APS2_MODEL_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace quma::baseline {
+
+/** One output instruction of an APS2 module binary. */
+struct Aps2Instruction
+{
+    enum class Kind : std::uint8_t
+    {
+        PlayWaveform, ///< play `durationCycles` from memory `addr`
+        PlayIdle,     ///< idle waveform implementing a gap
+        SyncWait,     ///< stall until the TDM trigger `syncId`
+    };
+
+    Kind kind = Kind::PlayIdle;
+    unsigned addr = 0;
+    Cycle durationCycles = 0;
+    unsigned syncId = 0;
+};
+
+/** A compiled per-module binary. */
+struct Aps2Binary
+{
+    std::string module;
+    std::vector<Aps2Instruction> instructions;
+};
+
+/** The result of executing the distributed system. */
+struct Aps2RunStats
+{
+    std::size_t binaries = 0;
+    std::size_t totalInstructions = 0;
+    std::size_t syncPoints = 0;
+    /** Cycles modules spent stalled at sync barriers. */
+    Cycle stallCycles = 0;
+    /** Completion time of the slowest module (cycles). */
+    Cycle makespanCycles = 0;
+};
+
+/**
+ * A minimal experiment description for compilation onto either
+ * architecture: per-qubit sequences of (gate duration, gap) slots
+ * with optional cross-module sync barriers between segments.
+ */
+struct DistributedWorkload
+{
+    struct Segment
+    {
+        /** Pulse duration in cycles per qubit (0 = idle this seg). */
+        std::vector<Cycle> pulseCycles;
+        /** Gap after the pulse, in cycles. */
+        Cycle gapCycles = 0;
+        /** Whether the segment starts with a global barrier. */
+        bool barrier = false;
+    };
+    unsigned numQubits = 2;
+    std::vector<Segment> segments;
+};
+
+class Aps2System
+{
+  public:
+    /**
+     * @param num_modules     output modules (paper: nine)
+     * @param trigger_latency TDM trigger distribution latency
+     */
+    explicit Aps2System(unsigned num_modules = 9,
+                        Cycle trigger_latency = 4);
+
+    unsigned numModules() const { return modules; }
+
+    /** Compile the workload into one binary per involved module. */
+    std::vector<Aps2Binary>
+    compileWorkload(const DistributedWorkload &workload) const;
+
+    /** Execute the binaries and account stalls / makespan. */
+    Aps2RunStats run(const std::vector<Aps2Binary> &binaries) const;
+
+  private:
+    unsigned modules;
+    Cycle triggerLatency;
+};
+
+/** QuMA-side accounting for the same workload (single binary). */
+struct CentralizedStats
+{
+    std::size_t binaries = 1;
+    std::size_t totalInstructions = 0;
+    Cycle makespanCycles = 0;
+};
+
+/**
+ * Count the instructions QuMA needs for the workload: one Pulse per
+ * active segment (horizontal across qubits) plus one Wait per
+ * distinct time step; barriers are free (timing is explicit).
+ */
+CentralizedStats centralizedCost(const DistributedWorkload &workload);
+
+} // namespace quma::baseline
+
+#endif // QUMA_BASELINE_APS2_MODEL_HH

@@ -1,0 +1,63 @@
+#include "baseline/waveform_method.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace quma::baseline {
+
+ConventionalAwgController::ConventionalAwgController(
+    double sample_rate_hz, unsigned sample_bits, double link_bytes_per_s)
+    : rateHz(sample_rate_hz), bits(sample_bits),
+      linkRate(link_bytes_per_s)
+{
+    if (rateHz <= 0 || linkRate <= 0 || bits == 0)
+        fatal("ConventionalAwgController: bad parameters");
+}
+
+void
+ConventionalAwgController::uploadWaveform(const std::string &name,
+                                          unsigned pulses,
+                                          double pulse_ns)
+{
+    UploadedWaveform w;
+    w.name = name;
+    w.pulses = pulses;
+    w.durationNs = pulses * pulse_ns;
+    uploaded.push_back(std::move(w));
+}
+
+void
+ConventionalAwgController::clear()
+{
+    uploaded.clear();
+}
+
+UploadStats
+ConventionalAwgController::stats() const
+{
+    UploadStats s;
+    s.waveforms = uploaded.size();
+    for (const auto &w : uploaded) {
+        // Both I and Q components are stored: Ns = 2 * Td * Rs.
+        auto samples = static_cast<std::size_t>(
+            std::llround(2.0 * w.durationNs * 1e-9 * rateHz));
+        s.sampleCount += samples;
+    }
+    s.bytes = (s.sampleCount * bits + 7) / 8;
+    s.uploadSeconds = static_cast<double>(s.bytes) / linkRate;
+    return s;
+}
+
+std::size_t
+ConventionalAwgController::bytesFor(unsigned combinations,
+                                    unsigned pulses_per_combination,
+                                    double pulse_ns) const
+{
+    auto samples = static_cast<std::size_t>(std::llround(
+        combinations * 2.0 * pulses_per_combination * pulse_ns * 1e-9 *
+        rateHz));
+    return (samples * bits + 7) / 8;
+}
+
+} // namespace quma::baseline

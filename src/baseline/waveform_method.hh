@@ -1,0 +1,93 @@
+/**
+ * @file
+ * The conventional AWG control flow the paper argues against
+ * (§4.2.2, §5.1.1): every combination of operations is rendered as
+ * one long waveform, all waveforms are uploaded ahead of time, and a
+ * sequencer plays them. Any change to the experiment requires
+ * re-rendering and re-uploading entire waveforms.
+ *
+ * This model reproduces the paper's memory arithmetic exactly: for
+ * AllXY, 21 two-gate waveforms cost 2520 bytes of sample memory
+ * against 420 bytes for the 7 stored primitives of the
+ * codeword-triggered scheme.
+ */
+
+#ifndef QUMA_BASELINE_WAVEFORM_METHOD_HH
+#define QUMA_BASELINE_WAVEFORM_METHOD_HH
+
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace quma::baseline {
+
+/** One uploaded waveform: a rendered sequence of gate pulses. */
+struct UploadedWaveform
+{
+    std::string name;
+    /** Number of gate pulses concatenated into the waveform. */
+    unsigned pulses = 0;
+    /** Total duration in nanoseconds. */
+    double durationNs = 0;
+};
+
+/** Accounting of one upload session. */
+struct UploadStats
+{
+    std::size_t waveforms = 0;
+    std::size_t sampleCount = 0;
+    std::size_t bytes = 0;
+    /** Upload time over the configured link (seconds). */
+    double uploadSeconds = 0;
+};
+
+class ConventionalAwgController
+{
+  public:
+    /**
+     * @param sample_rate_hz   AWG sample rate (1 GSa/s)
+     * @param sample_bits      vertical resolution (12)
+     * @param link_bytes_per_s upload link throughput (USB-ish 30 MB/s)
+     */
+    ConventionalAwgController(double sample_rate_hz = kAwgSampleRateHz,
+                              unsigned sample_bits =
+                                  kSampleResolutionBits,
+                              double link_bytes_per_s = 30.0e6);
+
+    /**
+     * Upload one waveform combining `pulses` gate pulses of
+     * `pulse_ns` each (both I and Q are stored).
+     */
+    void uploadWaveform(const std::string &name, unsigned pulses,
+                        double pulse_ns);
+
+    /** Drop everything (a "small change" forces re-uploading). */
+    void clear();
+
+    const std::vector<UploadedWaveform> &waveforms() const
+    {
+        return uploaded;
+    }
+
+    UploadStats stats() const;
+
+    /**
+     * Sample memory for `combinations` waveforms of
+     * `pulses_per_combination` pulses each -- the paper's formula
+     * N_s = 2 * Td * Rs per component.
+     */
+    std::size_t bytesFor(unsigned combinations,
+                         unsigned pulses_per_combination,
+                         double pulse_ns) const;
+
+  private:
+    double rateHz;
+    unsigned bits;
+    double linkRate;
+    std::vector<UploadedWaveform> uploaded;
+};
+
+} // namespace quma::baseline
+
+#endif // QUMA_BASELINE_WAVEFORM_METHOD_HH

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Bit-slicing helpers for instruction encoding, after gem5's bitfield.hh.
+ */
+
+#ifndef QUMA_COMMON_BITFIELD_HH
+#define QUMA_COMMON_BITFIELD_HH
+
+#include <cstdint>
+
+namespace quma {
+
+/** Mask of n low bits (n in [0, 64]). */
+constexpr std::uint64_t
+lowMask(unsigned n)
+{
+    return n >= 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << n) - 1);
+}
+
+/** Extract bits [first, last] (inclusive, last >= first) of val. */
+constexpr std::uint64_t
+bits(std::uint64_t val, unsigned last, unsigned first)
+{
+    return (val >> first) & lowMask(last - first + 1);
+}
+
+/** Return val with bits [first, last] replaced by the low bits of field. */
+constexpr std::uint64_t
+insertBits(std::uint64_t val, unsigned last, unsigned first,
+           std::uint64_t field)
+{
+    std::uint64_t mask = lowMask(last - first + 1) << first;
+    return (val & ~mask) | ((field << first) & mask);
+}
+
+/** Sign-extend the low n bits of val. */
+constexpr std::int64_t
+signExtend(std::uint64_t val, unsigned n)
+{
+    std::uint64_t m = std::uint64_t{1} << (n - 1);
+    std::uint64_t x = val & lowMask(n);
+    return static_cast<std::int64_t>((x ^ m) - m);
+}
+
+} // namespace quma
+
+#endif // QUMA_COMMON_BITFIELD_HH

@@ -1,0 +1,30 @@
+#include "common/logging.hh"
+
+#include <atomic>
+#include <iostream>
+
+namespace quma {
+
+namespace {
+std::atomic<bool> quietFlag{false};
+} // namespace
+
+void
+setLogQuiet(bool quiet)
+{
+    quietFlag.store(quiet, std::memory_order_relaxed);
+}
+
+bool
+logQuiet()
+{
+    return quietFlag.load(std::memory_order_relaxed);
+}
+
+void
+detail::emitMessage(const char *tag, const std::string &msg)
+{
+    std::cerr << tag << ": " << msg << "\n";
+}
+
+} // namespace quma

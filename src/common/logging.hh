@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Status-message and error helpers in the spirit of gem5's logging.hh.
+ *
+ * panic()  - an internal invariant was violated (a bug in this library);
+ *            aborts so a debugger/core dump can inspect the failure.
+ * fatal()  - the simulation cannot continue because of a user error
+ *            (bad configuration, malformed program, ...); exits cleanly.
+ * warn()   - something is suspicious but the simulation continues.
+ * inform() - normal operating status for the user.
+ */
+
+#ifndef QUMA_COMMON_LOGGING_HH
+#define QUMA_COMMON_LOGGING_HH
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace quma {
+
+/** Exception thrown by fatal(): a user-level, recoverable-by-caller error. */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &msg) : std::runtime_error(msg) {}
+};
+
+/** Exception thrown by panic(): an internal invariant violation. */
+class PanicError : public std::logic_error
+{
+  public:
+    explicit PanicError(const std::string &msg) : std::logic_error(msg) {}
+};
+
+namespace detail {
+
+/** Concatenate a parameter pack into one string via ostringstream. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream oss;
+    (oss << ... << std::forward<Args>(args));
+    return oss.str();
+}
+
+void emitMessage(const char *tag, const std::string &msg);
+
+} // namespace detail
+
+/** Global verbosity switch for inform()/warn() output. */
+void setLogQuiet(bool quiet);
+bool logQuiet();
+
+/**
+ * Report an unrecoverable internal error (library bug) and throw
+ * PanicError. Never returns normally.
+ */
+template <typename... Args>
+[[noreturn]] void
+panic(Args &&...args)
+{
+    std::string msg = detail::concat(std::forward<Args>(args)...);
+    detail::emitMessage("panic", msg);
+    throw PanicError(msg);
+}
+
+/**
+ * Report an unrecoverable user error (bad input/config) and throw
+ * FatalError. Never returns normally.
+ */
+template <typename... Args>
+[[noreturn]] void
+fatal(Args &&...args)
+{
+    std::string msg = detail::concat(std::forward<Args>(args)...);
+    detail::emitMessage("fatal", msg);
+    throw FatalError(msg);
+}
+
+/** Report a suspicious but survivable condition. */
+template <typename... Args>
+void
+warn(Args &&...args)
+{
+    if (!logQuiet())
+        detail::emitMessage("warn", detail::concat(std::forward<Args>(args)...));
+}
+
+/** Report normal operating status. */
+template <typename... Args>
+void
+inform(Args &&...args)
+{
+    if (!logQuiet())
+        detail::emitMessage("info", detail::concat(std::forward<Args>(args)...));
+}
+
+/** panic() unless the condition holds. */
+#define quma_assert(cond, ...)                                               \
+    do {                                                                     \
+        if (!(cond))                                                         \
+            ::quma::panic("assertion '", #cond, "' failed: ",                \
+                          ##__VA_ARGS__);                                    \
+    } while (0)
+
+} // namespace quma
+
+#endif // QUMA_COMMON_LOGGING_HH

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Deterministic random number generation for reproducible simulations.
+ */
+
+#ifndef QUMA_COMMON_RNG_HH
+#define QUMA_COMMON_RNG_HH
+
+#include <cstdint>
+#include <random>
+
+namespace quma {
+
+/**
+ * A seedable random source wrapping a 64-bit Mersenne Twister.
+ *
+ * Every stochastic component (readout noise, qubit projection, stall
+ * injection) owns or borrows an Rng so experiments are exactly
+ * reproducible from a single seed.
+ */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x5eed) : engine(seed) {}
+
+    /** Re-seed the generator. */
+    void reseed(std::uint64_t seed) { engine.seed(seed); }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return std::uniform_real_distribution<double>(0.0, 1.0)(engine);
+    }
+
+    /** Uniform double in [lo, hi). */
+    double
+    uniform(double lo, double hi)
+    {
+        return std::uniform_real_distribution<double>(lo, hi)(engine);
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::uint64_t
+    uniformInt(std::uint64_t lo, std::uint64_t hi)
+    {
+        return std::uniform_int_distribution<std::uint64_t>(lo, hi)(engine);
+    }
+
+    /** Normally distributed double. */
+    double
+    gaussian(double mean = 0.0, double stddev = 1.0)
+    {
+        return std::normal_distribution<double>(mean, stddev)(engine);
+    }
+
+    /** Bernoulli trial with success probability p. */
+    bool
+    bernoulli(double p)
+    {
+        return std::bernoulli_distribution(p)(engine);
+    }
+
+    /** Access the underlying engine (for std::shuffle etc.). */
+    std::mt19937_64 &raw() { return engine; }
+
+  private:
+    std::mt19937_64 engine;
+};
+
+} // namespace quma
+
+#endif // QUMA_COMMON_RNG_HH

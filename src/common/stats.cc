@@ -1,0 +1,305 @@
+#include "common/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "common/logging.hh"
+
+namespace quma {
+
+void
+RunningStats::add(double x)
+{
+    ++n;
+    if (n == 1) {
+        mu = lo = hi = x;
+        m2 = 0.0;
+        return;
+    }
+    double delta = x - mu;
+    mu += delta / static_cast<double>(n);
+    m2 += delta * (x - mu);
+    lo = std::min(lo, x);
+    hi = std::max(hi, x);
+}
+
+void
+RunningStats::clear()
+{
+    n = 0;
+    mu = m2 = lo = hi = 0.0;
+}
+
+double
+RunningStats::variance() const
+{
+    if (n < 2)
+        return 0.0;
+    return m2 / static_cast<double>(n - 1);
+}
+
+double
+RunningStats::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+LinearFit
+linearFit(const std::vector<double> &x, const std::vector<double> &y)
+{
+    quma_assert(x.size() == y.size(), "linearFit: size mismatch");
+    if (x.size() < 2)
+        fatal("linearFit needs at least two points, got ", x.size());
+
+    double n = static_cast<double>(x.size());
+    double sx = 0, sy = 0, sxx = 0, sxy = 0, syy = 0;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        sx += x[i];
+        sy += y[i];
+        sxx += x[i] * x[i];
+        sxy += x[i] * y[i];
+        syy += y[i] * y[i];
+    }
+    double denom = n * sxx - sx * sx;
+    if (std::abs(denom) < 1e-300)
+        fatal("linearFit: degenerate x values");
+
+    LinearFit fit;
+    fit.slope = (n * sxy - sx * sy) / denom;
+    fit.intercept = (sy - fit.slope * sx) / n;
+
+    double ssTot = syy - sy * sy / n;
+    double ssRes = 0;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        double r = y[i] - (fit.slope * x[i] + fit.intercept);
+        ssRes += r * r;
+    }
+    fit.r2 = ssTot > 0 ? 1.0 - ssRes / ssTot : 1.0;
+    return fit;
+}
+
+namespace {
+
+/**
+ * Solve for (amplitude, offset) of y = a * b(x) + c by linear least
+ * squares given basis values b(x), and return the rms residual.
+ */
+double
+solveAmplitudeOffset(const std::vector<double> &basis,
+                     const std::vector<double> &y, double &a, double &c)
+{
+    double n = static_cast<double>(y.size());
+    double sb = 0, sy = 0, sbb = 0, sby = 0;
+    for (std::size_t i = 0; i < y.size(); ++i) {
+        sb += basis[i];
+        sy += y[i];
+        sbb += basis[i] * basis[i];
+        sby += basis[i] * y[i];
+    }
+    double denom = n * sbb - sb * sb;
+    if (std::abs(denom) < 1e-300) {
+        a = 0.0;
+        c = sy / n;
+    } else {
+        a = (n * sby - sb * sy) / denom;
+        c = (sy - a * sb) / n;
+    }
+    double ss = 0;
+    for (std::size_t i = 0; i < y.size(); ++i) {
+        double r = y[i] - (a * basis[i] + c);
+        ss += r * r;
+    }
+    return std::sqrt(ss / n);
+}
+
+double
+expResidual(const std::vector<double> &x, const std::vector<double> &y,
+            double tau, double &a, double &c)
+{
+    std::vector<double> basis(x.size());
+    for (std::size_t i = 0; i < x.size(); ++i)
+        basis[i] = std::exp(-x[i] / tau);
+    return solveAmplitudeOffset(basis, y, a, c);
+}
+
+/** Golden-section minimisation of f over [lo, hi]. */
+template <typename F>
+double
+goldenSection(F f, double lo, double hi, int iters = 80)
+{
+    const double phi = (std::sqrt(5.0) - 1.0) / 2.0;
+    double a = lo, b = hi;
+    double c = b - phi * (b - a);
+    double d = a + phi * (b - a);
+    double fc = f(c), fd = f(d);
+    for (int i = 0; i < iters; ++i) {
+        if (fc < fd) {
+            b = d;
+            d = c;
+            fd = fc;
+            c = b - phi * (b - a);
+            fc = f(c);
+        } else {
+            a = c;
+            c = d;
+            fc = fd;
+            d = a + phi * (b - a);
+            fd = f(d);
+        }
+    }
+    return (a + b) / 2.0;
+}
+
+} // namespace
+
+ExpFit
+expDecayFit(const std::vector<double> &x, const std::vector<double> &y)
+{
+    quma_assert(x.size() == y.size(), "expDecayFit: size mismatch");
+    if (x.size() < 3)
+        fatal("expDecayFit needs at least three points, got ", x.size());
+
+    double xmax = *std::max_element(x.begin(), x.end());
+    double xmin = *std::min_element(x.begin(), x.end());
+    double span = std::max(xmax - xmin, 1e-12);
+
+    double a = 0, c = 0;
+    auto objective = [&](double tau) {
+        double aa, cc;
+        return expResidual(x, y, tau, aa, cc);
+    };
+    double tau = goldenSection(objective, span * 1e-3, span * 20.0);
+
+    ExpFit fit;
+    fit.rmsResidual = expResidual(x, y, tau, a, c);
+    fit.tau = tau;
+    fit.amplitude = a;
+    fit.offset = c;
+    return fit;
+}
+
+DampedCosineFit
+dampedCosineFit(const std::vector<double> &x, const std::vector<double> &y,
+                double freqHint)
+{
+    quma_assert(x.size() == y.size(), "dampedCosineFit: size mismatch");
+    if (x.size() < 6)
+        fatal("dampedCosineFit needs at least six points, got ", x.size());
+    if (freqHint <= 0)
+        fatal("dampedCosineFit: freqHint must be positive");
+
+    double xmax = *std::max_element(x.begin(), x.end());
+    double xmin = *std::min_element(x.begin(), x.end());
+    double span = std::max(xmax - xmin, 1e-12);
+
+    // For fixed (tau, f) the model is linear in
+    // (a*cos(phi), -a*sin(phi), c) via the two quadrature bases.
+    auto solve = [&](double tau, double f, DampedCosineFit &out) {
+        const double twoPi = 2.0 * std::numbers::pi;
+        std::size_t m = x.size();
+        // Normal equations for [p, q, c] with bases
+        // e(x)cos(wx), e(x)sin(wx), 1.
+        double mat[3][3] = {};
+        double rhs[3] = {};
+        for (std::size_t i = 0; i < m; ++i) {
+            double e = std::exp(-x[i] / tau);
+            double b0 = e * std::cos(twoPi * f * x[i]);
+            double b1 = e * std::sin(twoPi * f * x[i]);
+            double b[3] = {b0, b1, 1.0};
+            for (int r = 0; r < 3; ++r) {
+                for (int s = 0; s < 3; ++s)
+                    mat[r][s] += b[r] * b[s];
+                rhs[r] += b[r] * y[i];
+            }
+        }
+        // Gaussian elimination with partial pivoting (3x3).
+        int piv[3] = {0, 1, 2};
+        for (int col = 0; col < 3; ++col) {
+            int best = col;
+            for (int r = col + 1; r < 3; ++r)
+                if (std::abs(mat[piv[r]][col]) > std::abs(mat[piv[best]][col]))
+                    best = r;
+            std::swap(piv[col], piv[best]);
+            double p = mat[piv[col]][col];
+            if (std::abs(p) < 1e-300)
+                return 1e300;
+            for (int r = col + 1; r < 3; ++r) {
+                double factor = mat[piv[r]][col] / p;
+                for (int s = col; s < 3; ++s)
+                    mat[piv[r]][s] -= factor * mat[piv[col]][s];
+                rhs[piv[r]] -= factor * rhs[piv[col]];
+            }
+        }
+        double sol[3];
+        for (int col = 2; col >= 0; --col) {
+            double acc = rhs[piv[col]];
+            for (int s = col + 1; s < 3; ++s)
+                acc -= mat[piv[col]][s] * sol[s];
+            sol[col] = acc / mat[piv[col]][col];
+        }
+        double p = sol[0], q = sol[1], c = sol[2];
+        out.amplitude = std::hypot(p, q);
+        out.phase = std::atan2(-q, p);
+        out.offset = c;
+        out.tau = tau;
+        out.frequency = f;
+        double ss = 0;
+        for (std::size_t i = 0; i < m; ++i) {
+            double e = std::exp(-x[i] / tau);
+            double model = e * (p * std::cos(twoPi * f * x[i]) +
+                                q * std::sin(twoPi * f * x[i])) + c;
+            double r = y[i] - model;
+            ss += r * r;
+        }
+        out.rmsResidual = std::sqrt(ss / static_cast<double>(m));
+        return out.rmsResidual;
+    };
+
+    // Coarse scan over frequency within a factor of two of the hint,
+    // each with a tau found by golden-section, then refine.
+    DampedCosineFit best;
+    double bestRes = 1e300;
+    for (int k = 0; k <= 40; ++k) {
+        double f = freqHint * std::pow(2.0, -1.0 + 2.0 * k / 40.0);
+        DampedCosineFit trial;
+        auto obj = [&](double tau) {
+            DampedCosineFit t;
+            return solve(tau, f, t);
+        };
+        double tau = goldenSection(obj, span * 1e-2, span * 20.0, 40);
+        double res = solve(tau, f, trial);
+        if (res < bestRes) {
+            bestRes = res;
+            best = trial;
+        }
+    }
+    // Local refinement of frequency around the coarse winner.
+    auto objF = [&](double f) {
+        DampedCosineFit t;
+        return solve(best.tau, f, t);
+    };
+    double f = goldenSection(objF, best.frequency * 0.8,
+                             best.frequency * 1.25, 60);
+    auto objTau = [&](double tau) {
+        DampedCosineFit t;
+        return solve(tau, f, t);
+    };
+    double tau = goldenSection(objTau, span * 1e-2, span * 20.0, 60);
+    solve(tau, f, best);
+    return best;
+}
+
+double
+meanAbsDeviation(const std::vector<double> &a, const std::vector<double> &b)
+{
+    quma_assert(a.size() == b.size(), "meanAbsDeviation: size mismatch");
+    if (a.empty())
+        return 0.0;
+    double acc = 0;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        acc += std::abs(a[i] - b[i]);
+    return acc / static_cast<double>(a.size());
+}
+
+} // namespace quma

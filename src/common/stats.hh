@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Small statistics toolkit: running moments, linear regression, and the
+ * model fits needed by the coherence-time experiments (exponential decay
+ * for T1/T2-echo, exponentially damped cosine for T2 Ramsey).
+ */
+
+#ifndef QUMA_COMMON_STATS_HH
+#define QUMA_COMMON_STATS_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace quma {
+
+/** Accumulates count/mean/variance/min/max in one pass (Welford). */
+class RunningStats
+{
+  public:
+    void add(double x);
+    void clear();
+
+    std::size_t count() const { return n; }
+    double mean() const { return n ? mu : 0.0; }
+    /** Unbiased sample variance (0 when fewer than two samples). */
+    double variance() const;
+    double stddev() const;
+    double min() const { return n ? lo : 0.0; }
+    double max() const { return n ? hi : 0.0; }
+
+  private:
+    std::size_t n = 0;
+    double mu = 0.0;
+    double m2 = 0.0;
+    double lo = 0.0;
+    double hi = 0.0;
+};
+
+/** Result of a least-squares straight-line fit y = slope * x + intercept. */
+struct LinearFit
+{
+    double slope = 0.0;
+    double intercept = 0.0;
+    /** Coefficient of determination. */
+    double r2 = 0.0;
+};
+
+/** Ordinary least squares over (x, y) pairs; requires >= 2 points. */
+LinearFit linearFit(const std::vector<double> &x,
+                    const std::vector<double> &y);
+
+/** Result of fitting y = amplitude * exp(-x / tau) + offset. */
+struct ExpFit
+{
+    double amplitude = 0.0;
+    double tau = 0.0;
+    double offset = 0.0;
+    /** Root-mean-square residual of the fit. */
+    double rmsResidual = 0.0;
+};
+
+/**
+ * Fit an exponential decay. For a fixed tau the problem is linear in
+ * (amplitude, offset); tau itself is found by golden-section search on
+ * the residual, bracketed by the span of x.
+ */
+ExpFit expDecayFit(const std::vector<double> &x,
+                   const std::vector<double> &y);
+
+/** Result of fitting y = a * exp(-x/tau) * cos(2*pi*f*x + phi) + c. */
+struct DampedCosineFit
+{
+    double amplitude = 0.0;
+    double tau = 0.0;
+    double frequency = 0.0;
+    double phase = 0.0;
+    double offset = 0.0;
+    double rmsResidual = 0.0;
+};
+
+/**
+ * Fit an exponentially damped cosine (Ramsey fringe). The frequency is
+ * located by a coarse scan refined by golden-section; for fixed
+ * (tau, f) the remaining parameters are solved linearly.
+ *
+ * @param freqHint approximate oscillation frequency (e.g. the artificial
+ *                 detuning programmed into the experiment); the scan
+ *                 searches within a factor of two around it.
+ */
+DampedCosineFit dampedCosineFit(const std::vector<double> &x,
+                                const std::vector<double> &y,
+                                double freqHint);
+
+/** Mean absolute deviation between two equal-length series. */
+double meanAbsDeviation(const std::vector<double> &a,
+                        const std::vector<double> &b);
+
+} // namespace quma
+
+#endif // QUMA_COMMON_STATS_HH

@@ -1,0 +1,92 @@
+#include "common/strings.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+
+namespace quma {
+
+std::string
+trim(std::string_view s)
+{
+    std::size_t b = 0;
+    std::size_t e = s.size();
+    while (b < e && std::isspace(static_cast<unsigned char>(s[b])))
+        ++b;
+    while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])))
+        --e;
+    return std::string(s.substr(b, e - b));
+}
+
+std::vector<std::string>
+split(std::string_view s, char delim, bool keep_empty)
+{
+    std::vector<std::string> out;
+    std::size_t start = 0;
+    for (std::size_t i = 0; i <= s.size(); ++i) {
+        if (i == s.size() || s[i] == delim) {
+            std::string_view field = s.substr(start, i - start);
+            if (!field.empty() || keep_empty)
+                out.emplace_back(field);
+            start = i + 1;
+        }
+    }
+    return out;
+}
+
+std::vector<std::string>
+splitWhitespace(std::string_view s)
+{
+    std::vector<std::string> out;
+    std::size_t i = 0;
+    while (i < s.size()) {
+        while (i < s.size() && std::isspace(static_cast<unsigned char>(s[i])))
+            ++i;
+        std::size_t start = i;
+        while (i < s.size() && !std::isspace(static_cast<unsigned char>(s[i])))
+            ++i;
+        if (i > start)
+            out.emplace_back(s.substr(start, i - start));
+    }
+    return out;
+}
+
+std::string
+toLower(std::string_view s)
+{
+    std::string out(s);
+    std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+        return static_cast<char>(std::tolower(c));
+    });
+    return out;
+}
+
+bool
+startsWith(std::string_view s, std::string_view prefix)
+{
+    return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+bool
+endsWith(std::string_view s, std::string_view suffix)
+{
+    return s.size() >= suffix.size() &&
+           s.substr(s.size() - suffix.size()) == suffix;
+}
+
+bool
+parseInt(std::string_view s, long long &out)
+{
+    std::string buf = trim(s);
+    if (buf.empty())
+        return false;
+    char *end = nullptr;
+    errno = 0;
+    long long v = std::strtoll(buf.c_str(), &end, 0);
+    if (errno != 0 || end != buf.c_str() + buf.size())
+        return false;
+    out = v;
+    return true;
+}
+
+} // namespace quma

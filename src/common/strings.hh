@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Minimal string helpers used by the assembler and report printers.
+ */
+
+#ifndef QUMA_COMMON_STRINGS_HH
+#define QUMA_COMMON_STRINGS_HH
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace quma {
+
+/** Strip leading and trailing whitespace. */
+std::string trim(std::string_view s);
+
+/** Split on a delimiter character, optionally dropping empty fields. */
+std::vector<std::string> split(std::string_view s, char delim,
+                               bool keep_empty = false);
+
+/** Split on any whitespace run. */
+std::vector<std::string> splitWhitespace(std::string_view s);
+
+/** ASCII lower-casing. */
+std::string toLower(std::string_view s);
+
+bool startsWith(std::string_view s, std::string_view prefix);
+bool endsWith(std::string_view s, std::string_view suffix);
+
+/**
+ * Parse a signed integer, accepting decimal and 0x-prefixed hex.
+ * @retval true on success, with *out set.
+ */
+bool parseInt(std::string_view s, long long &out);
+
+} // namespace quma
+
+#endif // QUMA_COMMON_STRINGS_HH

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Fundamental scalar types and timing constants shared across QuMA.
+ *
+ * The paper's digital domain is clocked at 200 MHz: one cycle is 5 ns.
+ * All deterministic-domain timing is expressed in cycles; analog-domain
+ * quantities (pulse envelopes, readout traces) are expressed in
+ * nanoseconds or samples.
+ */
+
+#ifndef QUMA_COMMON_TYPES_HH
+#define QUMA_COMMON_TYPES_HH
+
+#include <cstdint>
+
+namespace quma {
+
+/** A count of 5 ns digital-domain cycles. */
+using Cycle = std::uint64_t;
+
+/** A point or duration in nanoseconds. */
+using TimeNs = std::int64_t;
+
+/** Index into a codeword-triggered pulse generation lookup table. */
+using Codeword = std::uint16_t;
+
+/**
+ * Bit mask addressing a set of qubits (QAddr in the paper's QuMIS).
+ * Bit i set means qubit i is addressed; supports up to 32 qubits.
+ */
+using QubitMask = std::uint32_t;
+
+/** Register index in the execution controller's register file. */
+using RegIndex = std::uint8_t;
+
+/** A timing label broadcast by the timing controller (Section 5.2). */
+using TimingLabel = std::uint32_t;
+
+/** Duration of one digital cycle in nanoseconds (200 MHz clock). */
+inline constexpr TimeNs kCycleNs = 5;
+
+/** Convert cycles to nanoseconds. */
+constexpr TimeNs
+cyclesToNs(Cycle c)
+{
+    return static_cast<TimeNs>(c) * kCycleNs;
+}
+
+/** Convert a nanosecond duration to cycles, rounding up. */
+constexpr Cycle
+nsToCycles(TimeNs ns)
+{
+    return static_cast<Cycle>((ns + kCycleNs - 1) / kCycleNs);
+}
+
+/** Number of general-purpose registers in the execution controller. */
+inline constexpr unsigned kNumRegisters = 32;
+
+/** AWG analog sample rate used for pulse envelopes (1 GSa/s, paper §4.2). */
+inline constexpr double kAwgSampleRateHz = 1.0e9;
+
+/** Vertical resolution of stored envelope samples in bits (paper §4.2). */
+inline constexpr unsigned kSampleResolutionBits = 12;
+
+/** ADC sample rate of the master controller's acquisition (200 MSa/s). */
+inline constexpr double kAdcSampleRateHz = 200.0e6;
+
+/** Fixed CTPG latency from codeword trigger to pulse output (paper §7.1). */
+inline constexpr TimeNs kCtpgDelayNs = 80;
+inline constexpr Cycle kCtpgDelayCycles = kCtpgDelayNs / kCycleNs;
+
+} // namespace quma
+
+#endif // QUMA_COMMON_TYPES_HH

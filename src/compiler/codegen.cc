@@ -1,0 +1,122 @@
+#include "compiler/codegen.hh"
+
+#include <sstream>
+
+#include "common/logging.hh"
+#include "isa/disassembler.hh"
+
+namespace quma::compiler {
+
+QuantumProgram::QuantumProgram(std::string name, unsigned num_qubits,
+                               std::size_t repetitions)
+    : programName(std::move(name)), qubits(num_qubits),
+      reps(repetitions)
+{
+    if (num_qubits == 0 || num_qubits > 32)
+        fatal("QuantumProgram supports 1..32 qubits");
+    if (repetitions == 0)
+        fatal("QuantumProgram needs at least one repetition");
+}
+
+Kernel &
+QuantumProgram::newKernel(const std::string &kernel_name)
+{
+    kernelList.emplace_back(kernel_name);
+    return kernelList.back();
+}
+
+isa::Program
+QuantumProgram::compile(const CompilerOptions &opt) const
+{
+    using isa::Instruction;
+    isa::NameTable gateTable = isa::NameTable::standardGates();
+    isa::NameTable uopTable = isa::NameTable::standardUops();
+
+    isa::Program prog;
+
+    bool loop = reps > 1;
+    if (loop) {
+        prog.push(Instruction::mov(opt.loopCounterReg, 0));
+        prog.push(Instruction::mov(
+            opt.loopLimitReg, static_cast<std::int64_t>(reps)));
+    }
+    prog.push(Instruction::mov(
+        opt.initReg, static_cast<std::int64_t>(opt.initCycles)));
+
+    prog.defineLabel("Outer_Loop");
+    std::size_t loopTop = prog.size();
+
+    for (const Kernel &k : kernelList) {
+        for (const Operation &op : k.operations()) {
+            switch (op.kind) {
+              case Operation::Kind::Gate: {
+                auto id = gateTable.idOf(op.gate);
+                if (!id)
+                    fatal("unknown gate '", op.gate, "' in kernel '",
+                          k.name(), "'");
+                if (opt.useQisGates) {
+                    prog.push(Instruction::apply(*id, op.mask));
+                } else {
+                    auto uop = uopTable.idOf(op.gate);
+                    if (!uop)
+                        fatal("gate '", op.gate,
+                              "' has no micro-operation");
+                    prog.push(Instruction::pulse1(op.mask, *uop));
+                    prog.push(Instruction::wait(
+                        static_cast<std::int64_t>(opt.gateCycles)));
+                }
+                break;
+              }
+              case Operation::Kind::Cnot:
+                prog.push(Instruction::cnot(
+                    static_cast<RegIndex>(op.target),
+                    static_cast<RegIndex>(op.control)));
+                break;
+              case Operation::Kind::Measure:
+                if (opt.useQisGates) {
+                    prog.push(Instruction::measure(op.mask, op.reg));
+                } else {
+                    prog.push(Instruction::mpg(
+                        op.mask,
+                        static_cast<std::int64_t>(opt.msmtCycles)));
+                    prog.push(Instruction::md(op.mask, op.reg));
+                }
+                break;
+              case Operation::Kind::Wait:
+                prog.push(Instruction::wait(
+                    static_cast<std::int64_t>(op.cycles)));
+                break;
+              case Operation::Kind::WaitReg:
+                prog.push(Instruction::waitReg(op.reg));
+                break;
+            }
+        }
+    }
+
+    if (opt.epilogueCycles > 0)
+        prog.push(Instruction::wait(
+            static_cast<std::int64_t>(opt.epilogueCycles)));
+
+    if (loop) {
+        prog.push(Instruction::addi(opt.loopCounterReg,
+                                    opt.loopCounterReg, 1));
+        prog.push(Instruction::bne(opt.loopCounterReg,
+                                   opt.loopLimitReg,
+                                   static_cast<std::int64_t>(loopTop)));
+    }
+    prog.push(Instruction::halt());
+    return prog;
+}
+
+std::string
+QuantumProgram::compileToAssembly(const CompilerOptions &opt) const
+{
+    isa::Disassembler dis;
+    std::ostringstream oss;
+    oss << "# program: " << programName << " (" << reps << " round"
+        << (reps == 1 ? "" : "s") << ")\n";
+    oss << dis.render(compile(opt));
+    return oss.str();
+}
+
+} // namespace quma::compiler

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Lowering from the OpenQL-lite IR to the mixed instruction stream.
+ */
+
+#ifndef QUMA_COMPILER_CODEGEN_HH
+#define QUMA_COMPILER_CODEGEN_HH
+
+#include <string>
+#include <vector>
+
+#include "compiler/kernel.hh"
+#include "isa/nametable.hh"
+#include "isa/program.hh"
+
+namespace quma::compiler {
+
+struct CompilerOptions
+{
+    /**
+     * Emit QIS-level gate instructions (Apply/Measure/CNOT, expanded
+     * at runtime by the physical microcode unit) instead of raw
+     * QuMIS (Pulse/Wait/MPG/MD). The paper's prototype used the raw
+     * level because its microcode unit was partial; both levels are
+     * fully implemented here.
+     */
+    bool useQisGates = true;
+    /** Cycles a single-qubit gate occupies (pulse length). */
+    Cycle gateCycles = 4;
+    /** Measurement pulse duration in cycles. */
+    Cycle msmtCycles = 300;
+    /** Register used as the outer-loop counter. */
+    RegIndex loopCounterReg = 1;
+    /** Register holding the round count. */
+    RegIndex loopLimitReg = 2;
+    /** Register preloaded with the initialisation wait. */
+    RegIndex initReg = 15;
+    /** Value preloaded into initReg (cycles; 40000 = 200 us). */
+    Cycle initCycles = 40000;
+    /**
+     * Wait appended after the last measurement of a round so the
+     * discrimination result lands before the next round's branch.
+     */
+    Cycle epilogueCycles = 500;
+};
+
+/**
+ * A quantum program: kernels executed in order inside an outer
+ * averaging loop of `repetitions` rounds (paper Algorithm 3 shape).
+ */
+class QuantumProgram
+{
+  public:
+    QuantumProgram(std::string name, unsigned num_qubits,
+                   std::size_t repetitions = 1);
+
+    const std::string &name() const { return programName; }
+    unsigned numQubits() const { return qubits; }
+    std::size_t repetitions() const { return reps; }
+
+    /** Append a kernel; returns it for fluent construction. */
+    Kernel &newKernel(const std::string &kernel_name);
+
+    const std::vector<Kernel> &kernels() const { return kernelList; }
+
+    /** Lower to an executable program. */
+    isa::Program compile(const CompilerOptions &options = {}) const;
+
+    /** Lower to assembly text (assembles to the same program). */
+    std::string compileToAssembly(const CompilerOptions &options = {})
+        const;
+
+  private:
+    std::string programName;
+    unsigned qubits;
+    std::size_t reps;
+    std::vector<Kernel> kernelList;
+};
+
+} // namespace quma::compiler
+
+#endif // QUMA_COMPILER_CODEGEN_HH

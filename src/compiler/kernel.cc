@@ -1,0 +1,78 @@
+#include "compiler/kernel.hh"
+
+#include "common/logging.hh"
+
+namespace quma::compiler {
+
+Kernel &
+Kernel::gate(const std::string &gate_name, unsigned qubit)
+{
+    return gateOn(gate_name, QubitMask{1} << qubit);
+}
+
+Kernel &
+Kernel::gateOn(const std::string &gate_name, QubitMask qubits)
+{
+    if (qubits == 0)
+        fatal("gate '", gate_name, "' needs at least one qubit");
+    Operation op;
+    op.kind = Operation::Kind::Gate;
+    op.gate = gate_name;
+    op.mask = qubits;
+    ops.push_back(std::move(op));
+    return *this;
+}
+
+Kernel &
+Kernel::cnot(unsigned target, unsigned control)
+{
+    if (target == control)
+        fatal("CNOT needs distinct target and control");
+    Operation op;
+    op.kind = Operation::Kind::Cnot;
+    op.target = target;
+    op.control = control;
+    ops.push_back(op);
+    return *this;
+}
+
+Kernel &
+Kernel::measure(unsigned qubit, RegIndex reg)
+{
+    Operation op;
+    op.kind = Operation::Kind::Measure;
+    op.mask = QubitMask{1} << qubit;
+    op.reg = reg;
+    ops.push_back(op);
+    return *this;
+}
+
+Kernel &
+Kernel::wait(Cycle cycles)
+{
+    if (cycles == 0)
+        fatal("wait needs a positive duration");
+    Operation op;
+    op.kind = Operation::Kind::Wait;
+    op.cycles = cycles;
+    ops.push_back(op);
+    return *this;
+}
+
+Kernel &
+Kernel::waitReg(RegIndex reg)
+{
+    Operation op;
+    op.kind = Operation::Kind::WaitReg;
+    op.reg = reg;
+    ops.push_back(op);
+    return *this;
+}
+
+Kernel &
+Kernel::init(RegIndex reg)
+{
+    return waitReg(reg);
+}
+
+} // namespace quma::compiler

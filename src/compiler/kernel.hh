@@ -1,0 +1,85 @@
+/**
+ * @file
+ * OpenQL-lite: a small C++ eDSL for describing quantum experiments.
+ *
+ * The paper drives its validation from "a quantum programming
+ * language OpenQL based on C++ with a compiler that can translate
+ * the OpenQL description into the auxiliary classical instructions
+ * and QuMIS instructions" (§7.2). This module plays that role: a
+ * Kernel collects gate/measure/wait operations, a QuantumProgram
+ * collects kernels plus a repetition count, and the code generator
+ * lowers everything to the mixed classical + quantum instruction
+ * stream the execution controller consumes.
+ */
+
+#ifndef QUMA_COMPILER_KERNEL_HH
+#define QUMA_COMPILER_KERNEL_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace quma::compiler {
+
+/** One operation in a kernel, in program order. */
+struct Operation
+{
+    enum class Kind : std::uint8_t
+    {
+        Gate,     ///< named single-qubit gate on one or more qubits
+        Cnot,     ///< two-qubit CNOT (target, control)
+        Measure,  ///< measure + discriminate into a register
+        Wait,     ///< explicit wait in cycles
+        WaitReg,  ///< wait whose duration lives in a register
+    };
+
+    Kind kind = Kind::Wait;
+    std::string gate;
+    QubitMask mask = 0;
+    unsigned target = 0;
+    unsigned control = 0;
+    RegIndex reg = 0;
+    Cycle cycles = 0;
+};
+
+class Kernel
+{
+  public:
+    explicit Kernel(std::string name) : kernelName(std::move(name)) {}
+
+    const std::string &name() const { return kernelName; }
+    const std::vector<Operation> &operations() const { return ops; }
+
+    /** Apply a named gate to one qubit. */
+    Kernel &gate(const std::string &gate_name, unsigned qubit);
+
+    /** Apply a named gate to several qubits at once (horizontal). */
+    Kernel &gateOn(const std::string &gate_name, QubitMask qubits);
+
+    Kernel &cnot(unsigned target, unsigned control);
+
+    /** Measure a qubit into a register (default r7 as in the paper). */
+    Kernel &measure(unsigned qubit, RegIndex reg = 7);
+
+    /** Explicit wait. */
+    Kernel &wait(Cycle cycles);
+
+    /** Wait whose duration is read from a register at runtime. */
+    Kernel &waitReg(RegIndex reg);
+
+    /**
+     * Qubit initialisation by relaxation: a register-programmed wait
+     * of several T1 (the paper's Algorithm 1 "Init the qubit").
+     */
+    Kernel &init(RegIndex reg = 15);
+
+  private:
+    std::string kernelName;
+    std::vector<Operation> ops;
+};
+
+} // namespace quma::compiler
+
+#endif // QUMA_COMPILER_KERNEL_HH

@@ -1,0 +1,127 @@
+#include "experiments/allxy.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/stats.hh"
+
+namespace quma::experiments {
+
+const std::array<AllxyPair, 21> &
+allxyPairs()
+{
+    // Paper Figure 9 labels: upper case = pi rotation, lower case =
+    // pi/2 rotation; first letter is the first gate.
+    static const std::array<AllxyPair, 21> pairs = {{
+        {"II", "I", "I", 0.0},
+        {"XX", "X180", "X180", 0.0},
+        {"YY", "Y180", "Y180", 0.0},
+        {"XY", "X180", "Y180", 0.0},
+        {"YX", "Y180", "X180", 0.0},
+        {"xI", "X90", "I", 0.5},
+        {"yI", "Y90", "I", 0.5},
+        {"xy", "X90", "Y90", 0.5},
+        {"yx", "Y90", "X90", 0.5},
+        {"xY", "X90", "Y180", 0.5},
+        {"yX", "Y90", "X180", 0.5},
+        {"Xy", "X180", "Y90", 0.5},
+        {"Yx", "Y180", "X90", 0.5},
+        {"xX", "X90", "X180", 0.5},
+        {"Xx", "X180", "X90", 0.5},
+        {"yY", "Y90", "Y180", 0.5},
+        {"Yy", "Y180", "Y90", 0.5},
+        {"XI", "X180", "I", 1.0},
+        {"YI", "Y180", "I", 1.0},
+        {"xx", "X90", "X90", 1.0},
+        {"yy", "Y90", "Y90", 1.0},
+    }};
+    return pairs;
+}
+
+std::vector<double>
+idealAllxySignature()
+{
+    std::vector<double> out;
+    out.reserve(42);
+    for (const auto &p : allxyPairs()) {
+        out.push_back(p.ideal);
+        out.push_back(p.ideal);
+    }
+    return out;
+}
+
+compiler::QuantumProgram
+buildAllxyProgram(std::size_t rounds, unsigned qubit)
+{
+    compiler::QuantumProgram prog("allxy", qubit + 1, rounds);
+    compiler::Kernel &k = prog.newKernel("allxy_round");
+    for (const auto &pair : allxyPairs()) {
+        // Each combination is measured twice (paper §8) to separate
+        // systematic errors from low signal-to-noise by eye.
+        for (int rep = 0; rep < 2; ++rep) {
+            k.init();
+            k.gate(pair.first, qubit);
+            k.gate(pair.second, qubit);
+            k.measure(qubit, 7);
+        }
+    }
+    return prog;
+}
+
+core::MachineConfig
+allxyMachineConfig(const AllxyConfig &config)
+{
+    core::MachineConfig mc;
+    mc.qubits.assign(config.qubit + 1, config.qubitParams);
+    mc.amplitudeError = config.amplitudeError;
+    mc.carrierDetuningHz = config.detuningHz;
+    if (config.interPulseSkewCycles > 0)
+        mc.gateWaitCycles = 4 + config.interPulseSkewCycles;
+    mc.exec.stallInjection = config.stallInjection;
+    mc.exec.seed = config.seed;
+    mc.chipSeed = config.seed ^ 0x517e;
+    return mc;
+}
+
+std::vector<double>
+rescaleAllxy(const std::vector<double> &raw)
+{
+    quma_assert(raw.size() == 42, "AllXY expects 42 points");
+    double s0 = (raw[0] + raw[1]) / 2.0;
+    double s1 = (raw[34] + raw[35] + raw[36] + raw[37]) / 4.0;
+    if (std::abs(s1 - s0) < 1e-12)
+        fatal("AllXY calibration points coincide; readout is broken");
+    std::vector<double> out(raw.size());
+    for (std::size_t i = 0; i < raw.size(); ++i)
+        out[i] = (raw[i] - s0) / (s1 - s0);
+    return out;
+}
+
+AllxyResult
+runAllxy(const AllxyConfig &config)
+{
+    core::QumaMachine machine(allxyMachineConfig(config));
+    machine.uploadStandardCalibration();
+    machine.configureDataCollection(42);
+
+    compiler::CompilerOptions opts;
+    opts.useQisGates = config.useQisGates;
+    machine.loadProgram(
+        buildAllxyProgram(config.rounds, config.qubit).compile(opts));
+
+    AllxyResult result;
+    result.run = machine.run(
+        static_cast<Cycle>(config.rounds) * 42 * 45000 + 1'000'000);
+
+    result.rawS = machine.dataCollector().averages();
+    result.fidelity = rescaleAllxy(result.rawS);
+    result.ideal = idealAllxySignature();
+    result.deviation = meanAbsDeviation(result.fidelity, result.ideal);
+    for (const auto &p : allxyPairs()) {
+        result.labels.push_back(p.label);
+        result.labels.push_back(p.label);
+    }
+    return result;
+}
+
+} // namespace quma::experiments

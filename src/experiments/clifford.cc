@@ -1,0 +1,179 @@
+#include "experiments/clifford.hh"
+
+#include <cmath>
+#include <complex>
+#include <deque>
+#include <map>
+#include <numbers>
+
+#include "common/logging.hh"
+#include "isa/nametable.hh"
+
+namespace quma::experiments {
+
+namespace {
+
+using qsim::Mat2;
+
+/**
+ * Canonical string key of a unitary up to global phase: rotate the
+ * phase so the largest-magnitude element is real positive, then
+ * round entries.
+ */
+std::string
+canonicalKey(const Mat2 &u)
+{
+    // Anchor the global phase on the FIRST element whose magnitude
+    // is within tolerance of the maximum; a strict arg-max would
+    // pick different (equivalent) anchors for matrices that differ
+    // only by numerical noise.
+    double best = 0;
+    for (const auto &v : u)
+        best = std::max(best, std::abs(v));
+    std::size_t anchor = 0;
+    for (std::size_t i = 0; i < 4; ++i) {
+        if (std::abs(u[i]) > best - 1e-6) {
+            anchor = i;
+            break;
+        }
+    }
+    std::complex<double> phase = u[anchor] / std::abs(u[anchor]);
+    char buf[128];
+    std::string key;
+    for (std::size_t i = 0; i < 4; ++i) {
+        std::complex<double> v = u[i] / phase;
+        double re = v.real(), im = v.imag();
+        // Flush tiny values so "-0.0000" never leaks into the key.
+        if (std::abs(re) < 1e-4)
+            re = 0.0;
+        if (std::abs(im) < 1e-4)
+            im = 0.0;
+        std::snprintf(buf, sizeof(buf), "%.4f,%.4f;", re, im);
+        key += buf;
+    }
+    return key;
+}
+
+} // namespace
+
+CliffordGroup::CliffordGroup()
+{
+    namespace u = isa::uops;
+    const double pi = std::numbers::pi;
+    struct Primitive
+    {
+        std::uint8_t id;
+        std::string name;
+        Mat2 m;
+    };
+    const std::vector<Primitive> prims = {
+        {u::X180, "X180", qsim::gates::rx(pi)},
+        {u::X90, "X90", qsim::gates::rx(pi / 2)},
+        {u::Xm90, "Xm90", qsim::gates::rx(-pi / 2)},
+        {u::Y180, "Y180", qsim::gates::ry(pi)},
+        {u::Y90, "Y90", qsim::gates::ry(pi / 2)},
+        {u::Ym90, "Ym90", qsim::gates::ry(-pi / 2)},
+    };
+
+    std::map<std::string, std::size_t> seen;
+    std::deque<std::size_t> frontier;
+
+    Clifford id;
+    id.matrix = qsim::gates::identity();
+    elements.push_back(id);
+    seen[canonicalKey(id.matrix)] = 0;
+    frontier.push_back(0);
+    identity = 0;
+
+    // BFS guarantees minimal decompositions (in primitive count).
+    while (!frontier.empty()) {
+        std::size_t cur = frontier.front();
+        frontier.pop_front();
+        for (const auto &p : prims) {
+            // New element = p applied AFTER the current sequence.
+            Mat2 m = qsim::matmul(p.m, elements[cur].matrix);
+            std::string key = canonicalKey(m);
+            if (seen.count(key))
+                continue;
+            Clifford c;
+            c.matrix = m;
+            c.gates = elements[cur].gates;
+            c.gates.push_back(p.id);
+            c.gateNames = elements[cur].gateNames;
+            c.gateNames.push_back(p.name);
+            seen[key] = elements.size();
+            frontier.push_back(elements.size());
+            elements.push_back(std::move(c));
+        }
+    }
+    if (elements.size() != 24)
+        panic("single-qubit Clifford BFS found ", elements.size(),
+              " elements, expected 24");
+
+    // Composition and inverse tables from the matrices.
+    composeTable.assign(24, std::vector<std::size_t>(24, npos));
+    inverseTable.assign(24, npos);
+    for (std::size_t a = 0; a < 24; ++a) {
+        for (std::size_t b = 0; b < 24; ++b) {
+            Mat2 m = qsim::matmul(elements[a].matrix,
+                                  elements[b].matrix);
+            std::size_t idx = find(m);
+            if (idx == npos)
+                panic("Clifford group not closed under composition");
+            composeTable[a][b] = idx;
+            if (idx == identity && inverseTable[a] == npos)
+                inverseTable[a] = b;
+        }
+    }
+    for (std::size_t a = 0; a < 24; ++a)
+        if (inverseTable[a] == npos)
+            panic("Clifford element ", a, " has no inverse");
+}
+
+const CliffordGroup &
+CliffordGroup::instance()
+{
+    static CliffordGroup group;
+    return group;
+}
+
+const Clifford &
+CliffordGroup::element(std::size_t i) const
+{
+    quma_assert(i < elements.size(), "Clifford index out of range");
+    return elements[i];
+}
+
+std::size_t
+CliffordGroup::compose(std::size_t a, std::size_t b) const
+{
+    quma_assert(a < 24 && b < 24, "Clifford index out of range");
+    return composeTable[a][b];
+}
+
+std::size_t
+CliffordGroup::inverseOf(std::size_t i) const
+{
+    quma_assert(i < 24, "Clifford index out of range");
+    return inverseTable[i];
+}
+
+std::size_t
+CliffordGroup::find(const qsim::Mat2 &u) const
+{
+    for (std::size_t i = 0; i < elements.size(); ++i)
+        if (qsim::equalUpToPhase(elements[i].matrix, u, 1e-6))
+            return i;
+    return npos;
+}
+
+double
+CliffordGroup::averageGateCount() const
+{
+    double total = 0;
+    for (const auto &c : elements)
+        total += static_cast<double>(c.gates.size());
+    return total / static_cast<double>(elements.size());
+}
+
+} // namespace quma::experiments

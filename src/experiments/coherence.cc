@@ -1,0 +1,194 @@
+#include "experiments/coherence.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace quma::experiments {
+
+CoherenceConfig
+CoherenceConfig::withLinearSweep(TimeNs max_ns, unsigned points)
+{
+    if (points < 3)
+        fatal("sweep needs at least three points");
+    CoherenceConfig cfg;
+    for (unsigned i = 0; i < points; ++i) {
+        TimeNs t = max_ns * (i + 1) / points;
+        // Snap to 8 cycles (two SSB periods at -50 MHz) so every
+        // pulse stays on the 20 ns carrier-phase grid, including the
+        // echo's half-delays. Off-grid delays would rotate the later
+        // pulses' axes by the SSB phase -- real physics, but not
+        // what a coherence sweep wants.
+        Cycle c = nsToCycles(t);
+        c = ((c + 7) / 8) * 8;
+        cfg.delaysCycles.push_back(c);
+    }
+    return cfg;
+}
+
+namespace {
+
+enum class Sequence { T1, Ramsey, Echo, Cpmg };
+
+struct SweepOutput
+{
+    std::vector<double> delaysNs;
+    std::vector<double> population;
+    core::RunResult run;
+};
+
+SweepOutput
+runSweep(const CoherenceConfig &config, Sequence seq,
+         unsigned n_pi = 1)
+{
+    if (config.delaysCycles.empty())
+        fatal("coherence sweep needs at least one delay");
+
+    compiler::QuantumProgram prog("coherence", config.qubit + 1,
+                                  config.rounds);
+    compiler::Kernel &k = prog.newKernel("sweep");
+    for (Cycle delay : config.delaysCycles) {
+        k.init();
+        switch (seq) {
+          case Sequence::T1:
+            k.gate("X180", config.qubit);
+            k.wait(delay);
+            break;
+          case Sequence::Ramsey:
+            k.gate("X90", config.qubit);
+            k.wait(delay);
+            k.gate("X90", config.qubit);
+            break;
+          case Sequence::Echo: {
+            // X90 - tau/2 - X180 - tau/2 - Xm90: the net rotation is
+            // Rx(pi), so a perfectly refocused qubit ends in |1>.
+            Cycle half = std::max<Cycle>(1, delay / 2);
+            k.gate("X90", config.qubit);
+            k.wait(half);
+            k.gate("X180", config.qubit);
+            k.wait(half);
+            k.gate("Xm90", config.qubit);
+            break;
+          }
+          case Sequence::Cpmg: {
+            // n_pi refocusing pulses at tau/(2n), 3*tau/(2n), ...;
+            // gaps snapped to the 20 ns SSB grid.
+            Cycle gap = std::max<Cycle>(4, delay / n_pi);
+            gap = (gap / 4) * 4;
+            Cycle half = std::max<Cycle>(4, gap / 2);
+            half = ((half + 3) / 4) * 4;
+            k.gate("X90", config.qubit);
+            for (unsigned p = 0; p < n_pi; ++p) {
+                k.wait(p == 0 ? half : gap);
+                k.gate("X180", config.qubit);
+            }
+            k.wait(half);
+            // Close so the error-free net rotation is Rx(pi).
+            k.gate(n_pi % 2 == 0 ? "X90" : "Xm90", config.qubit);
+            break;
+          }
+        }
+        k.measure(config.qubit, 7);
+    }
+    // Calibration points: |0> reference and freshly-prepared |1>.
+    k.init();
+    k.measure(config.qubit, 7);
+    k.init();
+    k.gate("X180", config.qubit);
+    k.measure(config.qubit, 7);
+
+    core::MachineConfig mc;
+    mc.qubits.assign(config.qubit + 1, config.qubitParams);
+    mc.carrierDetuningHz = config.artificialDetuningHz;
+    mc.exec.seed = config.seed;
+    mc.chipSeed = config.seed ^ 0x7a3;
+
+    core::QumaMachine machine(mc);
+    machine.uploadStandardCalibration();
+    std::size_t bins = config.delaysCycles.size() + 2;
+    machine.configureDataCollection(bins);
+    machine.loadProgram(prog.compile());
+
+    SweepOutput out;
+    // Budget: rounds * (points * (init + delay) + slack).
+    Cycle maxDelay = 0;
+    for (Cycle d : config.delaysCycles)
+        maxDelay = std::max(maxDelay, d);
+    Cycle budget = static_cast<Cycle>(config.rounds) * bins *
+                       (41000 + maxDelay) +
+                   1'000'000;
+    out.run = machine.run(budget);
+
+    auto raw = machine.dataCollector().averages();
+    double s0 = raw[bins - 2];
+    double s1 = raw[bins - 1];
+    if (std::abs(s1 - s0) < 1e-12)
+        fatal("coherence calibration points coincide");
+    for (std::size_t i = 0; i + 2 < raw.size() + 0; ++i) {
+        if (i >= config.delaysCycles.size())
+            break;
+        out.delaysNs.push_back(
+            static_cast<double>(cyclesToNs(config.delaysCycles[i])));
+        out.population.push_back((raw[i] - s0) / (s1 - s0));
+    }
+    return out;
+}
+
+} // namespace
+
+DecayResult
+runT1(const CoherenceConfig &config)
+{
+    SweepOutput s = runSweep(config, Sequence::T1);
+    DecayResult r;
+    r.delaysNs = std::move(s.delaysNs);
+    r.population = std::move(s.population);
+    r.run = s.run;
+    r.fit = expDecayFit(r.delaysNs, r.population);
+    return r;
+}
+
+RamseyResult
+runRamsey(const CoherenceConfig &config)
+{
+    if (config.artificialDetuningHz <= 0)
+        fatal("Ramsey needs a positive artificial detuning");
+    SweepOutput s = runSweep(config, Sequence::Ramsey);
+    RamseyResult r;
+    r.delaysNs = std::move(s.delaysNs);
+    r.population = std::move(s.population);
+    r.run = s.run;
+    // Frequencies are per-nanosecond in the fit (delays are in ns).
+    r.fit = dampedCosineFit(r.delaysNs, r.population,
+                            config.artificialDetuningHz * 1e-9);
+    return r;
+}
+
+DecayResult
+runEcho(const CoherenceConfig &config)
+{
+    SweepOutput s = runSweep(config, Sequence::Echo);
+    DecayResult r;
+    r.delaysNs = std::move(s.delaysNs);
+    r.population = std::move(s.population);
+    r.run = s.run;
+    // The refocused state reads |1>; contrast decays toward 1/2.
+    r.fit = expDecayFit(r.delaysNs, r.population);
+    return r;
+}
+
+DecayResult
+runCpmg(const CoherenceConfig &config, unsigned n_pi)
+{
+    if (n_pi == 0)
+        fatal("CPMG needs at least one refocusing pulse");
+    SweepOutput s = runSweep(config, Sequence::Cpmg, n_pi);
+    DecayResult r;
+    r.delaysNs = std::move(s.delaysNs);
+    r.population = std::move(s.population);
+    r.run = s.run;
+    r.fit = expDecayFit(r.delaysNs, r.population);
+    return r;
+}
+
+} // namespace quma::experiments

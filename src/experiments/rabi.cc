@@ -1,0 +1,69 @@
+#include "experiments/rabi.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace quma::experiments {
+
+RabiConfig
+RabiConfig::withLinearSweep(double max_scale, unsigned points)
+{
+    if (points < 4)
+        fatal("Rabi sweep needs at least four points");
+    RabiConfig cfg;
+    for (unsigned i = 0; i < points; ++i)
+        cfg.amplitudeScales.push_back(max_scale * (i + 1) / points);
+    return cfg;
+}
+
+RabiResult
+runRabi(const RabiConfig &config)
+{
+    if (config.amplitudeScales.empty())
+        fatal("Rabi sweep needs at least one amplitude");
+
+    RabiResult result;
+    result.amplitudeScales = config.amplitudeScales;
+
+    // One machine per sweep point: changing the pulse amplitude means
+    // recalibrating and re-uploading the lookup table, as in the lab.
+    for (double scale : config.amplitudeScales) {
+        core::MachineConfig mc;
+        mc.qubits.assign(config.qubit + 1, config.qubitParams);
+        mc.amplitudeError = scale - 1.0;
+        mc.exec.seed = config.seed;
+        mc.chipSeed = config.seed ^ std::hash<double>{}(scale);
+
+        core::QumaMachine machine(mc);
+        machine.uploadStandardCalibration();
+        machine.configureDataCollection(3);
+
+        compiler::QuantumProgram prog("rabi", config.qubit + 1,
+                                      config.rounds);
+        compiler::Kernel &k = prog.newKernel("rabi_point");
+        k.init();
+        k.gate("X180", config.qubit); // scaled by amplitudeError
+        k.measure(config.qubit, 7);
+        // Calibration: |0> reference and an unscaled |1> is not
+        // available (all pulses scale), so rescale against the
+        // readout expectations instead.
+        machine.loadProgram(prog.compile());
+        machine.run(static_cast<Cycle>(config.rounds) * 50000 +
+                    1'000'000);
+
+        auto raw = machine.dataCollector().averages();
+        const auto &cal = machine.mdu(config.qubit).calibration();
+        double pop = (raw[0] - cal.s0) / (cal.s1 - cal.s0);
+        result.population.push_back(pop);
+    }
+
+    // Rabi oscillation: P1(a) = (1 - cos(pi * a)) / 2, frequency
+    // 0.5 per unit amplitude scale.
+    result.fit = dampedCosineFit(result.amplitudeScales,
+                                 result.population, 0.5);
+    result.piAmplitude = 1.0 / (2.0 * result.fit.frequency);
+    return result;
+}
+
+} // namespace quma::experiments

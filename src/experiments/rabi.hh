@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Rabi amplitude calibration: sweep the drive amplitude, measure the
+ * excited-state population, and fit the Rabi oscillation to locate
+ * the pi-pulse amplitude. Each sweep point re-uploads the lookup
+ * table -- exactly the recalibration flow the codeword scheme makes
+ * cheap (7 pulses) and the conventional waveform method makes
+ * expensive (every waveform).
+ */
+
+#ifndef QUMA_EXPERIMENTS_RABI_HH
+#define QUMA_EXPERIMENTS_RABI_HH
+
+#include <vector>
+
+#include "common/stats.hh"
+#include "compiler/codegen.hh"
+#include "quma/machine.hh"
+
+namespace quma::experiments {
+
+struct RabiConfig
+{
+    /** Amplitude scale factors relative to the calibrated pi pulse. */
+    std::vector<double> amplitudeScales;
+    std::size_t rounds = 256;
+    unsigned qubit = 0;
+    std::uint64_t seed = 0x4ab1;
+    qsim::TransmonParams qubitParams = qsim::paperQubitParams();
+
+    static RabiConfig withLinearSweep(double max_scale, unsigned points);
+};
+
+struct RabiResult
+{
+    std::vector<double> amplitudeScales;
+    std::vector<double> population;
+    /** Fitted oscillation (frequency in cycles per unit scale). */
+    DampedCosineFit fit;
+    /** Amplitude scale that realises a pi rotation. */
+    double piAmplitude = 0.0;
+};
+
+RabiResult runRabi(const RabiConfig &config);
+
+} // namespace quma::experiments
+
+#endif // QUMA_EXPERIMENTS_RABI_HH

@@ -1,0 +1,108 @@
+#include "experiments/rb.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace quma::experiments {
+
+std::vector<std::string>
+drawRbSequence(unsigned length, Rng &rng)
+{
+    const CliffordGroup &group = CliffordGroup::instance();
+    std::vector<std::string> gates;
+    std::size_t net = group.identityIndex();
+    for (unsigned i = 0; i < length; ++i) {
+        auto c = static_cast<std::size_t>(
+            rng.uniformInt(0, group.size() - 1));
+        // Net operation: this Clifford is applied AFTER what came
+        // before.
+        net = group.compose(c, net);
+        for (const auto &name : group.element(c).gateNames)
+            gates.push_back(name);
+    }
+    std::size_t recovery = group.inverseOf(net);
+    for (const auto &name : group.element(recovery).gateNames)
+        gates.push_back(name);
+    return gates;
+}
+
+RbResult
+runRb(const RbConfig &config)
+{
+    if (config.lengths.empty())
+        fatal("RB needs at least one sequence length");
+
+    Rng rng(config.seed);
+    compiler::QuantumProgram prog("rb", config.qubit + 1,
+                                  config.rounds);
+    compiler::Kernel &k = prog.newKernel("rb_sequences");
+    std::size_t bins = 0;
+    for (unsigned m : config.lengths) {
+        for (unsigned s = 0; s < config.seedsPerLength; ++s) {
+            k.init();
+            for (const auto &gate : drawRbSequence(m, rng))
+                k.gate(gate, config.qubit);
+            k.measure(config.qubit, 7);
+            ++bins;
+        }
+    }
+    // Calibration points for rescaling.
+    k.init();
+    k.measure(config.qubit, 7);
+    k.init();
+    k.gate("X180", config.qubit);
+    k.measure(config.qubit, 7);
+    bins += 2;
+
+    core::MachineConfig mc;
+    mc.qubits.assign(config.qubit + 1, config.qubitParams);
+    mc.exec.seed = config.seed;
+    mc.chipSeed = config.seed ^ 0xfeed;
+    // Long gate stretches: deepen the queues so the pipeline can
+    // keep ahead of dense pulse trains.
+    mc.timing.pulseQueueCapacity = 256;
+    mc.timing.timingQueueCapacity = 256;
+    mc.qmbDepth = 64;
+
+    core::QumaMachine machine(mc);
+    machine.uploadStandardCalibration();
+    machine.configureDataCollection(bins);
+    machine.loadProgram(prog.compile());
+
+    RbResult result;
+    unsigned maxLen = 0;
+    for (unsigned m : config.lengths)
+        maxLen = std::max(maxLen, m);
+    Cycle budget = static_cast<Cycle>(config.rounds) * bins *
+                       (41000 + static_cast<Cycle>(maxLen) * 32) +
+                   1'000'000;
+    result.run = machine.run(budget);
+
+    auto raw = machine.dataCollector().averages();
+    double s0 = raw[bins - 2];
+    double s1 = raw[bins - 1];
+    if (std::abs(s1 - s0) < 1e-12)
+        fatal("RB calibration points coincide");
+
+    // Survival = probability of ending in |0> = 1 - rescaled signal.
+    std::vector<double> x;
+    std::size_t bin = 0;
+    for (unsigned m : config.lengths) {
+        double acc = 0;
+        for (unsigned s = 0; s < config.seedsPerLength; ++s, ++bin)
+            acc += 1.0 - (raw[bin] - s0) / (s1 - s0);
+        result.lengths.push_back(m);
+        result.survival.push_back(acc / config.seedsPerLength);
+        x.push_back(static_cast<double>(m));
+    }
+
+    result.fit = expDecayFit(x, result.survival);
+    result.p = std::exp(-1.0 / result.fit.tau);
+    result.errorPerClifford = (1.0 - result.p) / 2.0;
+    double avgGates = CliffordGroup::instance().averageGateCount();
+    result.errorPerGate = result.errorPerClifford / avgGates;
+    return result;
+}
+
+} // namespace quma::experiments

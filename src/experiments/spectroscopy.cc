@@ -1,0 +1,93 @@
+#include "experiments/spectroscopy.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "compiler/codegen.hh"
+
+namespace quma::experiments {
+
+SpectroscopyConfig
+SpectroscopyConfig::withLinearSweep(double span_hz, unsigned points)
+{
+    if (points < 5)
+        fatal("spectroscopy sweep needs at least five points");
+    SpectroscopyConfig cfg;
+    for (unsigned i = 0; i < points; ++i) {
+        double f = -span_hz / 2 +
+                   span_hz * static_cast<double>(i) / (points - 1);
+        cfg.detuningsHz.push_back(f);
+    }
+    return cfg;
+}
+
+SpectroscopyResult
+runSpectroscopy(const SpectroscopyConfig &config)
+{
+    if (config.detuningsHz.empty())
+        fatal("spectroscopy needs at least one detuning");
+
+    SpectroscopyResult result;
+    result.detuningsHz = config.detuningsHz;
+
+    for (double det : config.detuningsHz) {
+        core::MachineConfig mc;
+        mc.qubits.assign(config.qubit + 1, config.qubitParams);
+        mc.carrierDetuningHz = det;
+        mc.exec.seed = config.seed;
+        mc.chipSeed = config.seed ^ static_cast<std::uint64_t>(
+                                        std::llround(std::abs(det)));
+
+        core::QumaMachine machine(mc);
+        machine.uploadStandardCalibration();
+        machine.configureDataCollection(1);
+
+        compiler::QuantumProgram prog("spectroscopy",
+                                      config.qubit + 1,
+                                      config.rounds);
+        compiler::Kernel &k = prog.newKernel("probe");
+        k.init();
+        // A comb of pi pulses: on resonance the odd count leaves the
+        // qubit excited; off resonance each pulse under-rotates and
+        // the axes decohere across the comb, washing the signal out.
+        for (unsigned p = 0; p < config.combPulses; ++p)
+            k.gate("X180", config.qubit);
+        k.measure(config.qubit, 7);
+        machine.loadProgram(prog.compile());
+        machine.run(static_cast<Cycle>(config.rounds) * 50000 +
+                    1'000'000);
+
+        const auto &cal = machine.mdu(config.qubit).calibration();
+        double raw = machine.dataCollector().averages()[0];
+        result.population.push_back((raw - cal.s0) /
+                                    (cal.s1 - cal.s0));
+    }
+
+    // Peak and width from the sampled response.
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < result.population.size(); ++i)
+        if (result.population[i] > result.population[best])
+            best = i;
+    result.peakHz = result.detuningsHz[best];
+
+    double half = result.population[best] / 2.0;
+    double lo = result.detuningsHz.front();
+    double hi = result.detuningsHz.back();
+    for (std::size_t i = best; i-- > 0;) {
+        if (result.population[i] < half) {
+            lo = result.detuningsHz[i];
+            break;
+        }
+    }
+    for (std::size_t i = best + 1; i < result.population.size(); ++i) {
+        if (result.population[i] < half) {
+            hi = result.detuningsHz[i];
+            break;
+        }
+    }
+    result.fwhmHz = hi - lo;
+    return result;
+}
+
+} // namespace quma::experiments

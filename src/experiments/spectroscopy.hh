@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Qubit spectroscopy: sweep the drive-carrier detuning and locate
+ * the qubit transition from the excitation peak. This is the first
+ * step of the tune-up flow that precedes the paper's calibrated
+ * experiments (find f_Q, then Rabi for amplitude, then AllXY to
+ * verify).
+ *
+ * Each sweep point reprograms the microwave source frequency and
+ * runs a saturation sequence through the full machine, so the
+ * experiment also exercises reconfiguration (new machine, same LUT).
+ */
+
+#ifndef QUMA_EXPERIMENTS_SPECTROSCOPY_HH
+#define QUMA_EXPERIMENTS_SPECTROSCOPY_HH
+
+#include <vector>
+
+#include "quma/machine.hh"
+
+namespace quma::experiments {
+
+struct SpectroscopyConfig
+{
+    /** Detunings (Hz) to probe around the calibrated carrier. */
+    std::vector<double> detuningsHz;
+    /** Averaging rounds per point. */
+    std::size_t rounds = 128;
+    /** Pulses in the saturation comb per shot. */
+    unsigned combPulses = 3;
+    unsigned qubit = 0;
+    std::uint64_t seed = 0x57ec;
+    qsim::TransmonParams qubitParams = qsim::paperQubitParams();
+
+    static SpectroscopyConfig withLinearSweep(double span_hz,
+                                              unsigned points);
+};
+
+struct SpectroscopyResult
+{
+    std::vector<double> detuningsHz;
+    /** Excited-state population per detuning. */
+    std::vector<double> population;
+    /** Detuning of the response maximum (Hz). */
+    double peakHz = 0.0;
+    /** Full width at half maximum estimate (Hz). */
+    double fwhmHz = 0.0;
+};
+
+SpectroscopyResult runSpectroscopy(const SpectroscopyConfig &config);
+
+} // namespace quma::experiments
+
+#endif // QUMA_EXPERIMENTS_SPECTROSCOPY_HH

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Two-pass assembler for the QuMA mixed instruction set.
+ *
+ * The accepted syntax follows the paper's listings (Table 5,
+ * Algorithm 3):
+ *
+ *     mov r15, 40000        # comment
+ *   Outer_Loop:
+ *     QNopReg r15
+ *     Pulse {q2}, I         ; single-slot short form
+ *     Pulse (q2, X180), (q3, Y90)
+ *     Wait 4
+ *     MPG {q2}, 300
+ *     MD {q2}, r7           ; destination register optional
+ *     Apply X180, q2
+ *     Measure q2, r7
+ *     CNOT q1, q2
+ *     addi r1, r1, 1
+ *     bne r1, r2, Outer_Loop
+ *     halt
+ *
+ * Mnemonics are case-insensitive; `#` and `;` start comments; qubit
+ * sets are written `{q0, q2}` (or a bare `q2`); micro-operations and
+ * gates are looked up in the configured name tables.
+ */
+
+#ifndef QUMA_ISA_ASSEMBLER_HH
+#define QUMA_ISA_ASSEMBLER_HH
+
+#include <string>
+
+#include "isa/nametable.hh"
+#include "isa/program.hh"
+
+namespace quma::isa {
+
+class Assembler
+{
+  public:
+    /** Construct with the standard name tables. */
+    Assembler();
+    Assembler(NameTable uop_names, NameTable gate_names);
+
+    /** Assemble a full source text; fatal() with line info on error. */
+    Program assemble(const std::string &source) const;
+
+    /** Assemble a single instruction line (no labels). */
+    Instruction assembleLine(const std::string &line) const;
+
+    const NameTable &uopNames() const { return uopTable; }
+    const NameTable &gateNames() const { return gateTable; }
+
+  private:
+    NameTable uopTable;
+    NameTable gateTable;
+};
+
+} // namespace quma::isa
+
+#endif // QUMA_ISA_ASSEMBLER_HH

@@ -1,0 +1,87 @@
+#include "isa/disassembler.hh"
+
+#include <set>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace quma::isa {
+
+Disassembler::Disassembler()
+    : uopTable(NameTable::standardUops()),
+      gateTable(NameTable::standardGates())
+{}
+
+Disassembler::Disassembler(NameTable uop_names, NameTable gate_names)
+    : uopTable(std::move(uop_names)), gateTable(std::move(gate_names))
+{}
+
+std::string
+Disassembler::render(const Instruction &inst) const
+{
+    std::ostringstream oss;
+    auto reg = [](RegIndex r) { return "r" + std::to_string(r); };
+    switch (inst.op) {
+      case Opcode::Pulse: {
+        oss << mnemonic(inst.op);
+        if (inst.slots.size() == 1) {
+            auto name = uopTable.nameOf(inst.slots[0].uop);
+            oss << " " << maskToString(inst.slots[0].mask) << ", "
+                << (name ? *name
+                         : std::to_string(inst.slots[0].uop));
+        } else {
+            bool first = true;
+            for (const auto &s : inst.slots) {
+                auto name = uopTable.nameOf(s.uop);
+                oss << (first ? " " : ", ") << "("
+                    << maskToString(s.mask) << ", "
+                    << (name ? *name : std::to_string(s.uop)) << ")";
+                first = false;
+            }
+        }
+        return oss.str();
+      }
+      case Opcode::Apply: {
+        auto name = gateTable.nameOf(inst.gate);
+        oss << mnemonic(inst.op) << " "
+            << (name ? *name : std::to_string(inst.gate)) << ", "
+            << maskToString(inst.qmask);
+        return oss.str();
+      }
+      case Opcode::Beq:
+      case Opcode::Bne:
+      case Opcode::Blt:
+      case Opcode::Bge:
+        oss << mnemonic(inst.op) << " " << reg(inst.rs) << ", "
+            << reg(inst.rt) << ", L" << inst.imm;
+        return oss.str();
+      case Opcode::Br:
+        oss << mnemonic(inst.op) << " L" << inst.imm;
+        return oss.str();
+      default:
+        return toString(inst);
+    }
+}
+
+std::string
+Disassembler::render(const Program &prog) const
+{
+    // Collect branch targets so labels can be emitted.
+    std::set<std::size_t> targets;
+    for (const auto &inst : prog.all())
+        if (isBranch(inst.op))
+            targets.insert(static_cast<std::size_t>(inst.imm));
+
+    std::ostringstream oss;
+    for (std::size_t i = 0; i < prog.size(); ++i) {
+        if (targets.count(i))
+            oss << "L" << i << ":\n";
+        oss << "    " << render(prog.at(i)) << "\n";
+    }
+    // A branch may target one past the last instruction (loop exit).
+    if (targets.count(prog.size()))
+        oss << "L" << prog.size() << ":\n";
+    return oss.str();
+}
+
+} // namespace quma::isa

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Disassembler: renders a Program back to assembly text that the
+ * Assembler accepts (round-trip property is tested).
+ */
+
+#ifndef QUMA_ISA_DISASSEMBLER_HH
+#define QUMA_ISA_DISASSEMBLER_HH
+
+#include <string>
+
+#include "isa/nametable.hh"
+#include "isa/program.hh"
+
+namespace quma::isa {
+
+class Disassembler
+{
+  public:
+    Disassembler();
+    Disassembler(NameTable uop_names, NameTable gate_names);
+
+    /** Render one instruction (labels printed as L<index>). */
+    std::string render(const Instruction &inst) const;
+
+    /** Render a whole program with synthesised branch-target labels. */
+    std::string render(const Program &prog) const;
+
+  private:
+    NameTable uopTable;
+    NameTable gateTable;
+};
+
+} // namespace quma::isa
+
+#endif // QUMA_ISA_DISASSEMBLER_HH

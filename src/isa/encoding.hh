@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Fixed-width 64-bit binary encoding of the instruction set.
+ *
+ * Layout (bit 63 is the MSB):
+ *
+ *   [63:58] opcode
+ *
+ * then per format:
+ *   R-type (add/sub/and/or/xor):   rd[57:53] rs[52:48] rt[47:43]
+ *   I-type (mov/addi/shl/shr/load/store): rd[57:53] rs[52:48]
+ *       rt[47:43] imm[31:0] (signed)
+ *   Branch (beq/bne/blt/bge/br):   rs[57:53] rt[52:48]
+ *       imm[31:0] = absolute target instruction index
+ *   Wait:     imm[31:0] cycles;  QNopReg: rs[52:48]
+ *   Pulse:    count[57:56], slot i in [16i+15 : 16i]
+ *             with mask in the high byte and uop in the low byte
+ *   MPG:      qmask[55:40], imm[31:0] duration cycles
+ *   MD:       qmask[55:40], rd[39:35]
+ *   Apply:    gate[57:50], qmask[15:0]
+ *   Measure:  qmask[55:40], rd[39:35]
+ *   CNOT:     qt[57:53], qc[52:48]
+ */
+
+#ifndef QUMA_ISA_ENCODING_HH
+#define QUMA_ISA_ENCODING_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/instruction.hh"
+
+namespace quma::isa {
+
+/** Encode one instruction to its 64-bit binary form. */
+std::uint64_t encode(const Instruction &inst);
+
+/** Decode one 64-bit word; fatal() on an invalid opcode. */
+Instruction decode(std::uint64_t word);
+
+/** Encode a whole instruction sequence. */
+std::vector<std::uint64_t> encodeAll(const std::vector<Instruction> &prog);
+
+/** Decode a whole binary image. */
+std::vector<Instruction> decodeAll(const std::vector<std::uint64_t> &image);
+
+} // namespace quma::isa
+
+#endif // QUMA_ISA_ENCODING_HH

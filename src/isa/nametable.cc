@@ -1,0 +1,82 @@
+#include "isa/nametable.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "common/strings.hh"
+
+namespace quma::isa {
+
+void
+NameTable::define(const std::string &name, std::uint8_t id)
+{
+    std::string key = toLower(name);
+    if (byName.count(key))
+        fatal("NameTable: duplicate name '", name, "'");
+    if (byId.count(id))
+        fatal("NameTable: duplicate id ", static_cast<unsigned>(id));
+    byName[key] = id;
+    byId[id] = name;
+}
+
+std::optional<std::uint8_t>
+NameTable::idOf(const std::string &name) const
+{
+    auto it = byName.find(toLower(name));
+    if (it == byName.end())
+        return std::nullopt;
+    return it->second;
+}
+
+std::optional<std::string>
+NameTable::nameOf(std::uint8_t id) const
+{
+    auto it = byId.find(id);
+    if (it == byId.end())
+        return std::nullopt;
+    return it->second;
+}
+
+std::vector<std::pair<std::string, std::uint8_t>>
+NameTable::entries() const
+{
+    std::vector<std::pair<std::string, std::uint8_t>> out;
+    for (const auto &[id, name] : byId)
+        out.emplace_back(name, id);
+    std::sort(out.begin(), out.end(),
+              [](const auto &a, const auto &b) {
+                  return a.second < b.second;
+              });
+    return out;
+}
+
+NameTable
+NameTable::standardUops()
+{
+    NameTable t;
+    t.define("I", uops::I);
+    t.define("X180", uops::X180);
+    t.define("X90", uops::X90);
+    t.define("Xm90", uops::Xm90);
+    t.define("Y180", uops::Y180);
+    t.define("Y90", uops::Y90);
+    t.define("Ym90", uops::Ym90);
+    t.define("MSMT", uops::Msmt);
+    t.define("CZ", uops::Cz);
+    t.define("Z180", uops::Z180);
+    t.define("Z90", uops::Z90);
+    t.define("Zm90", uops::Zm90);
+    t.define("H", uops::H);
+    return t;
+}
+
+NameTable
+NameTable::standardGates()
+{
+    // QIS gate ids deliberately reuse the micro-operation numbering
+    // for the shared names, which keeps the control-store microcode
+    // for primitive gates a one-line pass-through.
+    return standardUops();
+}
+
+} // namespace quma::isa

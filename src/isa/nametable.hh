@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Symbolic name registries for micro-operations and QIS gates.
+ *
+ * The standard micro-operation ids for primitives coincide with the
+ * codeword-triggered pulse generation lookup-table indices of the
+ * paper's Table 1, so in the pass-through configuration used for the
+ * AllXY experiment the u-op unit "simply forwards the codewords to
+ * the wave memory without translation" (paper §8).
+ */
+
+#ifndef QUMA_ISA_NAMETABLE_HH
+#define QUMA_ISA_NAMETABLE_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace quma::isa {
+
+/** Standard micro-operation / codeword assignments (paper Table 1). */
+namespace uops {
+inline constexpr std::uint8_t I = 0;
+inline constexpr std::uint8_t X180 = 1;  ///< Rx(pi)
+inline constexpr std::uint8_t X90 = 2;   ///< Rx(pi/2)
+inline constexpr std::uint8_t Xm90 = 3;  ///< Rx(-pi/2)
+inline constexpr std::uint8_t Y180 = 4;  ///< Ry(pi)
+inline constexpr std::uint8_t Y90 = 5;   ///< Ry(pi/2)
+inline constexpr std::uint8_t Ym90 = 6;  ///< Ry(-pi/2)
+inline constexpr std::uint8_t Msmt = 7;  ///< measurement pulse codeword
+inline constexpr std::uint8_t Cz = 8;    ///< flux pulse (two-qubit CZ)
+// Emulated (composite) micro-operations handled by the u-op unit.
+inline constexpr std::uint8_t Z180 = 9;
+inline constexpr std::uint8_t Z90 = 10;
+inline constexpr std::uint8_t Zm90 = 11;
+inline constexpr std::uint8_t H = 12;
+} // namespace uops
+
+/**
+ * Bidirectional symbol table mapping textual names to 8-bit ids.
+ * Lookups are case-insensitive; the canonical spelling is preserved
+ * for printing.
+ */
+class NameTable
+{
+  public:
+    /** Register a name; fatal() on duplicate name or id. */
+    void define(const std::string &name, std::uint8_t id);
+
+    std::optional<std::uint8_t> idOf(const std::string &name) const;
+    std::optional<std::string> nameOf(std::uint8_t id) const;
+
+    /** All (name, id) pairs in id order. */
+    std::vector<std::pair<std::string, std::uint8_t>> entries() const;
+
+    /** Table 1 micro-operation names. */
+    static NameTable standardUops();
+
+    /** Standard QIS gate names (superset of the primitive set). */
+    static NameTable standardGates();
+
+  private:
+    std::unordered_map<std::string, std::uint8_t> byName;
+    std::unordered_map<std::uint8_t, std::string> byId;
+};
+
+} // namespace quma::isa
+
+#endif // QUMA_ISA_NAMETABLE_HH

@@ -1,0 +1,122 @@
+#include "isa/opcodes.hh"
+
+#include <unordered_map>
+
+#include "common/strings.hh"
+
+namespace quma::isa {
+
+const char *
+mnemonic(Opcode op)
+{
+    switch (op) {
+      case Opcode::Nop:
+        return "nop";
+      case Opcode::Mov:
+        return "mov";
+      case Opcode::Add:
+        return "add";
+      case Opcode::Addi:
+        return "addi";
+      case Opcode::Sub:
+        return "sub";
+      case Opcode::And:
+        return "and";
+      case Opcode::Or:
+        return "or";
+      case Opcode::Xor:
+        return "xor";
+      case Opcode::Shl:
+        return "shl";
+      case Opcode::Shr:
+        return "shr";
+      case Opcode::Load:
+        return "load";
+      case Opcode::Store:
+        return "store";
+      case Opcode::Beq:
+        return "beq";
+      case Opcode::Bne:
+        return "bne";
+      case Opcode::Blt:
+        return "blt";
+      case Opcode::Bge:
+        return "bge";
+      case Opcode::Br:
+        return "br";
+      case Opcode::Halt:
+        return "halt";
+      case Opcode::QWait:
+        return "Wait";
+      case Opcode::QWaitReg:
+        return "QNopReg";
+      case Opcode::Pulse:
+        return "Pulse";
+      case Opcode::Mpg:
+        return "MPG";
+      case Opcode::Md:
+        return "MD";
+      case Opcode::Apply:
+        return "Apply";
+      case Opcode::MeasureQ:
+        return "Measure";
+      case Opcode::Cnot:
+        return "CNOT";
+      case Opcode::NumOpcodes:
+        break;
+    }
+    return "<invalid>";
+}
+
+std::optional<Opcode>
+opcodeFromMnemonic(const std::string &name)
+{
+    static const std::unordered_map<std::string, Opcode> table = [] {
+        std::unordered_map<std::string, Opcode> t;
+        for (unsigned i = 0; i < static_cast<unsigned>(Opcode::NumOpcodes);
+             ++i) {
+            auto op = static_cast<Opcode>(i);
+            std::string m = mnemonic(op);
+            if (m != "<invalid>")
+                t[toLower(m)] = op;
+        }
+        return t;
+    }();
+    auto it = table.find(toLower(name));
+    if (it == table.end())
+        return std::nullopt;
+    return it->second;
+}
+
+bool
+isQuantum(Opcode op)
+{
+    auto v = static_cast<std::uint8_t>(op);
+    return v >= static_cast<std::uint8_t>(Opcode::QWait) &&
+           v < static_cast<std::uint8_t>(Opcode::NumOpcodes);
+}
+
+bool
+isQis(Opcode op)
+{
+    auto v = static_cast<std::uint8_t>(op);
+    return v >= static_cast<std::uint8_t>(Opcode::Apply) &&
+           v < static_cast<std::uint8_t>(Opcode::NumOpcodes);
+}
+
+bool
+isBranch(Opcode op)
+{
+    switch (op) {
+      case Opcode::Beq:
+      case Opcode::Bne:
+      case Opcode::Blt:
+      case Opcode::Bge:
+      case Opcode::Br:
+        return true;
+      default:
+        return false;
+    }
+}
+
+} // namespace quma::isa

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Opcode definitions for the QuMA instruction set.
+ *
+ * The instruction stream mixes three families (paper §5.3):
+ *
+ *  - auxiliary classical instructions: arithmetic, logic, memory and
+ *    control flow, executed by the execution controller;
+ *  - QuMIS quantum microinstructions (paper Table 6): Wait, Pulse,
+ *    MPG, MD, plus QNopReg (a Wait whose duration comes from a
+ *    register, enabling runtime-computed timing);
+ *  - QIS quantum instructions (Apply/Measure/CNOT): technology-
+ *    independent operations expanded into QuMIS by the physical
+ *    microcode unit using the Q control store.
+ */
+
+#ifndef QUMA_ISA_OPCODES_HH
+#define QUMA_ISA_OPCODES_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace quma::isa {
+
+enum class Opcode : std::uint8_t
+{
+    // Auxiliary classical instructions.
+    Nop = 0,
+    Mov,   ///< mov rd, imm
+    Add,   ///< add rd, rs, rt
+    Addi,  ///< addi rd, rs, imm
+    Sub,   ///< sub rd, rs, rt
+    And,   ///< and rd, rs, rt
+    Or,    ///< or rd, rs, rt
+    Xor,   ///< xor rd, rs, rt
+    Shl,   ///< shl rd, rs, imm
+    Shr,   ///< shr rd, rs, imm (logical)
+    Load,  ///< load rd, rs[imm]
+    Store, ///< store rt, rs[imm]
+    Beq,   ///< beq rs, rt, label
+    Bne,   ///< bne rs, rt, label
+    Blt,   ///< blt rs, rt, label (signed)
+    Bge,   ///< bge rs, rt, label (signed)
+    Br,    ///< br label
+    Halt,  ///< halt
+
+    // QuMIS microinstructions (Table 6).
+    QWait = 32, ///< Wait imm (cycles)
+    QWaitReg,   ///< QNopReg rs: wait for the number of cycles in rs
+    Pulse,      ///< Pulse (mask, uop)[, (mask, uop) ...]
+    Mpg,        ///< MPG mask, duration
+    Md,         ///< MD mask, rd
+
+    // QIS quantum instructions (expanded via the Q control store).
+    Apply = 48, ///< Apply gate, mask
+    MeasureQ,   ///< Measure mask, rd
+    Cnot,       ///< CNOT qt, qc
+
+    NumOpcodes
+};
+
+/** Assembly mnemonic for an opcode (canonical spelling). */
+const char *mnemonic(Opcode op);
+
+/** Reverse lookup, case-insensitive. std::nullopt if unknown. */
+std::optional<Opcode> opcodeFromMnemonic(const std::string &name);
+
+/** True for instructions handled by the quantum pipeline. */
+bool isQuantum(Opcode op);
+
+/** True for QIS-level instructions needing control-store expansion. */
+bool isQis(Opcode op);
+
+/** True for branch/jump instructions. */
+bool isBranch(Opcode op);
+
+} // namespace quma::isa
+
+#endif // QUMA_ISA_OPCODES_HH

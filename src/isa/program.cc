@@ -1,0 +1,59 @@
+#include "isa/program.hh"
+
+#include "common/logging.hh"
+#include "isa/encoding.hh"
+
+namespace quma::isa {
+
+const Instruction &
+Program::at(std::size_t i) const
+{
+    quma_assert(i < instructions.size(), "instruction index out of range");
+    return instructions[i];
+}
+
+void
+Program::defineLabel(const std::string &name)
+{
+    defineLabelAt(name, instructions.size());
+}
+
+void
+Program::defineLabelAt(const std::string &name, std::size_t index)
+{
+    if (labelMap.count(name))
+        fatal("duplicate label '", name, "'");
+    labelMap[name] = index;
+}
+
+std::optional<std::size_t>
+Program::labelTarget(const std::string &name) const
+{
+    auto it = labelMap.find(name);
+    if (it == labelMap.end())
+        return std::nullopt;
+    return it->second;
+}
+
+std::optional<std::string>
+Program::labelAt(std::size_t index) const
+{
+    for (const auto &[name, idx] : labelMap)
+        if (idx == index)
+            return name;
+    return std::nullopt;
+}
+
+std::vector<std::uint64_t>
+Program::toBinary() const
+{
+    return encodeAll(instructions);
+}
+
+Program
+Program::fromBinary(const std::vector<std::uint64_t> &image)
+{
+    return Program(decodeAll(image));
+}
+
+} // namespace quma::isa

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * An assembled program: the instruction sequence plus label metadata.
+ */
+
+#ifndef QUMA_ISA_PROGRAM_HH
+#define QUMA_ISA_PROGRAM_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "isa/instruction.hh"
+
+namespace quma::isa {
+
+class Program
+{
+  public:
+    Program() = default;
+    explicit Program(std::vector<Instruction> insts)
+        : instructions(std::move(insts))
+    {}
+
+    std::size_t size() const { return instructions.size(); }
+    bool empty() const { return instructions.empty(); }
+
+    const Instruction &at(std::size_t i) const;
+    const std::vector<Instruction> &all() const { return instructions; }
+
+    void push(Instruction inst) { instructions.push_back(std::move(inst)); }
+
+    /** Bind a label to the next instruction index. */
+    void defineLabel(const std::string &name);
+    /** Bind a label to an explicit index. */
+    void defineLabelAt(const std::string &name, std::size_t index);
+
+    std::optional<std::size_t> labelTarget(const std::string &name) const;
+    /** First label bound to the given index, if any. */
+    std::optional<std::string> labelAt(std::size_t index) const;
+
+    const std::unordered_map<std::string, std::size_t> &labels() const
+    {
+        return labelMap;
+    }
+
+    /** Serialise to the 64-bit binary image (labels are dropped). */
+    std::vector<std::uint64_t> toBinary() const;
+    static Program fromBinary(const std::vector<std::uint64_t> &image);
+
+  private:
+    std::vector<Instruction> instructions;
+    std::unordered_map<std::string, std::size_t> labelMap;
+};
+
+} // namespace quma::isa
+
+#endif // QUMA_ISA_PROGRAM_HH

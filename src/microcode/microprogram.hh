@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Microprogram templates stored in the Q control store.
+ *
+ * A microprogram emulates one QIS instruction as a sequence of QuMIS
+ * microinstructions (Wilkes-style microcode, paper §3 and §5.3). Gate
+ * microprograms are templates: their Pulse slots name qubit ROLES
+ * (all addressed qubits / CNOT target / CNOT control) that are bound
+ * to concrete qubit masks when the physical microcode unit expands a
+ * QIS instruction.
+ */
+
+#ifndef QUMA_MICROCODE_MICROPROGRAM_HH
+#define QUMA_MICROCODE_MICROPROGRAM_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace quma::microcode {
+
+/** How a template slot's qubit mask is derived at expansion time. */
+enum class QubitRole : std::uint8_t
+{
+    All,     ///< every qubit addressed by the QIS instruction
+    Target,  ///< CNOT target
+    Control, ///< CNOT control
+    Both,    ///< CNOT target and control together (e.g. the CZ pulse)
+};
+
+/** One template step: either a Pulse with role-based slots or a Wait. */
+struct MicroStep
+{
+    enum class Kind : std::uint8_t { Pulse, Wait };
+
+    Kind kind = Kind::Wait;
+
+    /** Pulse: (role, micro-operation id) pairs. */
+    std::vector<std::pair<QubitRole, std::uint8_t>> slots;
+
+    /** Wait: interval in cycles. */
+    Cycle cycles = 0;
+
+    static MicroStep wait(Cycle cycles);
+    static MicroStep pulse(QubitRole role, std::uint8_t uop);
+    static MicroStep
+    pulseMulti(std::vector<std::pair<QubitRole, std::uint8_t>> slots);
+};
+
+/** A named microprogram: the body executed for one QIS instruction. */
+struct Microprogram
+{
+    std::string name;
+    std::vector<MicroStep> body;
+};
+
+} // namespace quma::microcode
+
+#endif // QUMA_MICROCODE_MICROPROGRAM_HH

@@ -1,0 +1,94 @@
+#include "qsim/channels.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace quma::qsim {
+
+std::vector<Mat2>
+amplitudeDamping(double gamma)
+{
+    if (gamma < 0 || gamma > 1)
+        fatal("amplitudeDamping: gamma must be in [0, 1], got ", gamma);
+    double s = std::sqrt(1.0 - gamma);
+    double g = std::sqrt(gamma);
+    return {Mat2{Complex{1, 0}, {0, 0}, {0, 0}, {s, 0}},
+            Mat2{Complex{0, 0}, {g, 0}, {0, 0}, {0, 0}}};
+}
+
+std::vector<Mat2>
+phaseDamping(double lambda)
+{
+    if (lambda < 0 || lambda > 1)
+        fatal("phaseDamping: lambda must be in [0, 1], got ", lambda);
+    double s = std::sqrt(1.0 - lambda);
+    double l = std::sqrt(lambda);
+    return {Mat2{Complex{1, 0}, {0, 0}, {0, 0}, {s, 0}},
+            Mat2{Complex{0, 0}, {0, 0}, {0, 0}, {l, 0}}};
+}
+
+std::vector<Mat2>
+depolarizing(double p)
+{
+    if (p < 0 || p > 1)
+        fatal("depolarizing: p must be in [0, 1], got ", p);
+    double s0 = std::sqrt(1.0 - p);
+    double s1 = std::sqrt(p / 3.0);
+    std::vector<Mat2> kraus;
+    Mat2 eye = gates::identity();
+    Mat2 x = gates::pauliX();
+    Mat2 y = gates::pauliY();
+    Mat2 z = gates::pauliZ();
+    for (auto &v : eye)
+        v *= s0;
+    for (auto &v : x)
+        v *= s1;
+    for (auto &v : y)
+        v *= s1;
+    for (auto &v : z)
+        v *= s1;
+    kraus.push_back(eye);
+    kraus.push_back(x);
+    kraus.push_back(y);
+    kraus.push_back(z);
+    return kraus;
+}
+
+double
+pureDephasingTime(double t1_ns, double t2_ns)
+{
+    if (t1_ns <= 0 || t2_ns <= 0)
+        fatal("coherence times must be positive");
+    double inv = 1.0 / t2_ns - 0.5 / t1_ns;
+    if (inv < -1e-12)
+        fatal("idleChannel requires T2 <= 2 * T1 (T1 = ", t1_ns,
+              " ns, T2 = ", t2_ns, " ns)");
+    if (inv <= 0)
+        return 0.0; // No pure dephasing: T2 at the 2*T1 limit.
+    return 1.0 / inv;
+}
+
+std::vector<Mat2>
+idleChannel(double dt_ns, double t1_ns, double t2_ns)
+{
+    if (dt_ns < 0)
+        fatal("idleChannel: negative duration");
+    double gamma = 1.0 - std::exp(-dt_ns / t1_ns);
+    double tphi = pureDephasingTime(t1_ns, t2_ns);
+    double lambda = 0.0;
+    if (tphi > 0)
+        lambda = 1.0 - std::exp(-2.0 * dt_ns / tphi);
+
+    // Compose amplitude damping then phase damping: products of the
+    // two Kraus families form a valid Kraus set of the composition.
+    auto ad = amplitudeDamping(gamma);
+    auto pd = phaseDamping(lambda);
+    std::vector<Mat2> out;
+    for (const auto &p : pd)
+        for (const auto &a : ad)
+            out.push_back(matmul(p, a));
+    return out;
+}
+
+} // namespace quma::qsim

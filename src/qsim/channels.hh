@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Decoherence channels as Kraus-operator sets.
+ */
+
+#ifndef QUMA_QSIM_CHANNELS_HH
+#define QUMA_QSIM_CHANNELS_HH
+
+#include <vector>
+
+#include "qsim/gates.hh"
+
+namespace quma::qsim {
+
+/**
+ * Amplitude damping with decay probability gamma: relaxation |1> -> |0>
+ * with probability gamma, coherence scaled by sqrt(1 - gamma).
+ */
+std::vector<Mat2> amplitudeDamping(double gamma);
+
+/**
+ * Phase damping with parameter lambda: coherence scaled by
+ * sqrt(1 - lambda), populations untouched.
+ */
+std::vector<Mat2> phaseDamping(double lambda);
+
+/**
+ * Depolarising channel with error probability p (X, Y, Z each with
+ * probability p / 3).
+ */
+std::vector<Mat2> depolarizing(double p);
+
+/**
+ * Free evolution for dt_ns given T1 and T2 (both ns): amplitude
+ * damping with gamma = 1 - exp(-dt/T1) composed with pure dephasing so
+ * that coherences decay as exp(-dt/T2). Requires T2 <= 2 * T1.
+ */
+std::vector<Mat2> idleChannel(double dt_ns, double t1_ns, double t2_ns);
+
+/** Pure-dephasing time from T1/T2: 1/Tphi = 1/T2 - 1/(2 T1). */
+double pureDephasingTime(double t1_ns, double t2_ns);
+
+} // namespace quma::qsim
+
+#endif // QUMA_QSIM_CHANNELS_HH

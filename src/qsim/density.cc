@@ -1,0 +1,224 @@
+#include "qsim/density.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace quma::qsim {
+
+DensityMatrix::DensityMatrix(unsigned num_qubits) : nq(num_qubits)
+{
+    if (num_qubits == 0 || num_qubits > 12)
+        fatal("DensityMatrix supports 1..12 qubits, got ", num_qubits);
+    n = std::size_t{1} << num_qubits;
+    rho.assign(n * n, Complex{0, 0});
+    rho[0] = 1;
+}
+
+void
+DensityMatrix::apply1(unsigned q, const Mat2 &u)
+{
+    quma_assert(q < nq, "qubit index out of range");
+    std::size_t stride = std::size_t{1} << q;
+
+    // Left multiply: rows.
+    for (std::size_t c = 0; c < n; ++c) {
+        for (std::size_t base = 0; base < n; base += 2 * stride) {
+            for (std::size_t off = 0; off < stride; ++off) {
+                std::size_t r0 = base + off;
+                std::size_t r1 = r0 + stride;
+                Complex a0 = rho[r0 * n + c], a1 = rho[r1 * n + c];
+                rho[r0 * n + c] = u[0] * a0 + u[1] * a1;
+                rho[r1 * n + c] = u[2] * a0 + u[3] * a1;
+            }
+        }
+    }
+    // Right multiply by U+: columns.
+    Mat2 ud = adjoint(u);
+    for (std::size_t r = 0; r < n; ++r) {
+        for (std::size_t base = 0; base < n; base += 2 * stride) {
+            for (std::size_t off = 0; off < stride; ++off) {
+                std::size_t c0 = base + off;
+                std::size_t c1 = c0 + stride;
+                Complex a0 = rho[r * n + c0], a1 = rho[r * n + c1];
+                rho[r * n + c0] = a0 * ud[0] + a1 * ud[2];
+                rho[r * n + c1] = a0 * ud[1] + a1 * ud[3];
+            }
+        }
+    }
+}
+
+void
+DensityMatrix::apply2(unsigned q_high, unsigned q_low, const Mat4 &u)
+{
+    quma_assert(q_high < nq && q_low < nq && q_high != q_low,
+                "bad two-qubit operand");
+    std::size_t sh = std::size_t{1} << q_high;
+    std::size_t sl = std::size_t{1} << q_low;
+
+    // Left multiply on rows.
+    for (std::size_t c = 0; c < n; ++c) {
+        for (std::size_t i = 0; i < n; ++i) {
+            if ((i & sh) || (i & sl))
+                continue;
+            std::size_t idx[4] = {i, i | sl, i | sh, i | sh | sl};
+            Complex v[4];
+            for (int k = 0; k < 4; ++k)
+                v[k] = rho[idx[k] * n + c];
+            for (int r = 0; r < 4; ++r) {
+                Complex acc{0, 0};
+                for (int k = 0; k < 4; ++k)
+                    acc += u[r * 4 + k] * v[k];
+                rho[idx[r] * n + c] = acc;
+            }
+        }
+    }
+    // Right multiply by U+ on columns.
+    Mat4 ud = adjoint(u);
+    for (std::size_t r = 0; r < n; ++r) {
+        for (std::size_t i = 0; i < n; ++i) {
+            if ((i & sh) || (i & sl))
+                continue;
+            std::size_t idx[4] = {i, i | sl, i | sh, i | sh | sl};
+            Complex v[4];
+            for (int k = 0; k < 4; ++k)
+                v[k] = rho[r * n + idx[k]];
+            for (int c = 0; c < 4; ++c) {
+                Complex acc{0, 0};
+                for (int k = 0; k < 4; ++k)
+                    acc += v[k] * ud[k * 4 + c];
+                rho[r * n + idx[c]] = acc;
+            }
+        }
+    }
+}
+
+void
+DensityMatrix::leftMultiply1(unsigned q, const Mat2 &m,
+                             std::vector<Complex> &out) const
+{
+    std::size_t stride = std::size_t{1} << q;
+    out = rho;
+    for (std::size_t c = 0; c < n; ++c) {
+        for (std::size_t base = 0; base < n; base += 2 * stride) {
+            for (std::size_t off = 0; off < stride; ++off) {
+                std::size_t r0 = base + off;
+                std::size_t r1 = r0 + stride;
+                Complex a0 = rho[r0 * n + c], a1 = rho[r1 * n + c];
+                out[r0 * n + c] = m[0] * a0 + m[1] * a1;
+                out[r1 * n + c] = m[2] * a0 + m[3] * a1;
+            }
+        }
+    }
+}
+
+void
+DensityMatrix::applyKraus1(unsigned q, const std::vector<Mat2> &kraus)
+{
+    quma_assert(q < nq, "qubit index out of range");
+    std::size_t stride = std::size_t{1} << q;
+    std::vector<Complex> acc(n * n, Complex{0, 0});
+    std::vector<Complex> tmp;
+    for (const Mat2 &k : kraus) {
+        // tmp = K rho
+        leftMultiply1(q, k, tmp);
+        // acc += tmp * K+
+        Mat2 kd = adjoint(k);
+        for (std::size_t r = 0; r < n; ++r) {
+            for (std::size_t base = 0; base < n; base += 2 * stride) {
+                for (std::size_t off = 0; off < stride; ++off) {
+                    std::size_t c0 = base + off;
+                    std::size_t c1 = c0 + stride;
+                    Complex a0 = tmp[r * n + c0], a1 = tmp[r * n + c1];
+                    acc[r * n + c0] += a0 * kd[0] + a1 * kd[2];
+                    acc[r * n + c1] += a0 * kd[1] + a1 * kd[3];
+                }
+            }
+        }
+    }
+    rho = std::move(acc);
+}
+
+double
+DensityMatrix::probabilityOne(unsigned q) const
+{
+    quma_assert(q < nq, "qubit index out of range");
+    std::size_t mask = std::size_t{1} << q;
+    double p = 0;
+    for (std::size_t i = 0; i < n; ++i)
+        if (i & mask)
+            p += rho[i * n + i].real();
+    return p;
+}
+
+void
+DensityMatrix::project(unsigned q, bool outcome)
+{
+    quma_assert(q < nq, "qubit index out of range");
+    std::size_t mask = std::size_t{1} << q;
+    double norm = 0;
+    for (std::size_t r = 0; r < n; ++r) {
+        for (std::size_t c = 0; c < n; ++c) {
+            bool rOne = (r & mask) != 0;
+            bool cOne = (c & mask) != 0;
+            if (rOne != outcome || cOne != outcome)
+                rho[r * n + c] = 0;
+        }
+        if (((r & mask) != 0) == outcome)
+            norm += rho[r * n + r].real();
+    }
+    if (norm <= 1e-15)
+        fatal("project: outcome has (near) zero probability");
+    double scale = 1.0 / norm;
+    for (auto &v : rho)
+        v *= scale;
+}
+
+double
+DensityMatrix::trace() const
+{
+    double t = 0;
+    for (std::size_t i = 0; i < n; ++i)
+        t += rho[i * n + i].real();
+    return t;
+}
+
+double
+DensityMatrix::purity() const
+{
+    // Tr(rho^2) = sum_ij rho_ij * rho_ji = sum_ij |rho_ij|^2 (Hermitian).
+    double p = 0;
+    for (const auto &v : rho)
+        p += std::norm(v);
+    return p;
+}
+
+double
+DensityMatrix::fidelityWithPure(const std::vector<Complex> &psi) const
+{
+    quma_assert(psi.size() == n, "fidelityWithPure: dimension mismatch");
+    Complex acc{0, 0};
+    for (std::size_t r = 0; r < n; ++r)
+        for (std::size_t c = 0; c < n; ++c)
+            acc += std::conj(psi[r]) * rho[r * n + c] * psi[c];
+    return acc.real();
+}
+
+void
+DensityMatrix::reset()
+{
+    std::fill(rho.begin(), rho.end(), Complex{0, 0});
+    rho[0] = 1;
+}
+
+void
+DensityMatrix::resetQubit(unsigned q)
+{
+    // Trace out q and re-prepare |0>: equivalent to measuring and
+    // discarding, then flipping 1 -> 0. Implemented as the channel
+    // with Kraus ops |0><0| and |0><1|.
+    applyKraus1(q, {Mat2{Complex{1, 0}, {0, 0}, {0, 0}, {0, 0}},
+                    Mat2{Complex{0, 0}, {1, 0}, {0, 0}, {0, 0}}});
+}
+
+} // namespace quma::qsim

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Density-matrix simulator with Kraus-channel support.
+ *
+ * This is the physics backend of the transmon model: it captures
+ * amplitude damping (T1) and dephasing (T2) exactly, which the
+ * coherence-time experiments (T1, Ramsey, echo) and the readout error
+ * model rely on.
+ */
+
+#ifndef QUMA_QSIM_DENSITY_HH
+#define QUMA_QSIM_DENSITY_HH
+
+#include <vector>
+
+#include "qsim/gates.hh"
+
+namespace quma::qsim {
+
+class DensityMatrix
+{
+  public:
+    /** Initialise n qubits to |0...0><0...0|. */
+    explicit DensityMatrix(unsigned num_qubits);
+
+    unsigned numQubits() const { return nq; }
+    std::size_t dim() const { return n; }
+
+    Complex element(std::size_t r, std::size_t c) const
+    {
+        return rho[r * n + c];
+    }
+
+    /** Apply a single-qubit unitary to qubit q: rho -> U rho U+. */
+    void apply1(unsigned q, const Mat2 &u);
+
+    /** Apply a two-qubit unitary (q_high = more significant bit). */
+    void apply2(unsigned q_high, unsigned q_low, const Mat4 &u);
+
+    /** Apply a single-qubit channel given by Kraus operators. */
+    void applyKraus1(unsigned q, const std::vector<Mat2> &kraus);
+
+    /** Probability that measuring qubit q yields 1. */
+    double probabilityOne(unsigned q) const;
+
+    /** Project qubit q onto outcome and renormalise. */
+    void project(unsigned q, bool outcome);
+
+    /** Trace of the matrix (should be 1). */
+    double trace() const;
+
+    /** Purity Tr(rho^2); 1 for pure states. */
+    double purity() const;
+
+    /** Fidelity <psi|rho|psi> against a pure state given as amplitudes. */
+    double fidelityWithPure(const std::vector<Complex> &psi) const;
+
+    /** Reset every qubit to |0>. */
+    void reset();
+
+    /** Force qubit q to |0> (used for active reset modelling). */
+    void resetQubit(unsigned q);
+
+  private:
+    /** rho -> M(row side) with M acting on bit q of the row index. */
+    void leftMultiply1(unsigned q, const Mat2 &m,
+                       std::vector<Complex> &out) const;
+
+    unsigned nq;
+    std::size_t n;
+    std::vector<Complex> rho;
+};
+
+} // namespace quma::qsim
+
+#endif // QUMA_QSIM_DENSITY_HH

@@ -1,0 +1,226 @@
+#include "qsim/gates.hh"
+
+#include <cmath>
+
+namespace quma::qsim {
+
+Mat2
+matmul(const Mat2 &a, const Mat2 &b)
+{
+    Mat2 out{};
+    for (int r = 0; r < 2; ++r)
+        for (int c = 0; c < 2; ++c)
+            for (int k = 0; k < 2; ++k)
+                out[r * 2 + c] += a[r * 2 + k] * b[k * 2 + c];
+    return out;
+}
+
+Mat4
+matmul(const Mat4 &a, const Mat4 &b)
+{
+    Mat4 out{};
+    for (int r = 0; r < 4; ++r)
+        for (int c = 0; c < 4; ++c)
+            for (int k = 0; k < 4; ++k)
+                out[r * 4 + c] += a[r * 4 + k] * b[k * 4 + c];
+    return out;
+}
+
+Mat2
+adjoint(const Mat2 &a)
+{
+    Mat2 out{};
+    for (int r = 0; r < 2; ++r)
+        for (int c = 0; c < 2; ++c)
+            out[c * 2 + r] = std::conj(a[r * 2 + c]);
+    return out;
+}
+
+Mat4
+adjoint(const Mat4 &a)
+{
+    Mat4 out{};
+    for (int r = 0; r < 4; ++r)
+        for (int c = 0; c < 4; ++c)
+            out[c * 4 + r] = std::conj(a[r * 4 + c]);
+    return out;
+}
+
+Mat4
+kron(const Mat2 &a, const Mat2 &b)
+{
+    Mat4 out{};
+    for (int ar = 0; ar < 2; ++ar)
+        for (int ac = 0; ac < 2; ++ac)
+            for (int br = 0; br < 2; ++br)
+                for (int bc = 0; bc < 2; ++bc)
+                    out[(ar * 2 + br) * 4 + (ac * 2 + bc)] =
+                        a[ar * 2 + ac] * b[br * 2 + bc];
+    return out;
+}
+
+namespace {
+
+template <typename Mat>
+bool
+equalUpToPhaseImpl(const Mat &a, const Mat &b, double tol)
+{
+    // Find the largest-magnitude element of b to anchor the phase.
+    std::size_t anchor = 0;
+    double best = 0;
+    for (std::size_t i = 0; i < b.size(); ++i) {
+        if (std::abs(b[i]) > best) {
+            best = std::abs(b[i]);
+            anchor = i;
+        }
+    }
+    if (best < tol) {
+        // b is (numerically) zero; a must be too.
+        for (auto &v : a)
+            if (std::abs(v) > tol)
+                return false;
+        return true;
+    }
+    if (std::abs(a[anchor]) < tol)
+        return false;
+    Complex phase = a[anchor] / b[anchor];
+    phase /= std::abs(phase);
+    for (std::size_t i = 0; i < a.size(); ++i)
+        if (std::abs(a[i] - phase * b[i]) > tol)
+            return false;
+    return true;
+}
+
+} // namespace
+
+bool
+equalUpToPhase(const Mat2 &a, const Mat2 &b, double tol)
+{
+    return equalUpToPhaseImpl(a, b, tol);
+}
+
+bool
+equalUpToPhase(const Mat4 &a, const Mat4 &b, double tol)
+{
+    return equalUpToPhaseImpl(a, b, tol);
+}
+
+bool
+isUnitary(const Mat2 &u, double tol)
+{
+    Mat2 p = matmul(u, adjoint(u));
+    Mat2 eye = gates::identity();
+    for (int i = 0; i < 4; ++i)
+        if (std::abs(p[i] - eye[i]) > tol)
+            return false;
+    return true;
+}
+
+namespace gates {
+
+Mat2
+identity()
+{
+    return {Complex{1, 0}, {0, 0}, {0, 0}, {1, 0}};
+}
+
+Mat2
+pauliX()
+{
+    return {Complex{0, 0}, {1, 0}, {1, 0}, {0, 0}};
+}
+
+Mat2
+pauliY()
+{
+    return {Complex{0, 0}, {0, -1}, {0, 1}, {0, 0}};
+}
+
+Mat2
+pauliZ()
+{
+    return {Complex{1, 0}, {0, 0}, {0, 0}, {-1, 0}};
+}
+
+Mat2
+hadamard()
+{
+    double s = 1.0 / std::sqrt(2.0);
+    return {Complex{s, 0}, {s, 0}, {s, 0}, {-s, 0}};
+}
+
+Mat2
+rx(double theta)
+{
+    double c = std::cos(theta / 2), s = std::sin(theta / 2);
+    return {Complex{c, 0}, {0, -s}, {0, -s}, {c, 0}};
+}
+
+Mat2
+ry(double theta)
+{
+    double c = std::cos(theta / 2), s = std::sin(theta / 2);
+    return {Complex{c, 0}, {-s, 0}, {s, 0}, {c, 0}};
+}
+
+Mat2
+rz(double theta)
+{
+    double c = std::cos(theta / 2), s = std::sin(theta / 2);
+    return {Complex{c, -s}, {0, 0}, {0, 0}, {c, s}};
+}
+
+Mat2
+raxis(double phi, double theta)
+{
+    double c = std::cos(theta / 2), s = std::sin(theta / 2);
+    // -i sin(theta/2) (cos(phi) X + sin(phi) Y)
+    Complex offDiag01 = Complex{0, -s} *
+                        Complex{std::cos(phi), -std::sin(phi)};
+    Complex offDiag10 = Complex{0, -s} *
+                        Complex{std::cos(phi), std::sin(phi)};
+    return {Complex{c, 0}, offDiag01, offDiag10, Complex{c, 0}};
+}
+
+Mat4
+identity4()
+{
+    Mat4 out{};
+    for (int i = 0; i < 4; ++i)
+        out[i * 4 + i] = 1;
+    return out;
+}
+
+Mat4
+cz()
+{
+    Mat4 out = identity4();
+    out[15] = -1;
+    return out;
+}
+
+Mat4
+cnot()
+{
+    Mat4 out{};
+    out[0 * 4 + 0] = 1;
+    out[1 * 4 + 1] = 1;
+    out[2 * 4 + 3] = 1;
+    out[3 * 4 + 2] = 1;
+    return out;
+}
+
+Mat4
+swap()
+{
+    Mat4 out{};
+    out[0 * 4 + 0] = 1;
+    out[1 * 4 + 2] = 1;
+    out[2 * 4 + 1] = 1;
+    out[3 * 4 + 3] = 1;
+    return out;
+}
+
+} // namespace gates
+
+} // namespace quma::qsim

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Single- and two-qubit gate matrices and small dense linear algebra.
+ *
+ * Conventions: computational basis {|0>, |1>}; rotations follow
+ * R_n(theta) = exp(-i * theta / 2 * (n . sigma)); an equatorial-axis
+ * rotation at azimuthal angle phi is
+ * R_phi(theta) = cos(theta/2) I - i sin(theta/2)(cos(phi) X + sin(phi) Y),
+ * so phi = 0 is an x rotation and phi = pi/2 a y rotation.
+ */
+
+#ifndef QUMA_QSIM_GATES_HH
+#define QUMA_QSIM_GATES_HH
+
+#include <array>
+#include <complex>
+
+namespace quma::qsim {
+
+using Complex = std::complex<double>;
+
+/** 2x2 complex matrix, row-major. */
+using Mat2 = std::array<Complex, 4>;
+/** 4x4 complex matrix, row-major. */
+using Mat4 = std::array<Complex, 16>;
+
+/** Matrix product a * b. */
+Mat2 matmul(const Mat2 &a, const Mat2 &b);
+Mat4 matmul(const Mat4 &a, const Mat4 &b);
+
+/** Conjugate transpose. */
+Mat2 adjoint(const Mat2 &a);
+Mat4 adjoint(const Mat4 &a);
+
+/** Kronecker product a (x) b: qubit of a is the more significant bit. */
+Mat4 kron(const Mat2 &a, const Mat2 &b);
+
+/**
+ * True when a and b are equal up to a global phase, element-wise to
+ * within tol.
+ */
+bool equalUpToPhase(const Mat2 &a, const Mat2 &b, double tol = 1e-9);
+bool equalUpToPhase(const Mat4 &a, const Mat4 &b, double tol = 1e-9);
+
+/** True when u * adjoint(u) is the identity to within tol. */
+bool isUnitary(const Mat2 &u, double tol = 1e-9);
+
+namespace gates {
+
+Mat2 identity();
+Mat2 pauliX();
+Mat2 pauliY();
+Mat2 pauliZ();
+Mat2 hadamard();
+
+/** Rotation about the x axis by theta. */
+Mat2 rx(double theta);
+/** Rotation about the y axis by theta. */
+Mat2 ry(double theta);
+/** Rotation about the z axis by theta. */
+Mat2 rz(double theta);
+
+/** Rotation by theta about the equatorial axis at azimuth phi. */
+Mat2 raxis(double phi, double theta);
+
+Mat4 identity4();
+/** Controlled-phase: |11> picks up a minus sign. */
+Mat4 cz();
+/** Controlled-NOT with the more significant qubit as control. */
+Mat4 cnot();
+Mat4 swap();
+
+} // namespace gates
+
+} // namespace quma::qsim
+
+#endif // QUMA_QSIM_GATES_HH

@@ -1,0 +1,50 @@
+#include "qsim/readout.hh"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/logging.hh"
+
+namespace quma::qsim {
+
+ReadoutTrace
+simulateReadout(const ReadoutParams &params, bool initial_one,
+                TimeNs duration_ns, double t1_ns, Rng &rng)
+{
+    if (duration_ns <= 0)
+        fatal("simulateReadout: non-positive duration");
+
+    ReadoutTrace out;
+    out.initialOne = initial_one;
+    out.finalOne = initial_one;
+
+    double decay_ns = -1.0;
+    if (initial_one && t1_ns > 0) {
+        // Exponential decay time; only matters if inside the window.
+        double u = rng.uniform();
+        double t = -t1_ns * std::log(1.0 - u);
+        if (t < static_cast<double>(duration_ns)) {
+            decay_ns = t;
+            out.finalOne = false;
+        }
+    }
+    out.decayAtNs = decay_ns;
+
+    double dt_ns = 1e9 / params.adcRateHz;
+    auto n = static_cast<std::size_t>(
+        std::floor(static_cast<double>(duration_ns) / dt_ns));
+    std::vector<double> samples(n);
+    const double twoPi = 2.0 * std::numbers::pi;
+    for (std::size_t k = 0; k < n; ++k) {
+        double t_ns = (static_cast<double>(k) + 0.5) * dt_ns;
+        bool one = initial_one && (decay_ns < 0 || t_ns < decay_ns);
+        std::complex<double> c = one ? params.c1 : params.c0;
+        double arg = twoPi * params.ifHz * t_ns * 1e-9;
+        double v = c.real() * std::cos(arg) - c.imag() * std::sin(arg);
+        samples[k] = v + rng.gaussian(0.0, params.noiseSigma);
+    }
+    out.trace = signal::Waveform(std::move(samples), params.adcRateHz);
+    return out;
+}
+
+} // namespace quma::qsim

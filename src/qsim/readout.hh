@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Dispersive readout signal model.
+ *
+ * A measurement pulse probes the readout resonator; the transmitted
+ * feedline signal is demodulated to an intermediate frequency (40 MHz
+ * in the paper's setup) and digitised. The complex amplitude of the IF
+ * tone depends on the qubit state; additive Gaussian noise and T1
+ * decay during the readout window give a realistic readout fidelity
+ * below one.
+ */
+
+#ifndef QUMA_QSIM_READOUT_HH
+#define QUMA_QSIM_READOUT_HH
+
+#include <complex>
+
+#include "common/rng.hh"
+#include "common/types.hh"
+#include "signal/waveform.hh"
+
+namespace quma::qsim {
+
+/** State-dependent IF response of one qubit's readout resonator. */
+struct ReadoutParams
+{
+    /** Complex IF amplitude when the qubit is in |0>. */
+    std::complex<double> c0{1.0, 0.0};
+    /** Complex IF amplitude when the qubit is in |1>. */
+    std::complex<double> c1{-1.0, 0.0};
+    /** Std-dev of additive Gaussian noise per ADC sample. */
+    double noiseSigma = 4.0;
+    /** Intermediate (demodulated) frequency in Hz. */
+    double ifHz = 40.0e6;
+    /** ADC sampling rate for the digitised trace. */
+    double adcRateHz = kAdcSampleRateHz;
+};
+
+/** A digitised readout trace plus ground-truth bookkeeping. */
+struct ReadoutTrace
+{
+    /** IF trace as seen by the master controller's ADC. */
+    signal::Waveform trace;
+    /** True qubit state at the start of the readout window. */
+    bool initialOne = false;
+    /** True qubit state at the end of the window (after T1 decay). */
+    bool finalOne = false;
+    /** Decay instant within the window (ns from start), or -1. */
+    double decayAtNs = -1.0;
+};
+
+/**
+ * Generate the digitised IF trace for one readout of one qubit.
+ *
+ * If the qubit starts in |1> it may decay during the window with the
+ * exponential statistics of the supplied T1; the trace switches from
+ * the |1> response to the |0> response at the decay instant.
+ */
+ReadoutTrace simulateReadout(const ReadoutParams &params, bool initial_one,
+                             TimeNs duration_ns, double t1_ns, Rng &rng);
+
+} // namespace quma::qsim
+
+#endif // QUMA_QSIM_READOUT_HH

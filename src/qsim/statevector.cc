@@ -1,0 +1,113 @@
+#include "qsim/statevector.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace quma::qsim {
+
+StateVector::StateVector(unsigned num_qubits) : nq(num_qubits)
+{
+    if (num_qubits == 0 || num_qubits > 24)
+        fatal("StateVector supports 1..24 qubits, got ", num_qubits);
+    amp.assign(std::size_t{1} << num_qubits, Complex{0, 0});
+    amp[0] = 1;
+}
+
+void
+StateVector::apply1(unsigned q, const Mat2 &u)
+{
+    quma_assert(q < nq, "qubit index out of range");
+    std::size_t stride = std::size_t{1} << q;
+    for (std::size_t base = 0; base < amp.size(); base += 2 * stride) {
+        for (std::size_t off = 0; off < stride; ++off) {
+            std::size_t i0 = base + off;
+            std::size_t i1 = i0 + stride;
+            Complex a0 = amp[i0], a1 = amp[i1];
+            amp[i0] = u[0] * a0 + u[1] * a1;
+            amp[i1] = u[2] * a0 + u[3] * a1;
+        }
+    }
+}
+
+void
+StateVector::apply2(unsigned q_high, unsigned q_low, const Mat4 &u)
+{
+    quma_assert(q_high < nq && q_low < nq && q_high != q_low,
+                "bad two-qubit operand");
+    std::size_t sh = std::size_t{1} << q_high;
+    std::size_t sl = std::size_t{1} << q_low;
+    for (std::size_t i = 0; i < amp.size(); ++i) {
+        if ((i & sh) || (i & sl))
+            continue;
+        std::size_t idx[4] = {i, i | sl, i | sh, i | sh | sl};
+        Complex v[4];
+        for (int k = 0; k < 4; ++k)
+            v[k] = amp[idx[k]];
+        for (int r = 0; r < 4; ++r) {
+            Complex acc{0, 0};
+            for (int c = 0; c < 4; ++c)
+                acc += u[r * 4 + c] * v[c];
+            amp[idx[r]] = acc;
+        }
+    }
+}
+
+double
+StateVector::probabilityOne(unsigned q) const
+{
+    quma_assert(q < nq, "qubit index out of range");
+    std::size_t mask = std::size_t{1} << q;
+    double p = 0;
+    for (std::size_t i = 0; i < amp.size(); ++i)
+        if (i & mask)
+            p += std::norm(amp[i]);
+    return p;
+}
+
+void
+StateVector::project(unsigned q, bool outcome)
+{
+    quma_assert(q < nq, "qubit index out of range");
+    std::size_t mask = std::size_t{1} << q;
+    double norm = 0;
+    for (std::size_t i = 0; i < amp.size(); ++i) {
+        bool one = (i & mask) != 0;
+        if (one != outcome)
+            amp[i] = 0;
+        else
+            norm += std::norm(amp[i]);
+    }
+    if (norm <= 0)
+        fatal("project: outcome has zero probability");
+    double scale = 1.0 / std::sqrt(norm);
+    for (auto &a : amp)
+        a *= scale;
+}
+
+double
+StateVector::fidelityWith(const StateVector &other) const
+{
+    quma_assert(nq == other.nq, "fidelityWith: size mismatch");
+    Complex inner{0, 0};
+    for (std::size_t i = 0; i < amp.size(); ++i)
+        inner += std::conj(amp[i]) * other.amp[i];
+    return std::norm(inner);
+}
+
+bool
+StateVector::approxEqual(const StateVector &other, double tol) const
+{
+    if (nq != other.nq)
+        return false;
+    return fidelityWith(other) > 1.0 - tol;
+}
+
+void
+StateVector::reset()
+{
+    std::fill(amp.begin(), amp.end(), Complex{0, 0});
+    amp[0] = 1;
+}
+
+} // namespace quma::qsim

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Pure-state simulator for unitary circuit checks.
+ *
+ * The density-matrix simulator (density.hh) is the one wired into the
+ * transmon model because it captures decoherence exactly; the state
+ * vector is the cheap tool for verifying gate decompositions
+ * (e.g. that the CNOT microprogram of paper Algorithm 2 equals CNOT).
+ */
+
+#ifndef QUMA_QSIM_STATEVECTOR_HH
+#define QUMA_QSIM_STATEVECTOR_HH
+
+#include <vector>
+
+#include "qsim/gates.hh"
+
+namespace quma::qsim {
+
+class StateVector
+{
+  public:
+    /** Initialise n qubits to |0...0>. */
+    explicit StateVector(unsigned num_qubits);
+
+    unsigned numQubits() const { return nq; }
+    std::size_t dim() const { return amp.size(); }
+
+    const Complex &amplitude(std::size_t basis) const { return amp[basis]; }
+
+    /** Apply a single-qubit unitary to qubit q. */
+    void apply1(unsigned q, const Mat2 &u);
+
+    /**
+     * Apply a two-qubit unitary; q_high indexes the more significant
+     * bit of the 4x4 matrix's basis ordering.
+     */
+    void apply2(unsigned q_high, unsigned q_low, const Mat4 &u);
+
+    /** Probability of measuring qubit q as 1. */
+    double probabilityOne(unsigned q) const;
+
+    /** Project qubit q onto the given outcome and renormalise. */
+    void project(unsigned q, bool outcome);
+
+    /** |<this|other>|^2. */
+    double fidelityWith(const StateVector &other) const;
+
+    /** Global-phase-insensitive equality check. */
+    bool approxEqual(const StateVector &other, double tol = 1e-9) const;
+
+    /** Reset to |0...0>. */
+    void reset();
+
+  private:
+    unsigned nq;
+    std::vector<Complex> amp;
+};
+
+} // namespace quma::qsim
+
+#endif // QUMA_QSIM_STATEVECTOR_HH

@@ -1,0 +1,205 @@
+#include "qsim/transmon.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "common/logging.hh"
+#include "qsim/channels.hh"
+#include "signal/envelope.hh"
+
+namespace quma::qsim {
+
+namespace {
+constexpr double kTwoPi = 2.0 * std::numbers::pi;
+} // namespace
+
+TransmonChip::TransmonChip(std::vector<TransmonParams> qubit_params,
+                           std::uint64_t seed)
+    : params(std::move(qubit_params)),
+      roundDetuningHz(params.size(), 0.0),
+      busyUntilNs(params.size(), 0),
+      rho(params.empty() ? 1 : static_cast<unsigned>(params.size())),
+      random(seed)
+{
+    if (params.empty())
+        fatal("TransmonChip needs at least one qubit");
+    for (auto &p : params) {
+        if (p.rabiRadPerAmpNs == 0.0)
+            p.rabiRadPerAmpNs = standardRabiGain();
+        if (p.t2Ns > 2.0 * p.t1Ns)
+            fatal("TransmonChip: T2 must be <= 2 * T1");
+    }
+}
+
+const TransmonParams &
+TransmonChip::qubitParams(unsigned q) const
+{
+    quma_assert(q < params.size(), "qubit index out of range");
+    return params[q];
+}
+
+void
+TransmonChip::newRound()
+{
+    rho.reset();
+    nowNs = 0;
+    for (std::size_t q = 0; q < params.size(); ++q) {
+        busyUntilNs[q] = 0;
+        double sigma = params[q].quasiStaticDetuningSigmaHz;
+        roundDetuningHz[q] = sigma > 0 ? random.gaussian(0.0, sigma) : 0.0;
+    }
+}
+
+void
+TransmonChip::idleEvolve(TimeNs from_ns, TimeNs to_ns)
+{
+    if (to_ns <= from_ns)
+        return;
+    for (unsigned q = 0; q < params.size(); ++q) {
+        // The portion of the interval inside the qubit's readout
+        // window is already accounted for by the sampled trace.
+        TimeNs start = std::max(from_ns, busyUntilNs[q]);
+        if (start >= to_ns)
+            continue;
+        double dt = static_cast<double>(to_ns - start);
+        rho.applyKraus1(q, idleChannel(dt, params[q].t1Ns, params[q].t2Ns));
+        double det = roundDetuningHz[q];
+        if (det != 0.0) {
+            // Quasi-static detuning: extra frame rotation about z.
+            rho.apply1(q, gates::rz(kTwoPi * det * dt * 1e-9));
+        }
+    }
+}
+
+void
+TransmonChip::advanceTo(TimeNs t_ns)
+{
+    if (t_ns < nowNs)
+        fatal("TransmonChip::advanceTo: time moved backwards (now ",
+              nowNs, " ns, requested ", t_ns, " ns)");
+    idleEvolve(nowNs, t_ns);
+    nowNs = t_ns;
+}
+
+void
+TransmonChip::advanceAtLeast(TimeNs t_ns)
+{
+    if (t_ns > nowNs)
+        advanceTo(t_ns);
+}
+
+void
+TransmonChip::applyDrive(unsigned q, const signal::DrivePulse &pulse)
+{
+    quma_assert(q < params.size(), "qubit index out of range");
+    quma_assert(pulse.i.size() == pulse.q.size(),
+                "DrivePulse I/Q length mismatch");
+
+    auto dur = static_cast<TimeNs>(std::llround(pulse.durationNs()));
+    TimeNs mid = pulse.t0Ns + dur / 2;
+    advanceAtLeast(mid);
+
+    // Demodulate the complex baseband against the qubit's rotating
+    // frame. The frame offset from the carrier includes this round's
+    // quasi-static detuning.
+    const TransmonParams &p = params[q];
+    double f_rot = (p.freqHz + roundDetuningHz[q]) - pulse.carrierHz;
+    double dt_ns = 1e9 / pulse.i.rateHz();
+    std::complex<double> acc{0.0, 0.0};
+    for (std::size_t k = 0; k < pulse.i.size(); ++k) {
+        double t_ns = static_cast<double>(pulse.t0Ns) +
+                      (static_cast<double>(k) + 0.5) * dt_ns;
+        double arg = -kTwoPi * f_rot * t_ns * 1e-9;
+        std::complex<double> c{pulse.i[k], pulse.q[k]};
+        acc += c * std::complex<double>(std::cos(arg), std::sin(arg));
+    }
+    acc *= dt_ns;
+
+    double theta = p.rabiRadPerAmpNs * std::abs(acc);
+    if (theta > 1e-12) {
+        double phi = std::arg(acc);
+        rho.apply1(q, gates::raxis(phi, theta));
+    }
+    advanceAtLeast(pulse.t0Ns + dur);
+}
+
+void
+TransmonChip::applyCz(unsigned a, unsigned b, TimeNs t0_ns,
+                      TimeNs duration_ns)
+{
+    quma_assert(a < params.size() && b < params.size() && a != b,
+                "bad CZ operands");
+    advanceAtLeast(t0_ns + duration_ns / 2);
+    rho.apply2(std::max(a, b), std::min(a, b), gates::cz());
+    advanceAtLeast(t0_ns + duration_ns);
+}
+
+ReadoutTrace
+TransmonChip::measure(unsigned q, TimeNs t0_ns, TimeNs duration_ns)
+{
+    quma_assert(q < params.size(), "qubit index out of range");
+    if (t0_ns < busyUntilNs[q])
+        fatal("overlapping readout on qubit ", q, ": window at ", t0_ns,
+              " ns starts before the previous one ends (",
+              busyUntilNs[q], " ns)");
+    advanceAtLeast(t0_ns);
+
+    double p1 = rho.probabilityOne(q);
+    bool outcome = random.bernoulli(std::clamp(p1, 0.0, 1.0));
+    rho.project(q, outcome);
+
+    const TransmonParams &p = params[q];
+    ReadoutTrace trace = simulateReadout(p.readout, outcome, duration_ns,
+                                         p.t1Ns, random);
+
+    // The measured qubit's state at the end of the window is decided
+    // by the sampled trace (T1 decay included); decoherence inside
+    // the window is suppressed via busyUntilNs so it is not applied
+    // twice. Other qubits idle normally as time advances.
+    if (trace.initialOne && !trace.finalOne)
+        rho.resetQubit(q);
+    busyUntilNs[q] = t0_ns + duration_ns;
+
+    // Quasi-static noise decorrelates between shots: redraw the slow
+    // frequency offset after each readout (measurements delimit
+    // experiment shots in a continuous run).
+    double sigma = p.quasiStaticDetuningSigmaHz;
+    if (sigma > 0)
+        roundDetuningHz[q] = random.gaussian(0.0, sigma);
+    return trace;
+}
+
+double
+TransmonChip::probabilityOne(unsigned q) const
+{
+    return rho.probabilityOne(q);
+}
+
+double
+standardRabiGain(double pulse_ns)
+{
+    signal::Envelope env = signal::Envelope::gaussian(pulse_ns, 1.0);
+    double area = env.area();
+    quma_assert(area > 0, "degenerate calibration envelope");
+    return std::numbers::pi / area;
+}
+
+TransmonParams
+paperQubitParams()
+{
+    TransmonParams p;
+    p.freqHz = 6.466e9;
+    p.resonatorHz = 6.850e9;
+    p.t1Ns = 30000.0;
+    p.t2Ns = 25000.0;
+    p.quasiStaticDetuningSigmaHz = 0.0;
+    p.rabiRadPerAmpNs = standardRabiGain();
+    p.readout.c0 = {30.0, 0.0};
+    p.readout.c1 = {-30.0, 0.0};
+    p.readout.noiseSigma = 150.0;
+    p.readout.ifHz = 40.0e6;
+    return p;
+}
+
+} // namespace quma::qsim

@@ -1,0 +1,70 @@
+#include "quma/hostlink.hh"
+
+#include "common/logging.hh"
+#include "quma/machine.hh"
+
+namespace quma::core {
+
+HostLink::HostLink(QumaMachine &machine, double bytes_per_second)
+    : device(machine), rate(bytes_per_second)
+{
+    if (rate <= 0)
+        fatal("HostLink needs a positive link rate");
+}
+
+void
+HostLink::record(const std::string &what, std::size_t bytes,
+                 bool to_device)
+{
+    log.push_back(Transfer{what, bytes, to_device});
+}
+
+void
+HostLink::uploadProgram(const isa::Program &program)
+{
+    auto image = program.toBinary();
+    record("program binary", image.size() * sizeof(std::uint64_t),
+           true);
+    // The instruction cache receives the decoded image.
+    device.loadProgram(isa::Program::fromBinary(image));
+}
+
+void
+HostLink::uploadCalibration()
+{
+    device.uploadStandardCalibration();
+    std::size_t bytes = 0;
+    const auto &cfg = device.config();
+    for (unsigned a = 0; a < cfg.numAwgs; ++a)
+        bytes += device.awgModule(a).waveMemory().memoryBytes();
+    record("lookup tables", bytes, true);
+}
+
+std::vector<double>
+HostLink::retrieveAverages()
+{
+    auto averages = device.dataCollector().averages();
+    record("averaged results", averages.size() * sizeof(double),
+           false);
+    return averages;
+}
+
+LinkStats
+HostLink::stats() const
+{
+    LinkStats s;
+    for (const auto &t : log) {
+        if (t.toDevice) {
+            ++s.uploads;
+            s.bytesUp += t.bytes;
+        } else {
+            ++s.downloads;
+            s.bytesDown += t.bytes;
+        }
+    }
+    s.secondsUp = static_cast<double>(s.bytesUp) / rate;
+    s.secondsDown = static_cast<double>(s.bytesDown) / rate;
+    return s;
+}
+
+} // namespace quma::core

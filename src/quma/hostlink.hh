@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Host-PC communication model (paper §7.1): the master controller
+ * talks to the PC over USB (communication and data collection run at
+ * 50 MHz in the implemented control box). This model accounts for
+ * the configuration traffic of an experiment -- binary program
+ * upload, lookup-table upload, microprogram upload and result
+ * readback -- so the configuration-time claims of §4.2.2 can be
+ * quantified against the conventional waveform flow.
+ */
+
+#ifndef QUMA_QUMA_HOSTLINK_HH
+#define QUMA_QUMA_HOSTLINK_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "isa/program.hh"
+
+namespace quma::core {
+
+class QumaMachine;
+
+/** One recorded transfer over the host link. */
+struct Transfer
+{
+    std::string what;
+    std::size_t bytes = 0;
+    bool toDevice = true;
+};
+
+/** Accumulated session traffic. */
+struct LinkStats
+{
+    std::size_t uploads = 0;
+    std::size_t downloads = 0;
+    std::size_t bytesUp = 0;
+    std::size_t bytesDown = 0;
+    double secondsUp = 0.0;
+    double secondsDown = 0.0;
+};
+
+/**
+ * A host session: wraps a machine and meters every configuration
+ * action the way the experimental flow does (program binaries are
+ * 64-bit words; LUT samples are 12-bit; results are 64-bit).
+ */
+class HostLink
+{
+  public:
+    /**
+     * @param machine the device being configured
+     * @param bytes_per_second link throughput (USB-ish 30 MB/s)
+     */
+    explicit HostLink(QumaMachine &machine,
+                      double bytes_per_second = 30.0e6);
+
+    /** Serialise, meter and load a program binary. */
+    void uploadProgram(const isa::Program &program);
+
+    /** Meter and perform the standard calibration upload. */
+    void uploadCalibration();
+
+    /** Meter the retrieval of the data collection unit's averages. */
+    std::vector<double> retrieveAverages();
+
+    const std::vector<Transfer> &transfers() const { return log; }
+    LinkStats stats() const;
+
+  private:
+    void record(const std::string &what, std::size_t bytes,
+                bool to_device);
+
+    QumaMachine &device;
+    double rate;
+    std::vector<Transfer> log;
+};
+
+} // namespace quma::core
+
+#endif // QUMA_QUMA_HOSTLINK_HH

@@ -1,0 +1,370 @@
+#include "quma/machine.hh"
+
+#include <algorithm>
+#include <bit>
+
+#include "common/logging.hh"
+#include "isa/assembler.hh"
+#include "isa/nametable.hh"
+
+namespace quma::core {
+
+QumaMachine::QumaMachine(MachineConfig config) : cfg(std::move(config))
+{
+    if (cfg.qubits.empty())
+        fatal("machine needs at least one qubit");
+    if (cfg.numAwgs == 0)
+        fatal("machine needs at least one AWG");
+
+    unsigned nq = static_cast<unsigned>(cfg.qubits.size());
+
+    // Routing: drive AWG per qubit (round-robin default), one MDU
+    // per qubit.
+    routing.driveAwg = cfg.driveAwg;
+    if (routing.driveAwg.empty()) {
+        for (unsigned q = 0; q < nq; ++q)
+            routing.driveAwg.push_back(q % cfg.numAwgs);
+    }
+    if (routing.driveAwg.size() != nq)
+        fatal("driveAwg must have one entry per qubit");
+    for (unsigned q = 0; q < nq; ++q)
+        if (routing.driveAwg[q] >= cfg.numAwgs)
+            fatal("driveAwg[", q, "] out of range");
+    for (unsigned q = 0; q < nq; ++q)
+        routing.mdu.push_back(q);
+
+    recorder.setEnabled(cfg.traceEnabled);
+
+    // Timing control unit with one pulse queue per AWG and one MD
+    // queue per qubit.
+    timing::TimingConfig tc = cfg.timing;
+    tc.numPulseQueues = cfg.numAwgs;
+    tc.numMdQueues = nq;
+    tcu = std::make_unique<timing::TimingController>(tc);
+
+    Cycle gate_wait = cfg.gateWaitCycles != 0
+                          ? cfg.gateWaitCycles
+                          : nsToCycles(static_cast<TimeNs>(cfg.pulseNs));
+    auto store = microcode::QControlStore::standard(gate_wait,
+                                                    cfg.msmtCycles);
+    qp = std::make_unique<QuantumPipeline>(std::move(store), routing,
+                                           *tcu, recorder, cfg.qmbDepth,
+                                           cfg.qmbDrainRate);
+    exec = std::make_unique<ExecutionController>(cfg.exec, *qp);
+    digOut = std::make_unique<measure::DigitalOutputUnit>(
+        std::max(8u, nq), cfg.msmtCarrierHz);
+
+    // One AWG board per configured unit. Each board's carrier sits
+    // ssb away from the (first) served qubit's transition so the
+    // calibrated SSB modulation lands on resonance.
+    auto seqTable = microcode::UopSequenceTable::standard();
+    for (unsigned a = 0; a < cfg.numAwgs; ++a) {
+        awg::AwgConfig ac;
+        ac.servedQubits = 0;
+        double carrier = 0.0;
+        for (unsigned q = 0; q < nq; ++q) {
+            if (routing.driveAwg[q] == a) {
+                ac.servedQubits |= QubitMask{1} << q;
+                if (carrier == 0.0)
+                    carrier = cfg.qubits[q].freqHz - cfg.ssbHz +
+                              cfg.carrierDetuningHz;
+            }
+        }
+        if (carrier == 0.0)
+            carrier = cfg.qubits[0].freqHz - cfg.ssbHz;
+        ac.uopDelayCycles = cfg.uopDelayCycles;
+        ac.ctpg.delayCycles = cfg.ctpgDelayCycles;
+        ac.ctpg.carrierHz = carrier;
+        ac.ctpg.ssbHz = cfg.ssbHz;
+        awgs.push_back(
+            std::make_unique<awg::AwgModule>(ac, seqTable));
+    }
+
+    chipSim = std::make_unique<qsim::TransmonChip>(cfg.qubits,
+                                                   cfg.chipSeed);
+    mdWriteMode.assign(nq, {true, 0});
+    msmtDelay = cfg.msmtPathDelayCycles >= 0
+                    ? static_cast<Cycle>(cfg.msmtPathDelayCycles)
+                    : cfg.uopDelayCycles + cfg.ctpgDelayCycles;
+
+    // MDUs are calibrated in uploadStandardCalibration(); create
+    // placeholders lazily there (they need the readout window).
+    wire();
+}
+
+void
+QumaMachine::wire()
+{
+    tcu->setPulseSink([this](unsigned queue, Cycle td,
+                             const timing::PulseEvent &ev) {
+        onPulseFired(queue, td, ev);
+    });
+    tcu->setMpgSink([this](Cycle td, const timing::MpgEvent &ev) {
+        onMpgFired(td, ev);
+    });
+    tcu->setMdSink([this](unsigned queue, Cycle td,
+                          const timing::MdEvent &ev) {
+        onMdFired(queue, td, ev);
+    });
+    tcu->setFireObserver([this](Cycle td, TimingLabel label) {
+        recorder.recordLabelFire({td, label});
+    });
+    for (unsigned a = 0; a < awgs.size(); ++a) {
+        awgs[a]->setPulseSink([this, a](const signal::DrivePulse &pulse,
+                                        Codeword cw, QubitMask mask) {
+            onDrivePulse(a, pulse, cw, mask);
+        });
+        awgs[a]->setTriggerObserver(
+            [this, a](Codeword cw, Cycle td, QubitMask mask) {
+                recorder.recordCodeword({td, a, cw, mask});
+            });
+    }
+    digOut->setPulseSink([this](unsigned qubit,
+                                const signal::MeasurementPulse &pulse) {
+        onMeasurementPulse(qubit, pulse);
+    });
+}
+
+void
+QumaMachine::uploadStandardCalibration()
+{
+    unsigned nq = static_cast<unsigned>(cfg.qubits.size());
+
+    for (unsigned a = 0; a < awgs.size(); ++a) {
+        // Calibrate against the first qubit the board serves.
+        double gain = cfg.qubits[0].rabiRadPerAmpNs;
+        for (unsigned q = 0; q < nq; ++q) {
+            if (routing.driveAwg[q] == a) {
+                gain = cfg.qubits[q].rabiRadPerAmpNs;
+                break;
+            }
+        }
+        awg::CalibrationParams cp;
+        cp.pulseNs = cfg.pulseNs;
+        cp.ssbHz = cfg.ssbHz;
+        cp.rabiRadPerAmpNs = gain;
+        cp.amplitudeError = cfg.amplitudeError;
+        cp.msmtPulseNs =
+            static_cast<double>(cyclesToNs(cfg.msmtCycles));
+        awg::buildStandardLut(awgs[a]->waveMemory(), cp);
+    }
+
+    mdus.clear();
+    for (unsigned q = 0; q < nq; ++q) {
+        auto cal = measure::calibrateMdu(cfg.qubits[q].readout,
+                                         cyclesToNs(cfg.msmtCycles));
+        auto unit = std::make_unique<measure::Mdu>(
+            std::move(cal), cfg.mduLatencyCycles);
+        unit->setResultSink([this, q](const measure::MduResult &r) {
+            onMduResult(q, r);
+        });
+        mdus.push_back(std::move(unit));
+    }
+    calibrated = true;
+}
+
+void
+QumaMachine::loadProgram(isa::Program program)
+{
+    exec->loadProgram(std::move(program));
+    // Re-arm the deterministic domain and re-initialise the chip so
+    // a machine can run successive programs.
+    tcu->reset();
+    qp->reset();
+    chipSim->newRound();
+    recorder.clear();
+    ran = false;
+}
+
+void
+QumaMachine::loadAssembly(const std::string &source)
+{
+    isa::Assembler assembler;
+    loadProgram(assembler.assemble(source));
+}
+
+void
+QumaMachine::configureDataCollection(std::size_t k)
+{
+    collector.configure(k);
+}
+
+awg::AwgModule &
+QumaMachine::awgModule(unsigned i)
+{
+    quma_assert(i < awgs.size(), "AWG index out of range");
+    return *awgs[i];
+}
+
+measure::Mdu &
+QumaMachine::mdu(unsigned qubit)
+{
+    quma_assert(qubit < mdus.size(),
+                "MDU index out of range (calibration not uploaded?)");
+    return *mdus[qubit];
+}
+
+const timing::TimingViolations &
+QumaMachine::violations() const
+{
+    return tcu->violations();
+}
+
+void
+QumaMachine::onPulseFired(unsigned queue, Cycle td,
+                          const timing::PulseEvent &ev)
+{
+    recorder.recordUopFire({td, queue, ev.uop, ev.mask});
+    awgs[queue]->fireUop(ev.uop, td, ev.mask);
+}
+
+void
+QumaMachine::onMpgFired(Cycle td, const timing::MpgEvent &ev)
+{
+    recorder.recordMpgFire({td, ev.mask, ev.durationCycles});
+    // The measurement path's calibrated latency aligns the readout
+    // window with the gate pulses at the chip; delivery is scheduled
+    // so it stays ordered with the other deterministic events.
+    digOut->fire(ev.mask, td + msmtDelay, ev.durationCycles);
+}
+
+void
+QumaMachine::onMdFired(unsigned queue, Cycle td,
+                       const timing::MdEvent &ev)
+{
+    quma_assert(queue < mdus.size(), "MD fired for unknown MDU");
+    // Remember the write-back mode so the result sink can honour it.
+    auto qubit = static_cast<unsigned>(
+        std::countr_zero(static_cast<std::uint32_t>(ev.mask)));
+    mdWriteMode[queue] = {ev.overwrite, ev.bitIndex};
+    mdus[queue]->discriminate(td, ev.destReg, QubitMask{1} << qubit);
+}
+
+void
+QumaMachine::onDrivePulse(unsigned awg_index,
+                          const signal::DrivePulse &pulse, Codeword cw,
+                          QubitMask mask)
+{
+    recorder.recordPulse({pulse.t0Ns, awg_index, cw, mask,
+                          pulse.durationNs()});
+    if (cw == isa::uops::Msmt)
+        return; // measurement pulses travel via the digital outputs
+    if (cw == isa::uops::Cz) {
+        // Flux pulse: a CZ between the two addressed qubits.
+        std::vector<unsigned> qs;
+        for (unsigned q = 0; q < 32; ++q)
+            if (mask & (QubitMask{1} << q))
+                qs.push_back(q);
+        if (qs.size() != 2)
+            fatal("CZ pulse must address exactly two qubits, got ",
+                  qs.size());
+        chipSim->applyCz(qs[0], qs[1], pulse.t0Ns,
+                         cfg.czDurationNs);
+        return;
+    }
+    for (unsigned q = 0; q < 32; ++q)
+        if (mask & (QubitMask{1} << q))
+            chipSim->applyDrive(q, pulse);
+}
+
+void
+QumaMachine::onMeasurementPulse(unsigned qubit,
+                                const signal::MeasurementPulse &pulse)
+{
+    quma_assert(qubit < mdus.size(), "measurement of unknown qubit");
+    Cycle td = nsToCycles(pulse.t0Ns);
+    Cycle dur = nsToCycles(pulse.durationNs);
+    auto trace = chipSim->measure(qubit, pulse.t0Ns, pulse.durationNs);
+    recorder.recordMeasurement({td, qubit, dur, trace.initialOne});
+    mdus[qubit]->submitTrace(std::move(trace.trace), td, dur);
+}
+
+void
+QumaMachine::onMduResult(unsigned qubit, const measure::MduResult &r)
+{
+    auto [overwrite, bit] = mdWriteMode[qubit];
+    exec->registers().writeBack(r.destReg, r.bit ? 1 : 0, overwrite,
+                                bit);
+    collector.addSample(r.s);
+    collector.addBit(r.bit);
+    recorder.recordMduResult({r.completionCycle, qubit, r.s, r.bit,
+                              r.destReg});
+}
+
+void
+QumaMachine::reportWedge(Cycle now) const
+{
+    fatal("machine wedged at cycle ", now, ": execution controller ",
+          exec->halted() ? "halted" : "blocked", ", QMB backlog ",
+          qp->backlog(), ", timing violations: late points ",
+          tcu->violations().latePoints, ", stale events ",
+          tcu->violations().staleEvents,
+          " (a stale MD drops its register write-back)");
+}
+
+RunResult
+QumaMachine::run(Cycle max_cycles)
+{
+    if (!calibrated)
+        uploadStandardCalibration();
+    if (ran)
+        fatal("QumaMachine::run is one-shot; reload a program first");
+    ran = true;
+    if (collector.numBins() == 0)
+        collector.configure(1);
+
+    tcu->start(0);
+    Cycle now = 0;
+    while (now <= max_cycles) {
+        // Deterministic domain first: fire everything due now. The
+        // AWGs run before the digital outputs so gate pulses due at
+        // the same cycle reach the chip before a measurement window
+        // opening that cycle.
+        tcu->advanceTo(now);
+        for (auto &a : awgs)
+            a->advanceTo(now);
+        digOut->advanceTo(now);
+        for (auto &m : mdus)
+            m->advanceTo(now);
+
+        // Non-deterministic domain: drain and execute.
+        qp->drainAt(now);
+        exec->stepAt(now);
+
+        // Find the next cycle with work.
+        std::optional<Cycle> next;
+        auto consider = [&](std::optional<Cycle> c) {
+            if (!c)
+                return;
+            Cycle v = std::max(*c, now + 1);
+            if (!next || v < *next)
+                next = v;
+        };
+        consider(tcu->nextDueCycle());
+        for (auto &a : awgs)
+            consider(a->nextEventCycle());
+        consider(digOut->nextEventCycle());
+        for (auto &m : mdus)
+            consider(m->nextEventCycle());
+        consider(qp->nextEventCycle());
+        consider(exec->nextEventCycle());
+        // A blocked producer is woken by whatever event frees it; if
+        // nothing is scheduled at all, decide between done and wedged.
+        if (!next) {
+            bool done = exec->halted() && qp->empty() &&
+                        tcu->allQueuesEmpty();
+            if (done)
+                break;
+            reportWedge(now);
+        }
+        now = *next;
+    }
+
+    RunResult result;
+    result.cyclesRun = now;
+    result.halted = exec->halted();
+    result.violations = tcu->violations();
+    return result;
+}
+
+} // namespace quma::core

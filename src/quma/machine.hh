@@ -1,0 +1,176 @@
+/**
+ * @file
+ * The assembled QuMA system: master controller (execution controller,
+ * physical microcode unit, QMB, timing control unit, digital outputs,
+ * MDUs, data collection unit), the AWG boards, and the simulated
+ * transmon chip behind the quantum-classical interface -- the whole
+ * of the paper's Figures 4 and 7 in one object.
+ *
+ * The host-PC API mirrors the experimental flow of paper §8: upload
+ * the calibrated lookup tables, load the (assembled) program into the
+ * quantum instruction cache, run, and retrieve the averaged results
+ * from the data collection unit.
+ */
+
+#ifndef QUMA_QUMA_MACHINE_HH
+#define QUMA_QUMA_MACHINE_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "awg/awgmodule.hh"
+#include "awg/calibration.hh"
+#include "measure/datacollector.hh"
+#include "measure/digitaloutput.hh"
+#include "measure/mdu.hh"
+#include "qsim/transmon.hh"
+#include "quma/execcontroller.hh"
+#include "quma/qmb.hh"
+#include "quma/trace.hh"
+
+namespace quma::core {
+
+struct MachineConfig
+{
+    /** The chip: one entry per simulated qubit. */
+    std::vector<qsim::TransmonParams> qubits{qsim::paperQubitParams()};
+
+    /** Number of AWG boards (paper: 3 two-channel boards). */
+    unsigned numAwgs = 3;
+    /** Drive AWG per qubit; empty = round-robin over numAwgs. */
+    std::vector<unsigned> driveAwg;
+
+    /** SSB modulation programmed into the calibration (-50 MHz). */
+    double ssbHz = -50.0e6;
+    /** Single-qubit pulse duration (ns). */
+    double pulseNs = 20.0;
+    /**
+     * Gate spacing (cycles) used by the control store's Wait after
+     * each gate; 0 derives it from pulseNs (4 cycles = 20 ns).
+     * Setting 5 injects the paper's 5 ns inter-pulse timing error.
+     */
+    Cycle gateWaitCycles = 0;
+    /** Amplitude miscalibration injected into every gate pulse. */
+    double amplitudeError = 0.0;
+    /** Drive-carrier detuning from resonance (Hz, 0 = calibrated). */
+    double carrierDetuningHz = 0.0;
+
+    /** u-op unit delay Delta (cycles). */
+    Cycle uopDelayCycles = 2;
+    /** CTPG fixed delay (cycles; 16 = 80 ns). */
+    Cycle ctpgDelayCycles = kCtpgDelayCycles;
+    /** MDU discrimination latency (cycles; 100 = 500 ns < 1 us). */
+    Cycle mduLatencyCycles = 100;
+    /** Default measurement pulse duration for Measure (cycles). */
+    Cycle msmtCycles = 300;
+    /**
+     * Fixed latency of the measurement-pulse path (digital output ->
+     * gated source -> chip), in cycles. Calibrated to match the gate
+     * path (u-op delay + CTPG delay) so that pulses and measurement
+     * windows scheduled back-to-back in the program arrive
+     * back-to-back at the chip, as in the experimental setup. -1
+     * selects that default.
+     */
+    std::int64_t msmtPathDelayCycles = -1;
+    /** CZ flux pulse duration (ns). */
+    TimeNs czDurationNs = 40;
+    /** Readout carrier gated by the digital outputs (Hz). */
+    double msmtCarrierHz = 6.849e9;
+
+    ExecConfig exec;
+    timing::TimingConfig timing;
+    std::size_t qmbDepth = 16;
+    unsigned qmbDrainRate = 1;
+
+    /** Chip / readout noise seed. */
+    std::uint64_t chipSeed = 0x9b1d;
+    /** Record a full execution trace (Tables 2-5, Figures 3/5). */
+    bool traceEnabled = false;
+};
+
+/** Summary of one run. */
+struct RunResult
+{
+    Cycle cyclesRun = 0;
+    bool halted = false;
+    timing::TimingViolations violations;
+};
+
+class QumaMachine
+{
+  public:
+    explicit QumaMachine(MachineConfig config);
+
+    const MachineConfig &config() const { return cfg; }
+
+    /** Upload the Table 1 LUTs and calibrate every MDU. */
+    void uploadStandardCalibration();
+
+    /** Load an assembled program into the instruction cache. */
+    void loadProgram(isa::Program program);
+    /** Assemble and load. */
+    void loadAssembly(const std::string &source);
+
+    /** Configure ensemble averaging with K bins (paper: K = 42). */
+    void configureDataCollection(std::size_t k);
+
+    /**
+     * Run until the program halts and all queues/pipelines drain,
+     * or until max_cycles elapses.
+     */
+    RunResult run(Cycle max_cycles = 2'000'000'000ULL);
+
+    // --- component access (tests, benches, examples) ---
+    RegisterFile &registers() { return exec->registers(); }
+    ExecutionController &execController() { return *exec; }
+    QuantumPipeline &pipeline() { return *qp; }
+    timing::TimingController &timingUnit() { return *tcu; }
+    awg::AwgModule &awgModule(unsigned i);
+    measure::Mdu &mdu(unsigned qubit);
+    measure::DigitalOutputUnit &digitalOutputs() { return *digOut; }
+    measure::DataCollectionUnit &dataCollector() { return collector; }
+    qsim::TransmonChip &chip() { return *chipSim; }
+    TraceRecorder &trace() { return recorder; }
+
+    const timing::TimingViolations &violations() const;
+
+  private:
+    void wire();
+    void onPulseFired(unsigned queue, Cycle td,
+                      const timing::PulseEvent &ev);
+    void onMpgFired(Cycle td, const timing::MpgEvent &ev);
+    void onMdFired(unsigned queue, Cycle td, const timing::MdEvent &ev);
+    void onDrivePulse(unsigned awg_index, const signal::DrivePulse &pulse,
+                      Codeword cw, QubitMask mask);
+    void onMeasurementPulse(unsigned qubit,
+                            const signal::MeasurementPulse &pulse);
+    void onMduResult(unsigned qubit, const measure::MduResult &r);
+
+    [[noreturn]] void reportWedge(Cycle now) const;
+
+    MachineConfig cfg;
+    QubitRouting routing;
+    TraceRecorder recorder;
+
+    std::unique_ptr<timing::TimingController> tcu;
+    std::unique_ptr<QuantumPipeline> qp;
+    std::unique_ptr<ExecutionController> exec;
+    std::unique_ptr<measure::DigitalOutputUnit> digOut;
+    std::vector<std::unique_ptr<awg::AwgModule>> awgs;
+    std::vector<std::unique_ptr<measure::Mdu>> mdus;
+    std::unique_ptr<qsim::TransmonChip> chipSim;
+    measure::DataCollectionUnit collector;
+
+    /** Pending write-back mode (overwrite, bit) per MDU. */
+    std::vector<std::pair<bool, unsigned>> mdWriteMode;
+    /** Resolved measurement path delay (cycles). */
+    Cycle msmtDelay = 0;
+
+    bool calibrated = false;
+    bool ran = false;
+};
+
+} // namespace quma::core
+
+#endif // QUMA_QUMA_MACHINE_HH

@@ -1,0 +1,66 @@
+#include "quma/registerfile.hh"
+
+#include "common/logging.hh"
+
+namespace quma::core {
+
+RegisterFile::RegisterFile()
+{
+    reset();
+}
+
+std::int64_t
+RegisterFile::read(RegIndex r) const
+{
+    quma_assert(r < kNumRegisters, "register index out of range");
+    return r == 0 ? 0 : regs[r];
+}
+
+void
+RegisterFile::write(RegIndex r, std::int64_t value)
+{
+    quma_assert(r < kNumRegisters, "register index out of range");
+    if (r != 0)
+        regs[r] = value;
+}
+
+bool
+RegisterFile::pending(RegIndex r) const
+{
+    quma_assert(r < kNumRegisters, "register index out of range");
+    return pendingCount[r] > 0;
+}
+
+void
+RegisterFile::markPending(RegIndex r, unsigned count)
+{
+    quma_assert(r < kNumRegisters, "register index out of range");
+    if (r != 0)
+        pendingCount[r] += count;
+}
+
+void
+RegisterFile::writeBack(RegIndex r, std::int64_t value, bool overwrite,
+                        unsigned bit)
+{
+    quma_assert(r < kNumRegisters, "register index out of range");
+    if (r != 0) {
+        if (overwrite) {
+            regs[r] = value;
+        } else {
+            std::int64_t mask = std::int64_t{1} << bit;
+            regs[r] = (regs[r] & ~mask) | (value ? mask : 0);
+        }
+        if (pendingCount[r] > 0)
+            --pendingCount[r];
+    }
+}
+
+void
+RegisterFile::reset()
+{
+    regs.fill(0);
+    pendingCount.fill(0);
+}
+
+} // namespace quma::core

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * The execution controller's register file.
+ *
+ * Holds runtime information related to quantum program execution
+ * (paper §7.2): loop counters, computed wait times, and measurement
+ * results written back asynchronously by the measurement
+ * discrimination units.
+ *
+ * Because MD results arrive with a physical latency, registers
+ * awaiting a write-back are scoreboarded: a classical instruction
+ * that reads a pending register stalls the pipeline until the result
+ * lands (the same interlock the eQASM successor exposes as FMR).
+ */
+
+#ifndef QUMA_QUMA_REGISTERFILE_HH
+#define QUMA_QUMA_REGISTERFILE_HH
+
+#include <array>
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace quma::core {
+
+class RegisterFile
+{
+  public:
+    RegisterFile();
+
+    /** Read a register; r0 always reads 0. */
+    std::int64_t read(RegIndex r) const;
+
+    /** Write a register; writes to r0 are ignored. */
+    void write(RegIndex r, std::int64_t value);
+
+    /** True if the register awaits one or more MD write-backs. */
+    bool pending(RegIndex r) const;
+
+    /** Mark a register as awaiting `count` MD write-backs. */
+    void markPending(RegIndex r, unsigned count = 1);
+
+    /**
+     * Asynchronous MD write-back. With overwrite = true the whole
+     * register is replaced (single-qubit MD); otherwise only the
+     * given bit is updated (multi-qubit MD packs one bit per qubit).
+     */
+    void writeBack(RegIndex r, std::int64_t value, bool overwrite,
+                   unsigned bit);
+
+    void reset();
+
+  private:
+    std::array<std::int64_t, kNumRegisters> regs{};
+    std::array<unsigned, kNumRegisters> pendingCount{};
+};
+
+} // namespace quma::core
+
+#endif // QUMA_QUMA_REGISTERFILE_HH

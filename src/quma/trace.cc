@@ -1,0 +1,74 @@
+#include "quma/trace.hh"
+
+namespace quma::core {
+
+void
+TraceRecorder::recordUopFire(const UopFireRecord &r)
+{
+    if (enabled)
+        uops.push_back(r);
+}
+
+void
+TraceRecorder::recordCodeword(const CodewordRecord &r)
+{
+    if (enabled)
+        cws.push_back(r);
+}
+
+void
+TraceRecorder::recordPulse(const PulseRecord &r)
+{
+    if (enabled)
+        pulseRecs.push_back(r);
+}
+
+void
+TraceRecorder::recordMpgFire(const MpgFireRecord &r)
+{
+    if (enabled)
+        mpgRecs.push_back(r);
+}
+
+void
+TraceRecorder::recordMeasurement(const MeasurementRecord &r)
+{
+    if (enabled)
+        msmts.push_back(r);
+}
+
+void
+TraceRecorder::recordMduResult(const MduResultRecord &r)
+{
+    if (enabled)
+        mduRecs.push_back(r);
+}
+
+void
+TraceRecorder::recordLabelFire(const LabelFireRecord &r)
+{
+    if (enabled)
+        labels.push_back(r);
+}
+
+void
+TraceRecorder::recordMicroInst(const MicroInstRecord &r)
+{
+    if (enabled)
+        micro.push_back(r);
+}
+
+void
+TraceRecorder::clear()
+{
+    uops.clear();
+    cws.clear();
+    pulseRecs.clear();
+    mpgRecs.clear();
+    msmts.clear();
+    mduRecs.clear();
+    labels.clear();
+    micro.clear();
+}
+
+} // namespace quma::core

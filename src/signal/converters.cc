@@ -1,0 +1,79 @@
+#include "signal/converters.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace quma::signal {
+
+Quantizer::Quantizer(unsigned bits, double full_scale)
+    : _bits(bits), _fullScale(full_scale)
+{
+    if (bits == 0 || bits > 31)
+        fatal("Quantizer bits must be in [1, 31], got ", bits);
+    if (full_scale <= 0)
+        fatal("Quantizer full scale must be positive, got ", full_scale);
+    _maxCode = (std::int32_t{1} << (bits - 1)) - 1;
+    _minCode = -(std::int32_t{1} << (bits - 1));
+    _lsb = _fullScale / static_cast<double>(_maxCode);
+}
+
+std::int32_t
+Quantizer::code(double x) const
+{
+    double scaled = x / _lsb;
+    auto c = static_cast<std::int64_t>(std::llround(scaled));
+    c = std::clamp<std::int64_t>(c, _minCode, _maxCode);
+    return static_cast<std::int32_t>(c);
+}
+
+double
+Quantizer::value(std::int32_t c) const
+{
+    return static_cast<double>(c) * _lsb;
+}
+
+double
+Quantizer::quantize(double x) const
+{
+    return value(code(x));
+}
+
+Waveform
+Quantizer::quantize(const Waveform &w) const
+{
+    std::vector<double> out(w.size());
+    for (std::size_t i = 0; i < w.size(); ++i)
+        out[i] = quantize(w[i]);
+    return Waveform(std::move(out), w.rateHz());
+}
+
+Waveform
+Dac::render(const std::vector<double> &samples) const
+{
+    std::vector<double> out(samples.size());
+    for (std::size_t i = 0; i < samples.size(); ++i)
+        out[i] = quant.quantize(samples[i]);
+    return Waveform(std::move(out), _rateHz);
+}
+
+Waveform
+Adc::digitize(const Waveform &input) const
+{
+    if (input.empty())
+        return Waveform({}, _rateHz);
+    double ratio = input.rateHz() / _rateHz;
+    auto n = static_cast<std::size_t>(
+        std::floor(static_cast<double>(input.size()) / ratio));
+    std::vector<double> out(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        auto src = static_cast<std::size_t>(
+            std::floor(static_cast<double>(i) * ratio));
+        src = std::min(src, input.size() - 1);
+        out[i] = quant.quantize(input[src]);
+    }
+    return Waveform(std::move(out), _rateHz);
+}
+
+} // namespace quma::signal

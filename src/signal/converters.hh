@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Data converter models: the DACs that render stored envelope samples
+ * and the ADCs that digitise readout traces (paper §7.1: 14-bit DACs
+ * in the AWGs, 8-bit ADCs in the master controller).
+ */
+
+#ifndef QUMA_SIGNAL_CONVERTERS_HH
+#define QUMA_SIGNAL_CONVERTERS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "signal/waveform.hh"
+
+namespace quma::signal {
+
+/**
+ * Mid-tread uniform quantiser with saturation over [-fullScale,
+ * +fullScale]. Models both DAC and ADC amplitude quantisation.
+ */
+class Quantizer
+{
+  public:
+    Quantizer(unsigned bits, double full_scale);
+
+    unsigned bits() const { return _bits; }
+    double fullScale() const { return _fullScale; }
+    /** Quantisation step size. */
+    double lsb() const { return _lsb; }
+
+    /** Quantise one sample to the nearest code's value. */
+    double quantize(double x) const;
+
+    /** Integer code for one sample (two's-complement range). */
+    std::int32_t code(double x) const;
+
+    /** Reconstruct the analog value for an integer code. */
+    double value(std::int32_t code) const;
+
+    /** Quantise an entire waveform. */
+    Waveform quantize(const Waveform &w) const;
+
+  private:
+    unsigned _bits;
+    double _fullScale;
+    double _lsb;
+    std::int32_t _maxCode;
+    std::int32_t _minCode;
+};
+
+/** Digital-to-analog converter: quantises stored samples on playback. */
+class Dac
+{
+  public:
+    Dac(unsigned bits, double full_scale, double rate_hz)
+        : quant(bits, full_scale), _rateHz(rate_hz)
+    {}
+
+    double rateHz() const { return _rateHz; }
+    const Quantizer &quantizer() const { return quant; }
+
+    /** Render stored samples as an output waveform at the DAC rate. */
+    Waveform render(const std::vector<double> &samples) const;
+
+  private:
+    Quantizer quant;
+    double _rateHz;
+};
+
+/** Analog-to-digital converter: samples and quantises an input trace. */
+class Adc
+{
+  public:
+    Adc(unsigned bits, double full_scale, double rate_hz)
+        : quant(bits, full_scale), _rateHz(rate_hz)
+    {}
+
+    double rateHz() const { return _rateHz; }
+    const Quantizer &quantizer() const { return quant; }
+
+    /**
+     * Digitise an input waveform, resampling (zero-order hold) from
+     * the input rate to the ADC rate and quantising.
+     */
+    Waveform digitize(const Waveform &input) const;
+
+  private:
+    Quantizer quant;
+    double _rateHz;
+};
+
+} // namespace quma::signal
+
+#endif // QUMA_SIGNAL_CONVERTERS_HH

@@ -1,0 +1,132 @@
+#include "signal/envelope.hh"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/logging.hh"
+
+namespace quma::signal {
+
+const char *
+toString(EnvelopeKind kind)
+{
+    switch (kind) {
+      case EnvelopeKind::Zero:
+        return "zero";
+      case EnvelopeKind::Square:
+        return "square";
+      case EnvelopeKind::Gaussian:
+        return "gaussian";
+      case EnvelopeKind::GaussianDerivative:
+        return "gaussian-derivative";
+    }
+    return "unknown";
+}
+
+Envelope::Envelope(EnvelopeKind kind, double duration_ns, double amplitude,
+                   double sigma_ns)
+    : _kind(kind), _durationNs(duration_ns), _amplitude(amplitude),
+      _sigmaNs(sigma_ns)
+{
+    if (duration_ns <= 0)
+        fatal("Envelope duration must be positive, got ", duration_ns);
+    if ((kind == EnvelopeKind::Gaussian ||
+         kind == EnvelopeKind::GaussianDerivative) && _sigmaNs <= 0) {
+        _sigmaNs = duration_ns / 4.0;
+    }
+}
+
+Envelope
+Envelope::zero(double duration_ns)
+{
+    return Envelope(EnvelopeKind::Zero, duration_ns, 0.0);
+}
+
+Envelope
+Envelope::square(double duration_ns, double amplitude)
+{
+    return Envelope(EnvelopeKind::Square, duration_ns, amplitude);
+}
+
+Envelope
+Envelope::gaussian(double duration_ns, double amplitude, double sigma_ns)
+{
+    return Envelope(EnvelopeKind::Gaussian, duration_ns, amplitude,
+                    sigma_ns);
+}
+
+Envelope
+Envelope::gaussianDerivative(double duration_ns, double amplitude,
+                             double sigma_ns)
+{
+    return Envelope(EnvelopeKind::GaussianDerivative, duration_ns, amplitude,
+                    sigma_ns);
+}
+
+double
+Envelope::value(double t_ns) const
+{
+    if (t_ns < 0 || t_ns > _durationNs)
+        return 0.0;
+    switch (_kind) {
+      case EnvelopeKind::Zero:
+        return 0.0;
+      case EnvelopeKind::Square:
+        return _amplitude;
+      case EnvelopeKind::Gaussian: {
+        double t0 = _durationNs / 2.0;
+        double g = std::exp(-0.5 * (t_ns - t0) * (t_ns - t0) /
+                            (_sigmaNs * _sigmaNs));
+        double edge = std::exp(-0.5 * t0 * t0 / (_sigmaNs * _sigmaNs));
+        // Shift so the truncated tails land at exactly zero, and
+        // renormalise the peak back to the nominal amplitude.
+        return _amplitude * (g - edge) / (1.0 - edge);
+      }
+      case EnvelopeKind::GaussianDerivative: {
+        double t0 = _durationNs / 2.0;
+        double u = (t_ns - t0) / _sigmaNs;
+        return _amplitude * (-u) * std::exp(-0.5 * u * u);
+      }
+    }
+    return 0.0;
+}
+
+std::vector<double>
+Envelope::sample(double rate_hz) const
+{
+    if (rate_hz <= 0)
+        fatal("Envelope sample rate must be positive, got ", rate_hz);
+    double dt_ns = 1e9 / rate_hz;
+    auto n = static_cast<std::size_t>(std::llround(_durationNs / dt_ns));
+    std::vector<double> out(n);
+    for (std::size_t i = 0; i < n; ++i)
+        out[i] = value((static_cast<double>(i) + 0.5) * dt_ns);
+    return out;
+}
+
+double
+Envelope::area() const
+{
+    switch (_kind) {
+      case EnvelopeKind::Zero:
+        return 0.0;
+      case EnvelopeKind::Square:
+        return _amplitude * _durationNs;
+      case EnvelopeKind::Gaussian: {
+        // Integrate numerically: the truncation shift has no closed
+        // form worth maintaining here, and this is not a hot path.
+        const int steps = 2000;
+        double dt = _durationNs / steps;
+        double acc = 0;
+        for (int i = 0; i < steps; ++i)
+            acc += value((i + 0.5) * dt) * dt;
+        return acc;
+      }
+      case EnvelopeKind::GaussianDerivative:
+        // Odd function about the centre: integrates to zero.
+        return 0.0;
+    }
+    return 0.0;
+}
+
+} // namespace quma::signal

@@ -1,0 +1,71 @@
+#include "signal/modulation.hh"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/logging.hh"
+
+namespace quma::signal {
+
+namespace {
+constexpr double kTwoPi = 2.0 * std::numbers::pi;
+} // namespace
+
+std::pair<Waveform, Waveform>
+ssbModulate(const Waveform &env, double ssb_hz, double t0_ns, double phi)
+{
+    std::vector<double> i(env.size()), q(env.size());
+    double dt_ns = 1e9 / env.rateHz();
+    for (std::size_t k = 0; k < env.size(); ++k) {
+        double t_s = (t0_ns + (static_cast<double>(k) + 0.5) * dt_ns) * 1e-9;
+        double arg = kTwoPi * ssb_hz * t_s + phi;
+        i[k] = env[k] * std::cos(arg);
+        q[k] = env[k] * std::sin(arg);
+    }
+    return {Waveform(std::move(i), env.rateHz()),
+            Waveform(std::move(q), env.rateHz())};
+}
+
+Waveform
+iqUpconvert(const Waveform &i, const Waveform &q, double carrier_hz,
+            double t0_ns)
+{
+    quma_assert(i.size() == q.size() && i.rateHz() == q.rateHz(),
+                "iqUpconvert: I/Q shape mismatch");
+    std::vector<double> rf(i.size());
+    double dt_ns = 1e9 / i.rateHz();
+    for (std::size_t k = 0; k < i.size(); ++k) {
+        double t_s = (t0_ns + (static_cast<double>(k) + 0.5) * dt_ns) * 1e-9;
+        double arg = kTwoPi * carrier_hz * t_s;
+        rf[k] = i[k] * std::cos(arg) - q[k] * std::sin(arg);
+    }
+    return Waveform(std::move(rf), i.rateHz());
+}
+
+std::vector<std::complex<double>>
+complexBaseband(const Waveform &i, const Waveform &q)
+{
+    quma_assert(i.size() == q.size(), "complexBaseband: size mismatch");
+    std::vector<std::complex<double>> out(i.size());
+    for (std::size_t k = 0; k < i.size(); ++k)
+        out[k] = {i[k], q[k]};
+    return out;
+}
+
+std::complex<double>
+demodulate(const Waveform &trace, double f_if_hz, double t0_ns)
+{
+    double dt_ns = 1e9 / trace.rateHz();
+    std::complex<double> acc{0.0, 0.0};
+    for (std::size_t k = 0; k < trace.size(); ++k) {
+        double t_s = (t0_ns + (static_cast<double>(k) + 0.5) * dt_ns) * 1e-9;
+        double arg = kTwoPi * f_if_hz * t_s;
+        acc += trace[k] * std::complex<double>(std::cos(arg),
+                                               -std::sin(arg));
+    }
+    if (!trace.empty())
+        acc *= 2.0 / static_cast<double>(trace.size());
+    return acc;
+}
+
+} // namespace quma::signal

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Single-sideband modulation, I/Q mixing and demodulation.
+ *
+ * The experimental chain (paper §2.2, §8): the AWG plays I and Q
+ * envelope components including a fixed single-sideband (SSB)
+ * modulation, an I/Q mixer combines them with a microwave carrier, and
+ * the result drives the qubit at f_carrier + f_ssb. On the readout
+ * side the transmitted feedline signal is demodulated against a local
+ * oscillator to an intermediate frequency and digitised.
+ */
+
+#ifndef QUMA_SIGNAL_MODULATION_HH
+#define QUMA_SIGNAL_MODULATION_HH
+
+#include <complex>
+#include <utility>
+
+#include "signal/waveform.hh"
+
+namespace quma::signal {
+
+/**
+ * Generate the I/Q pair for an envelope with SSB modulation:
+ *
+ *   I(t) = env(t) * cos(2*pi*f_ssb*t + phi)
+ *   Q(t) = env(t) * sin(2*pi*f_ssb*t + phi)
+ *
+ * where t is measured from t0_ns. Keeping t referenced to a global
+ * origin is what makes pulse timing set the rotation axis: a 5 ns
+ * offset with f_ssb = 50 MHz shifts the axis by 90 degrees (paper
+ * §4.2.3).
+ *
+ * @param env     baseband envelope samples
+ * @param ssb_hz  single-sideband modulation frequency (may be negative)
+ * @param t0_ns   global start time of the first sample
+ * @param phi     extra phase (radians); 0 gives an x rotation, pi/2 a y
+ */
+std::pair<Waveform, Waveform> ssbModulate(const Waveform &env,
+                                          double ssb_hz, double t0_ns,
+                                          double phi);
+
+/**
+ * Up-convert an I/Q pair with a carrier:
+ *
+ *   rf(t) = I(t) * cos(2*pi*f_c*t) - Q(t) * sin(2*pi*f_c*t)
+ *
+ * With the SSB pair above this produces a single tone at f_c + f_ssb.
+ * The output is rendered at the I waveform's sample rate, which for a
+ * faithful RF rendering should exceed 2*(f_c + |f_ssb|); for
+ * microwave-frequency carriers the physics model works instead with
+ * the complex baseband form (see complexBaseband).
+ */
+Waveform iqUpconvert(const Waveform &i, const Waveform &q,
+                     double carrier_hz, double t0_ns);
+
+/**
+ * Complex baseband representation I(t) + i*Q(t) of an I/Q pair; the
+ * qubit-frame drive used by the physics model.
+ */
+std::vector<std::complex<double>> complexBaseband(const Waveform &i,
+                                                  const Waveform &q);
+
+/**
+ * Digital homodyne demodulation of a real IF trace: multiply by
+ * cos/sin at f_if and low-pass by full-window integration, returning
+ * the complex amplitude (I + iQ) of the tone.
+ */
+std::complex<double> demodulate(const Waveform &trace, double f_if_hz,
+                                double t0_ns = 0.0);
+
+} // namespace quma::signal
+
+#endif // QUMA_SIGNAL_MODULATION_HH

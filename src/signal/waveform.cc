@@ -1,0 +1,76 @@
+#include "signal/waveform.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace quma::signal {
+
+Waveform::Waveform(std::vector<double> samples, double rate_hz)
+    : data(std::move(samples)), _rateHz(rate_hz)
+{
+    if (rate_hz <= 0)
+        fatal("Waveform rate must be positive, got ", rate_hz);
+}
+
+Waveform
+Waveform::zeros(std::size_t n, double rate_hz)
+{
+    return Waveform(std::vector<double>(n, 0.0), rate_hz);
+}
+
+double
+Waveform::durationNs() const
+{
+    return static_cast<double>(data.size()) * 1e9 / _rateHz;
+}
+
+Waveform &
+Waveform::operator+=(const Waveform &other)
+{
+    quma_assert(_rateHz == other._rateHz,
+                "Waveform rate mismatch in operator+=");
+    if (other.data.size() > data.size())
+        data.resize(other.data.size(), 0.0);
+    for (std::size_t i = 0; i < other.data.size(); ++i)
+        data[i] += other.data[i];
+    return *this;
+}
+
+Waveform &
+Waveform::operator*=(double gain)
+{
+    for (double &s : data)
+        s *= gain;
+    return *this;
+}
+
+void
+Waveform::append(const Waveform &other)
+{
+    quma_assert(_rateHz == other._rateHz,
+                "Waveform rate mismatch in append");
+    data.insert(data.end(), other.data.begin(), other.data.end());
+}
+
+double
+Waveform::integral() const
+{
+    double dt_ns = 1e9 / _rateHz;
+    double acc = 0;
+    for (double s : data)
+        acc += s;
+    return acc * dt_ns;
+}
+
+double
+Waveform::peak() const
+{
+    double p = 0;
+    for (double s : data)
+        p = std::max(p, std::abs(s));
+    return p;
+}
+
+} // namespace quma::signal

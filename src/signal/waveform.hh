@@ -1,0 +1,59 @@
+/**
+ * @file
+ * A sampled waveform: a sequence of amplitude samples at a fixed rate.
+ */
+
+#ifndef QUMA_SIGNAL_WAVEFORM_HH
+#define QUMA_SIGNAL_WAVEFORM_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace quma::signal {
+
+/**
+ * Uniformly sampled real-valued signal. Used for stored pulse envelopes
+ * (AWG wave memory), rendered RF, and digitised readout traces.
+ */
+class Waveform
+{
+  public:
+    Waveform() = default;
+    Waveform(std::vector<double> samples, double rate_hz);
+
+    static Waveform zeros(std::size_t n, double rate_hz);
+
+    std::size_t size() const { return data.size(); }
+    bool empty() const { return data.empty(); }
+    double rateHz() const { return _rateHz; }
+    double durationNs() const;
+
+    double operator[](std::size_t i) const { return data[i]; }
+    double &operator[](std::size_t i) { return data[i]; }
+
+    const std::vector<double> &samples() const { return data; }
+    std::vector<double> &samples() { return data; }
+
+    /** Element-wise sum; the other waveform must have the same rate. */
+    Waveform &operator+=(const Waveform &other);
+
+    /** Scale all samples in place. */
+    Waveform &operator*=(double gain);
+
+    /** Append another waveform of the same rate. */
+    void append(const Waveform &other);
+
+    /** Sum of samples times the sample period (ns): discrete integral. */
+    double integral() const;
+
+    /** Largest absolute sample value. */
+    double peak() const;
+
+  private:
+    std::vector<double> data;
+    double _rateHz = 1.0e9;
+};
+
+} // namespace quma::signal
+
+#endif // QUMA_SIGNAL_WAVEFORM_HH

@@ -1,0 +1,222 @@
+#include "timing/controller.hh"
+
+#include "common/logging.hh"
+
+namespace quma::timing {
+
+TimingController::TimingController(TimingConfig config)
+    : cfg(config), timingQueue(config.timingQueueCapacity),
+      mpgQueue(config.mpgQueueCapacity)
+{
+    if (cfg.numPulseQueues == 0 || cfg.numMdQueues == 0)
+        fatal("TimingController needs at least one pulse and MD queue");
+    for (unsigned i = 0; i < cfg.numPulseQueues; ++i)
+        pulseQueues.emplace_back(cfg.pulseQueueCapacity);
+    for (unsigned i = 0; i < cfg.numMdQueues; ++i)
+        mdQueues.emplace_back(cfg.mdQueueCapacity);
+}
+
+void
+TimingController::reset()
+{
+    timingQueue.clear();
+    for (auto &q : pulseQueues)
+        q.clear();
+    mpgQueue.clear();
+    for (auto &q : mdQueues)
+        q.clear();
+    isStarted = false;
+    lastFire = 0;
+    tailDue = 0;
+    lastLabel = 0;
+    nowCycle = 0;
+    viol = TimingViolations{};
+}
+
+void
+TimingController::start(Cycle at)
+{
+    quma_assert(!isStarted, "timing controller started twice");
+    if (timingQueue.empty()) {
+        tailDue = at;
+    } else {
+        // Time points pushed before start computed their due cycles
+        // relative to 0; starting anywhere else would invalidate
+        // the chained lateness accounting.
+        quma_assert(at == 0,
+                    "a pre-filled timing queue requires TD start at 0");
+    }
+    isStarted = true;
+    nowCycle = at;
+    lastFire = at;
+    fire(at, 0);
+}
+
+bool
+TimingController::pushTimePoint(Cycle interval, TimingLabel label)
+{
+    if (timingQueue.full())
+        return false;
+    quma_assert(interval > 0, "time point needs a positive interval");
+    TimePoint tp{interval, label};
+    if (!timingQueue.push(tp))
+        return false;
+    Cycle due = tailDue + interval;
+    if (isStarted && due < nowCycle) {
+        ++viol.latePoints;
+        viol.totalLateCycles += nowCycle - due;
+    }
+    tailDue = due;
+    return true;
+}
+
+bool
+TimingController::pushPulse(unsigned queue, const PulseEvent &event)
+{
+    quma_assert(queue < pulseQueues.size(), "pulse queue out of range");
+    if (isStarted && event.label <= lastLabel) {
+        ++viol.staleEvents;
+        return true; // consumed (dropped): its time point already fired
+    }
+    return pulseQueues[queue].push(event);
+}
+
+bool
+TimingController::pushMpg(const MpgEvent &event)
+{
+    if (isStarted && event.label <= lastLabel) {
+        ++viol.staleEvents;
+        return true;
+    }
+    return mpgQueue.push(event);
+}
+
+bool
+TimingController::pushMd(unsigned queue, const MdEvent &event)
+{
+    quma_assert(queue < mdQueues.size(), "MD queue out of range");
+    if (isStarted && event.label <= lastLabel) {
+        ++viol.staleEvents;
+        return true;
+    }
+    return mdQueues[queue].push(event);
+}
+
+std::optional<Cycle>
+TimingController::nextDueCycle() const
+{
+    if (!isStarted || timingQueue.empty())
+        return std::nullopt;
+    Cycle due = lastFire + timingQueue.front().interval;
+    return due;
+}
+
+void
+TimingController::advanceTo(Cycle now)
+{
+    quma_assert(now >= nowCycle, "TD moved backwards");
+    nowCycle = now;
+    while (isStarted && !timingQueue.empty()) {
+        Cycle due = lastFire + timingQueue.front().interval;
+        if (due > now)
+            break;
+        TimingLabel label = timingQueue.front().label;
+        // Remove before firing so snapshots inside sinks see the
+        // post-fire state (paper Tables 2-4 convention).
+        std::vector<TimePoint> fired;
+        std::size_t stale = 0;
+        timingQueue.popMatching(label, fired, stale);
+        quma_assert(stale == 0 && fired.size() == 1,
+                    "timing queue labels must be unique and ordered");
+        fire(due, label);
+    }
+}
+
+void
+TimingController::fire(Cycle due, TimingLabel label)
+{
+    lastFire = due;
+    lastLabel = label;
+    if (fireObserver)
+        fireObserver(due, label);
+
+    std::size_t stale = 0;
+    for (unsigned qi = 0; qi < pulseQueues.size(); ++qi) {
+        std::vector<PulseEvent> fired;
+        pulseQueues[qi].popMatching(label, fired, stale);
+        for (const auto &ev : fired)
+            if (pulseSink)
+                pulseSink(qi, due, ev);
+    }
+    {
+        std::vector<MpgEvent> fired;
+        mpgQueue.popMatching(label, fired, stale);
+        for (const auto &ev : fired)
+            if (mpgSink)
+                mpgSink(due, ev);
+    }
+    for (unsigned qi = 0; qi < mdQueues.size(); ++qi) {
+        std::vector<MdEvent> fired;
+        mdQueues[qi].popMatching(label, fired, stale);
+        for (const auto &ev : fired)
+            if (mdSink)
+                mdSink(qi, due, ev);
+    }
+    viol.staleEvents += stale;
+}
+
+std::vector<TimePoint>
+TimingController::timingQueueSnapshot() const
+{
+    return timingQueue.snapshot();
+}
+
+std::vector<PulseEvent>
+TimingController::pulseQueueSnapshot(unsigned queue) const
+{
+    quma_assert(queue < pulseQueues.size(), "pulse queue out of range");
+    return pulseQueues[queue].snapshot();
+}
+
+std::vector<MpgEvent>
+TimingController::mpgQueueSnapshot() const
+{
+    return mpgQueue.snapshot();
+}
+
+std::vector<MdEvent>
+TimingController::mdQueueSnapshot(unsigned queue) const
+{
+    quma_assert(queue < mdQueues.size(), "MD queue out of range");
+    return mdQueues[queue].snapshot();
+}
+
+bool
+TimingController::pulseQueueFull(unsigned queue) const
+{
+    quma_assert(queue < pulseQueues.size(), "pulse queue out of range");
+    return pulseQueues[queue].full();
+}
+
+bool
+TimingController::mdQueueFull(unsigned queue) const
+{
+    quma_assert(queue < mdQueues.size(), "MD queue out of range");
+    return mdQueues[queue].full();
+}
+
+bool
+TimingController::allQueuesEmpty() const
+{
+    if (!timingQueue.empty() || !mpgQueue.empty())
+        return false;
+    for (const auto &q : pulseQueues)
+        if (!q.empty())
+            return false;
+    for (const auto &q : mdQueues)
+        if (!q.empty())
+            return false;
+    return true;
+}
+
+} // namespace quma::timing

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Event records buffered in the timing control unit's queues.
+ *
+ * Each event carries the timing label of the time point at which it
+ * must fire (paper §5.2). Labels are assigned by the quantum
+ * microinstruction buffer in strictly increasing order; label 0 is
+ * the implicit time point at which the deterministic-domain clock TD
+ * starts.
+ */
+
+#ifndef QUMA_TIMING_EVENTS_HH
+#define QUMA_TIMING_EVENTS_HH
+
+#include "common/types.hh"
+
+namespace quma::timing {
+
+/** An entry of the timing queue: fire `label` after `interval`. */
+struct TimePoint
+{
+    Cycle interval = 0;
+    TimingLabel label = 0;
+
+    bool operator==(const TimePoint &) const = default;
+};
+
+/** A micro-operation destined for a u-op unit (pulse queue entry). */
+struct PulseEvent
+{
+    TimingLabel label = 0;
+    QubitMask mask = 0;
+    std::uint8_t uop = 0;
+
+    bool operator==(const PulseEvent &) const = default;
+};
+
+/** A measurement-pulse generation trigger (MPG queue entry). */
+struct MpgEvent
+{
+    TimingLabel label = 0;
+    QubitMask mask = 0;
+    Cycle durationCycles = 0;
+
+    bool operator==(const MpgEvent &) const = default;
+};
+
+/** A measurement discrimination trigger (MD queue entry). */
+struct MdEvent
+{
+    TimingLabel label = 0;
+    QubitMask mask = 0;
+    RegIndex destReg = 0;
+    /**
+     * Write-back mode: a single-qubit MD overwrites the whole
+     * destination register with 0/1; a multi-qubit MD packs each
+     * qubit's result into its own bit of the register.
+     */
+    bool overwrite = true;
+    unsigned bitIndex = 0;
+
+    bool operator==(const MdEvent &) const = default;
+};
+
+} // namespace quma::timing
+
+#endif // QUMA_TIMING_EVENTS_HH

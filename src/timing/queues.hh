@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Bounded FIFO event queues used by the timing control unit.
+ */
+
+#ifndef QUMA_TIMING_QUEUES_HH
+#define QUMA_TIMING_QUEUES_HH
+
+#include <deque>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/types.hh"
+
+namespace quma::timing {
+
+/**
+ * A bounded FIFO of labelled events. The stored type T must expose a
+ * `label` member.
+ */
+template <typename T>
+class EventQueue
+{
+  public:
+    explicit EventQueue(std::size_t capacity = 64) : cap(capacity)
+    {
+        quma_assert(capacity > 0, "queue capacity must be positive");
+    }
+
+    std::size_t capacity() const { return cap; }
+    std::size_t size() const { return q.size(); }
+    bool empty() const { return q.empty(); }
+    bool full() const { return q.size() >= cap; }
+
+    /** Enqueue; returns false (and drops nothing) when full. */
+    bool
+    push(const T &event)
+    {
+        if (full())
+            return false;
+        q.push_back(event);
+        return true;
+    }
+
+    /** Front element; queue must not be empty. */
+    const T &
+    front() const
+    {
+        quma_assert(!q.empty(), "front() on empty event queue");
+        return q.front();
+    }
+
+    /**
+     * Pop every front entry whose label matches `label` into `fired`.
+     * Front entries with a SMALLER label are stale (their time point
+     * already passed): they are dropped and counted in `stale`.
+     */
+    void
+    popMatching(TimingLabel label, std::vector<T> &fired,
+                std::size_t &stale)
+    {
+        while (!q.empty() && q.front().label < label) {
+            q.pop_front();
+            ++stale;
+        }
+        while (!q.empty() && q.front().label == label) {
+            fired.push_back(q.front());
+            q.pop_front();
+        }
+    }
+
+    /** Snapshot of the queue contents, front first. */
+    std::vector<T>
+    snapshot() const
+    {
+        return std::vector<T>(q.begin(), q.end());
+    }
+
+    void clear() { q.clear(); }
+
+  private:
+    std::deque<T> q;
+    std::size_t cap;
+};
+
+} // namespace quma::timing
+
+#endif // QUMA_TIMING_QUEUES_HH

@@ -1,0 +1,297 @@
+/**
+ * @file
+ * Unit tests for the AWG board models: wave memory, the
+ * codeword-triggered pulse generation unit's fixed delay, the u-op
+ * unit's sequence scheduling, and pulse calibration.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "awg/awgmodule.hh"
+#include "awg/calibration.hh"
+#include "common/logging.hh"
+#include "isa/nametable.hh"
+#include "qsim/transmon.hh"
+
+namespace quma::awg {
+namespace {
+
+namespace u = isa::uops;
+constexpr double kPi = std::numbers::pi;
+
+StoredPulse
+squarePulse(const std::string &name, std::size_t samples, double amp)
+{
+    StoredPulse p;
+    p.name = name;
+    p.i.assign(samples, amp);
+    p.q.assign(samples, 0.0);
+    return p;
+}
+
+// ------------------------------------------------------------ wavememory
+
+TEST(WaveMemory, UploadLookupRoundTrip)
+{
+    WaveMemory wm;
+    wm.upload(3, squarePulse("test", 20, 0.5));
+    ASSERT_TRUE(wm.contains(3));
+    EXPECT_EQ(wm.lookup(3).name, "test");
+    EXPECT_FALSE(wm.contains(4));
+    EXPECT_EQ(wm.entryCount(), 1u);
+}
+
+TEST(WaveMemory, ReplaceOverwrites)
+{
+    WaveMemory wm;
+    wm.upload(1, squarePulse("a", 10, 0.1));
+    wm.upload(1, squarePulse("b", 10, 0.2));
+    EXPECT_EQ(wm.lookup(1).name, "b");
+    EXPECT_EQ(wm.entryCount(), 1u);
+}
+
+TEST(WaveMemory, MemoryAccountingUsesBits)
+{
+    WaveMemory wm;
+    wm.upload(0, squarePulse("p", 20, 1.0)); // 40 samples I+Q
+    EXPECT_EQ(wm.memoryBytes(12), 60u);
+    EXPECT_EQ(wm.memoryBytes(8), 40u);
+    EXPECT_EQ(wm.memoryBytes(16), 80u);
+}
+
+TEST(WaveMemory, RejectsMismatchedIq)
+{
+    setLogQuiet(true);
+    WaveMemory wm;
+    StoredPulse bad;
+    bad.i.assign(10, 0.0);
+    bad.q.assign(9, 0.0);
+    EXPECT_THROW(wm.upload(0, std::move(bad)), quma::FatalError);
+    EXPECT_THROW(wm.lookup(0), quma::FatalError);
+    setLogQuiet(false);
+}
+
+TEST(WaveMemory, CodewordsSorted)
+{
+    WaveMemory wm;
+    wm.upload(5, squarePulse("c", 4, 1));
+    wm.upload(1, squarePulse("a", 4, 1));
+    wm.upload(3, squarePulse("b", 4, 1));
+    auto cws = wm.codewords();
+    ASSERT_EQ(cws.size(), 3u);
+    EXPECT_EQ(cws[0], 1);
+    EXPECT_EQ(cws[1], 3);
+    EXPECT_EQ(cws[2], 5);
+}
+
+// ------------------------------------------------------------------ CTPG
+
+TEST(Ctpg, FixedDelayFromTriggerToPulse)
+{
+    CtpgConfig cfg;
+    cfg.delayCycles = 16;
+    Ctpg ctpg(cfg);
+    ctpg.waveMemory().upload(1, squarePulse("x", 20, 1.0));
+
+    std::vector<signal::DrivePulse> pulses;
+    ctpg.setPulseSink([&](const signal::DrivePulse &p, Codeword,
+                          QubitMask) { pulses.push_back(p); });
+
+    ctpg.trigger(1, 100, 0x1);
+    ASSERT_TRUE(ctpg.nextEventCycle().has_value());
+    EXPECT_EQ(*ctpg.nextEventCycle(), 116u);
+    ctpg.advanceTo(115);
+    EXPECT_TRUE(pulses.empty());
+    ctpg.advanceTo(116);
+    ASSERT_EQ(pulses.size(), 1u);
+    // 116 cycles * 5 ns = 580 ns: the paper's 80 ns after trigger.
+    EXPECT_EQ(pulses[0].t0Ns, 580);
+    EXPECT_EQ(ctpg.pulsesEmitted(), 1u);
+}
+
+TEST(Ctpg, PulsesKeepTriggerOrder)
+{
+    Ctpg ctpg;
+    ctpg.waveMemory().upload(1, squarePulse("a", 4, 1.0));
+    ctpg.waveMemory().upload(2, squarePulse("b", 4, 1.0));
+    std::vector<Codeword> order;
+    ctpg.setPulseSink([&](const signal::DrivePulse &, Codeword cw,
+                          QubitMask) { order.push_back(cw); });
+    ctpg.trigger(1, 10, 0x1);
+    ctpg.trigger(2, 10, 0x1); // same cycle: FIFO tie-break
+    ctpg.trigger(1, 14, 0x1);
+    ctpg.advanceTo(1000);
+    ASSERT_EQ(order.size(), 3u);
+    EXPECT_EQ(order[0], 1);
+    EXPECT_EQ(order[1], 2);
+    EXPECT_EQ(order[2], 1);
+}
+
+TEST(Ctpg, UnknownCodewordIsFatal)
+{
+    setLogQuiet(true);
+    Ctpg ctpg;
+    EXPECT_THROW(ctpg.trigger(9, 0, 0x1), quma::FatalError);
+    setLogQuiet(false);
+}
+
+TEST(Ctpg, DacQuantisesStoredSamples)
+{
+    CtpgConfig cfg;
+    cfg.dacBits = 4; // coarse on purpose
+    Ctpg ctpg(cfg);
+    ctpg.waveMemory().upload(1, squarePulse("x", 8, 0.333));
+    double seen = -1;
+    ctpg.setPulseSink([&](const signal::DrivePulse &p, Codeword,
+                          QubitMask) { seen = p.i[0]; });
+    ctpg.trigger(1, 0, 0x1);
+    ctpg.advanceTo(100);
+    // 4-bit quantisation: value snapped to the nearest of 7 levels.
+    EXPECT_NE(seen, 0.333);
+    EXPECT_NEAR(seen, 0.333, 1.0 / 7.0);
+}
+
+// --------------------------------------------------------------- UopUnit
+
+TEST(UopUnit, PassThroughAddsUnitDelay)
+{
+    UopUnit unit(microcode::UopSequenceTable::standard(), 2);
+    std::vector<std::pair<Codeword, Cycle>> triggers;
+    unit.setTriggerSink([&](Codeword cw, Cycle td, QubitMask) {
+        triggers.emplace_back(cw, td);
+    });
+    unit.fire(u::X180, 40000, 0x1);
+    unit.advanceTo(50000);
+    ASSERT_EQ(triggers.size(), 1u);
+    EXPECT_EQ(triggers[0].first, u::X180);
+    EXPECT_EQ(triggers[0].second, 40002u);
+}
+
+TEST(UopUnit, SeqZEmitsTwoCodewordsFourCyclesApart)
+{
+    UopUnit unit(microcode::UopSequenceTable::standard(), 2);
+    std::vector<std::pair<Codeword, Cycle>> triggers;
+    unit.setTriggerSink([&](Codeword cw, Cycle td, QubitMask) {
+        triggers.emplace_back(cw, td);
+    });
+    unit.fire(u::Z180, 1000, 0x1);
+    unit.advanceTo(2000);
+    ASSERT_EQ(triggers.size(), 2u);
+    EXPECT_EQ(triggers[0].first, 1); // X180 codeword
+    EXPECT_EQ(triggers[1].first, 4); // Y180 codeword
+    EXPECT_EQ(triggers[1].second - triggers[0].second, 4u);
+}
+
+TEST(UopUnit, InterleavedFiresStayOrdered)
+{
+    UopUnit unit(microcode::UopSequenceTable::standard(), 0);
+    std::vector<Cycle> times;
+    unit.setTriggerSink(
+        [&](Codeword, Cycle td, QubitMask) { times.push_back(td); });
+    unit.fire(u::Z90, 100, 0x1); // triggers at 100, 104, 108
+    unit.fire(u::X180, 102, 0x1); // trigger at 102
+    unit.advanceTo(1000);
+    ASSERT_EQ(times.size(), 4u);
+    EXPECT_TRUE(std::is_sorted(times.begin(), times.end()));
+    EXPECT_EQ(unit.triggersEmitted(), 4u);
+}
+
+// ------------------------------------------------------------- AwgModule
+
+TEST(AwgModule, EndToEndUopToPulse)
+{
+    AwgConfig cfg;
+    cfg.servedQubits = 0x1;
+    cfg.uopDelayCycles = 2;
+    cfg.ctpg.delayCycles = 16;
+    AwgModule awg(cfg, microcode::UopSequenceTable::standard());
+    awg::CalibrationParams cal;
+    cal.rabiRadPerAmpNs = qsim::standardRabiGain();
+    buildStandardLut(awg.waveMemory(), cal);
+
+    std::vector<signal::DrivePulse> pulses;
+    awg.setPulseSink([&](const signal::DrivePulse &p, Codeword,
+                         QubitMask) { pulses.push_back(p); });
+    awg.fireUop(u::X90, 40000, 0x1);
+    awg.advanceTo(40018);
+    ASSERT_EQ(pulses.size(), 1u);
+    // uop delay (2) + CTPG delay (16) cycles after the label fire.
+    EXPECT_EQ(pulses[0].t0Ns, cyclesToNs(40018));
+}
+
+TEST(AwgModule, TriggerObserverSeesCodewords)
+{
+    AwgConfig cfg;
+    AwgModule awg(cfg, microcode::UopSequenceTable::standard());
+    awg::CalibrationParams cal;
+    cal.rabiRadPerAmpNs = qsim::standardRabiGain();
+    buildStandardLut(awg.waveMemory(), cal);
+    std::vector<Codeword> seen;
+    awg.setTriggerObserver(
+        [&](Codeword cw, Cycle, QubitMask) { seen.push_back(cw); });
+    awg.fireUop(u::H, 0, 0x1);
+    awg.advanceTo(100);
+    ASSERT_EQ(seen.size(), 2u); // H = Y90 then X180
+    EXPECT_EQ(seen[0], u::Y90);
+    EXPECT_EQ(seen[1], u::X180);
+}
+
+// ------------------------------------------------------------ calibration
+
+TEST(Calibration, AmplitudesScaleWithAngle)
+{
+    CalibrationParams cal;
+    cal.rabiRadPerAmpNs = qsim::standardRabiGain();
+    double a180 = calibratedAmplitude(cal, kPi);
+    double a90 = calibratedAmplitude(cal, kPi / 2);
+    EXPECT_NEAR(a180 / a90, 2.0, 1e-9);
+    EXPECT_LT(calibratedAmplitude(cal, -kPi / 2), 0.0);
+}
+
+TEST(Calibration, AmplitudeErrorScalesEveryPulse)
+{
+    CalibrationParams cal;
+    cal.rabiRadPerAmpNs = qsim::standardRabiGain();
+    CalibrationParams off = cal;
+    off.amplitudeError = 0.1;
+    EXPECT_NEAR(calibratedAmplitude(off, kPi),
+                calibratedAmplitude(cal, kPi) * 1.1, 1e-12);
+}
+
+TEST(Calibration, StandardLutDrivesCalibratedRotations)
+{
+    // Render the LUT, play X90 through a chip, and verify the
+    // rotation angle end to end (calibration -> DAC -> physics).
+    qsim::TransmonParams qp = qsim::paperQubitParams();
+    qp.t1Ns = 1e9;
+    qp.t2Ns = 1e9;
+    WaveMemory wm;
+    CalibrationParams cal;
+    cal.rabiRadPerAmpNs = qp.rabiRadPerAmpNs;
+    buildStandardLut(wm, cal);
+
+    qsim::TransmonChip chip({qp}, 1);
+    const auto &stored = wm.lookup(u::X90);
+    signal::DrivePulse pulse;
+    pulse.t0Ns = 0;
+    pulse.i = signal::Waveform(stored.i, stored.rateHz);
+    pulse.q = signal::Waveform(stored.q, stored.rateHz);
+    pulse.ssbHz = cal.ssbHz;
+    pulse.carrierHz = qp.freqHz - cal.ssbHz;
+    chip.applyDrive(0, pulse);
+    EXPECT_NEAR(chip.probabilityOne(0), 0.5, 2e-3);
+}
+
+TEST(Calibration, RequiresRabiGain)
+{
+    setLogQuiet(true);
+    CalibrationParams cal; // gain left at 0
+    EXPECT_THROW(calibratedAmplitude(cal, kPi), quma::FatalError);
+    setLogQuiet(false);
+}
+
+} // namespace
+} // namespace quma::awg

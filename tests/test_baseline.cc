@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Unit tests for the baseline controllers: the conventional
+ * full-waveform method (paper §5.1.1 memory arithmetic) and the
+ * APS2-style distributed model (paper §6 comparison).
+ */
+
+#include <gtest/gtest.h>
+
+#include "baseline/aps2_model.hh"
+#include "baseline/waveform_method.hh"
+#include "common/logging.hh"
+
+namespace quma::baseline {
+namespace {
+
+// -------------------------------------------------------- waveform method
+
+TEST(WaveformMethod, PaperAllxyMemoryNumbers)
+{
+    ConventionalAwgController awg;
+    // 21 combinations x 2 gates x 20 ns at 1 GSa/s, 12-bit: 2520 B.
+    EXPECT_EQ(awg.bytesFor(21, 2, 20.0), 2520u);
+    // The codeword scheme's 7 primitives: 420 B.
+    EXPECT_EQ(awg.bytesFor(7, 1, 20.0), 420u);
+}
+
+TEST(WaveformMethod, UploadAccounting)
+{
+    ConventionalAwgController awg(1.0e9, 12, 30.0e6);
+    for (int i = 0; i < 21; ++i)
+        awg.uploadWaveform("combo" + std::to_string(i), 2, 20.0);
+    auto stats = awg.stats();
+    EXPECT_EQ(stats.waveforms, 21u);
+    EXPECT_EQ(stats.sampleCount, 21u * 2 * 2 * 20);
+    EXPECT_EQ(stats.bytes, 2520u);
+    EXPECT_NEAR(stats.uploadSeconds, 2520.0 / 30.0e6, 1e-12);
+}
+
+TEST(WaveformMethod, SmallChangeForcesFullReupload)
+{
+    ConventionalAwgController awg;
+    awg.uploadWaveform("a", 2, 20.0);
+    awg.uploadWaveform("b", 2, 20.0);
+    EXPECT_EQ(awg.stats().waveforms, 2u);
+    awg.clear(); // the "small change" penalty
+    EXPECT_EQ(awg.stats().bytes, 0u);
+}
+
+TEST(WaveformMethod, MemoryGrowsWithCombinations)
+{
+    ConventionalAwgController awg;
+    // Waveform memory scales linearly with combination count while
+    // the codeword LUT stays constant: the paper's scalability
+    // argument.
+    std::size_t at10 = awg.bytesFor(10, 2, 20.0);
+    std::size_t at100 = awg.bytesFor(100, 2, 20.0);
+    EXPECT_EQ(at100, at10 * 10);
+}
+
+TEST(WaveformMethod, RejectsBadConfig)
+{
+    setLogQuiet(true);
+    EXPECT_THROW(ConventionalAwgController(0, 12, 1), FatalError);
+    setLogQuiet(false);
+}
+
+// -------------------------------------------------------------- APS2 model
+
+DistributedWorkload
+twoQubitWorkload(unsigned segments, bool barriers)
+{
+    DistributedWorkload w;
+    w.numQubits = 2;
+    for (unsigned s = 0; s < segments; ++s) {
+        DistributedWorkload::Segment seg;
+        seg.pulseCycles = {4, (s % 2 == 0) ? Cycle{4} : Cycle{0}};
+        seg.gapCycles = 4;
+        seg.barrier = barriers && (s % 2 == 0);
+        w.segments.push_back(seg);
+    }
+    return w;
+}
+
+TEST(Aps2, OneBinaryPerModule)
+{
+    Aps2System sys(9, 4);
+    auto binaries = sys.compileWorkload(twoQubitWorkload(4, true));
+    EXPECT_EQ(binaries.size(), 2u);
+    EXPECT_EQ(binaries[0].module, "APS2-0");
+}
+
+TEST(Aps2, CapacityEnforced)
+{
+    setLogQuiet(true);
+    Aps2System sys(2, 4);
+    DistributedWorkload w;
+    w.numQubits = 3;
+    EXPECT_THROW(sys.compileWorkload(w), FatalError);
+    setLogQuiet(false);
+}
+
+TEST(Aps2, SyncStallsGrowWithTriggerLatency)
+{
+    auto stalls = [](Cycle latency) {
+        Aps2System sys(9, latency);
+        auto binaries = sys.compileWorkload(twoQubitWorkload(8, true));
+        return sys.run(binaries).stallCycles;
+    };
+    EXPECT_GT(stalls(16), stalls(2));
+}
+
+TEST(Aps2, MakespanIncludesTriggerLatency)
+{
+    Aps2System fast(9, 0);
+    Aps2System slow(9, 10);
+    auto w = twoQubitWorkload(6, true);
+    auto mFast = fast.run(fast.compileWorkload(w)).makespanCycles;
+    auto mSlow = slow.run(slow.compileWorkload(w)).makespanCycles;
+    EXPECT_GT(mSlow, mFast);
+}
+
+TEST(Aps2, NoBarriersNoStalls)
+{
+    Aps2System sys(9, 8);
+    auto binaries = sys.compileWorkload(twoQubitWorkload(6, false));
+    auto stats = sys.run(binaries);
+    EXPECT_EQ(stats.syncPoints, 0u);
+    EXPECT_EQ(stats.stallCycles, 0u);
+}
+
+TEST(Aps2, IdleWaveformsPadInactiveQubits)
+{
+    Aps2System sys(9, 4);
+    auto binaries = sys.compileWorkload(twoQubitWorkload(2, false));
+    // Qubit 1 idles in segment 1: it must still hold an instruction
+    // (idle waveform) to preserve alignment.
+    EXPECT_EQ(binaries[0].instructions.size(),
+              binaries[1].instructions.size());
+}
+
+TEST(CentralizedCost, FewerInstructionsThanDistributed)
+{
+    auto w = twoQubitWorkload(10, true);
+    Aps2System sys(9, 4);
+    auto distributed = sys.run(sys.compileWorkload(w));
+    auto central = centralizedCost(w);
+    EXPECT_EQ(central.binaries, 1u);
+    EXPECT_GT(distributed.binaries, central.binaries);
+    EXPECT_LT(central.totalInstructions,
+              distributed.totalInstructions);
+}
+
+TEST(CentralizedCost, MakespanIsSumOfSegments)
+{
+    DistributedWorkload w;
+    w.numQubits = 2;
+    DistributedWorkload::Segment seg;
+    seg.pulseCycles = {4, 4};
+    seg.gapCycles = 6;
+    w.segments = {seg, seg};
+    auto c = centralizedCost(w);
+    EXPECT_EQ(c.makespanCycles, 20u);
+}
+
+} // namespace
+} // namespace quma::baseline

@@ -1,0 +1,339 @@
+/**
+ * @file
+ * Unit tests for the common utilities: logging, statistics, fits,
+ * strings and bit fields.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "common/bitfield.hh"
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "common/stats.hh"
+#include "common/strings.hh"
+#include "common/types.hh"
+
+namespace quma {
+namespace {
+
+// ---------------------------------------------------------------- logging
+
+TEST(Logging, FatalThrowsFatalError)
+{
+    setLogQuiet(true);
+    EXPECT_THROW(fatal("boom ", 42), FatalError);
+    setLogQuiet(false);
+}
+
+TEST(Logging, PanicThrowsPanicError)
+{
+    setLogQuiet(true);
+    EXPECT_THROW(panic("bug ", 1), PanicError);
+    setLogQuiet(false);
+}
+
+TEST(Logging, AssertMacroPassesAndFails)
+{
+    setLogQuiet(true);
+    EXPECT_NO_THROW(quma_assert(1 + 1 == 2, "fine"));
+    EXPECT_THROW(quma_assert(1 + 1 == 3, "broken"), PanicError);
+    setLogQuiet(false);
+}
+
+TEST(Logging, MessagesCarryFormattedContent)
+{
+    setLogQuiet(true);
+    try {
+        fatal("value is ", 7, " not ", 8);
+        FAIL() << "should have thrown";
+    } catch (const FatalError &e) {
+        EXPECT_STREQ(e.what(), "value is 7 not 8");
+    }
+    setLogQuiet(false);
+}
+
+// ------------------------------------------------------------------ types
+
+TEST(Types, CycleNsConversions)
+{
+    EXPECT_EQ(cyclesToNs(1), 5);
+    EXPECT_EQ(cyclesToNs(40000), 200000);
+    EXPECT_EQ(nsToCycles(5), 1u);
+    EXPECT_EQ(nsToCycles(20), 4u);
+    // Rounds up.
+    EXPECT_EQ(nsToCycles(6), 2u);
+    EXPECT_EQ(nsToCycles(1), 1u);
+}
+
+TEST(Types, CtpgDelayIs16Cycles)
+{
+    EXPECT_EQ(kCtpgDelayCycles, 16u);
+    EXPECT_EQ(kCtpgDelayNs, 80);
+}
+
+// ------------------------------------------------------------------- rng
+
+TEST(Rng, Deterministic)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+}
+
+TEST(Rng, UniformRange)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        double x = rng.uniform(2.0, 3.0);
+        EXPECT_GE(x, 2.0);
+        EXPECT_LT(x, 3.0);
+    }
+}
+
+TEST(Rng, UniformIntInclusive)
+{
+    Rng rng(7);
+    bool sawLo = false, sawHi = false;
+    for (int i = 0; i < 2000; ++i) {
+        auto v = rng.uniformInt(3, 5);
+        EXPECT_GE(v, 3u);
+        EXPECT_LE(v, 5u);
+        sawLo |= v == 3;
+        sawHi |= v == 5;
+    }
+    EXPECT_TRUE(sawLo);
+    EXPECT_TRUE(sawHi);
+}
+
+TEST(Rng, GaussianMoments)
+{
+    Rng rng(11);
+    RunningStats stats;
+    for (int i = 0; i < 20000; ++i)
+        stats.add(rng.gaussian(5.0, 2.0));
+    EXPECT_NEAR(stats.mean(), 5.0, 0.1);
+    EXPECT_NEAR(stats.stddev(), 2.0, 0.1);
+}
+
+TEST(Rng, BernoulliRate)
+{
+    Rng rng(13);
+    int hits = 0;
+    for (int i = 0; i < 10000; ++i)
+        hits += rng.bernoulli(0.3);
+    EXPECT_NEAR(hits / 10000.0, 0.3, 0.03);
+}
+
+// ----------------------------------------------------------------- stats
+
+TEST(RunningStats, Empty)
+{
+    RunningStats s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, KnownValues)
+{
+    RunningStats s;
+    for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.add(v);
+    EXPECT_EQ(s.count(), 8u);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, ClearResets)
+{
+    RunningStats s;
+    s.add(1.0);
+    s.clear();
+    EXPECT_EQ(s.count(), 0u);
+}
+
+TEST(LinearFit, ExactLine)
+{
+    std::vector<double> x{0, 1, 2, 3, 4};
+    std::vector<double> y{1, 3, 5, 7, 9};
+    auto fit = linearFit(x, y);
+    EXPECT_NEAR(fit.slope, 2.0, 1e-12);
+    EXPECT_NEAR(fit.intercept, 1.0, 1e-12);
+    EXPECT_NEAR(fit.r2, 1.0, 1e-12);
+}
+
+TEST(LinearFit, RejectsDegenerate)
+{
+    setLogQuiet(true);
+    std::vector<double> x{1.0};
+    std::vector<double> y{2.0};
+    EXPECT_THROW(linearFit(x, y), FatalError);
+    setLogQuiet(false);
+}
+
+TEST(ExpFit, RecoverKnownDecay)
+{
+    std::vector<double> x, y;
+    for (int i = 0; i <= 40; ++i) {
+        double t = i * 500.0;
+        x.push_back(t);
+        y.push_back(0.9 * std::exp(-t / 3000.0) + 0.05);
+    }
+    auto fit = expDecayFit(x, y);
+    EXPECT_NEAR(fit.tau, 3000.0, 30.0);
+    EXPECT_NEAR(fit.amplitude, 0.9, 0.01);
+    EXPECT_NEAR(fit.offset, 0.05, 0.01);
+    EXPECT_LT(fit.rmsResidual, 1e-6);
+}
+
+TEST(ExpFit, ToleratesNoise)
+{
+    Rng rng(3);
+    std::vector<double> x, y;
+    for (int i = 0; i <= 60; ++i) {
+        double t = i * 200.0;
+        x.push_back(t);
+        y.push_back(std::exp(-t / 4000.0) + rng.gaussian(0, 0.01));
+    }
+    auto fit = expDecayFit(x, y);
+    EXPECT_NEAR(fit.tau, 4000.0, 400.0);
+}
+
+TEST(DampedCosineFit, RecoverFringe)
+{
+    std::vector<double> x, y;
+    const double f = 1.0 / 800.0; // per ns
+    for (int i = 0; i <= 80; ++i) {
+        double t = i * 50.0;
+        x.push_back(t);
+        y.push_back(0.5 +
+                    0.45 * std::exp(-t / 2500.0) *
+                        std::cos(2 * std::numbers::pi * f * t));
+    }
+    auto fit = dampedCosineFit(x, y, f * 1.2);
+    EXPECT_NEAR(fit.frequency, f, f * 0.05);
+    EXPECT_NEAR(fit.tau, 2500.0, 500.0);
+    EXPECT_NEAR(fit.offset, 0.5, 0.02);
+    EXPECT_NEAR(fit.amplitude, 0.45, 0.05);
+}
+
+TEST(MeanAbsDeviation, Basics)
+{
+    EXPECT_DOUBLE_EQ(meanAbsDeviation({1, 2, 3}, {1, 2, 3}), 0.0);
+    EXPECT_DOUBLE_EQ(meanAbsDeviation({0, 0}, {1, -1}), 1.0);
+    EXPECT_DOUBLE_EQ(meanAbsDeviation({}, {}), 0.0);
+}
+
+// ---------------------------------------------------------------- strings
+
+TEST(Strings, Trim)
+{
+    EXPECT_EQ(trim("  a b  "), "a b");
+    EXPECT_EQ(trim(""), "");
+    EXPECT_EQ(trim(" \t\n"), "");
+    EXPECT_EQ(trim("x"), "x");
+}
+
+TEST(Strings, Split)
+{
+    auto parts = split("a,b,,c", ',');
+    ASSERT_EQ(parts.size(), 3u);
+    EXPECT_EQ(parts[0], "a");
+    EXPECT_EQ(parts[2], "c");
+    auto kept = split("a,b,,c", ',', true);
+    ASSERT_EQ(kept.size(), 4u);
+    EXPECT_EQ(kept[2], "");
+}
+
+TEST(Strings, SplitWhitespace)
+{
+    auto parts = splitWhitespace("  mov   r1,  40000 ");
+    ASSERT_EQ(parts.size(), 3u);
+    EXPECT_EQ(parts[0], "mov");
+    EXPECT_EQ(parts[1], "r1,");
+}
+
+TEST(Strings, CaseAndAffixes)
+{
+    EXPECT_EQ(toLower("QNopReg"), "qnopreg");
+    EXPECT_TRUE(startsWith("Pulse {q0}", "Pulse"));
+    EXPECT_FALSE(startsWith("Pu", "Pulse"));
+    EXPECT_TRUE(endsWith("file.cc", ".cc"));
+    EXPECT_FALSE(endsWith("c", ".cc"));
+}
+
+struct ParseIntCase
+{
+    const char *text;
+    bool ok;
+    long long value;
+};
+
+class ParseIntTest : public ::testing::TestWithParam<ParseIntCase>
+{};
+
+TEST_P(ParseIntTest, Parses)
+{
+    const auto &c = GetParam();
+    long long v = -1;
+    EXPECT_EQ(parseInt(c.text, v), c.ok);
+    if (c.ok) {
+        EXPECT_EQ(v, c.value);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, ParseIntTest,
+    ::testing::Values(ParseIntCase{"42", true, 42},
+                      ParseIntCase{"-7", true, -7},
+                      ParseIntCase{"0x10", true, 16},
+                      ParseIntCase{"  25600 ", true, 25600},
+                      ParseIntCase{"", false, 0},
+                      ParseIntCase{"abc", false, 0},
+                      ParseIntCase{"12x", false, 0},
+                      ParseIntCase{"40000", true, 40000}));
+
+// --------------------------------------------------------------- bitfield
+
+TEST(Bitfield, Bits)
+{
+    EXPECT_EQ(bits(0xff00, 15, 8), 0xffu);
+    EXPECT_EQ(bits(0xff00, 7, 0), 0u);
+    EXPECT_EQ(bits(~std::uint64_t{0}, 63, 0), ~std::uint64_t{0});
+    EXPECT_EQ(bits(0b1010, 3, 3), 1u);
+}
+
+TEST(Bitfield, InsertBits)
+{
+    EXPECT_EQ(insertBits(0, 15, 8, 0xab), 0xab00u);
+    EXPECT_EQ(insertBits(0xffff, 7, 0, 0), 0xff00u);
+    // Field is masked to width.
+    EXPECT_EQ(insertBits(0, 3, 0, 0x1ff), 0xfu);
+}
+
+TEST(Bitfield, RoundTrip)
+{
+    for (unsigned first = 0; first < 60; first += 7) {
+        unsigned last = first + 4;
+        std::uint64_t v = insertBits(0x123456789abcdef0ULL, last, first,
+                                     0x15);
+        EXPECT_EQ(bits(v, last, first), 0x15u);
+    }
+}
+
+TEST(Bitfield, SignExtend)
+{
+    EXPECT_EQ(signExtend(0xff, 8), -1);
+    EXPECT_EQ(signExtend(0x7f, 8), 127);
+    EXPECT_EQ(signExtend(0x80, 8), -128);
+    EXPECT_EQ(signExtend(0xffffffffULL, 32), -1);
+    EXPECT_EQ(signExtend(5, 32), 5);
+}
+
+} // namespace
+} // namespace quma

@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Unit tests for OpenQL-lite: kernel construction, lowering to both
+ * QIS and raw QuMIS levels, loop generation and the assembly
+ * round trip.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "compiler/codegen.hh"
+#include "isa/assembler.hh"
+
+namespace quma::compiler {
+namespace {
+
+using isa::Instruction;
+using isa::Opcode;
+
+TEST(Kernel, CollectsOperations)
+{
+    Kernel k("demo");
+    k.gate("X180", 0).wait(4).measure(0, 7).init();
+    ASSERT_EQ(k.operations().size(), 4u);
+    EXPECT_EQ(k.operations()[0].kind, Operation::Kind::Gate);
+    EXPECT_EQ(k.operations()[0].mask, 0x1u);
+    EXPECT_EQ(k.operations()[1].cycles, 4u);
+    EXPECT_EQ(k.operations()[2].reg, 7);
+    EXPECT_EQ(k.operations()[3].kind, Operation::Kind::WaitReg);
+}
+
+TEST(Kernel, GateOnMask)
+{
+    Kernel k("demo");
+    k.gateOn("Y90", 0b101);
+    EXPECT_EQ(k.operations()[0].mask, 0b101u);
+}
+
+TEST(Kernel, RejectsBadInput)
+{
+    setLogQuiet(true);
+    Kernel k("demo");
+    EXPECT_THROW(k.gateOn("X180", 0), FatalError);
+    EXPECT_THROW(k.cnot(1, 1), FatalError);
+    EXPECT_THROW(k.wait(0), FatalError);
+    setLogQuiet(false);
+}
+
+TEST(Codegen, SingleRoundHasNoLoop)
+{
+    QuantumProgram prog("p", 1, 1);
+    prog.newKernel("k").gate("X180", 0).measure(0, 7);
+    isa::Program out = prog.compile();
+    // mov init; Apply; Measure; epilogue Wait; halt.
+    ASSERT_EQ(out.size(), 5u);
+    EXPECT_EQ(out.at(0).op, Opcode::Mov);
+    EXPECT_EQ(out.at(1).op, Opcode::Apply);
+    EXPECT_EQ(out.at(2).op, Opcode::MeasureQ);
+    EXPECT_EQ(out.at(3).op, Opcode::QWait);
+    EXPECT_EQ(out.at(4).op, Opcode::Halt);
+}
+
+TEST(Codegen, LoopStructureMatchesAlgorithm3)
+{
+    QuantumProgram prog("p", 1, 25600);
+    prog.newKernel("k").init().gate("I", 0).measure(0, 7);
+    isa::Program out = prog.compile();
+    // mov counter, mov limit, mov init reg, then the body.
+    EXPECT_EQ(out.at(0), Instruction::mov(1, 0));
+    EXPECT_EQ(out.at(1), Instruction::mov(2, 25600));
+    EXPECT_EQ(out.at(2), Instruction::mov(15, 40000));
+    EXPECT_EQ(out.labelTarget("Outer_Loop"), 3u);
+    // Tail: addi, bne back to the loop top, halt.
+    const auto &bne = out.at(out.size() - 2);
+    EXPECT_EQ(bne.op, Opcode::Bne);
+    EXPECT_EQ(static_cast<std::size_t>(bne.imm), 3u);
+    EXPECT_EQ(out.at(out.size() - 1).op, Opcode::Halt);
+}
+
+TEST(Codegen, QisVsQumisLevels)
+{
+    QuantumProgram prog("p", 1, 1);
+    prog.newKernel("k").gate("X180", 0).measure(0, 7);
+
+    CompilerOptions qis;
+    qis.useQisGates = true;
+    isa::Program high = prog.compile(qis);
+    bool sawApply = false;
+    for (const auto &inst : high.all())
+        sawApply |= inst.op == Opcode::Apply;
+    EXPECT_TRUE(sawApply);
+
+    CompilerOptions raw;
+    raw.useQisGates = false;
+    isa::Program low = prog.compile(raw);
+    for (const auto &inst : low.all()) {
+        EXPECT_NE(inst.op, Opcode::Apply);
+        EXPECT_NE(inst.op, Opcode::MeasureQ);
+    }
+    // Pulse + Wait + MPG + MD present instead.
+    bool sawPulse = false, sawMpg = false, sawMd = false;
+    for (const auto &inst : low.all()) {
+        sawPulse |= inst.op == Opcode::Pulse;
+        sawMpg |= inst.op == Opcode::Mpg;
+        sawMd |= inst.op == Opcode::Md;
+    }
+    EXPECT_TRUE(sawPulse && sawMpg && sawMd);
+}
+
+TEST(Codegen, CnotAndWaitReg)
+{
+    QuantumProgram prog("p", 3, 1);
+    prog.newKernel("k").init(12).cnot(1, 2);
+    isa::Program out = prog.compile();
+    EXPECT_EQ(out.at(1), Instruction::waitReg(12));
+    EXPECT_EQ(out.at(2), Instruction::cnot(1, 2));
+}
+
+TEST(Codegen, UnknownGateIsFatal)
+{
+    setLogQuiet(true);
+    QuantumProgram prog("p", 1, 1);
+    prog.newKernel("k").gate("WIBBLE", 0);
+    EXPECT_THROW(prog.compile(), FatalError);
+    setLogQuiet(false);
+}
+
+TEST(Codegen, AssemblyRoundTrip)
+{
+    QuantumProgram prog("roundtrip", 2, 4);
+    prog.newKernel("k")
+        .init()
+        .gate("X90", 0)
+        .gateOn("Y180", 0b11)
+        .cnot(0, 1)
+        .measure(0, 7)
+        .measure(1, 8);
+    isa::Program direct = prog.compile();
+    std::string text = prog.compileToAssembly();
+    isa::Assembler as;
+    isa::Program reassembled = as.assemble(text);
+    ASSERT_EQ(reassembled.size(), direct.size());
+    for (std::size_t i = 0; i < direct.size(); ++i)
+        EXPECT_EQ(reassembled.at(i), direct.at(i)) << "at " << i;
+}
+
+TEST(Codegen, OptionsControlRegistersAndTiming)
+{
+    CompilerOptions opt;
+    opt.initReg = 10;
+    opt.initCycles = 1234;
+    opt.loopCounterReg = 20;
+    opt.loopLimitReg = 21;
+    opt.epilogueCycles = 99;
+    QuantumProgram prog("p", 1, 2);
+    prog.newKernel("k").init(10);
+    isa::Program out = prog.compile(opt);
+    EXPECT_EQ(out.at(0), Instruction::mov(20, 0));
+    EXPECT_EQ(out.at(1), Instruction::mov(21, 2));
+    EXPECT_EQ(out.at(2), Instruction::mov(10, 1234));
+    EXPECT_EQ(out.at(3), Instruction::waitReg(10));
+    EXPECT_EQ(out.at(4), Instruction::wait(99));
+}
+
+TEST(QuantumProgram, RejectsBadConstruction)
+{
+    setLogQuiet(true);
+    EXPECT_THROW(QuantumProgram("p", 0, 1), FatalError);
+    EXPECT_THROW(QuantumProgram("p", 1, 0), FatalError);
+    setLogQuiet(false);
+}
+
+} // namespace
+} // namespace quma::compiler

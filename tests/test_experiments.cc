@@ -1,0 +1,241 @@
+/**
+ * @file
+ * Unit tests for the experiment library: AllXY tables, the Clifford
+ * group, RB sequence generation, and small end-to-end experiment
+ * runs through the full machine.
+ */
+
+#include <gtest/gtest.h>
+
+#include <numbers>
+
+#include "common/logging.hh"
+#include "experiments/allxy.hh"
+#include "experiments/clifford.hh"
+#include "experiments/rb.hh"
+
+namespace quma::experiments {
+namespace {
+
+// ------------------------------------------------------------------ AllXY
+
+TEST(Allxy, TwentyOnePairsWithPaperLabels)
+{
+    const auto &pairs = allxyPairs();
+    ASSERT_EQ(pairs.size(), 21u);
+    EXPECT_EQ(pairs[0].label, "II");
+    EXPECT_EQ(pairs[1].label, "XX");
+    EXPECT_EQ(pairs[17].label, "XI");
+    EXPECT_EQ(pairs[20].label, "yy");
+}
+
+TEST(Allxy, IdealSignatureIsTheStaircase)
+{
+    // 5 pairs at 0, 12 at 1/2, 4 at 1 (paper §4.1), doubled.
+    auto sig = idealAllxySignature();
+    ASSERT_EQ(sig.size(), 42u);
+    int zeros = 0, halves = 0, ones = 0;
+    for (double v : sig) {
+        if (v == 0.0)
+            ++zeros;
+        else if (v == 0.5)
+            ++halves;
+        else if (v == 1.0)
+            ++ones;
+    }
+    EXPECT_EQ(zeros, 10);
+    EXPECT_EQ(halves, 24);
+    EXPECT_EQ(ones, 8);
+    // Monotone staircase.
+    for (std::size_t i = 1; i < sig.size(); ++i)
+        EXPECT_GE(sig[i], sig[i - 1]);
+}
+
+TEST(Allxy, ProgramShape)
+{
+    auto prog = buildAllxyProgram(25600, 0);
+    EXPECT_EQ(prog.repetitions(), 25600u);
+    // 42 measured points, 4 operations each.
+    EXPECT_EQ(prog.kernels().at(0).operations().size(), 42u * 4);
+}
+
+TEST(Allxy, RescaleUsesCalibrationPoints)
+{
+    std::vector<double> raw(42, 0.0);
+    for (std::size_t i = 0; i < 42; ++i)
+        raw[i] = -900.0; // everything reads |0>
+    raw[34] = raw[35] = raw[36] = raw[37] = 900.0; // XI, YI read |1>
+    auto f = rescaleAllxy(raw);
+    EXPECT_NEAR(f[0], 0.0, 1e-12);
+    EXPECT_NEAR(f[34], 1.0, 1e-12);
+}
+
+TEST(Allxy, RescaleRejectsDegenerateCalibration)
+{
+    setLogQuiet(true);
+    std::vector<double> raw(42, 1.0);
+    EXPECT_THROW(rescaleAllxy(raw), FatalError);
+    setLogQuiet(false);
+}
+
+TEST(Allxy, EndToEndStaircase)
+{
+    AllxyConfig cfg;
+    cfg.rounds = 96;
+    auto r = runAllxy(cfg);
+    EXPECT_TRUE(r.run.halted);
+    EXPECT_TRUE(r.run.violations.clean());
+    ASSERT_EQ(r.fidelity.size(), 42u);
+    // The staircase shape with statistical tolerance.
+    EXPECT_LT(r.deviation, 0.12);
+    EXPECT_NEAR(r.fidelity[2], 0.0, 0.15);  // XX
+    EXPECT_NEAR(r.fidelity[14], 0.5, 0.2);  // xy
+    EXPECT_NEAR(r.fidelity[40], 1.0, 0.15); // yy
+}
+
+TEST(Allxy, AmplitudeErrorDistortsMiddleSteps)
+{
+    AllxyConfig good;
+    good.rounds = 96;
+    AllxyConfig bad = good;
+    bad.amplitudeError = 0.15;
+    auto g = runAllxy(good);
+    auto b = runAllxy(bad);
+    EXPECT_GT(b.deviation, g.deviation * 1.5);
+}
+
+TEST(Allxy, TimingSkewProducesDistinctSignature)
+{
+    // The paper's 5 ns example: delaying the SECOND pulse of each
+    // pair by one cycle rotates its axis 90 degrees relative to the
+    // first (x becomes y), wrecking the staircase.
+    AllxyConfig skew;
+    skew.rounds = 96;
+    skew.interPulseSkewCycles = 1;
+    auto r = runAllxy(skew);
+    EXPECT_GT(r.deviation, 0.1);
+}
+
+// --------------------------------------------------------------- Clifford
+
+TEST(Clifford, GroupHas24Elements)
+{
+    const auto &g = CliffordGroup::instance();
+    EXPECT_EQ(g.size(), 24u);
+}
+
+TEST(Clifford, ClosedUnderComposition)
+{
+    const auto &g = CliffordGroup::instance();
+    for (std::size_t a = 0; a < g.size(); ++a)
+        for (std::size_t b = 0; b < g.size(); ++b)
+            EXPECT_NE(g.compose(a, b), CliffordGroup::npos);
+}
+
+TEST(Clifford, InversesComposeToIdentity)
+{
+    const auto &g = CliffordGroup::instance();
+    for (std::size_t a = 0; a < g.size(); ++a) {
+        std::size_t inv = g.inverseOf(a);
+        EXPECT_EQ(g.compose(a, inv), g.identityIndex());
+        EXPECT_EQ(g.compose(inv, a), g.identityIndex());
+    }
+}
+
+TEST(Clifford, DecompositionsImplementTheirMatrices)
+{
+    const double kPi = std::numbers::pi;
+    const auto &g = CliffordGroup::instance();
+    auto nameToMat = [&](const std::string &n) -> qsim::Mat2 {
+        if (n == "X180")
+            return qsim::gates::rx(kPi);
+        if (n == "X90")
+            return qsim::gates::rx(kPi / 2);
+        if (n == "Xm90")
+            return qsim::gates::rx(-kPi / 2);
+        if (n == "Y180")
+            return qsim::gates::ry(kPi);
+        if (n == "Y90")
+            return qsim::gates::ry(kPi / 2);
+        return qsim::gates::ry(-kPi / 2); // Ym90
+    };
+    for (std::size_t i = 0; i < g.size(); ++i) {
+        qsim::Mat2 u = qsim::gates::identity();
+        for (const auto &n : g.element(i).gateNames)
+            u = qsim::matmul(nameToMat(n), u);
+        EXPECT_TRUE(qsim::equalUpToPhase(u, g.element(i).matrix, 1e-9))
+            << "element " << i;
+    }
+}
+
+TEST(Clifford, AverageGateCountIsMinimal)
+{
+    // BFS finds MINIMAL decompositions over {±90, 180 x/y}:
+    // 1 identity (0 gates) + 6 singles + 13 doubles + 4 triples =
+    // 44 primitives / 24 elements. This slightly beats the 1.875
+    // average of the conventional fixed decomposition tables.
+    EXPECT_NEAR(CliffordGroup::instance().averageGateCount(),
+                44.0 / 24.0, 1e-12);
+}
+
+TEST(Clifford, DecompositionsAreMinimalDepth)
+{
+    const auto &g = CliffordGroup::instance();
+    for (std::size_t i = 0; i < g.size(); ++i)
+        EXPECT_LE(g.element(i).gates.size(), 3u);
+}
+
+// --------------------------------------------------------------------- RB
+
+class RbSequenceTest : public ::testing::TestWithParam<unsigned>
+{};
+
+TEST_P(RbSequenceTest, SequencePlusRecoveryIsIdentity)
+{
+    const double kPi = std::numbers::pi;
+    Rng rng(17 + GetParam());
+    auto gates = drawRbSequence(GetParam(), rng);
+    qsim::Mat2 u = qsim::gates::identity();
+    for (const auto &n : gates) {
+        qsim::Mat2 m;
+        if (n == "X180")
+            m = qsim::gates::rx(kPi);
+        else if (n == "X90")
+            m = qsim::gates::rx(kPi / 2);
+        else if (n == "Xm90")
+            m = qsim::gates::rx(-kPi / 2);
+        else if (n == "Y180")
+            m = qsim::gates::ry(kPi);
+        else if (n == "Y90")
+            m = qsim::gates::ry(kPi / 2);
+        else
+            m = qsim::gates::ry(-kPi / 2);
+        u = qsim::matmul(m, u);
+    }
+    EXPECT_TRUE(
+        qsim::equalUpToPhase(u, qsim::gates::identity(), 1e-9));
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, RbSequenceTest,
+                         ::testing::Values(0u, 1u, 2u, 5u, 16u, 64u));
+
+TEST(Rb, SurvivalDecaysWithLength)
+{
+    RbConfig cfg;
+    cfg.lengths = {2, 16, 48};
+    cfg.seedsPerLength = 3;
+    cfg.rounds = 64;
+    // Shorten coherence so the decay is visible at small m.
+    cfg.qubitParams.t1Ns = 4000.0;
+    cfg.qubitParams.t2Ns = 3000.0;
+    auto r = runRb(cfg);
+    EXPECT_TRUE(r.run.halted);
+    ASSERT_EQ(r.survival.size(), 3u);
+    EXPECT_GT(r.survival[0], r.survival[2] + 0.05);
+    EXPECT_GT(r.p, 0.0);
+    EXPECT_LT(r.p, 1.0);
+    EXPECT_GT(r.errorPerClifford, 0.0);
+}
+
+} // namespace
+} // namespace quma::experiments

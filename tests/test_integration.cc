@@ -1,0 +1,204 @@
+/**
+ * @file
+ * Cross-module integration tests: multi-qubit machines, the CNOT
+ * microprogram on real (simulated) hardware, horizontal pulses,
+ * multi-qubit measurement packing, and coherence experiments
+ * end to end.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "experiments/coherence.hh"
+#include "quma/machine.hh"
+
+namespace quma::core {
+namespace {
+
+MachineConfig
+twoQubitConfig()
+{
+    MachineConfig cfg;
+    qsim::TransmonParams q0 = qsim::paperQubitParams();
+    qsim::TransmonParams q1 = qsim::paperQubitParams();
+    // A second transmon at a different frequency on its own AWG.
+    q1.freqHz = 6.100e9;
+    cfg.qubits = {q0, q1};
+    cfg.numAwgs = 2;
+    cfg.driveAwg = {0, 1};
+    return cfg;
+}
+
+TEST(Integration, TwoQubitIndependentDrives)
+{
+    MachineConfig cfg = twoQubitConfig();
+    QumaMachine m(cfg);
+    m.loadAssembly(R"(
+        Wait 100
+        Pulse {q0}, X180
+        Wait 4
+        Wait 600
+        halt
+    )");
+    m.run(1'000'000);
+    EXPECT_GT(m.chip().probabilityOne(0), 0.99);
+    EXPECT_LT(m.chip().probabilityOne(1), 0.01);
+}
+
+TEST(Integration, HorizontalPulseDrivesBothQubits)
+{
+    MachineConfig cfg = twoQubitConfig();
+    QumaMachine m(cfg);
+    m.loadAssembly(R"(
+        Wait 100
+        Pulse ({q0, q1}, X180)
+        Wait 4
+        Wait 600
+        halt
+    )");
+    m.run(1'000'000);
+    EXPECT_GT(m.chip().probabilityOne(0), 0.99);
+    EXPECT_GT(m.chip().probabilityOne(1), 0.99);
+}
+
+TEST(Integration, CnotMicroprogramOnHardware)
+{
+    // |10> -> |11>: flip the control (q1), then CNOT q0, q1 through
+    // the full microarchitecture (paper Algorithm 2 microprogram,
+    // CZ flux pulse included).
+    MachineConfig cfg = twoQubitConfig();
+    QumaMachine m(cfg);
+    m.loadAssembly(R"(
+        Wait 100
+        Pulse {q1}, X180
+        Wait 4
+        CNOT q0, q1
+        Wait 600
+        halt
+    )");
+    auto r = m.run(1'000'000);
+    EXPECT_TRUE(r.violations.clean());
+    EXPECT_GT(m.chip().probabilityOne(0), 0.98);
+    EXPECT_GT(m.chip().probabilityOne(1), 0.98);
+}
+
+TEST(Integration, CnotWithControlZeroDoesNothing)
+{
+    MachineConfig cfg = twoQubitConfig();
+    QumaMachine m(cfg);
+    m.loadAssembly(R"(
+        Wait 100
+        CNOT q0, q1
+        Wait 600
+        halt
+    )");
+    m.run(1'000'000);
+    EXPECT_LT(m.chip().probabilityOne(0), 0.02);
+    EXPECT_LT(m.chip().probabilityOne(1), 0.02);
+}
+
+TEST(Integration, MultiQubitMeasurePacksBits)
+{
+    MachineConfig cfg = twoQubitConfig();
+    QumaMachine m(cfg);
+    m.loadAssembly(R"(
+        Wait 100
+        Pulse {q1}, X180
+        Wait 4
+        MPG {q0, q1}, 300
+        MD {q0, q1}, r7
+        Wait 600
+        halt
+    )");
+    m.run(1'000'000);
+    // q0 reads 0 (bit 0), q1 reads 1 (bit 1): r7 = 0b10.
+    EXPECT_EQ(m.registers().read(7), 0b10);
+}
+
+TEST(Integration, MeasurementsOnDistinctQubitsDontCollide)
+{
+    MachineConfig cfg = twoQubitConfig();
+    cfg.traceEnabled = true;
+    QumaMachine m(cfg);
+    m.loadAssembly(R"(
+        Wait 100
+        MPG {q0, q1}, 300
+        MD {q0, q1}, r7
+        Wait 600
+        halt
+    )");
+    auto r = m.run(1'000'000);
+    EXPECT_TRUE(r.halted);
+    EXPECT_EQ(m.trace().measurements().size(), 2u);
+    EXPECT_EQ(m.registers().read(7), 0);
+}
+
+// ----------------------------------------------------- coherence sweeps
+
+TEST(Integration, T1ExperimentRecoversConfiguredT1)
+{
+    using namespace quma::experiments;
+    // Sweep to 3 * T1 so the tail pins the fit's offset (a shorter
+    // noisy sweep leaves the 3-parameter fit degenerate).
+    CoherenceConfig cfg = CoherenceConfig::withLinearSweep(90000, 10);
+    cfg.rounds = 256;
+    cfg.qubitParams.t1Ns = 30000.0;
+    cfg.qubitParams.t2Ns = 25000.0;
+    auto r = runT1(cfg);
+    EXPECT_TRUE(r.run.halted);
+    ASSERT_EQ(r.population.size(), 10u);
+    // Population decays.
+    EXPECT_GT(r.population.front(), r.population.back() + 0.2);
+    // Fitted T1 within 30% of the configured value.
+    EXPECT_NEAR(r.fit.tau, 30000.0, 9000.0);
+}
+
+TEST(Integration, RamseyFringeAtArtificialDetuning)
+{
+    using namespace quma::experiments;
+    CoherenceConfig cfg;
+    // Delays on the 20 ns SSB grid (multiples of 4 cycles) sampling
+    // 1.6 periods of a 500 kHz fringe.
+    for (int i = 1; i <= 16; ++i)
+        cfg.delaysCycles.push_back(static_cast<Cycle>(i) * 40);
+    cfg.rounds = 160;
+    cfg.artificialDetuningHz = 500.0e3;
+    auto r = runRamsey(cfg);
+    EXPECT_TRUE(r.run.halted);
+    // Fitted fringe frequency within 15% of the detuning (per ns).
+    EXPECT_NEAR(r.fit.frequency, 500.0e3 * 1e-9,
+                500.0e3 * 1e-9 * 0.15);
+}
+
+TEST(Integration, EchoOutlivesRamseyUnderSlowNoise)
+{
+    using namespace quma::experiments;
+    CoherenceConfig cfg = CoherenceConfig::withLinearSweep(8000, 8);
+    cfg.rounds = 128;
+    cfg.qubitParams.t1Ns = 50000.0;
+    cfg.qubitParams.t2Ns = 40000.0;
+    // Strong quasi-static noise: Gaussian Ramsey envelope ~ 2.3 us.
+    cfg.qubitParams.quasiStaticDetuningSigmaHz = 100.0e3;
+    cfg.artificialDetuningHz = 400.0e3;
+    auto ramsey = runRamsey(cfg);
+
+    CoherenceConfig echoCfg = cfg;
+    echoCfg.artificialDetuningHz = 0.0;
+    auto echo = runEcho(echoCfg);
+
+    // The echo refocuses the slow noise. Compare contrast over the
+    // second half of the sweep: the Ramsey fringe has collapsed to
+    // 1/2 while the echo still returns the qubit to |1>.
+    auto tailContrast = [](const std::vector<double> &population) {
+        double acc = 0;
+        std::size_t n = population.size();
+        for (std::size_t i = n / 2; i < n; ++i)
+            acc += std::abs(population[i] - 0.5);
+        return acc / static_cast<double>(n - n / 2);
+    };
+    EXPECT_GT(tailContrast(echo.population),
+              tailContrast(ramsey.population) + 0.15);
+}
+
+} // namespace
+} // namespace quma::core

@@ -1,0 +1,238 @@
+/**
+ * @file
+ * Unit tests for the measurement subsystem: MDU calibration and
+ * discrimination, trigger/trace ordering, the digital output unit,
+ * and the data collection unit.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "measure/datacollector.hh"
+#include "measure/digitaloutput.hh"
+#include "measure/mdu.hh"
+
+namespace quma::measure {
+namespace {
+
+qsim::ReadoutParams
+cleanReadout()
+{
+    qsim::ReadoutParams rp;
+    rp.c0 = {30.0, 0.0};
+    rp.c1 = {-30.0, 0.0};
+    rp.noiseSigma = 0.0;
+    return rp;
+}
+
+// -------------------------------------------------------------------- MDU
+
+TEST(MduCalibration, SeparatesStates)
+{
+    auto cal = calibrateMdu(cleanReadout(), 1500);
+    EXPECT_LT(cal.s0, cal.threshold);
+    EXPECT_GT(cal.s1, cal.threshold);
+    EXPECT_GT(cal.s1 - cal.s0, 0.0);
+}
+
+TEST(MduCalibration, RejectsTinyWindow)
+{
+    setLogQuiet(true);
+    EXPECT_THROW(calibrateMdu(cleanReadout(), 1), quma::FatalError);
+    setLogQuiet(false);
+}
+
+TEST(Mdu, DiscriminatesNoiselessTraces)
+{
+    auto rp = cleanReadout();
+    Mdu mdu(calibrateMdu(rp, 1500));
+    Rng rng(1);
+    auto t0 = qsim::simulateReadout(rp, false, 1500, 1e12, rng);
+    auto t1 = qsim::simulateReadout(rp, true, 1500, 1e12, rng);
+    EXPECT_FALSE(mdu.integrate(t0.trace).second);
+    EXPECT_TRUE(mdu.integrate(t1.trace).second);
+}
+
+TEST(Mdu, HighNoiseStillMostlyCorrect)
+{
+    auto rp = cleanReadout();
+    rp.noiseSigma = 150.0;
+    Mdu mdu(calibrateMdu(rp, 1500));
+    Rng rng(7);
+    int correct = 0;
+    const int shots = 400;
+    for (int s = 0; s < shots; ++s) {
+        bool one = s % 2 == 1;
+        auto t = qsim::simulateReadout(rp, one, 1500, 1e12, rng);
+        correct += mdu.integrate(t.trace).second == one;
+    }
+    EXPECT_GT(correct, shots * 90 / 100);
+}
+
+TEST(Mdu, TraceThenTriggerCompletesAfterLatency)
+{
+    auto rp = cleanReadout();
+    Mdu mdu(calibrateMdu(rp, 1500), /*latency=*/100);
+    Rng rng(1);
+    std::vector<MduResult> results;
+    mdu.setResultSink(
+        [&](const MduResult &r) { results.push_back(r); });
+
+    auto t = qsim::simulateReadout(rp, true, 1500, 1e12, rng);
+    mdu.submitTrace(t.trace, /*td=*/1000, /*duration=*/300);
+    EXPECT_TRUE(mdu.hasPendingTrace());
+    mdu.discriminate(1000, 7, 0x1);
+    ASSERT_TRUE(mdu.nextEventCycle().has_value());
+    // Window [1000, 1300] plus 100 cycles of latency.
+    EXPECT_EQ(*mdu.nextEventCycle(), 1400u);
+    mdu.advanceTo(1399);
+    EXPECT_TRUE(results.empty());
+    mdu.advanceTo(1400);
+    ASSERT_EQ(results.size(), 1u);
+    EXPECT_TRUE(results[0].bit);
+    EXPECT_EQ(results[0].destReg, 7);
+    EXPECT_EQ(results[0].completionCycle, 1400u);
+}
+
+TEST(Mdu, TriggerBeforeTraceArms)
+{
+    auto rp = cleanReadout();
+    Mdu mdu(calibrateMdu(rp, 1500), 100);
+    Rng rng(1);
+    std::vector<MduResult> results;
+    mdu.setResultSink(
+        [&](const MduResult &r) { results.push_back(r); });
+
+    mdu.discriminate(1000, 5, 0x1);
+    EXPECT_TRUE(mdu.armed());
+    auto t = qsim::simulateReadout(rp, false, 1500, 1e12, rng);
+    mdu.submitTrace(t.trace, 1018, 300);
+    EXPECT_FALSE(mdu.armed());
+    // Window ends at 1318, plus latency.
+    EXPECT_EQ(*mdu.nextEventCycle(), 1418u);
+    mdu.advanceTo(2000);
+    ASSERT_EQ(results.size(), 1u);
+    EXPECT_FALSE(results[0].bit);
+}
+
+TEST(Mdu, DoubleTriggerIsFatal)
+{
+    setLogQuiet(true);
+    Mdu mdu(calibrateMdu(cleanReadout(), 1500), 100);
+    mdu.discriminate(0, 1, 0x1);
+    EXPECT_THROW(mdu.discriminate(5, 1, 0x1), quma::FatalError);
+    setLogQuiet(false);
+}
+
+TEST(Mdu, DoubleTraceIsFatal)
+{
+    setLogQuiet(true);
+    auto rp = cleanReadout();
+    Mdu mdu(calibrateMdu(rp, 1500), 100);
+    Rng rng(1);
+    auto t = qsim::simulateReadout(rp, false, 1500, 1e12, rng);
+    mdu.submitTrace(t.trace, 0, 300);
+    EXPECT_THROW(mdu.submitTrace(t.trace, 400, 300),
+                 quma::FatalError);
+    setLogQuiet(false);
+}
+
+// --------------------------------------------------------- digital output
+
+TEST(DigitalOutput, RaisesMarkersForMask)
+{
+    DigitalOutputUnit dig(8, 6.849e9);
+    std::vector<std::pair<unsigned, signal::MeasurementPulse>> pulses;
+    dig.setPulseSink([&](unsigned q, const signal::MeasurementPulse &p) {
+        pulses.emplace_back(q, p);
+    });
+    dig.fire(0b101, 100, 300);
+    dig.advanceTo(100);
+    ASSERT_EQ(pulses.size(), 2u);
+    EXPECT_EQ(pulses[0].first, 0u);
+    EXPECT_EQ(pulses[1].first, 2u);
+    EXPECT_EQ(pulses[0].second.t0Ns, 500);
+    EXPECT_EQ(pulses[0].second.durationNs, 1500);
+    ASSERT_EQ(dig.markers().size(), 2u);
+    EXPECT_EQ(dig.markers()[0],
+              (MarkerWindow{0, 100, 300}));
+}
+
+TEST(DigitalOutput, DeliveryIsScheduled)
+{
+    DigitalOutputUnit dig;
+    int delivered = 0;
+    dig.setPulseSink(
+        [&](unsigned, const signal::MeasurementPulse &) {
+            ++delivered;
+        });
+    dig.fire(0x1, 500, 300);
+    EXPECT_EQ(*dig.nextEventCycle(), 500u);
+    dig.advanceTo(499);
+    EXPECT_EQ(delivered, 0);
+    dig.advanceTo(500);
+    EXPECT_EQ(delivered, 1);
+    EXPECT_FALSE(dig.nextEventCycle().has_value());
+}
+
+TEST(DigitalOutput, RejectsZeroDuration)
+{
+    setLogQuiet(true);
+    DigitalOutputUnit dig;
+    EXPECT_THROW(dig.fire(0x1, 0, 0), quma::FatalError);
+    setLogQuiet(false);
+}
+
+// ---------------------------------------------------------- data collector
+
+TEST(DataCollector, RoundRobinBinning)
+{
+    DataCollectionUnit dcu;
+    dcu.configure(3);
+    // Two rounds: bins get (1,4), (2,5), (3,6).
+    for (double v : {1.0, 2.0, 3.0, 4.0, 5.0, 6.0})
+        dcu.addSample(v);
+    EXPECT_EQ(dcu.completedRounds(), 2u);
+    auto avg = dcu.averages();
+    ASSERT_EQ(avg.size(), 3u);
+    EXPECT_DOUBLE_EQ(avg[0], 2.5);
+    EXPECT_DOUBLE_EQ(avg[1], 3.5);
+    EXPECT_DOUBLE_EQ(avg[2], 4.5);
+}
+
+TEST(DataCollector, PartialRound)
+{
+    DataCollectionUnit dcu;
+    dcu.configure(2);
+    dcu.addSample(10.0);
+    dcu.addSample(20.0);
+    dcu.addSample(30.0);
+    auto avg = dcu.averages();
+    EXPECT_DOUBLE_EQ(avg[0], 20.0);
+    EXPECT_DOUBLE_EQ(avg[1], 20.0);
+    EXPECT_EQ(dcu.completedRounds(), 1u);
+}
+
+TEST(DataCollector, BitAverages)
+{
+    DataCollectionUnit dcu;
+    dcu.configure(2);
+    dcu.addBit(true);
+    dcu.addBit(false);
+    dcu.addBit(true);
+    dcu.addBit(false);
+    auto avg = dcu.bitAverages();
+    EXPECT_DOUBLE_EQ(avg[0], 1.0);
+    EXPECT_DOUBLE_EQ(avg[1], 0.0);
+}
+
+TEST(DataCollector, UnconfiguredIsFatal)
+{
+    setLogQuiet(true);
+    DataCollectionUnit dcu;
+    EXPECT_THROW(dcu.addSample(1.0), quma::PanicError);
+    setLogQuiet(false);
+}
+
+} // namespace
+} // namespace quma::measure

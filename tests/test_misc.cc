@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Tests for the host link model, the trace recorder, machine
+ * configuration validation, spectroscopy and the CPMG echo train.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "experiments/coherence.hh"
+#include "isa/assembler.hh"
+#include "experiments/spectroscopy.hh"
+#include "quma/hostlink.hh"
+#include "quma/machine.hh"
+
+namespace quma::core {
+namespace {
+
+// --------------------------------------------------------------- hostlink
+
+TEST(HostLink, MetersProgramUpload)
+{
+    MachineConfig cfg;
+    QumaMachine m(cfg);
+    HostLink link(m, 30.0e6);
+
+    isa::Assembler as;
+    auto prog = as.assemble("mov r1, 1\nWait 10\nhalt");
+    link.uploadProgram(prog);
+    auto stats = link.stats();
+    EXPECT_EQ(stats.uploads, 1u);
+    EXPECT_EQ(stats.bytesUp, 3 * sizeof(std::uint64_t));
+    EXPECT_GT(stats.secondsUp, 0.0);
+
+    // The uploaded binary is what actually runs.
+    auto r = m.run(100000);
+    EXPECT_TRUE(r.halted);
+    EXPECT_EQ(m.registers().read(1), 1);
+}
+
+TEST(HostLink, MetersCalibrationAndResults)
+{
+    MachineConfig cfg;
+    QumaMachine m(cfg);
+    HostLink link(m);
+    link.uploadCalibration();
+    m.configureDataCollection(3);
+    m.loadAssembly("halt");
+    m.run(1000);
+    auto avgs = link.retrieveAverages();
+    EXPECT_EQ(avgs.size(), 3u);
+
+    auto stats = link.stats();
+    EXPECT_EQ(stats.uploads, 1u);
+    EXPECT_EQ(stats.downloads, 1u);
+    // Three AWG lookup tables' worth of samples.
+    EXPECT_GT(stats.bytesUp, 3 * 420u);
+    EXPECT_EQ(stats.bytesDown, 3 * sizeof(double));
+}
+
+TEST(HostLink, RejectsBadRate)
+{
+    setLogQuiet(true);
+    MachineConfig cfg;
+    QumaMachine m(cfg);
+    EXPECT_THROW(HostLink(m, 0.0), FatalError);
+    setLogQuiet(false);
+}
+
+// ---------------------------------------------------------------- trace
+
+TEST(TraceRecorder, DisabledRecordsNothing)
+{
+    TraceRecorder rec;
+    rec.recordUopFire({1, 0, 1, 0x1});
+    rec.recordLabelFire({1, 1});
+    EXPECT_TRUE(rec.uopFires().empty());
+    EXPECT_TRUE(rec.labelFires().empty());
+}
+
+TEST(TraceRecorder, EnableClearCycle)
+{
+    TraceRecorder rec;
+    rec.setEnabled(true);
+    rec.recordUopFire({1, 0, 1, 0x1});
+    rec.recordCodeword({3, 0, 1, 0x1});
+    rec.recordPulse({15, 0, 1, 0x1, 20.0});
+    EXPECT_EQ(rec.uopFires().size(), 1u);
+    EXPECT_EQ(rec.codewords().size(), 1u);
+    EXPECT_EQ(rec.pulses().size(), 1u);
+    rec.clear();
+    EXPECT_TRUE(rec.uopFires().empty());
+    EXPECT_TRUE(rec.codewords().empty());
+    EXPECT_TRUE(rec.pulses().empty());
+}
+
+// --------------------------------------------------------- config checks
+
+TEST(MachineConfig, RejectsEmptyChip)
+{
+    setLogQuiet(true);
+    MachineConfig cfg;
+    cfg.qubits.clear();
+    EXPECT_THROW(QumaMachine{cfg}, FatalError);
+    setLogQuiet(false);
+}
+
+TEST(MachineConfig, RejectsBadRouting)
+{
+    setLogQuiet(true);
+    MachineConfig cfg;
+    cfg.qubits.assign(2, qsim::paperQubitParams());
+    cfg.numAwgs = 2;
+    cfg.driveAwg = {0, 5}; // out of range
+    EXPECT_THROW(QumaMachine{cfg}, FatalError);
+    cfg.driveAwg = {0}; // wrong length
+    EXPECT_THROW(QumaMachine{cfg}, FatalError);
+    setLogQuiet(false);
+}
+
+TEST(MachineConfig, RejectsZeroAwgsOrWidth)
+{
+    setLogQuiet(true);
+    MachineConfig cfg;
+    cfg.numAwgs = 0;
+    EXPECT_THROW(QumaMachine{cfg}, FatalError);
+    MachineConfig cfg2;
+    cfg2.exec.issueWidth = 0;
+    EXPECT_THROW(QumaMachine{cfg2}, FatalError);
+    setLogQuiet(false);
+}
+
+// ----------------------------------------------------------- experiments
+
+TEST(Spectroscopy, FindsTheQubit)
+{
+    using namespace quma::experiments;
+    // The 20 ns Gaussian probe has ~50 MHz bandwidth: sweep well
+    // beyond it so the response actually falls off at the edges.
+    auto cfg = SpectroscopyConfig::withLinearSweep(160.0e6, 17);
+    cfg.rounds = 96;
+    auto r = runSpectroscopy(cfg);
+    ASSERT_EQ(r.population.size(), 17u);
+    // The response peaks on resonance (detuning 0 is mid-sweep).
+    EXPECT_NEAR(r.peakHz, 0.0, 12.0e6);
+    // And falls off at the edges.
+    EXPECT_GT(r.population[8], r.population.front() + 0.5);
+    EXPECT_GT(r.population[8], r.population.back() + 0.5);
+    EXPECT_GT(r.fwhmHz, 0.0);
+    EXPECT_LT(r.fwhmHz, 160.0e6);
+}
+
+TEST(Cpmg, ReducesToEchoForOnePulse)
+{
+    using namespace quma::experiments;
+    CoherenceConfig cfg = CoherenceConfig::withLinearSweep(16000, 6);
+    cfg.rounds = 96;
+    cfg.qubitParams.t1Ns = 50000.0;
+    cfg.qubitParams.t2Ns = 40000.0;
+    cfg.qubitParams.quasiStaticDetuningSigmaHz = 100.0e3;
+    auto echo = runEcho(cfg);
+    auto cpmg1 = runCpmg(cfg, 1);
+    // Same physics, same grid: populations agree within noise.
+    for (std::size_t i = 0; i < echo.population.size(); ++i)
+        EXPECT_NEAR(cpmg1.population[i], echo.population[i], 0.15);
+}
+
+TEST(Cpmg, TrainRefocusesSlowNoise)
+{
+    using namespace quma::experiments;
+    CoherenceConfig cfg = CoherenceConfig::withLinearSweep(12800, 5);
+    cfg.rounds = 96;
+    cfg.qubitParams.t1Ns = 60000.0;
+    cfg.qubitParams.t2Ns = 50000.0;
+    cfg.qubitParams.quasiStaticDetuningSigmaHz = 120.0e3;
+    auto cpmg4 = runCpmg(cfg, 4);
+    EXPECT_TRUE(cpmg4.run.halted);
+    EXPECT_TRUE(cpmg4.run.violations.clean());
+    // Slow noise refocused: contrast survives across the sweep.
+    for (double p : cpmg4.population)
+        EXPECT_GT(p, 0.75);
+}
+
+} // namespace
+} // namespace quma::core

@@ -1,0 +1,228 @@
+/**
+ * @file
+ * Deeper physics property tests: density-matrix/state-vector
+ * agreement on random circuits, SSB-grid phase physics, readout
+ * error asymmetry, and drive linearity.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "common/rng.hh"
+#include "qsim/channels.hh"
+#include "qsim/density.hh"
+#include "qsim/statevector.hh"
+#include "qsim/transmon.hh"
+#include "signal/envelope.hh"
+#include "signal/modulation.hh"
+
+namespace quma::qsim {
+namespace {
+
+constexpr double kPi = std::numbers::pi;
+constexpr double kSsb = -50.0e6;
+
+TransmonParams
+quietParams()
+{
+    TransmonParams p = paperQubitParams();
+    p.t1Ns = 1e9;
+    p.t2Ns = 1e9;
+    p.readout.noiseSigma = 0.0;
+    return p;
+}
+
+signal::DrivePulse
+makePulse(const TransmonParams &p, double theta, double phi,
+          TimeNs t0_ns)
+{
+    signal::Envelope unit = signal::Envelope::gaussian(20.0, 1.0);
+    double amp = theta / (p.rabiRadPerAmpNs * unit.area());
+    signal::Envelope env = signal::Envelope::gaussian(20.0, amp);
+    signal::Waveform base(env.sample(1e9), 1e9);
+    auto [i, q] = signal::ssbModulate(base, kSsb, 0.0, phi);
+    signal::DrivePulse pulse;
+    pulse.t0Ns = t0_ns;
+    pulse.i = i;
+    pulse.q = q;
+    pulse.ssbHz = kSsb;
+    pulse.carrierHz = p.freqHz - kSsb;
+    return pulse;
+}
+
+// ------------------------------------- random circuit cross-validation
+
+class RandomCircuitAgreement
+    : public ::testing::TestWithParam<unsigned>
+{};
+
+TEST_P(RandomCircuitAgreement, DensityMatchesStateVector)
+{
+    // Pure unitary evolution: the density matrix and state vector
+    // must agree on every marginal, for random 3-qubit circuits.
+    Rng rng(300 + GetParam());
+    StateVector sv(3);
+    DensityMatrix rho(3);
+    for (int step = 0; step < 25; ++step) {
+        if (rng.bernoulli(0.3)) {
+            unsigned a = static_cast<unsigned>(rng.uniformInt(0, 2));
+            unsigned b = (a + 1 +
+                          static_cast<unsigned>(rng.uniformInt(0, 1))) %
+                         3;
+            if (a == b)
+                continue;
+            unsigned hi = std::max(a, b), lo = std::min(a, b);
+            Mat4 u = rng.bernoulli(0.5) ? gates::cz() : gates::cnot();
+            sv.apply2(hi, lo, u);
+            rho.apply2(hi, lo, u);
+        } else {
+            unsigned q = static_cast<unsigned>(rng.uniformInt(0, 2));
+            double phi = rng.uniform(0, 2 * kPi);
+            double theta = rng.uniform(0, kPi);
+            Mat2 u = gates::raxis(phi, theta);
+            sv.apply1(q, u);
+            rho.apply1(q, u);
+        }
+    }
+    for (unsigned q = 0; q < 3; ++q)
+        EXPECT_NEAR(rho.probabilityOne(q), sv.probabilityOne(q),
+                    1e-10);
+    EXPECT_NEAR(rho.purity(), 1.0, 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomCircuitAgreement,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u));
+
+// ---------------------------------------------------- SSB grid physics
+
+TEST(SsbGrid, OffGridDelayRotatesRamseyPhase)
+{
+    // Two X90 pulses tau apart: on the 20 ns grid they add up
+    // (P1 = 1); shifting the second by a quarter SSB period (5 ns)
+    // turns the second axis by 90 degrees (P1 = 1/2); by half a
+    // period (10 ns), the second pulse undoes the first (P1 = 0).
+    auto p1After = [](TimeNs tau) {
+        TransmonParams p = quietParams();
+        TransmonChip chip({p}, 1);
+        chip.applyDrive(0, makePulse(p, kPi / 2, 0.0, 0));
+        chip.applyDrive(0, makePulse(p, kPi / 2, 0.0, tau));
+        return chip.probabilityOne(0);
+    };
+    EXPECT_NEAR(p1After(40), 1.0, 1e-3);
+    EXPECT_NEAR(p1After(45), 0.5, 1e-2);
+    EXPECT_NEAR(p1After(50), 0.0, 1e-3);
+    EXPECT_NEAR(p1After(55), 0.5, 1e-2);
+    EXPECT_NEAR(p1After(60), 1.0, 1e-3);
+}
+
+TEST(SsbGrid, PhasePeriodIsTwentyNs)
+{
+    // Identical pulses at t0 and t0 + 20k ns produce the same
+    // rotation axis for every k.
+    TransmonParams p = quietParams();
+    for (TimeNs shift : {20, 40, 100, 2000, 40000}) {
+        TransmonChip chip({p}, 1);
+        chip.applyDrive(0, makePulse(p, kPi / 2, 0.0, 0));
+        chip.applyDrive(0, makePulse(p, kPi / 2, 0.0, shift));
+        EXPECT_NEAR(chip.probabilityOne(0), 1.0, 2e-3)
+            << "shift " << shift;
+    }
+}
+
+// -------------------------------------------------- drive linearity
+
+TEST(DriveLinearity, AngleProportionalToAmplitude)
+{
+    TransmonParams p = quietParams();
+    for (double frac : {0.25, 0.5, 0.75, 1.0}) {
+        TransmonChip chip({p}, 1);
+        chip.applyDrive(0, makePulse(p, kPi * frac, 0.0, 0));
+        double expected =
+            std::pow(std::sin(kPi * frac / 2.0), 2.0);
+        EXPECT_NEAR(chip.probabilityOne(0), expected, 2e-3)
+            << "fraction " << frac;
+    }
+}
+
+TEST(DriveLinearity, OppositeRotationsCancel)
+{
+    TransmonParams p = quietParams();
+    TransmonChip chip({p}, 1);
+    chip.applyDrive(0, makePulse(p, kPi / 2, 0.0, 0));
+    chip.applyDrive(0, makePulse(p, -kPi / 2, 0.0, 20));
+    EXPECT_NEAR(chip.probabilityOne(0), 0.0, 1e-3);
+}
+
+// -------------------------------------------------- readout asymmetry
+
+TEST(ReadoutAsymmetry, DecayMakesOneErrorsDominate)
+{
+    // T1 decay inside the window only corrupts |1> shots: the
+    // assignment error for prepared |1> must exceed that for |0>.
+    ReadoutParams rp;
+    rp.c0 = {30.0, 0.0};
+    rp.c1 = {-30.0, 0.0};
+    rp.noiseSigma = 60.0;
+    const double t1 = 15000.0; // short T1, 1.5 us window
+    Rng rng(77);
+
+    // Matched-filter decision identical to the MDU's.
+    auto decide = [&](const signal::Waveform &trace) {
+        double s = 0;
+        const double twoPi = 2.0 * std::numbers::pi;
+        for (std::size_t k = 0; k < trace.size(); ++k) {
+            double t = (k + 0.5) / rp.adcRateHz;
+            double v1 = -30.0 * std::cos(twoPi * rp.ifHz * t);
+            double v0 = 30.0 * std::cos(twoPi * rp.ifHz * t);
+            s += trace[k] * (v1 - v0);
+        }
+        return s > 0;
+    };
+
+    int err0 = 0, err1 = 0;
+    const int shots = 600;
+    for (int i = 0; i < shots; ++i) {
+        auto t0 = simulateReadout(rp, false, 1500, t1, rng);
+        auto t1trace = simulateReadout(rp, true, 1500, t1, rng);
+        err0 += decide(t0.trace) != false;
+        err1 += decide(t1trace.trace) != true;
+    }
+    EXPECT_GT(err1, err0 + 10);
+    EXPECT_LT(err0, shots / 20);
+}
+
+// --------------------------------------------------- busy-window rules
+
+TEST(BusyWindow, OtherQubitsEvolveDuringReadout)
+{
+    TransmonParams p = quietParams();
+    p.t1Ns = 10000.0;
+    p.t2Ns = 8000.0;
+    TransmonChip chip({p, p}, 5);
+    chip.state().apply1(1, gates::pauliX());
+    chip.measure(0, 0, 1500);
+    chip.advanceTo(10000);
+    // Qubit 1 (not measured) decayed for the full 10 us.
+    EXPECT_NEAR(chip.probabilityOne(1), std::exp(-1.0), 0.02);
+}
+
+TEST(BusyWindow, MeasuredQubitFrozenInsideWindow)
+{
+    // The measured qubit's in-window evolution lives in the sampled
+    // trace; the density matrix must not decay it a second time.
+    TransmonParams p = quietParams();
+    p.t1Ns = 10000.0;
+    p.t2Ns = 8000.0;
+    TransmonChip chip({p}, 12345);
+    chip.state().apply1(0, gates::pauliX());
+    auto trace = chip.measure(0, 0, 1500);
+    if (trace.finalOne) {
+        chip.advanceTo(1500); // inside/edge of the window
+        EXPECT_NEAR(chip.probabilityOne(0), 1.0, 1e-9);
+    }
+}
+
+} // namespace
+} // namespace quma::qsim

@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Unit tests for the gate matrices: unitarity, Pauli algebra, the
+ * decompositions the microcode relies on, and two-qubit identities.
+ */
+
+#include <gtest/gtest.h>
+
+#include <numbers>
+
+#include "qsim/gates.hh"
+
+namespace quma::qsim {
+namespace {
+
+constexpr double kPi = std::numbers::pi;
+
+using gates::cnot;
+using gates::cz;
+using gates::hadamard;
+using gates::identity;
+using gates::pauliX;
+using gates::pauliY;
+using gates::pauliZ;
+using gates::raxis;
+using gates::rx;
+using gates::ry;
+using gates::rz;
+
+// Parameterized unitarity sweep over a family of rotations.
+class RotationUnitarityTest : public ::testing::TestWithParam<double>
+{};
+
+TEST_P(RotationUnitarityTest, AllRotationsUnitary)
+{
+    double theta = GetParam();
+    EXPECT_TRUE(isUnitary(rx(theta)));
+    EXPECT_TRUE(isUnitary(ry(theta)));
+    EXPECT_TRUE(isUnitary(rz(theta)));
+    for (double phi : {0.0, kPi / 4, kPi / 2, 1.1})
+        EXPECT_TRUE(isUnitary(raxis(phi, theta)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Angles, RotationUnitarityTest,
+                         ::testing::Values(0.0, kPi / 2, kPi, -kPi / 2,
+                                           0.3, 2.7, -1.9));
+
+TEST(Gates, PauliFromRotations)
+{
+    EXPECT_TRUE(equalUpToPhase(rx(kPi), pauliX()));
+    EXPECT_TRUE(equalUpToPhase(ry(kPi), pauliY()));
+    EXPECT_TRUE(equalUpToPhase(rz(kPi), pauliZ()));
+}
+
+TEST(Gates, PauliAlgebra)
+{
+    // X*Y = iZ -> equal up to phase.
+    EXPECT_TRUE(equalUpToPhase(matmul(pauliX(), pauliY()), pauliZ()));
+    EXPECT_TRUE(equalUpToPhase(matmul(pauliY(), pauliX()), pauliZ()));
+    // X^2 = I.
+    EXPECT_TRUE(equalUpToPhase(matmul(pauliX(), pauliX()), identity()));
+    EXPECT_TRUE(equalUpToPhase(matmul(pauliZ(), pauliZ()), identity()));
+}
+
+TEST(Gates, RaxisMatchesRxRy)
+{
+    for (double theta : {0.1, kPi / 2, kPi, 2.0}) {
+        EXPECT_TRUE(equalUpToPhase(raxis(0.0, theta), rx(theta)));
+        EXPECT_TRUE(equalUpToPhase(raxis(kPi / 2, theta), ry(theta)));
+    }
+}
+
+TEST(Gates, RaxisPhaseShiftTurnsXIntoY)
+{
+    // The paper's 5 ns / 50 MHz example: a 90-degree axis shift maps
+    // an x rotation onto a y rotation.
+    EXPECT_TRUE(
+        equalUpToPhase(raxis(kPi / 2, kPi / 2), ry(kPi / 2)));
+    EXPECT_TRUE(equalUpToPhase(raxis(kPi, kPi), rx(-kPi)));
+}
+
+TEST(Gates, RotationComposition)
+{
+    // Rx(a) * Rx(b) = Rx(a + b).
+    EXPECT_TRUE(equalUpToPhase(matmul(rx(0.4), rx(0.8)), rx(1.2)));
+    EXPECT_TRUE(equalUpToPhase(matmul(ry(1.0), ry(-1.0)), identity()));
+}
+
+TEST(Gates, HadamardIdentities)
+{
+    // H = X * Ry(pi/2) up to phase (the u-op sequence table uses
+    // Y90 then X180 temporally).
+    EXPECT_TRUE(
+        equalUpToPhase(matmul(pauliX(), ry(kPi / 2)), hadamard()));
+    // H Z H = X.
+    Mat2 hzh = matmul(hadamard(), matmul(pauliZ(), hadamard()));
+    EXPECT_TRUE(equalUpToPhase(hzh, pauliX()));
+    // H^2 = I.
+    EXPECT_TRUE(
+        equalUpToPhase(matmul(hadamard(), hadamard()), identity()));
+}
+
+TEST(Gates, AdjointInvertsRotation)
+{
+    Mat2 u = raxis(0.7, 1.3);
+    EXPECT_TRUE(equalUpToPhase(matmul(u, adjoint(u)), identity()));
+}
+
+TEST(Gates, KronBuildsTwoQubitOps)
+{
+    Mat4 ix = kron(identity(), pauliX());
+    // |00> -> |01>: row 1, column 0 (high qubit untouched).
+    EXPECT_NEAR(std::abs(ix[1 * 4 + 0] - Complex{1, 0}), 0.0, 1e-12);
+    Mat4 xi = kron(pauliX(), identity());
+    EXPECT_NEAR(std::abs(xi[2 * 4 + 0] - Complex{1, 0}), 0.0, 1e-12);
+}
+
+TEST(Gates, CnotFromCz)
+{
+    // Paper Algorithm 2: CNOT(control=high, target=low) =
+    // (I (x) Ry(pi/2)) * CZ * (I (x) Ry(-pi/2)).
+    Mat4 pre = kron(identity(), ry(-kPi / 2));
+    Mat4 post = kron(identity(), ry(kPi / 2));
+    Mat4 composed = matmul(post, matmul(cz(), pre));
+    EXPECT_TRUE(equalUpToPhase(composed, cnot()));
+}
+
+TEST(Gates, CzIsSymmetric)
+{
+    // CZ is invariant under qubit exchange (swap conjugation).
+    Mat4 s = gates::swap();
+    Mat4 conj = matmul(s, matmul(cz(), s));
+    EXPECT_TRUE(equalUpToPhase(conj, cz()));
+}
+
+TEST(Gates, CnotActsOnBasis)
+{
+    Mat4 c = cnot();
+    // |10> (control=1) -> |11>.
+    EXPECT_NEAR(std::abs(c[3 * 4 + 2] - Complex{1, 0}), 0.0, 1e-12);
+    // |00> -> |00>.
+    EXPECT_NEAR(std::abs(c[0 * 4 + 0] - Complex{1, 0}), 0.0, 1e-12);
+}
+
+TEST(Gates, EqualUpToPhaseDetectsDifference)
+{
+    EXPECT_FALSE(equalUpToPhase(pauliX(), pauliY()));
+    EXPECT_FALSE(equalUpToPhase(rx(0.5), rx(0.6)));
+    // Global phase is ignored.
+    Mat2 phased = pauliX();
+    for (auto &v : phased)
+        v *= Complex{0, 1};
+    EXPECT_TRUE(equalUpToPhase(phased, pauliX()));
+}
+
+TEST(Gates, ZFromXYTemporalSequence)
+{
+    // SeqZ = ([0, X180]; [4, Y180]): temporal X then Y equals
+    // Y * X = Z up to phase (paper section 5.3.2).
+    Mat2 seq = matmul(pauliY(), pauliX());
+    EXPECT_TRUE(equalUpToPhase(seq, pauliZ()));
+}
+
+TEST(Gates, Z90TemporalSequences)
+{
+    // Z90: temporal Xm90, Y90, X90 -> Rz(pi/2) up to phase.
+    Mat2 z90 = matmul(rx(kPi / 2), matmul(ry(kPi / 2), rx(-kPi / 2)));
+    EXPECT_TRUE(equalUpToPhase(z90, rz(kPi / 2)));
+    // Zm90: temporal X90, Y90, Xm90 -> Rz(-pi/2).
+    Mat2 zm90 = matmul(rx(-kPi / 2), matmul(ry(kPi / 2), rx(kPi / 2)));
+    EXPECT_TRUE(equalUpToPhase(zm90, rz(-kPi / 2)));
+}
+
+} // namespace
+} // namespace quma::qsim

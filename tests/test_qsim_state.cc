@@ -1,0 +1,254 @@
+/**
+ * @file
+ * Unit tests for the state-vector and density-matrix simulators and
+ * the decoherence channels.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "common/logging.hh"
+#include "qsim/channels.hh"
+#include "qsim/density.hh"
+#include "qsim/statevector.hh"
+
+namespace quma::qsim {
+namespace {
+
+constexpr double kPi = std::numbers::pi;
+
+// ------------------------------------------------------------ statevector
+
+TEST(StateVector, StartsInGroundState)
+{
+    StateVector sv(3);
+    EXPECT_EQ(sv.dim(), 8u);
+    EXPECT_NEAR(std::abs(sv.amplitude(0) - Complex{1, 0}), 0, 1e-12);
+    for (unsigned q = 0; q < 3; ++q)
+        EXPECT_DOUBLE_EQ(sv.probabilityOne(q), 0.0);
+}
+
+TEST(StateVector, XFlipsTargetQubitOnly)
+{
+    StateVector sv(2);
+    sv.apply1(1, gates::pauliX());
+    EXPECT_DOUBLE_EQ(sv.probabilityOne(1), 1.0);
+    EXPECT_DOUBLE_EQ(sv.probabilityOne(0), 0.0);
+}
+
+TEST(StateVector, HadamardMakesEqualSuperposition)
+{
+    StateVector sv(1);
+    sv.apply1(0, gates::hadamard());
+    EXPECT_NEAR(sv.probabilityOne(0), 0.5, 1e-12);
+}
+
+TEST(StateVector, CnotEntangles)
+{
+    StateVector sv(2);
+    sv.apply1(1, gates::hadamard());
+    sv.apply2(1, 0, gates::cnot());
+    // Bell state: both qubits at 50%, amplitudes only on |00>, |11>.
+    EXPECT_NEAR(sv.probabilityOne(0), 0.5, 1e-12);
+    EXPECT_NEAR(sv.probabilityOne(1), 0.5, 1e-12);
+    EXPECT_NEAR(std::abs(sv.amplitude(1)), 0.0, 1e-12);
+    EXPECT_NEAR(std::abs(sv.amplitude(2)), 0.0, 1e-12);
+}
+
+TEST(StateVector, ProjectionCollapsesAndRenormalises)
+{
+    StateVector sv(2);
+    sv.apply1(1, gates::hadamard());
+    sv.apply2(1, 0, gates::cnot());
+    sv.project(0, true);
+    EXPECT_NEAR(sv.probabilityOne(1), 1.0, 1e-12);
+    EXPECT_NEAR(std::abs(sv.amplitude(3)), 1.0, 1e-12);
+}
+
+TEST(StateVector, ProjectImpossibleOutcomeFails)
+{
+    setLogQuiet(true);
+    StateVector sv(1);
+    EXPECT_THROW(sv.project(0, true), quma::FatalError);
+    setLogQuiet(false);
+}
+
+TEST(StateVector, FidelityAndReset)
+{
+    StateVector a(1), b(1);
+    a.apply1(0, gates::rx(0.3));
+    EXPECT_LT(a.fidelityWith(b), 1.0);
+    a.reset();
+    EXPECT_NEAR(a.fidelityWith(b), 1.0, 1e-12);
+    EXPECT_TRUE(a.approxEqual(b));
+}
+
+TEST(StateVector, GlobalPhaseIgnoredInApproxEqual)
+{
+    StateVector a(1), b(1);
+    a.apply1(0, gates::rz(1.0)); // phase on |0> only: global here
+    EXPECT_TRUE(a.approxEqual(b, 1e-9));
+}
+
+// ---------------------------------------------------------- density matrix
+
+TEST(DensityMatrix, PureGroundState)
+{
+    DensityMatrix rho(2);
+    EXPECT_NEAR(rho.trace(), 1.0, 1e-12);
+    EXPECT_NEAR(rho.purity(), 1.0, 1e-12);
+    EXPECT_DOUBLE_EQ(rho.probabilityOne(0), 0.0);
+}
+
+TEST(DensityMatrix, UnitaryPreservesTraceAndPurity)
+{
+    DensityMatrix rho(2);
+    rho.apply1(0, gates::rx(1.1));
+    rho.apply1(1, gates::hadamard());
+    rho.apply2(1, 0, gates::cz());
+    EXPECT_NEAR(rho.trace(), 1.0, 1e-12);
+    EXPECT_NEAR(rho.purity(), 1.0, 1e-12);
+}
+
+TEST(DensityMatrix, MatchesStateVectorProbabilities)
+{
+    StateVector sv(2);
+    DensityMatrix rho(2);
+    sv.apply1(0, gates::rx(0.7));
+    rho.apply1(0, gates::rx(0.7));
+    sv.apply2(1, 0, gates::cnot());
+    rho.apply2(1, 0, gates::cnot());
+    for (unsigned q = 0; q < 2; ++q)
+        EXPECT_NEAR(rho.probabilityOne(q), sv.probabilityOne(q), 1e-12);
+}
+
+TEST(DensityMatrix, ProjectionNormalises)
+{
+    DensityMatrix rho(1);
+    rho.apply1(0, gates::hadamard());
+    rho.project(0, true);
+    EXPECT_NEAR(rho.probabilityOne(0), 1.0, 1e-12);
+    EXPECT_NEAR(rho.trace(), 1.0, 1e-12);
+}
+
+TEST(DensityMatrix, FidelityWithPure)
+{
+    DensityMatrix rho(1);
+    rho.apply1(0, gates::pauliX());
+    std::vector<Complex> one{{0, 0}, {1, 0}};
+    EXPECT_NEAR(rho.fidelityWithPure(one), 1.0, 1e-12);
+    std::vector<Complex> zero{{1, 0}, {0, 0}};
+    EXPECT_NEAR(rho.fidelityWithPure(zero), 0.0, 1e-12);
+}
+
+TEST(DensityMatrix, ResetQubitMapsOneToZero)
+{
+    DensityMatrix rho(2);
+    rho.apply1(0, gates::pauliX());
+    rho.apply1(1, gates::pauliX());
+    rho.resetQubit(0);
+    EXPECT_NEAR(rho.probabilityOne(0), 0.0, 1e-12);
+    EXPECT_NEAR(rho.probabilityOne(1), 1.0, 1e-12);
+    EXPECT_NEAR(rho.trace(), 1.0, 1e-12);
+}
+
+// --------------------------------------------------------------- channels
+
+TEST(Channels, AmplitudeDampingDecaysExcitedState)
+{
+    DensityMatrix rho(1);
+    rho.apply1(0, gates::pauliX());
+    rho.applyKraus1(0, amplitudeDamping(0.3));
+    EXPECT_NEAR(rho.probabilityOne(0), 0.7, 1e-12);
+    EXPECT_NEAR(rho.trace(), 1.0, 1e-12);
+}
+
+TEST(Channels, PhaseDampingKillsCoherenceOnly)
+{
+    DensityMatrix rho(1);
+    rho.apply1(0, gates::hadamard());
+    double before = std::abs(rho.element(0, 1));
+    rho.applyKraus1(0, phaseDamping(0.51));
+    EXPECT_NEAR(rho.probabilityOne(0), 0.5, 1e-12);
+    EXPECT_NEAR(std::abs(rho.element(0, 1)),
+                before * std::sqrt(1 - 0.51), 1e-12);
+}
+
+TEST(Channels, DepolarizingShrinksBloch)
+{
+    DensityMatrix rho(1);
+    rho.apply1(0, gates::pauliX());
+    rho.applyKraus1(0, depolarizing(0.75));
+    // Full depolarising at p = 3/4 gives the maximally mixed state.
+    EXPECT_NEAR(rho.probabilityOne(0), 0.5, 1e-12);
+    EXPECT_NEAR(rho.purity(), 0.5, 1e-12);
+}
+
+class IdleChannelTest : public ::testing::TestWithParam<double>
+{};
+
+TEST_P(IdleChannelTest, PopulationFollowsT1)
+{
+    double dt = GetParam();
+    const double t1 = 30000.0, t2 = 25000.0;
+    DensityMatrix rho(1);
+    rho.apply1(0, gates::pauliX());
+    rho.applyKraus1(0, idleChannel(dt, t1, t2));
+    EXPECT_NEAR(rho.probabilityOne(0), std::exp(-dt / t1), 1e-10);
+    EXPECT_NEAR(rho.trace(), 1.0, 1e-10);
+}
+
+TEST_P(IdleChannelTest, CoherenceFollowsT2)
+{
+    double dt = GetParam();
+    const double t1 = 30000.0, t2 = 25000.0;
+    DensityMatrix rho(1);
+    rho.apply1(0, gates::hadamard());
+    double before = std::abs(rho.element(0, 1));
+    rho.applyKraus1(0, idleChannel(dt, t1, t2));
+    EXPECT_NEAR(std::abs(rho.element(0, 1)),
+                before * std::exp(-dt / t2), 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(Durations, IdleChannelTest,
+                         ::testing::Values(5.0, 100.0, 1000.0, 20000.0,
+                                           200000.0));
+
+TEST(Channels, ChannelComposition)
+{
+    // Two consecutive idles of dt equal one idle of 2*dt.
+    const double t1 = 30000.0, t2 = 25000.0, dt = 500.0;
+    DensityMatrix a(1), b(1);
+    a.apply1(0, gates::rx(0.8));
+    b.apply1(0, gates::rx(0.8));
+    a.applyKraus1(0, idleChannel(dt, t1, t2));
+    a.applyKraus1(0, idleChannel(dt, t1, t2));
+    b.applyKraus1(0, idleChannel(2 * dt, t1, t2));
+    for (int r = 0; r < 2; ++r)
+        for (int c = 0; c < 2; ++c)
+            EXPECT_NEAR(std::abs(a.element(r, c) - b.element(r, c)), 0,
+                        1e-10);
+}
+
+TEST(Channels, PureDephasingTime)
+{
+    // 1/Tphi = 1/T2 - 1/(2 T1).
+    EXPECT_NEAR(pureDephasingTime(30000.0, 25000.0),
+                1.0 / (1.0 / 25000.0 - 1.0 / 60000.0), 1e-6);
+    // T2 at the 2*T1 limit: no pure dephasing.
+    EXPECT_DOUBLE_EQ(pureDephasingTime(30000.0, 60000.0), 0.0);
+}
+
+TEST(Channels, RejectsT2BeyondLimit)
+{
+    setLogQuiet(true);
+    EXPECT_THROW(idleChannel(10.0, 30000.0, 70000.0), quma::FatalError);
+    EXPECT_THROW(amplitudeDamping(1.5), quma::FatalError);
+    EXPECT_THROW(phaseDamping(-0.1), quma::FatalError);
+    setLogQuiet(false);
+}
+
+} // namespace
+} // namespace quma::qsim

@@ -1,0 +1,271 @@
+/**
+ * @file
+ * Unit tests for the pulse-level transmon model: drive calibration,
+ * the timing-sets-the-axis property (paper §4.2.3), detuning,
+ * decoherence and readout.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "common/logging.hh"
+#include "qsim/transmon.hh"
+#include "signal/envelope.hh"
+#include "signal/modulation.hh"
+
+namespace quma::qsim {
+namespace {
+
+constexpr double kPi = std::numbers::pi;
+constexpr double kSsb = -50.0e6;
+
+TransmonParams
+quietParams()
+{
+    TransmonParams p = paperQubitParams();
+    p.t1Ns = 1e9; // effectively no decoherence
+    p.t2Ns = 1e9;
+    p.readout.noiseSigma = 0.0;
+    return p;
+}
+
+/** Build a calibrated drive pulse for angle theta at phase phi. */
+signal::DrivePulse
+makePulse(const TransmonParams &p, double theta, double phi,
+          TimeNs t0_ns)
+{
+    double gain = p.rabiRadPerAmpNs;
+    signal::Envelope unit = signal::Envelope::gaussian(20.0, 1.0);
+    double amp = theta / (gain * unit.area());
+    signal::Envelope env = signal::Envelope::gaussian(20.0, amp);
+    signal::Waveform base(env.sample(1e9), 1e9);
+    auto [i, q] = signal::ssbModulate(base, kSsb, 0.0, phi);
+    signal::DrivePulse pulse;
+    pulse.t0Ns = t0_ns;
+    pulse.i = i;
+    pulse.q = q;
+    pulse.ssbHz = kSsb;
+    pulse.carrierHz = p.freqHz - kSsb;
+    return pulse;
+}
+
+TEST(Transmon, CalibratedPiPulseExcites)
+{
+    TransmonChip chip({quietParams()}, 1);
+    chip.applyDrive(0, makePulse(chip.qubitParams(0), kPi, 0.0, 0));
+    EXPECT_NEAR(chip.probabilityOne(0), 1.0, 1e-3);
+}
+
+TEST(Transmon, HalfPiPulseReachesEquator)
+{
+    TransmonChip chip({quietParams()}, 1);
+    chip.applyDrive(0, makePulse(chip.qubitParams(0), kPi / 2, 0.0, 0));
+    EXPECT_NEAR(chip.probabilityOne(0), 0.5, 1e-3);
+}
+
+TEST(Transmon, TwoPiPulsesReturnToGround)
+{
+    TransmonChip chip({quietParams()}, 1);
+    auto p = chip.qubitParams(0);
+    chip.applyDrive(0, makePulse(p, kPi, 0.0, 0));
+    chip.applyDrive(0, makePulse(p, kPi, 0.0, 20));
+    EXPECT_NEAR(chip.probabilityOne(0), 0.0, 1e-3);
+}
+
+TEST(Transmon, PulsesAtTwentyNsGridKeepAxis)
+{
+    // With -50 MHz SSB, the carrier phase repeats every 20 ns, so
+    // X90 followed by X90 20 ns later adds up to a pi rotation.
+    TransmonChip chip({quietParams()}, 1);
+    auto p = chip.qubitParams(0);
+    chip.applyDrive(0, makePulse(p, kPi / 2, 0.0, 0));
+    chip.applyDrive(0, makePulse(p, kPi / 2, 0.0, 20));
+    EXPECT_NEAR(chip.probabilityOne(0), 1.0, 1e-3);
+}
+
+TEST(Transmon, FiveNsShiftTurnsXIntoY)
+{
+    // THE paper property (§4.2.3): with 50 MHz SSB, playing the x
+    // envelope 5 ns late rotates the axis by 90 degrees. An X90 at
+    // t=0 followed by a shifted "X90" at t+5ns-grid behaves like a
+    // y rotation: starting from |0>, X90 then Y90 leaves the qubit
+    // on the equator rather than completing the flip.
+    TransmonChip onGrid({quietParams()}, 1);
+    auto p = onGrid.qubitParams(0);
+    onGrid.applyDrive(0, makePulse(p, kPi / 2, 0.0, 0));
+    onGrid.applyDrive(0, makePulse(p, kPi / 2, 0.0, 20));
+    EXPECT_NEAR(onGrid.probabilityOne(0), 1.0, 1e-3);
+
+    TransmonChip shifted({quietParams()}, 1);
+    shifted.applyDrive(0, makePulse(p, kPi / 2, 0.0, 0));
+    shifted.applyDrive(0, makePulse(p, kPi / 2, 0.0, 25));
+    // X90 then (axis-shifted) Y90: P1 stays at 1/2.
+    EXPECT_NEAR(shifted.probabilityOne(0), 0.5, 1e-3);
+}
+
+TEST(Transmon, TenNsShiftInvertsAxis)
+{
+    // 10 ns shift = 180 degrees: the second pulse undoes the first.
+    TransmonChip chip({quietParams()}, 1);
+    auto p = chip.qubitParams(0);
+    chip.applyDrive(0, makePulse(p, kPi / 2, 0.0, 0));
+    chip.applyDrive(0, makePulse(p, kPi / 2, 0.0, 30));
+    EXPECT_NEAR(chip.probabilityOne(0), 0.0, 1e-3);
+}
+
+TEST(Transmon, EnvelopePhaseSelectsAxis)
+{
+    // X90 then Y90 via envelope phase: equator either way.
+    TransmonChip chip({quietParams()}, 1);
+    auto p = chip.qubitParams(0);
+    chip.applyDrive(0, makePulse(p, kPi / 2, 0.0, 0));
+    chip.applyDrive(0, makePulse(p, kPi / 2, kPi / 2, 20));
+    EXPECT_NEAR(chip.probabilityOne(0), 0.5, 1e-3);
+}
+
+TEST(Transmon, DetunedDriveRotatesLess)
+{
+    TransmonParams p = quietParams();
+    TransmonChip resonant({p}, 1);
+    resonant.applyDrive(0, makePulse(p, kPi, 0.0, 0));
+
+    TransmonParams detunedParams = quietParams();
+    detunedParams.freqHz += 30.0e6; // pulse stays at the old carrier
+    TransmonChip detuned({detunedParams}, 1);
+    auto pulse = makePulse(p, kPi, 0.0, 0);
+    detuned.applyDrive(0, pulse);
+    EXPECT_GT(resonant.probabilityOne(0),
+              detuned.probabilityOne(0) + 0.05);
+}
+
+TEST(Transmon, IdleDecayFollowsT1)
+{
+    TransmonParams p = quietParams();
+    p.t1Ns = 30000.0;
+    p.t2Ns = 25000.0;
+    TransmonChip chip({p}, 1);
+    chip.applyDrive(0, makePulse(p, kPi, 0.0, 0));
+    double p1 = chip.probabilityOne(0);
+    chip.advanceTo(30020);
+    EXPECT_NEAR(chip.probabilityOne(0), p1 * std::exp(-30000.0 / 30000.0),
+                1e-3);
+}
+
+TEST(Transmon, AdvanceBackwardsIsFatal)
+{
+    setLogQuiet(true);
+    TransmonChip chip({quietParams()}, 1);
+    chip.advanceTo(100);
+    EXPECT_THROW(chip.advanceTo(50), quma::FatalError);
+    EXPECT_NO_THROW(chip.advanceAtLeast(50));
+    setLogQuiet(false);
+}
+
+TEST(Transmon, MeasureCollapsesAndReportsTruth)
+{
+    TransmonChip chip({quietParams()}, 7);
+    chip.applyDrive(0, makePulse(chip.qubitParams(0), kPi, 0.0, 0));
+    auto trace = chip.measure(0, 100, 1500);
+    EXPECT_TRUE(trace.initialOne);
+    EXPECT_NEAR(chip.probabilityOne(0), trace.finalOne ? 1.0 : 0.0,
+                1e-9);
+}
+
+TEST(Transmon, MeasureStatisticsFollowBornRule)
+{
+    TransmonParams p = quietParams();
+    int ones = 0;
+    const int shots = 2000;
+    for (int s = 0; s < shots; ++s) {
+        TransmonChip chip({p}, 1000 + s);
+        chip.applyDrive(0, makePulse(p, kPi / 2, 0.0, 0));
+        ones += chip.measure(0, 100, 1500).initialOne;
+    }
+    EXPECT_NEAR(ones / static_cast<double>(shots), 0.5, 0.04);
+}
+
+TEST(Transmon, OverlappingReadoutIsFatal)
+{
+    setLogQuiet(true);
+    TransmonChip chip({quietParams()}, 1);
+    chip.measure(0, 0, 1500);
+    EXPECT_THROW(chip.measure(0, 1000, 1500), quma::FatalError);
+    setLogQuiet(false);
+}
+
+TEST(Transmon, DecayDuringReadoutResetsState)
+{
+    // With T1 much shorter than the readout window the excited state
+    // nearly always decays inside the window and ends in |0>.
+    TransmonParams p = quietParams();
+    p.t1Ns = 100.0;
+    p.t2Ns = 150.0;
+    TransmonChip chip({p}, 99);
+    chip.state().apply1(0, gates::pauliX());
+    auto trace = chip.measure(0, 0, 5000);
+    EXPECT_TRUE(trace.initialOne);
+    EXPECT_FALSE(trace.finalOne);
+    EXPECT_NEAR(chip.probabilityOne(0), 0.0, 1e-9);
+    EXPECT_GE(trace.decayAtNs, 0.0);
+}
+
+TEST(Transmon, NewRoundResetsStateAndClock)
+{
+    TransmonChip chip({quietParams()}, 1);
+    chip.applyDrive(0, makePulse(chip.qubitParams(0), kPi, 0.0, 0));
+    chip.newRound();
+    EXPECT_EQ(chip.now(), 0);
+    EXPECT_NEAR(chip.probabilityOne(0), 0.0, 1e-12);
+}
+
+TEST(Transmon, QuasiStaticDetuningDephasesRamsey)
+{
+    // Chip-level Ramsey: with sigma > 0 the averaged equator phase
+    // randomises and the fringe contrast at fixed tau collapses.
+    auto ramsey = [](double sigma_hz, TimeNs tau) {
+        TransmonParams p = quietParams();
+        p.quasiStaticDetuningSigmaHz = sigma_hz;
+        double acc = 0;
+        const int shots = 400;
+        for (int s = 0; s < shots; ++s) {
+            TransmonChip chip({p}, 5000 + s);
+            chip.newRound();
+            chip.applyDrive(0, makePulse(p, kPi / 2, 0.0, 0));
+            chip.advanceTo(20 + tau);
+            chip.applyDrive(0, makePulse(p, kPi / 2, 0.0, 20 + tau));
+            acc += chip.probabilityOne(0);
+        }
+        return acc / shots;
+    };
+    // tau on the 20 ns grid so the drive phase is unshifted.
+    EXPECT_NEAR(ramsey(0.0, 2000), 1.0, 0.05);
+    EXPECT_NEAR(ramsey(400.0e3, 2000), 0.5, 0.12);
+}
+
+TEST(Readout, TraceSeparatesStates)
+{
+    ReadoutParams rp;
+    rp.c0 = {30.0, 0.0};
+    rp.c1 = {-30.0, 0.0};
+    rp.noiseSigma = 0.0;
+    Rng rng(1);
+    auto t0 = simulateReadout(rp, false, 1500, 1e9, rng);
+    auto t1 = simulateReadout(rp, true, 1500, 1e9, rng);
+    auto z0 = signal::demodulate(t0.trace, rp.ifHz);
+    auto z1 = signal::demodulate(t1.trace, rp.ifHz);
+    EXPECT_NEAR(z0.real(), 30.0, 1.0);
+    EXPECT_NEAR(z1.real(), -30.0, 1.0);
+}
+
+TEST(Readout, TraceLengthMatchesAdcRate)
+{
+    ReadoutParams rp;
+    Rng rng(1);
+    auto t = simulateReadout(rp, false, 1500, 1e9, rng);
+    EXPECT_EQ(t.trace.size(), 300u); // 1500 ns at 200 MSa/s
+}
+
+} // namespace
+} // namespace quma::qsim

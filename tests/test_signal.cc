@@ -1,0 +1,285 @@
+/**
+ * @file
+ * Unit tests for the analog signal chain: envelopes, waveforms, SSB
+ * modulation, up/down conversion and data converters.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "common/logging.hh"
+#include "signal/converters.hh"
+#include "signal/envelope.hh"
+#include "signal/modulation.hh"
+#include "signal/waveform.hh"
+
+namespace quma::signal {
+namespace {
+
+constexpr double kPi = std::numbers::pi;
+
+// -------------------------------------------------------------- envelope
+
+TEST(Envelope, GaussianPeaksAtCenterAndVanishesAtEnds)
+{
+    auto env = Envelope::gaussian(20.0, 1.0);
+    EXPECT_NEAR(env.value(10.0), 1.0, 1e-12);
+    EXPECT_NEAR(env.value(0.0), 0.0, 1e-12);
+    EXPECT_NEAR(env.value(20.0), 0.0, 1e-12);
+    EXPECT_DOUBLE_EQ(env.value(-1.0), 0.0);
+    EXPECT_DOUBLE_EQ(env.value(21.0), 0.0);
+}
+
+TEST(Envelope, GaussianSymmetric)
+{
+    auto env = Envelope::gaussian(20.0, 0.7);
+    for (double t = 0; t <= 10.0; t += 0.5)
+        EXPECT_NEAR(env.value(t), env.value(20.0 - t), 1e-12);
+}
+
+TEST(Envelope, DefaultSigmaIsQuarterDuration)
+{
+    auto env = Envelope::gaussian(20.0, 1.0);
+    EXPECT_DOUBLE_EQ(env.sigmaNs(), 5.0);
+}
+
+TEST(Envelope, SquareIsConstant)
+{
+    auto env = Envelope::square(40.0, 0.3);
+    EXPECT_DOUBLE_EQ(env.value(0.0), 0.3);
+    EXPECT_DOUBLE_EQ(env.value(39.9), 0.3);
+    EXPECT_DOUBLE_EQ(env.area(), 0.3 * 40.0);
+}
+
+TEST(Envelope, ZeroIsZero)
+{
+    auto env = Envelope::zero(20.0);
+    EXPECT_DOUBLE_EQ(env.value(10.0), 0.0);
+    EXPECT_DOUBLE_EQ(env.area(), 0.0);
+}
+
+TEST(Envelope, DerivativeIsAntisymmetric)
+{
+    auto env = Envelope::gaussianDerivative(20.0, 1.0);
+    for (double t = 0.5; t < 10.0; t += 0.5)
+        EXPECT_NEAR(env.value(10.0 - t), -env.value(10.0 + t), 1e-12);
+    EXPECT_NEAR(env.area(), 0.0, 1e-12);
+}
+
+TEST(Envelope, SampleCountMatchesRate)
+{
+    auto env = Envelope::gaussian(20.0, 1.0);
+    EXPECT_EQ(env.sample(1.0e9).size(), 20u);
+    EXPECT_EQ(env.sample(200.0e6).size(), 4u);
+}
+
+TEST(Envelope, SampledSumApproximatesArea)
+{
+    auto env = Envelope::gaussian(20.0, 1.0);
+    auto samples = env.sample(1.0e9);
+    double sum = 0;
+    for (double s : samples)
+        sum += s; // dt = 1 ns
+    EXPECT_NEAR(sum, env.area(), 0.05);
+}
+
+TEST(Envelope, RejectsBadParameters)
+{
+    setLogQuiet(true);
+    EXPECT_THROW(Envelope::gaussian(0.0, 1.0), quma::FatalError);
+    EXPECT_THROW(Envelope::gaussian(20.0, 1.0).sample(0.0),
+                 quma::FatalError);
+    setLogQuiet(false);
+}
+
+class EnvelopeKindTest
+    : public ::testing::TestWithParam<EnvelopeKind>
+{};
+
+TEST_P(EnvelopeKindTest, NamesAreUnique)
+{
+    EXPECT_STRNE(toString(GetParam()), "unknown");
+}
+
+INSTANTIATE_TEST_SUITE_P(Kinds, EnvelopeKindTest,
+                         ::testing::Values(
+                             EnvelopeKind::Zero, EnvelopeKind::Square,
+                             EnvelopeKind::Gaussian,
+                             EnvelopeKind::GaussianDerivative));
+
+// -------------------------------------------------------------- waveform
+
+TEST(Waveform, BasicOps)
+{
+    Waveform a({1, 2, 3}, 1e9);
+    Waveform b({1, 1}, 1e9);
+    a += b;
+    EXPECT_DOUBLE_EQ(a[0], 2);
+    EXPECT_DOUBLE_EQ(a[1], 3);
+    EXPECT_DOUBLE_EQ(a[2], 3);
+    a *= 2.0;
+    EXPECT_DOUBLE_EQ(a[0], 4);
+    EXPECT_DOUBLE_EQ(a.peak(), 6);
+}
+
+TEST(Waveform, DurationAndIntegral)
+{
+    Waveform w({1, 1, 1, 1}, 200e6); // 5 ns samples
+    EXPECT_DOUBLE_EQ(w.durationNs(), 20.0);
+    EXPECT_DOUBLE_EQ(w.integral(), 20.0);
+}
+
+TEST(Waveform, AppendChecksRate)
+{
+    setLogQuiet(true);
+    Waveform a({1}, 1e9);
+    Waveform b({2}, 2e9);
+    EXPECT_THROW(a.append(b), quma::PanicError);
+    setLogQuiet(false);
+}
+
+// ------------------------------------------------------------ modulation
+
+TEST(Modulation, SsbQuadraturePair)
+{
+    auto env = Envelope::square(100.0, 1.0);
+    Waveform base(env.sample(1e9), 1e9);
+    auto [i, q] = ssbModulate(base, 50e6, 0.0, 0.0);
+    // I^2 + Q^2 should recover the envelope squared.
+    for (std::size_t k = 0; k < i.size(); ++k)
+        EXPECT_NEAR(i[k] * i[k] + q[k] * q[k], 1.0, 1e-9);
+}
+
+TEST(Modulation, SsbPhaseSelectsQuadrature)
+{
+    auto env = Envelope::square(100.0, 1.0);
+    Waveform base(env.sample(1e9), 1e9);
+    auto [ix, qx] = ssbModulate(base, 50e6, 0.0, 0.0);
+    auto [iy, qy] = ssbModulate(base, 50e6, 0.0, kPi / 2);
+    // A 90-degree envelope phase swaps I into Q.
+    for (std::size_t k = 0; k < ix.size(); ++k) {
+        EXPECT_NEAR(iy[k], -qx[k], 1e-9);
+        EXPECT_NEAR(qy[k], ix[k], 1e-9);
+    }
+}
+
+TEST(Modulation, UpconversionProducesSingleSideband)
+{
+    // With I = cos, Q = sin the upconverted tone sits at fc + fssb
+    // only; demodulating at the image (fc - fssb) gives nothing.
+    const double fc = 300e6, fssb = 50e6;
+    auto env = Envelope::square(1000.0, 1.0);
+    Waveform base(env.sample(10e9), 10e9);
+    auto [i, q] = ssbModulate(base, fssb, 0.0, 0.0);
+    Waveform rf = iqUpconvert(i, q, fc, 0.0);
+
+    auto atTone = demodulate(rf, fc + fssb);
+    auto atImage = demodulate(rf, fc - fssb);
+    EXPECT_NEAR(std::abs(atTone), 1.0, 0.02);
+    EXPECT_LT(std::abs(atImage), 0.02);
+}
+
+TEST(Modulation, DemodulateRecoversAmplitudeAndPhase)
+{
+    const double f = 40e6;
+    const double rate = 200e6;
+    std::vector<double> samples(300);
+    for (std::size_t k = 0; k < samples.size(); ++k) {
+        double t = (k + 0.5) / rate;
+        samples[k] = 3.0 * std::cos(2 * kPi * f * t + 0.7);
+    }
+    auto z = demodulate(Waveform(samples, rate), f);
+    EXPECT_NEAR(std::abs(z), 3.0, 0.01);
+    EXPECT_NEAR(std::arg(z), 0.7, 0.01);
+}
+
+TEST(Modulation, ComplexBaseband)
+{
+    Waveform i({1, 2}, 1e9), q({3, 4}, 1e9);
+    auto c = complexBaseband(i, q);
+    ASSERT_EQ(c.size(), 2u);
+    EXPECT_DOUBLE_EQ(c[0].real(), 1);
+    EXPECT_DOUBLE_EQ(c[0].imag(), 3);
+    EXPECT_DOUBLE_EQ(c[1].imag(), 4);
+}
+
+// ------------------------------------------------------------ converters
+
+class QuantizerBitsTest : public ::testing::TestWithParam<unsigned>
+{};
+
+TEST_P(QuantizerBitsTest, RoundTripWithinLsb)
+{
+    unsigned bits = GetParam();
+    Quantizer quant(bits, 1.0);
+    for (double x = -1.0; x <= 1.0; x += 0.01) {
+        double y = quant.quantize(x);
+        EXPECT_LE(std::abs(y - x), quant.lsb() * 0.5 + 1e-12);
+    }
+}
+
+TEST_P(QuantizerBitsTest, Saturates)
+{
+    unsigned bits = GetParam();
+    Quantizer quant(bits, 1.0);
+    EXPECT_LE(quant.quantize(2.0), 1.0 + quant.lsb());
+    EXPECT_GE(quant.quantize(-2.0), -1.0 - quant.lsb());
+    EXPECT_DOUBLE_EQ(quant.quantize(2.0), quant.quantize(5.0));
+}
+
+INSTANTIATE_TEST_SUITE_P(Resolutions, QuantizerBitsTest,
+                         ::testing::Values(8u, 12u, 14u, 16u));
+
+TEST(Quantizer, CodesAreMonotonic)
+{
+    Quantizer quant(8, 1.0);
+    std::int32_t prev = quant.code(-1.0);
+    for (double x = -0.99; x <= 1.0; x += 0.01) {
+        std::int32_t c = quant.code(x);
+        EXPECT_GE(c, prev);
+        prev = c;
+    }
+}
+
+TEST(Quantizer, RejectsBadConfig)
+{
+    setLogQuiet(true);
+    EXPECT_THROW(Quantizer(0, 1.0), quma::FatalError);
+    EXPECT_THROW(Quantizer(8, -1.0), quma::FatalError);
+    setLogQuiet(false);
+}
+
+TEST(Dac, RendersQuantized)
+{
+    Dac dac(14, 1.0, 1e9);
+    auto w = dac.render({0.5, -0.25, 0.0});
+    ASSERT_EQ(w.size(), 3u);
+    EXPECT_NEAR(w[0], 0.5, dac.quantizer().lsb());
+    EXPECT_NEAR(w[1], -0.25, dac.quantizer().lsb());
+    EXPECT_DOUBLE_EQ(w.rateHz(), 1e9);
+}
+
+TEST(Adc, ResamplesAndQuantizes)
+{
+    // 1 GSa/s input digitised at 200 MSa/s: every 5th sample.
+    std::vector<double> in(50);
+    for (std::size_t k = 0; k < in.size(); ++k)
+        in[k] = static_cast<double>(k) / 50.0;
+    Adc adc(8, 1.0, 200e6);
+    auto out = adc.digitize(Waveform(in, 1e9));
+    ASSERT_EQ(out.size(), 10u);
+    EXPECT_NEAR(out[1], in[5], 0.02);
+    EXPECT_NEAR(out[9], in[45], 0.02);
+}
+
+TEST(Adc, EmptyInput)
+{
+    Adc adc(8, 1.0, 200e6);
+    auto out = adc.digitize(Waveform({}, 1e9));
+    EXPECT_TRUE(out.empty());
+}
+
+} // namespace
+} // namespace quma::signal
