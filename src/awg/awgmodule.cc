@@ -53,4 +53,11 @@ AwgModule::advanceTo(Cycle now)
     ctpgUnit.advanceTo(now);
 }
 
+void
+AwgModule::reset()
+{
+    uop.reset();
+    ctpgUnit.reset();
+}
+
 } // namespace quma::awg

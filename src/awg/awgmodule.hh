@@ -54,6 +54,13 @@ class AwgModule
     std::optional<Cycle> nextEventCycle() const;
     void advanceTo(Cycle now);
 
+    /**
+     * Drop all in-flight micro-operations and pulses. The wave memory
+     * (uploaded LUT) is preserved: re-arming a pooled machine must not
+     * force a recalibration.
+     */
+    void reset();
+
   private:
     AwgConfig cfg;
     UopUnit uop;

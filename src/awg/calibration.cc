@@ -47,11 +47,12 @@ renderGatePulse(const CalibrationParams &params, const std::string &name,
 
 } // namespace
 
-void
-buildStandardLut(WaveMemory &memory, const CalibrationParams &params)
+std::map<Codeword, StoredPulse>
+buildStandardLutEntries(const CalibrationParams &params)
 {
     namespace u = isa::uops;
     const double pi = std::numbers::pi;
+    std::map<Codeword, StoredPulse> entries;
 
     // Identity: a zero pulse of one gate duration keeps the timing
     // grid uniform.
@@ -62,15 +63,17 @@ buildStandardLut(WaveMemory &memory, const CalibrationParams &params)
         signal::Envelope env = signal::Envelope::zero(params.pulseNs);
         idle.i = env.sample(params.rateHz);
         idle.q = env.sample(params.rateHz);
-        memory.upload(u::I, std::move(idle));
+        entries.emplace(u::I, std::move(idle));
     }
-    memory.upload(u::X180, renderGatePulse(params, "X180", pi, 0.0));
-    memory.upload(u::X90, renderGatePulse(params, "X90", pi / 2, 0.0));
-    memory.upload(u::Xm90, renderGatePulse(params, "Xm90", -pi / 2, 0.0));
-    memory.upload(u::Y180, renderGatePulse(params, "Y180", pi, pi / 2));
-    memory.upload(u::Y90, renderGatePulse(params, "Y90", pi / 2, pi / 2));
-    memory.upload(u::Ym90,
-                  renderGatePulse(params, "Ym90", -pi / 2, pi / 2));
+    entries.emplace(u::X180, renderGatePulse(params, "X180", pi, 0.0));
+    entries.emplace(u::X90, renderGatePulse(params, "X90", pi / 2, 0.0));
+    entries.emplace(u::Xm90,
+                    renderGatePulse(params, "Xm90", -pi / 2, 0.0));
+    entries.emplace(u::Y180, renderGatePulse(params, "Y180", pi, pi / 2));
+    entries.emplace(u::Y90,
+                    renderGatePulse(params, "Y90", pi / 2, pi / 2));
+    entries.emplace(u::Ym90,
+                    renderGatePulse(params, "Ym90", -pi / 2, pi / 2));
 
     // Measurement pulse envelope (the master controller normally
     // gates a dedicated source; the entry keeps Table 1 complete).
@@ -82,7 +85,7 @@ buildStandardLut(WaveMemory &memory, const CalibrationParams &params)
             signal::Envelope::square(params.msmtPulseNs, 1.0);
         msmt.i = env.sample(params.rateHz);
         msmt.q.assign(msmt.i.size(), 0.0);
-        memory.upload(u::Msmt, std::move(msmt));
+        entries.emplace(u::Msmt, std::move(msmt));
     }
     // Flux pulse for the CZ gate (applied via the flux-bias line).
     {
@@ -93,8 +96,23 @@ buildStandardLut(WaveMemory &memory, const CalibrationParams &params)
             signal::Envelope::square(params.czPulseNs, 1.0);
         cz.i = env.sample(params.rateHz);
         cz.q.assign(cz.i.size(), 0.0);
-        memory.upload(u::Cz, std::move(cz));
+        entries.emplace(u::Cz, std::move(cz));
     }
+    return entries;
+}
+
+void
+uploadLut(WaveMemory &memory,
+          const std::map<Codeword, StoredPulse> &entries)
+{
+    for (const auto &[cw, pulse] : entries)
+        memory.upload(cw, pulse);
+}
+
+void
+buildStandardLut(WaveMemory &memory, const CalibrationParams &params)
+{
+    uploadLut(memory, buildStandardLutEntries(params));
 }
 
 } // namespace quma::awg

@@ -55,6 +55,17 @@ struct CalibrationParams
  */
 void buildStandardLut(WaveMemory &memory, const CalibrationParams &params);
 
+/** The lookup-table content of buildStandardLut as a value: rendering
+ * is by far the most expensive part of a calibration upload, so
+ * callers that calibrate many machines with identical parameters (the
+ * runtime's program cache) render once and re-upload the entries. */
+std::map<Codeword, StoredPulse>
+buildStandardLutEntries(const CalibrationParams &params);
+
+/** Upload pre-rendered entries (from buildStandardLutEntries). */
+void uploadLut(WaveMemory &memory,
+               const std::map<Codeword, StoredPulse> &entries);
+
 /** The calibrated amplitude for a rotation by theta radians. */
 double calibratedAmplitude(const CalibrationParams &params, double theta);
 

@@ -46,4 +46,12 @@ Ctpg::advanceTo(Cycle now)
     }
 }
 
+void
+Ctpg::reset()
+{
+    pending = {};
+    orderCounter = 0;
+    emitted = 0;
+}
+
 } // namespace quma::awg

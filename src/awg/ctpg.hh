@@ -67,6 +67,9 @@ class Ctpg
     /** Number of pulses emitted so far. */
     std::size_t pulsesEmitted() const { return emitted; }
 
+    /** Drop pending emissions and zero the counters (machine re-arm). */
+    void reset();
+
   private:
     struct Pending
     {

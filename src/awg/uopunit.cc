@@ -41,4 +41,12 @@ UopUnit::advanceTo(Cycle now)
     }
 }
 
+void
+UopUnit::reset()
+{
+    pending = {};
+    orderCounter = 0;
+    emitted = 0;
+}
+
 } // namespace quma::awg

@@ -48,6 +48,9 @@ class UopUnit
 
     std::size_t triggersEmitted() const { return emitted; }
 
+    /** Drop pending triggers and zero the counters (machine re-arm). */
+    void reset();
+
   private:
     struct Pending
     {

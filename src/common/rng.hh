@@ -64,6 +64,21 @@ class Rng
     /** Access the underlying engine (for std::shuffle etc.). */
     std::mt19937_64 &raw() { return engine; }
 
+    /**
+     * Derive an independent stream seed from a base seed and a stream
+     * index (splitmix64). Used wherever one logical seed must fan out
+     * into several decorrelated generators -- e.g. a runtime job seed
+     * feeding both the chip-noise and the stall-injection RNGs.
+     */
+    static std::uint64_t
+    derive(std::uint64_t seed, std::uint64_t stream)
+    {
+        std::uint64_t z = seed + 0x9e3779b97f4a7c15ULL * (stream + 1);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        return z ^ (z >> 31);
+    }
+
   private:
     std::mt19937_64 engine;
 };

@@ -97,6 +97,32 @@ rescaleAllxy(const std::vector<double> &raw)
     return out;
 }
 
+namespace {
+
+AllxyResult
+finishAllxy(std::vector<double> raw, core::RunResult run)
+{
+    AllxyResult result;
+    result.run = run;
+    result.rawS = std::move(raw);
+    result.fidelity = rescaleAllxy(result.rawS);
+    result.ideal = idealAllxySignature();
+    result.deviation = meanAbsDeviation(result.fidelity, result.ideal);
+    for (const auto &p : allxyPairs()) {
+        result.labels.push_back(p.label);
+        result.labels.push_back(p.label);
+    }
+    return result;
+}
+
+Cycle
+allxyBudget(const AllxyConfig &config)
+{
+    return static_cast<Cycle>(config.rounds) * 42 * 45000 + 1'000'000;
+}
+
+} // namespace
+
 AllxyResult
 runAllxy(const AllxyConfig &config)
 {
@@ -109,19 +135,34 @@ runAllxy(const AllxyConfig &config)
     machine.loadProgram(
         buildAllxyProgram(config.rounds, config.qubit).compile(opts));
 
-    AllxyResult result;
-    result.run = machine.run(
-        static_cast<Cycle>(config.rounds) * 42 * 45000 + 1'000'000);
+    core::RunResult run = machine.run(allxyBudget(config));
+    return finishAllxy(machine.dataCollector().averages(), run);
+}
 
-    result.rawS = machine.dataCollector().averages();
-    result.fidelity = rescaleAllxy(result.rawS);
-    result.ideal = idealAllxySignature();
-    result.deviation = meanAbsDeviation(result.fidelity, result.ideal);
-    for (const auto &p : allxyPairs()) {
-        result.labels.push_back(p.label);
-        result.labels.push_back(p.label);
-    }
-    return result;
+runtime::JobSpec
+allxyJob(const AllxyConfig &config)
+{
+    compiler::CompilerOptions opts;
+    opts.useQisGates = config.useQisGates;
+    runtime::JobSpec job;
+    job.name = "allxy";
+    job.assembly = buildAllxyProgram(config.rounds, config.qubit)
+                       .compileToAssembly(opts);
+    job.machine = allxyMachineConfig(config);
+    job.bins = 42;
+    job.seed = config.seed;
+    job.maxCycles = allxyBudget(config);
+    return job;
+}
+
+AllxyResult
+runAllxy(const AllxyConfig &config,
+         runtime::ExperimentService &service)
+{
+    runtime::JobResult r = service.runSync(allxyJob(config));
+    if (r.failed())
+        fatal("AllXY job failed: ", r.error);
+    return finishAllxy(std::move(r.averages), r.run);
 }
 
 } // namespace quma::experiments

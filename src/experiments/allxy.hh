@@ -22,6 +22,7 @@
 
 #include "compiler/codegen.hh"
 #include "quma/machine.hh"
+#include "runtime/service.hh"
 
 namespace quma::experiments {
 
@@ -89,6 +90,18 @@ core::MachineConfig allxyMachineConfig(const AllxyConfig &config);
 
 /** Run AllXY end to end through the full microarchitecture. */
 AllxyResult runAllxy(const AllxyConfig &config);
+
+/**
+ * Run AllXY as a runtime job: the program is compiled through the
+ * service's cache and executed on a pooled machine. Results are
+ * deterministic in config.seed (the job derives its RNG streams from
+ * it), independent of worker count or pool state.
+ */
+AllxyResult runAllxy(const AllxyConfig &config,
+                     runtime::ExperimentService &service);
+
+/** The JobSpec runAllxy(config, service) submits (one AllXY run). */
+runtime::JobSpec allxyJob(const AllxyConfig &config);
 
 /**
  * Rescale raw averages into fidelity using the calibration points

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/logging.hh"
+#include "common/rng.hh"
 
 namespace quma::experiments {
 
@@ -37,6 +38,82 @@ struct SweepOutput
     core::RunResult run;
 };
 
+/** Emit one sweep point's gate sequence (measure excluded). */
+void
+emitSequence(compiler::Kernel &k, const CoherenceConfig &config,
+             Sequence seq, unsigned n_pi, Cycle delay)
+{
+    switch (seq) {
+      case Sequence::T1:
+        k.gate("X180", config.qubit);
+        k.wait(delay);
+        break;
+      case Sequence::Ramsey:
+        k.gate("X90", config.qubit);
+        k.wait(delay);
+        k.gate("X90", config.qubit);
+        break;
+      case Sequence::Echo: {
+        // X90 - tau/2 - X180 - tau/2 - Xm90: the net rotation is
+        // Rx(pi), so a perfectly refocused qubit ends in |1>.
+        Cycle half = std::max<Cycle>(1, delay / 2);
+        k.gate("X90", config.qubit);
+        k.wait(half);
+        k.gate("X180", config.qubit);
+        k.wait(half);
+        k.gate("Xm90", config.qubit);
+        break;
+      }
+      case Sequence::Cpmg: {
+        // n_pi refocusing pulses at tau/(2n), 3*tau/(2n), ...;
+        // gaps snapped to the 20 ns SSB grid.
+        Cycle gap = std::max<Cycle>(4, delay / n_pi);
+        gap = (gap / 4) * 4;
+        Cycle half = std::max<Cycle>(4, gap / 2);
+        half = ((half + 3) / 4) * 4;
+        k.gate("X90", config.qubit);
+        for (unsigned p = 0; p < n_pi; ++p) {
+            k.wait(p == 0 ? half : gap);
+            k.gate("X180", config.qubit);
+        }
+        k.wait(half);
+        // Close so the error-free net rotation is Rx(pi).
+        k.gate(n_pi % 2 == 0 ? "X90" : "Xm90", config.qubit);
+        break;
+      }
+    }
+}
+
+/** Append the |0> / fresh |1> calibration points. */
+void
+emitCalibrationPoints(compiler::Kernel &k, unsigned qubit)
+{
+    k.init();
+    k.measure(qubit, 7);
+    k.init();
+    k.gate("X180", qubit);
+    k.measure(qubit, 7);
+}
+
+core::MachineConfig
+sweepMachineConfig(const CoherenceConfig &config)
+{
+    core::MachineConfig mc;
+    mc.qubits.assign(config.qubit + 1, config.qubitParams);
+    mc.carrierDetuningHz = config.artificialDetuningHz;
+    mc.exec.seed = config.seed;
+    mc.chipSeed = config.seed ^ 0x7a3;
+    return mc;
+}
+
+double
+rescalePoint(double raw, double s0, double s1)
+{
+    if (std::abs(s1 - s0) < 1e-12)
+        fatal("coherence calibration points coincide");
+    return (raw - s0) / (s1 - s0);
+}
+
 SweepOutput
 runSweep(const CoherenceConfig &config, Sequence seq,
          unsigned n_pi = 1)
@@ -49,61 +126,13 @@ runSweep(const CoherenceConfig &config, Sequence seq,
     compiler::Kernel &k = prog.newKernel("sweep");
     for (Cycle delay : config.delaysCycles) {
         k.init();
-        switch (seq) {
-          case Sequence::T1:
-            k.gate("X180", config.qubit);
-            k.wait(delay);
-            break;
-          case Sequence::Ramsey:
-            k.gate("X90", config.qubit);
-            k.wait(delay);
-            k.gate("X90", config.qubit);
-            break;
-          case Sequence::Echo: {
-            // X90 - tau/2 - X180 - tau/2 - Xm90: the net rotation is
-            // Rx(pi), so a perfectly refocused qubit ends in |1>.
-            Cycle half = std::max<Cycle>(1, delay / 2);
-            k.gate("X90", config.qubit);
-            k.wait(half);
-            k.gate("X180", config.qubit);
-            k.wait(half);
-            k.gate("Xm90", config.qubit);
-            break;
-          }
-          case Sequence::Cpmg: {
-            // n_pi refocusing pulses at tau/(2n), 3*tau/(2n), ...;
-            // gaps snapped to the 20 ns SSB grid.
-            Cycle gap = std::max<Cycle>(4, delay / n_pi);
-            gap = (gap / 4) * 4;
-            Cycle half = std::max<Cycle>(4, gap / 2);
-            half = ((half + 3) / 4) * 4;
-            k.gate("X90", config.qubit);
-            for (unsigned p = 0; p < n_pi; ++p) {
-                k.wait(p == 0 ? half : gap);
-                k.gate("X180", config.qubit);
-            }
-            k.wait(half);
-            // Close so the error-free net rotation is Rx(pi).
-            k.gate(n_pi % 2 == 0 ? "X90" : "Xm90", config.qubit);
-            break;
-          }
-        }
+        emitSequence(k, config, seq, n_pi, delay);
         k.measure(config.qubit, 7);
     }
     // Calibration points: |0> reference and freshly-prepared |1>.
-    k.init();
-    k.measure(config.qubit, 7);
-    k.init();
-    k.gate("X180", config.qubit);
-    k.measure(config.qubit, 7);
+    emitCalibrationPoints(k, config.qubit);
 
-    core::MachineConfig mc;
-    mc.qubits.assign(config.qubit + 1, config.qubitParams);
-    mc.carrierDetuningHz = config.artificialDetuningHz;
-    mc.exec.seed = config.seed;
-    mc.chipSeed = config.seed ^ 0x7a3;
-
-    core::QumaMachine machine(mc);
+    core::QumaMachine machine(sweepMachineConfig(config));
     machine.uploadStandardCalibration();
     std::size_t bins = config.delaysCycles.size() + 2;
     machine.configureDataCollection(bins);
@@ -122,14 +151,63 @@ runSweep(const CoherenceConfig &config, Sequence seq,
     auto raw = machine.dataCollector().averages();
     double s0 = raw[bins - 2];
     double s1 = raw[bins - 1];
-    if (std::abs(s1 - s0) < 1e-12)
-        fatal("coherence calibration points coincide");
-    for (std::size_t i = 0; i + 2 < raw.size() + 0; ++i) {
-        if (i >= config.delaysCycles.size())
-            break;
+    for (std::size_t i = 0; i < config.delaysCycles.size(); ++i) {
         out.delaysNs.push_back(
             static_cast<double>(cyclesToNs(config.delaysCycles[i])));
-        out.population.push_back((raw[i] - s0) / (s1 - s0));
+        out.population.push_back(rescalePoint(raw[i], s0, s1));
+    }
+    return out;
+}
+
+/**
+ * Service-routed sweep: one job per delay point, each a three-bin
+ * program (the point plus both calibration points), submitted in a
+ * burst and awaited together.
+ */
+SweepOutput
+runSweepJobs(const CoherenceConfig &config, Sequence seq, unsigned n_pi,
+             runtime::ExperimentService &service)
+{
+    if (config.delaysCycles.empty())
+        fatal("coherence sweep needs at least one delay");
+
+    std::vector<runtime::JobId> ids;
+    ids.reserve(config.delaysCycles.size());
+    core::MachineConfig mc = sweepMachineConfig(config);
+    for (std::size_t i = 0; i < config.delaysCycles.size(); ++i) {
+        Cycle delay = config.delaysCycles[i];
+        compiler::QuantumProgram prog("coherence_pt", config.qubit + 1,
+                                      config.rounds);
+        compiler::Kernel &k = prog.newKernel("point");
+        k.init();
+        emitSequence(k, config, seq, n_pi, delay);
+        k.measure(config.qubit, 7);
+        emitCalibrationPoints(k, config.qubit);
+
+        runtime::JobSpec job;
+        job.name = "coherence_pt";
+        job.assembly = prog.compileToAssembly();
+        job.machine = mc;
+        job.bins = 3;
+        job.seed = Rng::derive(config.seed, i);
+        job.maxCycles = static_cast<Cycle>(config.rounds) * 3 *
+                            (41000 + delay) +
+                        1'000'000;
+        ids.push_back(service.submit(std::move(job)));
+    }
+
+    SweepOutput out;
+    std::vector<runtime::JobResult> results = service.awaitAll(ids);
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const runtime::JobResult &r = results[i];
+        if (r.failed())
+            fatal("coherence sweep point ", i, " failed: ", r.error);
+        out.delaysNs.push_back(
+            static_cast<double>(cyclesToNs(config.delaysCycles[i])));
+        out.population.push_back(
+            rescalePoint(r.averages[0], r.averages[1], r.averages[2]));
+        // Aggregate the per-point runs into one sweep-level summary.
+        out.run.accumulate(r.run, i == 0);
     }
     return out;
 }
@@ -189,6 +267,63 @@ runCpmg(const CoherenceConfig &config, unsigned n_pi)
     r.run = s.run;
     r.fit = expDecayFit(r.delaysNs, r.population);
     return r;
+}
+
+namespace {
+
+DecayResult
+decayFromSweep(SweepOutput s)
+{
+    DecayResult r;
+    r.delaysNs = std::move(s.delaysNs);
+    r.population = std::move(s.population);
+    r.run = s.run;
+    r.fit = expDecayFit(r.delaysNs, r.population);
+    return r;
+}
+
+} // namespace
+
+DecayResult
+runT1(const CoherenceConfig &config,
+      runtime::ExperimentService &service)
+{
+    return decayFromSweep(
+        runSweepJobs(config, Sequence::T1, 1, service));
+}
+
+RamseyResult
+runRamsey(const CoherenceConfig &config,
+          runtime::ExperimentService &service)
+{
+    if (config.artificialDetuningHz <= 0)
+        fatal("Ramsey needs a positive artificial detuning");
+    SweepOutput s = runSweepJobs(config, Sequence::Ramsey, 1, service);
+    RamseyResult r;
+    r.delaysNs = std::move(s.delaysNs);
+    r.population = std::move(s.population);
+    r.run = s.run;
+    r.fit = dampedCosineFit(r.delaysNs, r.population,
+                            config.artificialDetuningHz * 1e-9);
+    return r;
+}
+
+DecayResult
+runEcho(const CoherenceConfig &config,
+        runtime::ExperimentService &service)
+{
+    return decayFromSweep(
+        runSweepJobs(config, Sequence::Echo, 1, service));
+}
+
+DecayResult
+runCpmg(const CoherenceConfig &config, unsigned n_pi,
+        runtime::ExperimentService &service)
+{
+    if (n_pi == 0)
+        fatal("CPMG needs at least one refocusing pulse");
+    return decayFromSweep(
+        runSweepJobs(config, Sequence::Cpmg, n_pi, service));
 }
 
 } // namespace quma::experiments

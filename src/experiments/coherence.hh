@@ -14,6 +14,7 @@
 #include "common/stats.hh"
 #include "compiler/codegen.hh"
 #include "quma/machine.hh"
+#include "runtime/service.hh"
 
 namespace quma::experiments {
 
@@ -73,6 +74,25 @@ DecayResult runEcho(const CoherenceConfig &config);
  * physics statement.
  */
 DecayResult runCpmg(const CoherenceConfig &config, unsigned n_pi);
+
+/**
+ * Service-routed variants: every delay of the sweep becomes its own
+ * runtime job (one single-point program plus its two calibration
+ * points), so the points execute in parallel across the machine pool
+ * and the per-point machines are pulled from one shard. Results are
+ * deterministic in config.seed: point i derives its RNG streams from
+ * Rng::derive(config.seed, i), independent of worker count. Note the
+ * noise realisation therefore differs from the sequential variant
+ * (one machine, one stream) while the physics and fits agree.
+ */
+DecayResult runT1(const CoherenceConfig &config,
+                  runtime::ExperimentService &service);
+RamseyResult runRamsey(const CoherenceConfig &config,
+                       runtime::ExperimentService &service);
+DecayResult runEcho(const CoherenceConfig &config,
+                    runtime::ExperimentService &service);
+DecayResult runCpmg(const CoherenceConfig &config, unsigned n_pi,
+                    runtime::ExperimentService &service);
 
 } // namespace quma::experiments
 

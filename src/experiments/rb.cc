@@ -105,4 +105,80 @@ runRb(const RbConfig &config)
     return result;
 }
 
+RbResult
+runRb(const RbConfig &config, runtime::ExperimentService &service)
+{
+    if (config.lengths.empty())
+        fatal("RB needs at least one sequence length");
+
+    core::MachineConfig mc;
+    mc.qubits.assign(config.qubit + 1, config.qubitParams);
+    mc.timing.pulseQueueCapacity = 256;
+    mc.timing.timingQueueCapacity = 256;
+    mc.qmbDepth = 64;
+
+    // One job per sequence length: its random sequences plus the two
+    // calibration points, drawn from a length-local RNG stream.
+    std::vector<runtime::JobId> ids;
+    for (std::size_t li = 0; li < config.lengths.size(); ++li) {
+        unsigned m = config.lengths[li];
+        Rng rng(Rng::derive(config.seed, li));
+        compiler::QuantumProgram prog("rb_len", config.qubit + 1,
+                                      config.rounds);
+        compiler::Kernel &k = prog.newKernel("rb_sequences");
+        for (unsigned s = 0; s < config.seedsPerLength; ++s) {
+            k.init();
+            for (const auto &gate : drawRbSequence(m, rng))
+                k.gate(gate, config.qubit);
+            k.measure(config.qubit, 7);
+        }
+        k.init();
+        k.measure(config.qubit, 7);
+        k.init();
+        k.gate("X180", config.qubit);
+        k.measure(config.qubit, 7);
+        std::size_t bins = config.seedsPerLength + 2;
+
+        runtime::JobSpec job;
+        job.name = "rb_len";
+        job.assembly = prog.compileToAssembly();
+        job.machine = mc;
+        job.bins = bins;
+        job.seed = Rng::derive(config.seed, 0x1000 + li);
+        job.maxCycles = static_cast<Cycle>(config.rounds) * bins *
+                            (41000 + static_cast<Cycle>(m) * 32) +
+                        1'000'000;
+        ids.push_back(service.submit(std::move(job)));
+    }
+
+    RbResult result;
+    std::vector<double> x;
+    std::vector<runtime::JobResult> results = service.awaitAll(ids);
+    for (std::size_t li = 0; li < results.size(); ++li) {
+        const runtime::JobResult &r = results[li];
+        if (r.failed())
+            fatal("RB length job ", li, " failed: ", r.error);
+        std::size_t bins = config.seedsPerLength + 2;
+        double s0 = r.averages[bins - 2];
+        double s1 = r.averages[bins - 1];
+        if (std::abs(s1 - s0) < 1e-12)
+            fatal("RB calibration points coincide");
+        double acc = 0;
+        for (unsigned s = 0; s < config.seedsPerLength; ++s)
+            acc += 1.0 - (r.averages[s] - s0) / (s1 - s0);
+        result.lengths.push_back(config.lengths[li]);
+        result.survival.push_back(acc / config.seedsPerLength);
+        x.push_back(static_cast<double>(config.lengths[li]));
+
+        result.run.accumulate(r.run, li == 0);
+    }
+
+    result.fit = expDecayFit(x, result.survival);
+    result.p = std::exp(-1.0 / result.fit.tau);
+    result.errorPerClifford = (1.0 - result.p) / 2.0;
+    double avgGates = CliffordGroup::instance().averageGateCount();
+    result.errorPerGate = result.errorPerClifford / avgGates;
+    return result;
+}
+
 } // namespace quma::experiments

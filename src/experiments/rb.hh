@@ -20,6 +20,7 @@
 #include "experiments/clifford.hh"
 #include "compiler/codegen.hh"
 #include "quma/machine.hh"
+#include "runtime/service.hh"
 
 namespace quma::experiments {
 
@@ -53,6 +54,19 @@ struct RbResult
 
 /** Run randomized benchmarking through the full microarchitecture. */
 RbResult runRb(const RbConfig &config);
+
+/**
+ * Service-routed RB: every sequence length becomes its own runtime
+ * job (its random sequences plus calibration points), so the lengths
+ * run in parallel across the machine pool. Length index i draws its
+ * sequences from Rng::derive(config.seed, i) and its job (noise) seed
+ * from Rng::derive(config.seed, 0x1000 + i), making the result
+ * deterministic in config.seed and the worker count irrelevant --
+ * though the drawn sequences differ from the sequential variant,
+ * which consumes one RNG across all lengths.
+ */
+RbResult runRb(const RbConfig &config,
+               runtime::ExperimentService &service);
 
 /**
  * Draw one random sequence of `length` Cliffords plus its recovery,

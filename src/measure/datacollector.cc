@@ -71,4 +71,15 @@ DataCollectionUnit::clear()
     configure(sums.empty() ? 1 : sums.size());
 }
 
+void
+DataCollectionUnit::reset()
+{
+    sums.clear();
+    bitSums.clear();
+    counts.clear();
+    bitCounts.clear();
+    count = 0;
+    bitCount = 0;
+}
+
 } // namespace quma::measure

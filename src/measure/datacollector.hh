@@ -46,6 +46,9 @@ class DataCollectionUnit
 
     void clear();
 
+    /** Return to the unconfigured (freshly-constructed) state. */
+    void reset();
+
   private:
     std::vector<double> sums;
     std::vector<double> bitSums;

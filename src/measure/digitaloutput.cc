@@ -50,4 +50,12 @@ DigitalOutputUnit::advanceTo(Cycle now)
     }
 }
 
+void
+DigitalOutputUnit::reset()
+{
+    pending = {};
+    history.clear();
+    orderCounter = 0;
+}
+
 } // namespace quma::measure

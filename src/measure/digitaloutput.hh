@@ -65,6 +65,9 @@ class DigitalOutputUnit
     const std::vector<MarkerWindow> &markers() const { return history; }
     void clearHistory() { history.clear(); }
 
+    /** Drop pending markers and the history (machine re-arm). */
+    void reset();
+
   private:
     struct Pending
     {

@@ -127,4 +127,13 @@ Mdu::advanceTo(Cycle now)
     }
 }
 
+void
+Mdu::reset()
+{
+    pendingTrace.reset();
+    armedTrigger.reset();
+    inFlight.reset();
+    done = 0;
+}
+
 } // namespace quma::measure

@@ -105,6 +105,13 @@ class Mdu
 
     std::size_t discriminationsDone() const { return done; }
 
+    /**
+     * Drop any pending trace / armed trigger / in-flight result and
+     * zero the counters; the calibration is preserved (machine
+     * re-arm).
+     */
+    void reset();
+
   private:
     MduCalibration cal;
     Cycle latency;

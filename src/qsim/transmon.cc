@@ -40,6 +40,18 @@ TransmonChip::qubitParams(unsigned q) const
 }
 
 void
+TransmonChip::reseed(std::uint64_t seed)
+{
+    random.reseed(seed);
+    rho.reset();
+    nowNs = 0;
+    for (std::size_t q = 0; q < params.size(); ++q) {
+        busyUntilNs[q] = 0;
+        roundDetuningHz[q] = 0.0;
+    }
+}
+
+void
 TransmonChip::newRound()
 {
     rho.reset();

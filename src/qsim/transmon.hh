@@ -82,6 +82,16 @@ class TransmonChip
      */
     void newRound();
 
+    /**
+     * Return the chip to its freshly-constructed state with the given
+     * noise seed: all qubits in |0>, clock at zero, and the RNG
+     * rewound so a subsequent run reproduces a fresh chip bit for
+     * bit. Unlike newRound() this does NOT draw detunings (the next
+     * newRound() performs the first draw, exactly as after
+     * construction).
+     */
+    void reseed(std::uint64_t seed);
+
     /** Advance to an absolute time, applying idle decoherence. */
     void advanceTo(TimeNs t_ns);
 

@@ -25,6 +25,19 @@ ExecutionController::loadProgram(isa::Program program)
     readyCycle = 0;
 }
 
+void
+ExecutionController::reset()
+{
+    pcReg = 0;
+    isHalted = prog.empty();
+    isBlocked = false;
+    readyCycle = 0;
+    execStats = ExecStats{};
+    regs.reset();
+    dataMem.assign(cfg.dataMemoryWords, 0);
+    rng.reseed(cfg.seed);
+}
+
 std::int64_t
 ExecutionController::readDataMemory(std::size_t word) const
 {

@@ -82,6 +82,16 @@ class ExecutionController
     bool blocked() const { return isBlocked; }
     const ExecStats &stats() const { return execStats; }
 
+    /**
+     * Return to the freshly-constructed state: registers and data
+     * memory zeroed, pc rewound, stats cleared, and the stall RNG
+     * rewound to the configured seed. The loaded program is kept.
+     */
+    void reset();
+
+    /** Replace the stall-injection seed used by the next reset(). */
+    void reseed(std::uint64_t seed) { cfg.seed = seed; }
+
   private:
     /** Execute one instruction; false when blocked (pc unchanged). */
     bool executeOne(Cycle now);

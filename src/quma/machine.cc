@@ -126,7 +126,7 @@ QumaMachine::wire()
 }
 
 void
-QumaMachine::uploadStandardCalibration()
+QumaMachine::uploadStandardCalibration(const LutProvider &provider)
 {
     unsigned nq = static_cast<unsigned>(cfg.qubits.size());
 
@@ -146,7 +146,10 @@ QumaMachine::uploadStandardCalibration()
         cp.amplitudeError = cfg.amplitudeError;
         cp.msmtPulseNs =
             static_cast<double>(cyclesToNs(cfg.msmtCycles));
-        awg::buildStandardLut(awgs[a]->waveMemory(), cp);
+        if (provider)
+            awg::uploadLut(awgs[a]->waveMemory(), *provider(cp));
+        else
+            awg::buildStandardLut(awgs[a]->waveMemory(), cp);
     }
 
     mdus.clear();
@@ -208,6 +211,45 @@ const timing::TimingViolations &
 QumaMachine::violations() const
 {
     return tcu->violations();
+}
+
+MachineStats
+QumaMachine::stats() const
+{
+    MachineStats s;
+    s.queues = tcu->queueStats();
+    s.exec = exec->stats();
+    s.microInstsIssued = qp->microInstsIssued();
+    return s;
+}
+
+void
+QumaMachine::reset()
+{
+    tcu->reset();
+    qp->reset();
+    for (auto &a : awgs)
+        a->reset();
+    digOut->reset();
+    for (auto &m : mdus)
+        m->reset();
+    chipSim->reseed(cfg.chipSeed);
+    exec->reset();
+    // Back to UNCONFIGURED, exactly like a fresh machine: a stale bin
+    // count would survive into the next run's auto-configuration.
+    collector.reset();
+    recorder.clear();
+    mdWriteMode.assign(cfg.qubits.size(), {true, 0});
+    ran = false;
+}
+
+void
+QumaMachine::reset(std::uint64_t chip_seed, std::uint64_t exec_seed)
+{
+    cfg.chipSeed = chip_seed;
+    cfg.exec.seed = exec_seed;
+    exec->reseed(exec_seed);
+    reset();
 }
 
 void

@@ -15,6 +15,8 @@
 #ifndef QUMA_QUMA_MACHINE_HH
 #define QUMA_QUMA_MACHINE_HH
 
+#include <functional>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -95,6 +97,31 @@ struct RunResult
     Cycle cyclesRun = 0;
     bool halted = false;
     timing::TimingViolations violations;
+
+    bool operator==(const RunResult &) const = default;
+
+    /**
+     * Fold another run into a sweep-level aggregate: cycle counts
+     * and violation counters add, halted ANDs. `first` marks the
+     * first fold (it initialises halted).
+     */
+    void
+    accumulate(const RunResult &other, bool first)
+    {
+        cyclesRun += other.cyclesRun;
+        halted = (first || halted) && other.halted;
+        violations.latePoints += other.violations.latePoints;
+        violations.staleEvents += other.violations.staleEvents;
+        violations.totalLateCycles += other.violations.totalLateCycles;
+    }
+};
+
+/** Observable machine counters (pool saturation, pipeline health). */
+struct MachineStats
+{
+    timing::TimingUnitStats queues;
+    ExecStats exec;
+    std::size_t microInstsIssued = 0;
 };
 
 class QumaMachine
@@ -104,8 +131,18 @@ class QumaMachine
 
     const MachineConfig &config() const { return cfg; }
 
+    /**
+     * Supplier of pre-rendered LUT content for a calibration. When
+     * set, uploadStandardCalibration copies the returned entries
+     * instead of rendering them -- the runtime's program cache uses
+     * this to share one rendered LUT across a machine pool.
+     */
+    using LutProvider = std::function<std::shared_ptr<
+        const std::map<Codeword, awg::StoredPulse>>(
+        const awg::CalibrationParams &)>;
+
     /** Upload the Table 1 LUTs and calibrate every MDU. */
-    void uploadStandardCalibration();
+    void uploadStandardCalibration(const LutProvider &provider = {});
 
     /** Load an assembled program into the instruction cache. */
     void loadProgram(isa::Program program);
@@ -121,6 +158,24 @@ class QumaMachine
      */
     RunResult run(Cycle max_cycles = 2'000'000'000ULL);
 
+    /**
+     * Re-arm the machine to its freshly-constructed state without
+     * reconstruction: all pipelines, queues, registers, data memory,
+     * collected data and RNG streams are rewound, so a subsequent
+     * loadProgram + run reproduces a fresh machine's results bit for
+     * bit. Uploaded calibration (LUTs, MDU weights) is preserved --
+     * this is what makes pooled machines cheap to reuse.
+     */
+    void reset();
+
+    /**
+     * reset(), additionally re-deriving the stochastic domains from
+     * new seeds (chip/readout noise and execution stall injection).
+     * The runtime uses this to give every job its own deterministic
+     * RNG streams regardless of which pooled machine runs it.
+     */
+    void reset(std::uint64_t chip_seed, std::uint64_t exec_seed);
+
     // --- component access (tests, benches, examples) ---
     RegisterFile &registers() { return exec->registers(); }
     ExecutionController &execController() { return *exec; }
@@ -134,6 +189,9 @@ class QumaMachine
     TraceRecorder &trace() { return recorder; }
 
     const timing::TimingViolations &violations() const;
+
+    /** Queue-saturation and pipeline counters for this run. */
+    MachineStats stats() const;
 
   private:
     void wire();

@@ -73,8 +73,8 @@ QuantumPipeline::pushOne(const isa::Instruction &inst)
 {
     switch (inst.op) {
       case isa::Opcode::QWait: {
-        if (tcu.timingQueueFull())
-            return false;
+        // No pre-check: a full queue rejects the push itself, which
+        // also feeds the saturation counters (pushFailed).
         TimingLabel next = label + 1;
         if (!tcu.pushTimePoint(static_cast<Cycle>(inst.imm), next))
             return false;
@@ -197,6 +197,7 @@ QuantumPipeline::reset()
     lastDrainCycle = 0;
     drainedThisCycle = false;
     blockedOnQueue = false;
+    issued = 0;
 }
 
 } // namespace quma::core

@@ -1,0 +1,67 @@
+#include "runtime/job.hh"
+
+#include <sstream>
+
+#include "runtime/keys.hh"
+
+namespace quma::runtime {
+
+using keys::appendBits;
+using keys::appendInt;
+
+std::string
+configKey(const core::MachineConfig &config)
+{
+    std::ostringstream os;
+    appendInt(os, config.qubits.size());
+    for (const auto &q : config.qubits) {
+        appendBits(os, q.freqHz);
+        appendBits(os, q.resonatorHz);
+        appendBits(os, q.t1Ns);
+        appendBits(os, q.t2Ns);
+        appendBits(os, q.quasiStaticDetuningSigmaHz);
+        appendBits(os, q.rabiRadPerAmpNs);
+        appendBits(os, q.readout.c0.real());
+        appendBits(os, q.readout.c0.imag());
+        appendBits(os, q.readout.c1.real());
+        appendBits(os, q.readout.c1.imag());
+        appendBits(os, q.readout.noiseSigma);
+        appendBits(os, q.readout.ifHz);
+        appendBits(os, q.readout.adcRateHz);
+    }
+    appendInt(os, config.numAwgs);
+    appendInt(os, config.driveAwg.size());
+    for (unsigned a : config.driveAwg)
+        appendInt(os, a);
+    appendBits(os, config.ssbHz);
+    appendBits(os, config.pulseNs);
+    appendInt(os, config.gateWaitCycles);
+    appendBits(os, config.amplitudeError);
+    appendBits(os, config.carrierDetuningHz);
+    appendInt(os, config.uopDelayCycles);
+    appendInt(os, config.ctpgDelayCycles);
+    appendInt(os, config.mduLatencyCycles);
+    appendInt(os, config.msmtCycles);
+    appendInt(os, static_cast<std::uint64_t>(config.msmtPathDelayCycles));
+    appendInt(os, config.czDurationNs);
+    appendBits(os, config.msmtCarrierHz);
+    appendInt(os, config.exec.issueWidth);
+    appendInt(os, config.exec.stallInjection ? 1 : 0);
+    appendBits(os, config.exec.stallProbability);
+    appendInt(os, config.exec.maxStallCycles);
+    appendInt(os, config.exec.dataMemoryWords);
+    appendInt(os, config.timing.timingQueueCapacity);
+    appendInt(os, config.timing.pulseQueueCapacity);
+    appendInt(os, config.timing.mpgQueueCapacity);
+    appendInt(os, config.timing.mdQueueCapacity);
+    appendInt(os, config.timing.numPulseQueues);
+    appendInt(os, config.timing.numMdQueues);
+    appendInt(os, config.qmbDepth);
+    appendInt(os, config.qmbDrainRate);
+    appendInt(os, config.traceEnabled ? 1 : 0);
+    // config.chipSeed and config.exec.seed are intentionally omitted:
+    // every job reseeds its machine from the job seed.
+    return os.str();
+}
+
+} // namespace quma::runtime

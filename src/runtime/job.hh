@@ -1,0 +1,86 @@
+/**
+ * @file
+ * The unit of work of the concurrent experiment runtime: one job is
+ * one host-PC session of the paper's §8 flow (upload calibration,
+ * load a program, run, collect averages), described as data so it can
+ * be queued, sharded onto a pooled machine, and executed by any
+ * worker.
+ *
+ * Determinism contract: a job's result is a pure function of its
+ * JobSpec. The runtime derives the chip-noise and stall-injection RNG
+ * streams from the job seed (Rng::derive), resets the pooled machine
+ * before running, and never shares mutable state between jobs -- so
+ * the same spec produces the same JobResult regardless of worker
+ * count, scheduling order, or which pooled machine it lands on.
+ */
+
+#ifndef QUMA_RUNTIME_JOB_HH
+#define QUMA_RUNTIME_JOB_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "isa/program.hh"
+#include "quma/machine.hh"
+
+namespace quma::runtime {
+
+using JobId = std::uint64_t;
+
+struct JobSpec
+{
+    /** Human-readable label (diagnostics only; not part of results). */
+    std::string name;
+
+    /**
+     * QuMIS/QIS assembly source. Compiled through the ProgramCache,
+     * so repeated jobs with identical source skip the assembler.
+     */
+    std::string assembly;
+    /** Pre-assembled program; bypasses the cache when set. */
+    std::optional<isa::Program> program;
+
+    /** Machine configuration; shards the pool (seeds are ignored --
+     *  the job seed below replaces them). */
+    core::MachineConfig machine;
+
+    /** Data-collection bins K (0 = leave unconfigured). */
+    std::size_t bins = 0;
+
+    /** Job seed; chip and exec RNG streams are derived from it. */
+    std::uint64_t seed = 0x5eed;
+
+    /** Run budget in cycles. */
+    Cycle maxCycles = 2'000'000'000ULL;
+};
+
+enum class JobStatus { Queued, Running, Done, Failed };
+
+struct JobResult
+{
+    core::RunResult run;
+    /** Per-bin ensemble averages (data collection unit). */
+    std::vector<double> averages;
+    std::vector<double> bitAverages;
+    std::size_t sampleCount = 0;
+    /** Non-empty when the job failed; the other fields are empty. */
+    std::string error;
+
+    bool failed() const { return !error.empty(); }
+
+    bool operator==(const JobResult &) const = default;
+};
+
+/**
+ * Shard key of a machine configuration: two configs with the same key
+ * are interchangeable hardware as far as a job is concerned (same
+ * qubits, routing, delays, queue depths, error injections). Seeds are
+ * deliberately excluded -- jobs reseed the machine they run on.
+ */
+std::string configKey(const core::MachineConfig &config);
+
+} // namespace quma::runtime
+
+#endif // QUMA_RUNTIME_JOB_HH

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Internal helpers for building memoization/shard keys: values are
+ * streamed as exact bit patterns (no formatting round-trip), so two
+ * keys are equal iff every field is bitwise equal.
+ */
+
+#ifndef QUMA_RUNTIME_KEYS_HH
+#define QUMA_RUNTIME_KEYS_HH
+
+#include <cstdint>
+#include <cstring>
+#include <sstream>
+
+namespace quma::runtime::keys {
+
+/** Append a double's exact bit pattern. */
+inline void
+appendBits(std::ostringstream &os, double v)
+{
+    std::uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(v));
+    std::memcpy(&bits, &v, sizeof(bits));
+    os << std::hex << bits << ',';
+}
+
+inline void
+appendInt(std::ostringstream &os, std::uint64_t v)
+{
+    os << std::hex << v << ',';
+}
+
+} // namespace quma::runtime::keys
+
+#endif // QUMA_RUNTIME_KEYS_HH

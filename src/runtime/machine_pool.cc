@@ -1,0 +1,148 @@
+#include "runtime/machine_pool.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace quma::runtime {
+
+MachinePool::MachinePool(std::size_t max_machines, ProgramCache *cache)
+    : maxMachines(max_machines ? max_machines : 1), lutCache(cache)
+{
+}
+
+MachinePool::Lease::Lease(Lease &&other) noexcept
+    : owner(other.owner), shardKey(std::move(other.shardKey)),
+      m(std::move(other.m))
+{
+    other.owner = nullptr;
+}
+
+MachinePool::Lease &
+MachinePool::Lease::operator=(Lease &&other) noexcept
+{
+    if (this != &other) {
+        release();
+        owner = other.owner;
+        shardKey = std::move(other.shardKey);
+        m = std::move(other.m);
+        other.owner = nullptr;
+    }
+    return *this;
+}
+
+MachinePool::Lease::~Lease()
+{
+    release();
+}
+
+void
+MachinePool::Lease::release()
+{
+    if (owner && m)
+        owner->give_back(shardKey, std::move(m));
+    owner = nullptr;
+    m.reset();
+}
+
+MachinePool::Lease
+MachinePool::acquire(const core::MachineConfig &config)
+{
+    return acquireKeyed(configKey(config), config);
+}
+
+MachinePool::Lease
+MachinePool::acquireKeyed(const std::string &key,
+                          const core::MachineConfig &config)
+{
+    // Declared before the lock so an evicted machine's (non-trivial)
+    // teardown runs after the mutex is released.
+    std::unique_ptr<core::QumaMachine> evicted;
+    std::unique_lock<std::mutex> lock(mu);
+    ++counters.acquisitions;
+    for (;;) {
+        auto it = idle.find(key);
+        if (it != idle.end() && !it->second.empty()) {
+            std::unique_ptr<core::QumaMachine> m =
+                std::move(it->second.front());
+            it->second.pop_front();
+            if (it->second.empty())
+                idle.erase(it);
+            auto pos =
+                std::find(idleOrder.begin(), idleOrder.end(), key);
+            quma_assert(pos != idleOrder.end(),
+                        "idle-order bookkeeping out of sync");
+            idleOrder.erase(pos);
+            ++counters.reuseHits;
+            ++leased;
+            return Lease(this, key, std::move(m));
+        }
+        if (totalMachines < maxMachines) {
+            // Reserve the slot, construct outside the lock.
+            ++totalMachines;
+            ++leased;
+            break;
+        }
+        if (!idleOrder.empty()) {
+            // Full of machines, none match: evict the machine that
+            // has been idle longest to make room for this config.
+            std::string victim = idleOrder.front();
+            idleOrder.pop_front();
+            auto vit = idle.find(victim);
+            quma_assert(vit != idle.end() && !vit->second.empty(),
+                        "idle-order bookkeeping out of sync");
+            evicted = std::move(vit->second.front());
+            vit->second.pop_front();
+            if (vit->second.empty())
+                idle.erase(vit);
+            --totalMachines;
+            ++counters.evictions;
+            continue;
+        }
+        cv.wait(lock);
+    }
+    ++counters.machinesCreated;
+    lock.unlock();
+
+    try {
+        auto m = std::make_unique<core::QumaMachine>(config);
+        m->uploadStandardCalibration(
+            lutCache ? lutCache->lutProvider()
+                     : core::QumaMachine::LutProvider{});
+        return Lease(this, key, std::move(m));
+    } catch (...) {
+        std::lock_guard<std::mutex> relock(mu);
+        --totalMachines;
+        --leased;
+        --counters.machinesCreated;
+        cv.notify_one();
+        throw;
+    }
+}
+
+void
+MachinePool::give_back(const std::string &key,
+                       std::unique_ptr<core::QumaMachine> machine)
+{
+    // Re-arm outside the lock: reset cost must not serialize workers.
+    machine->reset();
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        idle[key].push_back(std::move(machine));
+        idleOrder.push_back(key);
+        --leased;
+    }
+    cv.notify_one();
+}
+
+MachinePool::Stats
+MachinePool::stats() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    Stats s = counters;
+    s.idleMachines = totalMachines - leased;
+    s.leasedMachines = leased;
+    return s;
+}
+
+} // namespace quma::runtime

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * A bounded pool of reusable QumaMachine instances, sharded by
+ * machine configuration.
+ *
+ * Constructing a machine (density matrix, AWG boards, calibration
+ * rendering) is orders of magnitude more expensive than
+ * QumaMachine::reset(), so the pool keeps finished machines idle and
+ * hands them back out to the next job with a matching configuration
+ * key (runtime::configKey). When every slot is occupied by a
+ * different configuration, the least-recently-idled foreign machine
+ * is evicted to make room; when all machines are leased out, acquire
+ * blocks until one returns.
+ *
+ * Calibration is uploaded once per machine at construction through
+ * the shared ProgramCache's LUT layer and preserved across resets.
+ */
+
+#ifndef QUMA_RUNTIME_MACHINE_POOL_HH
+#define QUMA_RUNTIME_MACHINE_POOL_HH
+
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "quma/machine.hh"
+#include "runtime/job.hh"
+#include "runtime/program_cache.hh"
+
+namespace quma::runtime {
+
+class MachinePool
+{
+  public:
+    struct Stats
+    {
+        std::size_t machinesCreated = 0;
+        std::size_t acquisitions = 0;
+        /** Acquisitions served by an idle machine (no construction). */
+        std::size_t reuseHits = 0;
+        /** Idle machines destroyed to make room for another config. */
+        std::size_t evictions = 0;
+        std::size_t idleMachines = 0;
+        std::size_t leasedMachines = 0;
+    };
+
+    /**
+     * @param max_machines pool capacity (leased + idle)
+     * @param cache shared calibration cache; may be null (each
+     *        machine then renders its own LUTs)
+     */
+    explicit MachinePool(std::size_t max_machines = 8,
+                         ProgramCache *cache = nullptr);
+
+    /** RAII lease: returns the machine to the pool on destruction. */
+    class Lease
+    {
+      public:
+        Lease() = default;
+        Lease(Lease &&other) noexcept;
+        Lease &operator=(Lease &&other) noexcept;
+        Lease(const Lease &) = delete;
+        Lease &operator=(const Lease &) = delete;
+        ~Lease();
+
+        core::QumaMachine &machine() { return *m; }
+        bool valid() const { return m != nullptr; }
+        /** Return the machine early (idempotent). */
+        void release();
+
+      private:
+        friend class MachinePool;
+        Lease(MachinePool *pool, std::string key,
+              std::unique_ptr<core::QumaMachine> machine)
+            : owner(pool), shardKey(std::move(key)), m(std::move(machine))
+        {
+        }
+
+        MachinePool *owner = nullptr;
+        std::string shardKey;
+        std::unique_ptr<core::QumaMachine> m;
+    };
+
+    /**
+     * Lease a machine matching `config` (creating or evicting as
+     * needed); blocks while the pool is fully leased out.
+     */
+    Lease acquire(const core::MachineConfig &config);
+
+    /** acquire() when the shard key is already known (scheduler). */
+    Lease acquireKeyed(const std::string &key,
+                       const core::MachineConfig &config);
+
+    std::size_t capacity() const { return maxMachines; }
+    Stats stats() const;
+
+  private:
+    void give_back(const std::string &key,
+                   std::unique_ptr<core::QumaMachine> machine);
+
+    const std::size_t maxMachines;
+    ProgramCache *lutCache;
+
+    mutable std::mutex mu;
+    std::condition_variable cv;
+    /** Idle machines per shard key. */
+    std::unordered_map<std::string,
+                       std::deque<std::unique_ptr<core::QumaMachine>>>
+        idle;
+    /** Shard keys with idle machines, oldest-idled first (eviction). */
+    std::deque<std::string> idleOrder;
+    std::size_t totalMachines = 0;
+    std::size_t leased = 0;
+    Stats counters;
+};
+
+} // namespace quma::runtime
+
+#endif // QUMA_RUNTIME_MACHINE_POOL_HH

@@ -1,0 +1,121 @@
+#include "runtime/program_cache.hh"
+
+#include <sstream>
+
+#include "isa/assembler.hh"
+#include "runtime/keys.hh"
+
+namespace quma::runtime {
+
+namespace {
+
+std::string
+lutKey(const awg::CalibrationParams &p)
+{
+    std::ostringstream os;
+    for (double v : {p.pulseNs, p.sigmaNs, p.ssbHz, p.rabiRadPerAmpNs,
+                     p.rateHz, p.amplitudeError, p.msmtPulseNs,
+                     p.czPulseNs})
+        keys::appendBits(os, v);
+    return os.str();
+}
+
+} // namespace
+
+ProgramCache::ProgramCache(std::size_t max_programs,
+                           std::size_t max_luts)
+    : maxPrograms(max_programs ? max_programs : 1),
+      maxLuts(max_luts ? max_luts : 1)
+{
+}
+
+std::shared_ptr<const isa::Program>
+ProgramCache::assemble(const std::string &source)
+{
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        auto it = programs.find(source);
+        if (it != programs.end()) {
+            ++counters.programHits;
+            return it->second;
+        }
+        ++counters.programMisses;
+    }
+
+    // Assemble outside the lock: compiles of distinct sources run in
+    // parallel. A racing duplicate assembles twice and the results
+    // are identical, so either insert is correct.
+    isa::Assembler assembler;
+    auto program =
+        std::make_shared<const isa::Program>(assembler.assemble(source));
+
+    std::lock_guard<std::mutex> lock(mu);
+    auto [it, inserted] = programs.emplace(source, program);
+    if (inserted) {
+        programOrder.push_back(source);
+        while (programOrder.size() > maxPrograms) {
+            programs.erase(programOrder.front());
+            programOrder.pop_front();
+            ++counters.programEvictions;
+        }
+    }
+    return it->second;
+}
+
+std::shared_ptr<const std::map<Codeword, awg::StoredPulse>>
+ProgramCache::lut(const awg::CalibrationParams &params)
+{
+    std::string key = lutKey(params);
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        auto it = luts.find(key);
+        if (it != luts.end()) {
+            ++counters.lutHits;
+            return it->second;
+        }
+        ++counters.lutMisses;
+    }
+
+    auto entries =
+        std::make_shared<const std::map<Codeword, awg::StoredPulse>>(
+            awg::buildStandardLutEntries(params));
+
+    std::lock_guard<std::mutex> lock(mu);
+    auto [it, inserted] = luts.emplace(key, entries);
+    if (inserted) {
+        lutOrder.push_back(key);
+        while (lutOrder.size() > maxLuts) {
+            luts.erase(lutOrder.front());
+            lutOrder.pop_front();
+        }
+    }
+    return it->second;
+}
+
+core::QumaMachine::LutProvider
+ProgramCache::lutProvider()
+{
+    return [this](const awg::CalibrationParams &params) {
+        return lut(params);
+    };
+}
+
+ProgramCache::Stats
+ProgramCache::stats() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    return counters;
+}
+
+void
+ProgramCache::clear()
+{
+    std::lock_guard<std::mutex> lock(mu);
+    programs.clear();
+    programOrder.clear();
+    luts.clear();
+    lutOrder.clear();
+    counters = Stats{};
+}
+
+} // namespace quma::runtime

@@ -1,0 +1,286 @@
+#include "runtime/scheduler.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace quma::runtime {
+
+namespace {
+
+/** Stream indices for the per-job RNG derivation. */
+constexpr std::uint64_t kChipStream = 0;
+constexpr std::uint64_t kExecStream = 1;
+
+} // namespace
+
+JobScheduler::JobScheduler(SchedulerConfig config, MachinePool &pool_,
+                           ProgramCache &cache_)
+    : cfg(config), pool(pool_), cache(cache_)
+{
+    if (cfg.workers == 0)
+        fatal("JobScheduler needs at least one worker");
+    if (cfg.queueCapacity == 0)
+        fatal("JobScheduler needs a positive queue capacity");
+    if (!cfg.startPaused)
+        start();
+}
+
+JobScheduler::~JobScheduler()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        stop = true;
+        // Jobs still queued will never run: fail them so awaiters
+        // unblock with a diagnosable result.
+        for (JobId id : queue) {
+            Entry &e = entries[id];
+            e.jobStatus = JobStatus::Failed;
+            e.result.error = "scheduler shut down before the job ran";
+            ++counters.failed;
+        }
+        queue.clear();
+    }
+    cvWork.notify_all();
+    cvSpace.notify_all();
+    cvDone.notify_all();
+    for (auto &w : workers)
+        w.join();
+}
+
+void
+JobScheduler::start()
+{
+    std::lock_guard<std::mutex> lock(mu);
+    if (started)
+        return;
+    started = true;
+    for (unsigned i = 0; i < cfg.workers; ++i)
+        workers.emplace_back([this] { workerLoop(); });
+}
+
+JobId
+JobScheduler::enqueueLocked(JobSpec &&spec)
+{
+    JobId id = nextId++;
+    Entry e;
+    e.key = configKey(spec.machine);
+    e.spec = std::move(spec);
+    entries.emplace(id, std::move(e));
+    queue.push_back(id);
+    counters.queueHighWater =
+        std::max(counters.queueHighWater, queue.size());
+    ++counters.submitted;
+    return id;
+}
+
+JobId
+JobScheduler::submit(JobSpec spec)
+{
+    std::unique_lock<std::mutex> lock(mu);
+    cvSpace.wait(lock, [this] {
+        return stop || queue.size() < cfg.queueCapacity;
+    });
+    if (stop)
+        fatal("submit on a stopped scheduler");
+    JobId id = enqueueLocked(std::move(spec));
+    lock.unlock();
+    cvWork.notify_one();
+    return id;
+}
+
+std::optional<JobId>
+JobScheduler::trySubmit(JobSpec spec)
+{
+    std::unique_lock<std::mutex> lock(mu);
+    if (stop || queue.size() >= cfg.queueCapacity) {
+        ++counters.rejected;
+        return std::nullopt;
+    }
+    JobId id = enqueueLocked(std::move(spec));
+    lock.unlock();
+    cvWork.notify_one();
+    return id;
+}
+
+JobStatus
+JobScheduler::status(JobId id) const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    auto it = entries.find(id);
+    if (it == entries.end())
+        fatal("unknown job id ", id);
+    return it->second.jobStatus;
+}
+
+std::optional<JobResult>
+JobScheduler::poll(JobId id) const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    auto it = entries.find(id);
+    if (it == entries.end())
+        fatal("unknown job id ", id);
+    const Entry &e = it->second;
+    if (e.jobStatus == JobStatus::Done ||
+        e.jobStatus == JobStatus::Failed)
+        return e.result;
+    return std::nullopt;
+}
+
+JobResult
+JobScheduler::await(JobId id)
+{
+    std::unique_lock<std::mutex> lock(mu);
+    if (entries.find(id) == entries.end())
+        fatal("unknown job id ", id);
+    // Re-resolve per wake-up: bounded retention may erase the entry
+    // while we are blocked (it finished, then aged out).
+    cvDone.wait(lock, [&] {
+        auto it = entries.find(id);
+        return it == entries.end() ||
+               it->second.jobStatus == JobStatus::Done ||
+               it->second.jobStatus == JobStatus::Failed;
+    });
+    auto it = entries.find(id);
+    if (it == entries.end())
+        fatal("job ", id, " finished but its result aged out of the ",
+              "bounded retention before await could read it");
+    return it->second.result;
+}
+
+void
+JobScheduler::drain()
+{
+    std::unique_lock<std::mutex> lock(mu);
+    cvDone.wait(lock,
+                [this] { return queue.empty() && inFlight == 0; });
+}
+
+JobScheduler::Stats
+JobScheduler::stats() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    return counters;
+}
+
+void
+JobScheduler::finishLocked(JobId id, JobResult &&result)
+{
+    Entry &e = entries.at(id);
+    bool failed = result.failed();
+    e.result = std::move(result);
+    e.jobStatus = failed ? JobStatus::Failed : JobStatus::Done;
+    e.spec = JobSpec{}; // free the program/source copies
+    if (failed)
+        ++counters.failed;
+    else
+        ++counters.completed;
+    // Bounded retention: a long-lived service must not accumulate one
+    // result per job forever. Oldest finished results age out; an
+    // await/poll on an aged-out id reports an unknown job.
+    finishedOrder.push_back(id);
+    while (finishedOrder.size() > cfg.maxRetainedResults) {
+        entries.erase(finishedOrder.front());
+        finishedOrder.pop_front();
+    }
+}
+
+JobResult
+JobScheduler::runJob(const JobSpec &spec, core::QumaMachine &machine)
+{
+    JobResult r;
+    try {
+        machine.reset(Rng::derive(spec.seed, kChipStream),
+                      Rng::derive(spec.seed, kExecStream));
+        // Always (re)configure collection: a pooled machine may carry
+        // the previous job's bin count, and determinism requires the
+        // collector state to depend on this spec alone.
+        machine.configureDataCollection(spec.bins ? spec.bins : 1);
+        if (spec.program)
+            machine.loadProgram(*spec.program);
+        else
+            machine.loadProgram(*cache.assemble(spec.assembly));
+        r.run = machine.run(spec.maxCycles);
+        r.averages = machine.dataCollector().averages();
+        r.bitAverages = machine.dataCollector().bitAverages();
+        r.sampleCount = machine.dataCollector().sampleCount();
+    } catch (const std::exception &ex) {
+        r = JobResult{};
+        r.error = ex.what();
+    }
+    return r;
+}
+
+void
+JobScheduler::workerLoop()
+{
+    std::unique_lock<std::mutex> lock(mu);
+    for (;;) {
+        cvWork.wait(lock, [this] { return stop || !queue.empty(); });
+        if (stop)
+            return;
+
+        JobId id = queue.front();
+        queue.pop_front();
+        ++inFlight;
+        Entry &entry = entries.at(id);
+        entry.jobStatus = JobStatus::Running;
+        JobSpec spec = std::move(entry.spec);
+        std::string key = entry.key;
+        lock.unlock();
+        cvSpace.notify_one();
+
+        MachinePool::Lease lease;
+        try {
+            lease = pool.acquireKeyed(key, spec.machine);
+        } catch (const std::exception &ex) {
+            // Machine construction rejected the config: fail THIS job;
+            // letting the exception leave the thread would terminate
+            // the whole service.
+            JobResult r;
+            r.error = std::string("machine unavailable: ") + ex.what();
+            lock.lock();
+            finishLocked(id, std::move(r));
+            --inFlight;
+            cvDone.notify_all();
+            continue;
+        }
+        std::size_t ranOnLease = 0;
+        for (;;) {
+            JobResult result = runJob(spec, lease.machine());
+            ++ranOnLease;
+
+            lock.lock();
+            finishLocked(id, std::move(result));
+            --inFlight;
+            cvDone.notify_all();
+
+            // Lease batching: run the next same-config job without a
+            // pool round-trip.
+            if (!stop && !queue.empty() &&
+                ranOnLease < cfg.leaseBatchLimit &&
+                entries.at(queue.front()).key == key) {
+                id = queue.front();
+                queue.pop_front();
+                ++inFlight;
+                Entry &next = entries.at(id);
+                next.jobStatus = JobStatus::Running;
+                spec = std::move(next.spec);
+                ++counters.batchedJobs;
+                lock.unlock();
+                cvSpace.notify_one();
+                continue;
+            }
+            break;
+        }
+        // Still holding the lock from the loop exit; release the
+        // lease outside it (reset + pool hand-back take the pool
+        // mutex, not ours).
+        lock.unlock();
+        lease.release();
+        lock.lock();
+    }
+}
+
+} // namespace quma::runtime

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * The job scheduler: a bounded job queue drained by worker threads.
+ *
+ * Each worker pops a job, leases a machine of the job's configuration
+ * from the pool, and executes the paper's host flow (reset + reseed,
+ * configure collection, load the cached program, run, collect). While
+ * it still holds the lease, the worker batches: if the next queued
+ * job needs the same machine configuration it runs immediately on the
+ * same lease, skipping a pool round-trip -- the common case when a
+ * sweep fans out into many same-shaped jobs.
+ *
+ * Determinism: job results are a pure function of the JobSpec (see
+ * job.hh), so the number of workers and the interleaving of the queue
+ * change only throughput, never results. The determinism test runs
+ * the same job set under 1, 2 and 8 workers and requires identical
+ * aggregated results.
+ */
+
+#ifndef QUMA_RUNTIME_SCHEDULER_HH
+#define QUMA_RUNTIME_SCHEDULER_HH
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "runtime/job.hh"
+#include "runtime/machine_pool.hh"
+#include "runtime/program_cache.hh"
+
+namespace quma::runtime {
+
+struct SchedulerConfig
+{
+    unsigned workers = 2;
+    /** Bounded queue depth; submit blocks (trySubmit rejects) when
+     *  this many jobs are waiting. */
+    std::size_t queueCapacity = 64;
+    /**
+     * Do not spawn workers yet; start() does. Lets tests (and staged
+     * deployments) fill the bounded queue before draining begins.
+     */
+    bool startPaused = false;
+    /** Max same-config jobs executed on one pool lease. */
+    std::size_t leaseBatchLimit = 8;
+    /**
+     * Finished JobResults retained for poll/await. When exceeded the
+     * oldest finished results age out and their ids report unknown.
+     */
+    std::size_t maxRetainedResults = 65536;
+};
+
+class JobScheduler
+{
+  public:
+    struct Stats
+    {
+        std::size_t submitted = 0;
+        std::size_t rejected = 0;
+        std::size_t completed = 0;
+        std::size_t failed = 0;
+        std::size_t queueHighWater = 0;
+        /** Jobs that reused the previous job's lease (batching). */
+        std::size_t batchedJobs = 0;
+    };
+
+    JobScheduler(SchedulerConfig config, MachinePool &pool,
+                 ProgramCache &cache);
+    ~JobScheduler();
+
+    JobScheduler(const JobScheduler &) = delete;
+    JobScheduler &operator=(const JobScheduler &) = delete;
+
+    /** Spawn the worker threads (idempotent). */
+    void start();
+
+    /** Enqueue a job; blocks while the queue is full. */
+    JobId submit(JobSpec spec);
+    /** Enqueue a job; nullopt when the queue is full. */
+    std::optional<JobId> trySubmit(JobSpec spec);
+
+    JobStatus status(JobId id) const;
+    /** The result once the job finished, nullopt while in flight. */
+    std::optional<JobResult> poll(JobId id) const;
+    /** Block until the job finishes and return its result. */
+    JobResult await(JobId id);
+    /** Block until every submitted job has finished. */
+    void drain();
+
+    Stats stats() const;
+
+  private:
+    struct Entry
+    {
+        JobSpec spec;
+        std::string key;
+        JobStatus jobStatus = JobStatus::Queued;
+        JobResult result;
+    };
+
+    void workerLoop();
+    JobResult runJob(const JobSpec &spec, core::QumaMachine &machine);
+    JobId enqueueLocked(JobSpec &&spec);
+    void finishLocked(JobId id, JobResult &&result);
+
+    const SchedulerConfig cfg;
+    MachinePool &pool;
+    ProgramCache &cache;
+
+    mutable std::mutex mu;
+    std::condition_variable cvWork;
+    std::condition_variable cvSpace;
+    std::condition_variable cvDone;
+    std::deque<JobId> queue;
+    std::unordered_map<JobId, Entry> entries;
+    /** Finished ids, oldest first (bounded result retention). */
+    std::deque<JobId> finishedOrder;
+    JobId nextId = 1;
+    std::size_t inFlight = 0;
+    bool stop = false;
+    bool started = false;
+    Stats counters;
+    std::vector<std::thread> workers;
+};
+
+} // namespace quma::runtime
+
+#endif // QUMA_RUNTIME_SCHEDULER_HH

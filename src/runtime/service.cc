@@ -1,0 +1,40 @@
+#include "runtime/service.hh"
+
+namespace quma::runtime {
+
+namespace {
+
+SchedulerConfig
+schedulerConfigOf(const ServiceConfig &cfg)
+{
+    SchedulerConfig sc;
+    sc.workers = cfg.workers;
+    sc.queueCapacity = cfg.queueCapacity;
+    sc.startPaused = cfg.startPaused;
+    sc.leaseBatchLimit = cfg.leaseBatchLimit;
+    sc.maxRetainedResults = cfg.maxRetainedResults;
+    return sc;
+}
+
+} // namespace
+
+ExperimentService::ExperimentService(ServiceConfig config)
+    : cacheStore(config.cachedPrograms, config.cachedLuts),
+      poolStore(config.poolCapacity ? config.poolCapacity
+                                    : config.workers + 2,
+                &cacheStore),
+      sched(schedulerConfigOf(config), poolStore, cacheStore)
+{
+}
+
+std::vector<JobResult>
+ExperimentService::awaitAll(const std::vector<JobId> &ids)
+{
+    std::vector<JobResult> out;
+    out.reserve(ids.size());
+    for (JobId id : ids)
+        out.push_back(await(id));
+    return out;
+}
+
+} // namespace quma::runtime

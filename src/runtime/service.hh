@@ -1,0 +1,83 @@
+/**
+ * @file
+ * ExperimentService: the facade of the concurrent experiment runtime.
+ *
+ * Owns the three layers -- ProgramCache (compilation/calibration
+ * memoization), MachinePool (sharded reusable machines), JobScheduler
+ * (bounded queue + workers) -- wired together, and exposes the small
+ * submit / poll / await surface experiments and services program
+ * against:
+ *
+ *     runtime::ExperimentService svc({.workers = 4});
+ *     auto id = svc.submit({.assembly = src, .bins = 42, .seed = s});
+ *     runtime::JobResult r = svc.await(id);
+ */
+
+#ifndef QUMA_RUNTIME_SERVICE_HH
+#define QUMA_RUNTIME_SERVICE_HH
+
+#include <vector>
+
+#include "runtime/machine_pool.hh"
+#include "runtime/program_cache.hh"
+#include "runtime/scheduler.hh"
+
+namespace quma::runtime {
+
+struct ServiceConfig
+{
+    unsigned workers = 2;
+    std::size_t queueCapacity = 256;
+    /** Pool capacity; 0 = workers + 2 (one spare per config flip). */
+    std::size_t poolCapacity = 0;
+    std::size_t cachedPrograms = 256;
+    std::size_t cachedLuts = 64;
+    bool startPaused = false;
+    std::size_t leaseBatchLimit = 8;
+    std::size_t maxRetainedResults = 65536;
+};
+
+class ExperimentService
+{
+  public:
+    explicit ExperimentService(ServiceConfig config = {});
+
+    JobId submit(JobSpec spec) { return sched.submit(std::move(spec)); }
+    std::optional<JobId>
+    trySubmit(JobSpec spec)
+    {
+        return sched.trySubmit(std::move(spec));
+    }
+
+    JobStatus status(JobId id) const { return sched.status(id); }
+    std::optional<JobResult> poll(JobId id) const
+    {
+        return sched.poll(id);
+    }
+    JobResult await(JobId id) { return sched.await(id); }
+
+    /** Await many jobs, results in argument order. */
+    std::vector<JobResult> awaitAll(const std::vector<JobId> &ids);
+
+    /** Convenience: submit and block for the result. */
+    JobResult runSync(JobSpec spec)
+    {
+        return await(submit(std::move(spec)));
+    }
+
+    void start() { sched.start(); }
+    void drain() { sched.drain(); }
+
+    ProgramCache &cache() { return cacheStore; }
+    MachinePool &pool() { return poolStore; }
+    JobScheduler &scheduler() { return sched; }
+
+  private:
+    ProgramCache cacheStore;
+    MachinePool poolStore;
+    JobScheduler sched;
+};
+
+} // namespace quma::runtime
+
+#endif // QUMA_RUNTIME_SERVICE_HH

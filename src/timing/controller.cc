@@ -20,11 +20,17 @@ void
 TimingController::reset()
 {
     timingQueue.clear();
-    for (auto &q : pulseQueues)
+    timingQueue.clearStats();
+    for (auto &q : pulseQueues) {
         q.clear();
+        q.clearStats();
+    }
     mpgQueue.clear();
-    for (auto &q : mdQueues)
+    mpgQueue.clearStats();
+    for (auto &q : mdQueues) {
         q.clear();
+        q.clearStats();
+    }
     isStarted = false;
     lastFire = 0;
     tailDue = 0;
@@ -55,10 +61,10 @@ TimingController::start(Cycle at)
 bool
 TimingController::pushTimePoint(Cycle interval, TimingLabel label)
 {
-    if (timingQueue.full())
-        return false;
     quma_assert(interval > 0, "time point needs a positive interval");
     TimePoint tp{interval, label};
+    // A full queue rejects the push and counts it (backpressure is
+    // the saturation signal the pool scheduler watches).
     if (!timingQueue.push(tp))
         return false;
     Cycle due = tailDue + interval;
@@ -163,6 +169,30 @@ TimingController::fire(Cycle due, TimingLabel label)
                 mdSink(qi, due, ev);
     }
     viol.staleEvents += stale;
+}
+
+namespace {
+
+template <typename T>
+QueueSaturation
+saturationOf(const EventQueue<T> &q)
+{
+    return {q.pushFailed(), q.highWaterMark(), q.capacity()};
+}
+
+} // namespace
+
+TimingUnitStats
+TimingController::queueStats() const
+{
+    TimingUnitStats stats;
+    stats.timing = saturationOf(timingQueue);
+    stats.mpg = saturationOf(mpgQueue);
+    for (const auto &q : pulseQueues)
+        stats.pulse.push_back(saturationOf(q));
+    for (const auto &q : mdQueues)
+        stats.md.push_back(saturationOf(q));
+    return stats;
 }
 
 std::vector<TimePoint>

@@ -45,6 +45,39 @@ struct TimingConfig
     unsigned numMdQueues = 1;
 };
 
+/** Saturation counters of one bounded queue. */
+struct QueueSaturation
+{
+    std::size_t pushFailed = 0;
+    std::size_t highWater = 0;
+    std::size_t capacity = 0;
+};
+
+/**
+ * Saturation counters of every queue in the unit. A non-zero
+ * pushFailed means the producer hit backpressure (the push is retried
+ * by the pipeline, so no event is lost -- but a pool scheduler
+ * watching these knows the machine is running at queue capacity).
+ */
+struct TimingUnitStats
+{
+    QueueSaturation timing;
+    QueueSaturation mpg;
+    std::vector<QueueSaturation> pulse;
+    std::vector<QueueSaturation> md;
+
+    std::size_t
+    totalPushFailed() const
+    {
+        std::size_t total = timing.pushFailed + mpg.pushFailed;
+        for (const auto &s : pulse)
+            total += s.pushFailed;
+        for (const auto &s : md)
+            total += s.pushFailed;
+        return total;
+    }
+};
+
 /** Counters for the hazards described above. */
 struct TimingViolations
 {
@@ -54,6 +87,8 @@ struct TimingViolations
     Cycle totalLateCycles = 0;
 
     bool clean() const { return latePoints == 0 && staleEvents == 0; }
+
+    bool operator==(const TimingViolations &) const = default;
 };
 
 class TimingController
@@ -108,6 +143,8 @@ class TimingController
     void advanceTo(Cycle now);
 
     const TimingViolations &violations() const { return viol; }
+    /** Per-queue saturation counters since the last reset(). */
+    TimingUnitStats queueStats() const;
     TimingLabel lastBroadcastLabel() const { return lastLabel; }
     /** Due cycle of the most recently fired time point. */
     Cycle lastFireCycle() const { return lastFire; }

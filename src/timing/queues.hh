@@ -32,13 +32,22 @@ class EventQueue
     bool empty() const { return q.empty(); }
     bool full() const { return q.size() >= cap; }
 
+    /** Rejected pushes since the last clearStats() (backpressure). */
+    std::size_t pushFailed() const { return pushFailedCount; }
+    /** Deepest occupancy reached since the last clearStats(). */
+    std::size_t highWaterMark() const { return highWater; }
+
     /** Enqueue; returns false (and drops nothing) when full. */
     bool
     push(const T &event)
     {
-        if (full())
+        if (full()) {
+            ++pushFailedCount;
             return false;
+        }
         q.push_back(event);
+        if (q.size() > highWater)
+            highWater = q.size();
         return true;
     }
 
@@ -78,9 +87,19 @@ class EventQueue
 
     void clear() { q.clear(); }
 
+    /** Zero the saturation counters (queue contents untouched). */
+    void
+    clearStats()
+    {
+        pushFailedCount = 0;
+        highWater = 0;
+    }
+
   private:
     std::deque<T> q;
     std::size_t cap;
+    std::size_t pushFailedCount = 0;
+    std::size_t highWater = 0;
 };
 
 } // namespace quma::timing

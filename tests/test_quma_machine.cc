@@ -296,6 +296,120 @@ TEST(Machine, RunIsOneShot)
     setLogQuiet(false);
 }
 
+/**
+ * The pooled-machine contract: run -> reset -> run must reproduce the
+ * fresh machine's results bit for bit, including the stochastic
+ * readout (the chip RNG is rewound), the execution-stall stream, the
+ * deterministic timeline, and the collected averages.
+ */
+TEST(Machine, ResetReproducesFreshRunBitForBit)
+{
+    MachineConfig cfg;
+    cfg.traceEnabled = true;
+    cfg.exec.stallInjection = true;
+    cfg.exec.stallProbability = 0.4;
+    cfg.exec.seed = 0xabc;
+    cfg.chipSeed = 0x123;
+
+    const char *src = R"(
+        mov r15, 40000
+        mov r1, 0
+        mov r2, 6
+        L:
+        QNopReg r15
+        Pulse {q0}, X90
+        Wait 4
+        MPG {q0}, 300
+        MD {q0}, r7
+        Wait 600
+        addi r1, r1, 1
+        bne r1, r2, L
+        halt
+    )";
+
+    QumaMachine m(cfg);
+    m.configureDataCollection(1);
+    m.loadAssembly(src);
+    auto firstRun = m.run(20'000'000);
+    auto firstAvg = m.dataCollector().averages();
+    auto firstBits = m.dataCollector().bitAverages();
+    auto firstCws = m.trace().codewords();
+    auto firstSamples = m.dataCollector().sampleCount();
+
+    m.reset();
+    m.configureDataCollection(1);
+    m.loadAssembly(src);
+    auto secondRun = m.run(20'000'000);
+
+    EXPECT_EQ(firstRun, secondRun);
+    EXPECT_EQ(firstAvg, m.dataCollector().averages());
+    EXPECT_EQ(firstBits, m.dataCollector().bitAverages());
+    EXPECT_EQ(firstSamples, m.dataCollector().sampleCount());
+    const auto &secondCws = m.trace().codewords();
+    ASSERT_EQ(firstCws.size(), secondCws.size());
+    for (std::size_t i = 0; i < firstCws.size(); ++i) {
+        EXPECT_EQ(firstCws[i].td, secondCws[i].td);
+        EXPECT_EQ(firstCws[i].codeword, secondCws[i].codeword);
+    }
+}
+
+/** reset(chip, exec) must equal a fresh machine built on those seeds. */
+TEST(Machine, SeededResetMatchesFreshMachineWithThoseSeeds)
+{
+    const char *src = R"(
+        Wait 100
+        Apply X90, q0
+        Measure q0, r7
+        Wait 600
+        halt
+    )";
+    auto runFresh = [&](std::uint64_t chip, std::uint64_t exec) {
+        MachineConfig cfg;
+        cfg.chipSeed = chip;
+        cfg.exec.seed = exec;
+        QumaMachine m(cfg);
+        m.configureDataCollection(1);
+        m.loadAssembly(src);
+        m.run(2'000'000);
+        return m.dataCollector().averages();
+    };
+
+    MachineConfig cfg;
+    QumaMachine m(cfg);
+    m.configureDataCollection(1);
+    m.loadAssembly(src);
+    m.run(2'000'000);
+
+    m.reset(0x1111, 0x2222);
+    m.configureDataCollection(1);
+    m.loadAssembly(src);
+    m.run(2'000'000);
+    EXPECT_EQ(m.dataCollector().averages(), runFresh(0x1111, 0x2222));
+}
+
+TEST(Machine, StatsExposeQueueSaturation)
+{
+    // A long leading wait lets the pipeline run far ahead of the
+    // deterministic clock; with a shallow timing queue its pushes
+    // bounce, which must be visible in the machine-level counters a
+    // pool scheduler watches.
+    MachineConfig cfg;
+    cfg.timing.timingQueueCapacity = 2;
+    QumaMachine m(cfg);
+    std::string src = "mov r15, 40000\nQNopReg r15\n";
+    for (int i = 0; i < 20; ++i)
+        src += "Pulse {q0}, I\nWait 4\n";
+    src += "Wait 600\nhalt";
+    m.loadAssembly(src);
+    auto r = m.run(2'000'000);
+    EXPECT_TRUE(r.halted);
+    MachineStats stats = m.stats();
+    EXPECT_GT(stats.queues.timing.pushFailed, 0u);
+    EXPECT_EQ(stats.queues.timing.highWater, 2u);
+    EXPECT_EQ(stats.queues.timing.capacity, 2u);
+    EXPECT_GT(stats.microInstsIssued, 0u);
+}
+
 TEST(Machine, DataCollectionAveragesAcrossRounds)
 {
     MachineConfig cfg;

@@ -1,0 +1,310 @@
+/**
+ * @file
+ * Tests of the concurrent experiment runtime: program/LUT caching,
+ * machine-pool sharding and reuse, bounded-queue scheduling, lease
+ * batching, failure reporting, and -- the core invariant -- result
+ * determinism independent of worker count and scheduling order.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "experiments/allxy.hh"
+#include "experiments/coherence.hh"
+#include "runtime/service.hh"
+
+namespace quma::runtime {
+namespace {
+
+/** A small averaged measurement program (rounds x X180-measure). */
+std::string
+shotProgram(unsigned rounds)
+{
+    return R"(
+        mov r15, 40000
+        mov r1, 0
+        mov r2, )" +
+           std::to_string(rounds) + R"(
+        L:
+        QNopReg r15
+        Pulse {q0}, X180
+        Wait 4
+        MPG {q0}, 300
+        MD {q0}, r7
+        Wait 600
+        addi r1, r1, 1
+        bne r1, r2, L
+        halt
+    )";
+}
+
+JobSpec
+shotJob(unsigned rounds, std::uint64_t seed)
+{
+    JobSpec job;
+    job.name = "shots";
+    job.assembly = shotProgram(rounds);
+    job.bins = 1;
+    job.seed = seed;
+    job.maxCycles = 50'000'000;
+    return job;
+}
+
+TEST(ProgramCache, MemoizesAssembly)
+{
+    ProgramCache cache;
+    auto a = cache.assemble("Wait 10\nhalt");
+    auto b = cache.assemble("Wait 10\nhalt");
+    EXPECT_EQ(a.get(), b.get());
+    auto c = cache.assemble("Wait 20\nhalt");
+    EXPECT_NE(a.get(), c.get());
+    auto s = cache.stats();
+    EXPECT_EQ(s.programHits, 1u);
+    EXPECT_EQ(s.programMisses, 2u);
+}
+
+TEST(ProgramCache, BoundedWithFifoEviction)
+{
+    ProgramCache cache(2, 2);
+    cache.assemble("Wait 1\nhalt");
+    cache.assemble("Wait 2\nhalt");
+    cache.assemble("Wait 3\nhalt"); // evicts "Wait 1"
+    EXPECT_EQ(cache.stats().programEvictions, 1u);
+    cache.assemble("Wait 1\nhalt"); // miss again
+    EXPECT_EQ(cache.stats().programMisses, 4u);
+}
+
+TEST(ProgramCache, MemoizesLutRendering)
+{
+    ProgramCache cache;
+    awg::CalibrationParams cp;
+    cp.rabiRadPerAmpNs = qsim::standardRabiGain();
+    auto a = cache.lut(cp);
+    auto b = cache.lut(cp);
+    EXPECT_EQ(a.get(), b.get());
+    EXPECT_EQ(a->size(), 9u); // Table 1: 7 gates + MSMT + CZ
+
+    cp.amplitudeError = 0.05;
+    auto c = cache.lut(cp);
+    EXPECT_NE(a.get(), c.get());
+    auto s = cache.stats();
+    EXPECT_EQ(s.lutHits, 1u);
+    EXPECT_EQ(s.lutMisses, 2u);
+}
+
+TEST(MachinePool, ReusesIdleMachinesOfTheSameShard)
+{
+    MachinePool pool(2);
+    core::MachineConfig cfg;
+    {
+        auto lease = pool.acquire(cfg);
+        EXPECT_TRUE(lease.valid());
+    }
+    { auto lease = pool.acquire(cfg); }
+    auto s = pool.stats();
+    EXPECT_EQ(s.machinesCreated, 1u);
+    EXPECT_EQ(s.reuseHits, 1u);
+    EXPECT_EQ(s.idleMachines, 1u);
+    EXPECT_EQ(s.leasedMachines, 0u);
+}
+
+TEST(MachinePool, ShardsByConfiguration)
+{
+    MachinePool pool(4);
+    core::MachineConfig one;
+    core::MachineConfig two;
+    two.qubits.assign(2, qsim::paperQubitParams());
+    { auto a = pool.acquire(one); }
+    { auto b = pool.acquire(two); }
+    // A third acquire of either config reuses its own shard.
+    { auto c = pool.acquire(two); }
+    auto s = pool.stats();
+    EXPECT_EQ(s.machinesCreated, 2u);
+    EXPECT_EQ(s.reuseHits, 1u);
+}
+
+TEST(MachinePool, EvictsForeignIdleMachineWhenFull)
+{
+    MachinePool pool(1);
+    core::MachineConfig one;
+    core::MachineConfig two;
+    two.qubits.assign(2, qsim::paperQubitParams());
+    { auto a = pool.acquire(one); }
+    { auto b = pool.acquire(two); } // evicts the idle config-one unit
+    auto s = pool.stats();
+    EXPECT_EQ(s.evictions, 1u);
+    EXPECT_EQ(s.machinesCreated, 2u);
+}
+
+TEST(Scheduler, RunsJobsAndReportsResults)
+{
+    ExperimentService svc({.workers = 2});
+    JobId id = svc.submit(shotJob(8, 0x11));
+    JobResult r = svc.await(id);
+    ASSERT_FALSE(r.failed());
+    EXPECT_TRUE(r.run.halted);
+    EXPECT_EQ(r.sampleCount, 8u);
+    ASSERT_EQ(r.bitAverages.size(), 1u);
+    EXPECT_GT(r.bitAverages[0], 0.5);
+    EXPECT_TRUE(svc.poll(id).has_value());
+    EXPECT_EQ(svc.status(id), JobStatus::Done);
+}
+
+TEST(Scheduler, BoundedQueueRejectsWhenFull)
+{
+    ExperimentService svc({.workers = 1,
+                           .queueCapacity = 2,
+                           .startPaused = true});
+    auto a = svc.trySubmit(shotJob(2, 1));
+    auto b = svc.trySubmit(shotJob(2, 2));
+    auto c = svc.trySubmit(shotJob(2, 3));
+    ASSERT_TRUE(a.has_value());
+    ASSERT_TRUE(b.has_value());
+    EXPECT_FALSE(c.has_value());
+    EXPECT_EQ(svc.scheduler().stats().rejected, 1u);
+
+    svc.start();
+    svc.drain();
+    EXPECT_FALSE(svc.await(*a).failed());
+    EXPECT_FALSE(svc.await(*b).failed());
+    EXPECT_EQ(svc.scheduler().stats().queueHighWater, 2u);
+}
+
+TEST(Scheduler, BatchesSameConfigJobsOnOneLease)
+{
+    ExperimentService svc({.workers = 1, .startPaused = true});
+    std::vector<JobId> ids;
+    for (unsigned i = 0; i < 4; ++i)
+        ids.push_back(svc.submit(shotJob(2, i)));
+    svc.start();
+    svc.drain();
+    for (JobId id : ids)
+        EXPECT_FALSE(svc.await(id).failed());
+    // One worker, one config: after the first job the rest ride the
+    // same pool lease.
+    EXPECT_EQ(svc.scheduler().stats().batchedJobs, 3u);
+    EXPECT_EQ(svc.pool().stats().machinesCreated, 1u);
+}
+
+TEST(Scheduler, FailedJobCarriesTheError)
+{
+    setLogQuiet(true);
+    ExperimentService svc({.workers = 1});
+    JobSpec bad;
+    bad.assembly = "ThisIsNotAnInstruction r1, r2";
+    JobResult r = svc.runSync(std::move(bad));
+    EXPECT_TRUE(r.failed());
+    EXPECT_FALSE(r.error.empty());
+    setLogQuiet(false);
+}
+
+TEST(Scheduler, InvalidMachineConfigFailsTheJobNotTheService)
+{
+    setLogQuiet(true);
+    ExperimentService svc({.workers = 1});
+    // Machine construction itself must reject this config (T2 > 2*T1
+    // is unphysical); the worker has to absorb the throw and fail the
+    // job instead of terminating the process.
+    JobSpec bad = shotJob(2, 0x1);
+    bad.machine.qubits.assign(1, qsim::paperQubitParams());
+    bad.machine.qubits[0].t2Ns = 3.0 * bad.machine.qubits[0].t1Ns;
+    JobResult r = svc.runSync(std::move(bad));
+    EXPECT_TRUE(r.failed());
+    EXPECT_NE(r.error.find("machine unavailable"), std::string::npos);
+
+    // The service keeps serving healthy jobs afterwards.
+    JobResult ok = svc.runSync(shotJob(2, 0x2));
+    EXPECT_FALSE(ok.failed());
+    setLogQuiet(false);
+}
+
+TEST(Scheduler, BoundedResultRetentionAgesOutOldJobs)
+{
+    setLogQuiet(true);
+    ExperimentService svc({.workers = 1, .maxRetainedResults = 2});
+    JobId a = svc.submit(shotJob(2, 1));
+    svc.await(a);
+    JobId b = svc.submit(shotJob(2, 2));
+    JobId c = svc.submit(shotJob(2, 3));
+    svc.await(b);
+    svc.await(c);
+    svc.drain();
+    // With two retained slots the oldest finished job has aged out.
+    EXPECT_THROW(svc.poll(a), FatalError);
+    EXPECT_TRUE(svc.poll(c).has_value());
+    setLogQuiet(false);
+}
+
+/**
+ * The runtime's core invariant: a job set's results depend only on
+ * the job specs, not on worker count, pool capacity, lease batching,
+ * or queue order. 1, 2 and 8 workers must aggregate identically.
+ */
+TEST(Scheduler, DeterministicAcrossWorkerCounts)
+{
+    auto runAll = [](unsigned workers) {
+        ExperimentService svc({.workers = workers});
+        std::vector<JobId> ids;
+        core::MachineConfig twoQubit;
+        twoQubit.qubits.assign(2, qsim::paperQubitParams());
+        for (unsigned i = 0; i < 6; ++i) {
+            JobSpec job = shotJob(4, 0x9000 + i);
+            if (i % 2 == 1)
+                job.machine = twoQubit; // two shards in flight
+            ids.push_back(svc.submit(std::move(job)));
+        }
+        return svc.awaitAll(ids);
+    };
+
+    std::vector<JobResult> one = runAll(1);
+    std::vector<JobResult> two = runAll(2);
+    std::vector<JobResult> eight = runAll(8);
+    ASSERT_EQ(one.size(), two.size());
+    ASSERT_EQ(one.size(), eight.size());
+    for (std::size_t i = 0; i < one.size(); ++i) {
+        EXPECT_EQ(one[i], two[i]) << "job " << i;
+        EXPECT_EQ(one[i], eight[i]) << "job " << i;
+    }
+}
+
+TEST(ServiceExperiments, AllxyThroughServiceIsDeterministic)
+{
+    experiments::AllxyConfig cfg;
+    cfg.rounds = 8;
+    auto viaOne = [&] {
+        ExperimentService svc({.workers = 1});
+        return experiments::runAllxy(cfg, svc);
+    }();
+    auto viaFour = [&] {
+        ExperimentService svc({.workers = 4});
+        return experiments::runAllxy(cfg, svc);
+    }();
+    ASSERT_EQ(viaOne.rawS.size(), 42u);
+    EXPECT_EQ(viaOne.rawS, viaFour.rawS);
+    EXPECT_EQ(viaOne.fidelity, viaFour.fidelity);
+}
+
+TEST(ServiceExperiments, CoherenceSweepPointsRunAsParallelJobs)
+{
+    experiments::CoherenceConfig cfg =
+        experiments::CoherenceConfig::withLinearSweep(4000, 4);
+    cfg.rounds = 6;
+
+    ExperimentService svc({.workers = 4});
+    auto t1 = experiments::runT1(cfg, svc);
+    ASSERT_EQ(t1.population.size(), 4u);
+    EXPECT_TRUE(t1.run.halted);
+    // Population decays from ~1: the first point must read excited.
+    EXPECT_GT(t1.population.front(), 0.5);
+    // One job per sweep point went through the scheduler, all four
+    // machine leases came from the same shard.
+    EXPECT_EQ(svc.scheduler().stats().completed, 4u);
+
+    // And the sweep is reproducible on a different worker count.
+    ExperimentService svcOne({.workers = 1});
+    auto t1Again = experiments::runT1(cfg, svcOne);
+    EXPECT_EQ(t1.population, t1Again.population);
+}
+
+} // namespace
+} // namespace quma::runtime

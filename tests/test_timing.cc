@@ -26,6 +26,54 @@ TEST(EventQueue, FifoAndCapacity)
     EXPECT_EQ(q.front().label, 1u);
 }
 
+TEST(EventQueue, SaturationCounters)
+{
+    EventQueue<PulseEvent> q(2);
+    EXPECT_EQ(q.pushFailed(), 0u);
+    EXPECT_EQ(q.highWaterMark(), 0u);
+    q.push({1, 0x1, 0});
+    EXPECT_EQ(q.highWaterMark(), 1u);
+    q.push({2, 0x1, 1});
+    EXPECT_EQ(q.highWaterMark(), 2u);
+    EXPECT_FALSE(q.push({3, 0x1, 2}));
+    EXPECT_FALSE(q.push({4, 0x1, 3}));
+    EXPECT_EQ(q.pushFailed(), 2u);
+
+    // Draining does not lower the high-water mark...
+    std::vector<PulseEvent> fired;
+    std::size_t stale = 0;
+    q.popMatching(1, fired, stale);
+    EXPECT_EQ(q.highWaterMark(), 2u);
+    // ...and clearStats zeroes both without touching the contents.
+    q.clearStats();
+    EXPECT_EQ(q.pushFailed(), 0u);
+    EXPECT_EQ(q.highWaterMark(), 0u);
+    EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(TimingControllerStats, QueueStatsReportSaturation)
+{
+    TimingConfig cfg;
+    cfg.pulseQueueCapacity = 2;
+    cfg.numPulseQueues = 1;
+    TimingController tcu(cfg);
+    tcu.pushPulse(0, {1, 0x1, 0});
+    tcu.pushPulse(0, {2, 0x1, 1});
+    EXPECT_FALSE(tcu.pushPulse(0, {3, 0x1, 2}));
+
+    TimingUnitStats stats = tcu.queueStats();
+    ASSERT_EQ(stats.pulse.size(), 1u);
+    EXPECT_EQ(stats.pulse[0].pushFailed, 1u);
+    EXPECT_EQ(stats.pulse[0].highWater, 2u);
+    EXPECT_EQ(stats.pulse[0].capacity, 2u);
+    EXPECT_EQ(stats.totalPushFailed(), 1u);
+
+    // reset() rewinds the counters with everything else.
+    tcu.reset();
+    EXPECT_EQ(tcu.queueStats().totalPushFailed(), 0u);
+    EXPECT_EQ(tcu.queueStats().pulse[0].highWater, 0u);
+}
+
 TEST(EventQueue, PopMatchingTakesAllFrontMatches)
 {
     EventQueue<PulseEvent> q(8);
