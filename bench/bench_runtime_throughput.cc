@@ -79,11 +79,15 @@ runBatch(const std::vector<runtime::JobSpec> &batch, unsigned workers)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     std::size_t jobs = bench::envSize("QUMA_BENCH_JOBS", 48);
     std::size_t rounds = bench::envSize("QUMA_BENCH_ROUNDS", 24);
     std::size_t maxWorkers = bench::envSize("QUMA_BENCH_MAX_WORKERS", 8);
+    std::string jsonPath = bench::argValue(argc, argv, "--json");
+    bench::JsonReport json("runtime_throughput");
+    json.metric("jobs", static_cast<double>(jobs));
+    json.metric("rounds", static_cast<double>(rounds));
 
     bench::banner("concurrent experiment runtime: jobs/sec vs workers");
     std::printf("batch: %zu AllXY jobs x %zu rounds, host cores: %u\n",
@@ -106,6 +110,8 @@ main()
                     workers, out.seconds, rate,
                     baseline > 0 ? rate / baseline : 1.0,
                     out.pool.machinesCreated, out.cache.programHits);
+        json.metric("jobs_per_sec_" + std::to_string(workers) + "w",
+                    rate, "jobs/s");
         // Determinism invariant: identical results at every width.
         if (workers > 1 && out.results != baselineResults) {
             std::printf("DETERMINISM VIOLATION at %u workers\n",
@@ -114,6 +120,7 @@ main()
         }
     }
     bench::rule();
+    json.writeTo(jsonPath);
     std::printf(
         "every width produced bit-identical results (per-job RNG\n"
         "streams derived from the job seed); the pool constructs one\n"

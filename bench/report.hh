@@ -8,9 +8,12 @@
 #ifndef QUMA_BENCH_REPORT_HH
 #define QUMA_BENCH_REPORT_HH
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace quma::bench {
 
@@ -41,6 +44,92 @@ envSize(const char *name, std::size_t fallback)
         return fallback;
     return static_cast<std::size_t>(parsed);
 }
+
+/** Value of `--flag <value>` in argv, or the empty string. */
+inline std::string
+argValue(int argc, char **argv, const std::string &flag)
+{
+    for (int i = 1; i + 1 < argc; ++i)
+        if (flag == argv[i])
+            return argv[i + 1];
+    return {};
+}
+
+/** True when `--flag` appears in argv. */
+inline bool
+argFlag(int argc, char **argv, const std::string &flag)
+{
+    for (int i = 1; i < argc; ++i)
+        if (flag == argv[i])
+            return true;
+    return false;
+}
+
+/**
+ * Machine-readable bench output: named numeric metrics collected while
+ * the bench prints its human-readable table, then written as a JSON
+ * document (`--json <path>`) so BENCH_*.json artifacts are comparable
+ * across runs and PRs.
+ */
+class JsonReport
+{
+  public:
+    explicit JsonReport(std::string bench_name)
+        : name(std::move(bench_name))
+    {
+    }
+
+    void
+    metric(const std::string &metric_name, double value,
+           const std::string &unit = "")
+    {
+        metrics.push_back({metric_name, value, unit});
+    }
+
+    /** Write the document; returns false (with a note) on I/O failure. */
+    bool
+    writeTo(const std::string &path) const
+    {
+        if (path.empty())
+            return true;
+        std::FILE *f = std::fopen(path.c_str(), "w");
+        if (!f) {
+            std::fprintf(stderr, "cannot write %s\n", path.c_str());
+            return false;
+        }
+        std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"metrics\": {\n",
+                     name.c_str());
+        for (std::size_t i = 0; i < metrics.size(); ++i) {
+            const Entry &e = metrics[i];
+            // inf/nan are not valid JSON tokens; degrade to null so
+            // the artifact stays parseable on degenerate runs.
+            if (std::isfinite(e.value))
+                std::fprintf(f, "    \"%s\": {\"value\": %.6g",
+                             e.name.c_str(), e.value);
+            else
+                std::fprintf(f, "    \"%s\": {\"value\": null",
+                             e.name.c_str());
+            if (!e.unit.empty())
+                std::fprintf(f, ", \"unit\": \"%s\"", e.unit.c_str());
+            std::fprintf(f, "}%s\n",
+                         i + 1 < metrics.size() ? "," : "");
+        }
+        std::fprintf(f, "  }\n}\n");
+        std::fclose(f);
+        return true;
+    }
+
+  private:
+    struct Entry
+    {
+        std::string name;
+        double value;
+        std::string unit;
+    };
+
+    std::string name;
+    std::vector<Entry> metrics;
+};
 
 } // namespace quma::bench
 

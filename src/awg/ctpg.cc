@@ -26,23 +26,43 @@ Ctpg::nextEventCycle() const
     return pending.top().emitCycle;
 }
 
+const Ctpg::Rendered &
+Ctpg::rendered(Codeword cw)
+{
+    if (renderCacheVersion != memory.version()) {
+        renderCache.clear();
+        renderCacheVersion = memory.version();
+    }
+    auto it = renderCache.find(cw);
+    if (it == renderCache.end()) {
+        const StoredPulse &stored = memory.lookup(cw);
+        it = renderCache
+                 .emplace(cw, Rendered{dac.render(stored.i),
+                                       dac.render(stored.q)})
+                 .first;
+    }
+    return it->second;
+}
+
 void
 Ctpg::advanceTo(Cycle now)
 {
     while (!pending.empty() && pending.top().emitCycle <= now) {
         Pending p = pending.top();
         pending.pop();
-        const StoredPulse &stored = memory.lookup(p.cw);
+        const Rendered &r = rendered(p.cw);
 
-        signal::DrivePulse pulse;
-        pulse.t0Ns = cyclesToNs(p.emitCycle);
-        pulse.i = dac.render(stored.i);
-        pulse.q = dac.render(stored.q);
-        pulse.ssbHz = cfg.ssbHz;
-        pulse.carrierHz = cfg.carrierHz;
+        // The emitted pulse is assembled in a reused member so the
+        // sample copies land in already-sized vectors: steady-state
+        // triggers perform no heap allocation.
+        emitPulse.t0Ns = cyclesToNs(p.emitCycle);
+        emitPulse.i = r.i;
+        emitPulse.q = r.q;
+        emitPulse.ssbHz = cfg.ssbHz;
+        emitPulse.carrierHz = cfg.carrierHz;
         ++emitted;
         if (pulseSink)
-            pulseSink(pulse, p.cw, p.mask);
+            pulseSink(emitPulse, p.cw, p.mask);
     }
 }
 

@@ -87,10 +87,34 @@ class Ctpg
         }
     };
 
+    /** DAC-rendered I/Q of one stored pulse (immutable per upload). */
+    struct Rendered
+    {
+        signal::Waveform i;
+        signal::Waveform q;
+    };
+
+    /** Rendered pulse for a codeword, re-rendering only after uploads. */
+    const Rendered &rendered(Codeword cw);
+
     CtpgConfig cfg;
     WaveMemory memory;
     signal::Dac dac;
     PulseSink pulseSink;
+    /**
+     * Render cache: stored samples and the DAC transfer function are
+     * fixed between uploads, so each codeword is quantised once per
+     * wave-memory version instead of on every trigger (the AllXY hot
+     * loop fires thousands of triggers against a 7-entry LUT).
+     */
+    std::map<Codeword, Rendered> renderCache;
+    std::uint64_t renderCacheVersion = 0;
+    /**
+     * Reused emission record: sinks receive it by const reference and
+     * must not retain it past the callback (they don't -- the machine
+     * routes it straight into the chip model).
+     */
+    signal::DrivePulse emitPulse;
     std::priority_queue<Pending, std::vector<Pending>, std::greater<>>
         pending;
     std::uint64_t orderCounter = 0;

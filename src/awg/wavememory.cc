@@ -10,6 +10,7 @@ WaveMemory::upload(Codeword cw, StoredPulse pulse)
     if (pulse.i.size() != pulse.q.size())
         fatal("stored pulse '", pulse.name, "' has mismatched I/Q sizes");
     table[cw] = std::move(pulse);
+    ++ver;
 }
 
 bool

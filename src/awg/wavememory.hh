@@ -52,10 +52,23 @@ class WaveMemory
      */
     std::size_t memoryBytes(unsigned bits = kSampleResolutionBits) const;
 
-    void clear() { table.clear(); }
+    void
+    clear()
+    {
+        table.clear();
+        ++ver;
+    }
+
+    /**
+     * Monotonic content version, bumped by every upload()/clear().
+     * Consumers caching derived data (the CTPG's rendered pulses) use
+     * it to detect staleness without comparing samples.
+     */
+    std::uint64_t version() const { return ver; }
 
   private:
     std::map<Codeword, StoredPulse> table;
+    std::uint64_t ver = 0;
 };
 
 } // namespace quma::awg

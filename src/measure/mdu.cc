@@ -4,6 +4,7 @@
 #include <numbers>
 
 #include "common/logging.hh"
+#include "signal/phasor.hh"
 
 namespace quma::measure {
 
@@ -17,16 +18,16 @@ calibrateMdu(const qsim::ReadoutParams &params, TimeNs window_ns)
     if (n == 0)
         fatal("calibrateMdu: window shorter than one ADC sample");
 
-    const double twoPi = 2.0 * std::numbers::pi;
     cal.weights.resize(n);
     double s0 = 0, s1 = 0;
+    // The noiseless |0>/|1> responses are Re(c * exp(i*arg)) on a
+    // uniform phase grid: generate the tone incrementally.
+    signal::Phasor ph = signal::gridPhasor(params.ifHz, 0.0, dt_ns);
     for (std::size_t k = 0; k < n; ++k) {
-        double t_s = ((static_cast<double>(k) + 0.5) * dt_ns) * 1e-9;
-        double arg = twoPi * params.ifHz * t_s;
-        double v0 = params.c0.real() * std::cos(arg) -
-                    params.c0.imag() * std::sin(arg);
-        double v1 = params.c1.real() * std::cos(arg) -
-                    params.c1.imag() * std::sin(arg);
+        double co = ph.cosine(), si = ph.sine();
+        ph.advance();
+        double v0 = params.c0.real() * co - params.c0.imag() * si;
+        double v1 = params.c1.real() * co - params.c1.imag() * si;
         cal.weights[k] = v1 - v0;
         s0 += v0 * cal.weights[k];
         s1 += v1 * cal.weights[k];

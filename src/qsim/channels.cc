@@ -69,21 +69,28 @@ pureDephasingTime(double t1_ns, double t2_ns)
     return 1.0 / inv;
 }
 
-std::vector<Mat2>
-idleChannel(double dt_ns, double t1_ns, double t2_ns)
+IdleChannelParams
+idleChannelParams(double dt_ns, double t1_ns, double t2_ns)
 {
     if (dt_ns < 0)
         fatal("idleChannel: negative duration");
-    double gamma = 1.0 - std::exp(-dt_ns / t1_ns);
+    IdleChannelParams p;
+    p.gamma = 1.0 - std::exp(-dt_ns / t1_ns);
     double tphi = pureDephasingTime(t1_ns, t2_ns);
-    double lambda = 0.0;
     if (tphi > 0)
-        lambda = 1.0 - std::exp(-2.0 * dt_ns / tphi);
+        p.lambda = 1.0 - std::exp(-2.0 * dt_ns / tphi);
+    return p;
+}
+
+std::vector<Mat2>
+idleChannel(double dt_ns, double t1_ns, double t2_ns)
+{
+    IdleChannelParams icp = idleChannelParams(dt_ns, t1_ns, t2_ns);
 
     // Compose amplitude damping then phase damping: products of the
     // two Kraus families form a valid Kraus set of the composition.
-    auto ad = amplitudeDamping(gamma);
-    auto pd = phaseDamping(lambda);
+    auto ad = amplitudeDamping(icp.gamma);
+    auto pd = phaseDamping(icp.lambda);
     std::vector<Mat2> out;
     for (const auto &p : pd)
         for (const auto &a : ad)

@@ -31,9 +31,31 @@ std::vector<Mat2> phaseDamping(double lambda);
 std::vector<Mat2> depolarizing(double p);
 
 /**
- * Free evolution for dt_ns given T1 and T2 (both ns): amplitude
- * damping with gamma = 1 - exp(-dt/T1) composed with pure dephasing so
- * that coherences decay as exp(-dt/T2). Requires T2 <= 2 * T1.
+ * Scalar parameters of the free-evolution channel: amplitude damping
+ * probability gamma and pure-dephasing parameter lambda. These feed
+ * the closed-form DensityMatrix::applyIdle fast path directly; the
+ * Kraus form below is the generic reference built from the same
+ * numbers.
+ */
+struct IdleChannelParams
+{
+    double gamma = 0.0;
+    double lambda = 0.0;
+};
+
+/**
+ * Parameters of free evolution for dt_ns given T1 and T2 (both ns):
+ * gamma = 1 - exp(-dt/T1), and lambda chosen so coherences decay as
+ * exp(-dt/T2). Requires T2 <= 2 * T1.
+ */
+IdleChannelParams idleChannelParams(double dt_ns, double t1_ns,
+                                    double t2_ns);
+
+/**
+ * Free evolution for dt_ns given T1 and T2 (both ns) as a Kraus set:
+ * amplitude damping composed with pure dephasing (see
+ * idleChannelParams). Generic reference path; the simulator's hot loop
+ * uses DensityMatrix::applyIdle with idleChannelParams instead.
  */
 std::vector<Mat2> idleChannel(double dt_ns, double t1_ns, double t2_ns);
 

@@ -6,6 +6,35 @@
 
 namespace quma::qsim {
 
+namespace {
+
+/**
+ * Visit every (row-pair x column-pair) 2x2 block of qubit q's
+ * stride-blocked layout: fn(row0, row1, c0, c1) with row pointers into
+ * `data` and paired column indices. row0/c0 carry bit q clear, row1/c1
+ * carry it set; the inner loop walks columns contiguously. Inlined, so
+ * the single-qubit kernels share one copy of the index arithmetic
+ * without losing the fused sweep.
+ */
+template <typename BlockFn>
+inline void
+forEachBlock1(Complex *data, std::size_t n, std::size_t stride,
+              BlockFn &&fn)
+{
+    for (std::size_t rb = 0; rb < n; rb += 2 * stride) {
+        for (std::size_t ro = 0; ro < stride; ++ro) {
+            Complex *row0 = data + (rb + ro) * n;
+            Complex *row1 = row0 + stride * n;
+            for (std::size_t cb = 0; cb < n; cb += 2 * stride) {
+                for (std::size_t c0 = cb; c0 < cb + stride; ++c0)
+                    fn(row0, row1, c0, c0 + stride);
+            }
+        }
+    }
+}
+
+} // namespace
+
 DensityMatrix::DensityMatrix(unsigned num_qubits) : nq(num_qubits)
 {
     if (num_qubits == 0 || num_qubits > 12)
@@ -20,32 +49,25 @@ DensityMatrix::apply1(unsigned q, const Mat2 &u)
 {
     quma_assert(q < nq, "qubit index out of range");
     std::size_t stride = std::size_t{1} << q;
-
-    // Left multiply: rows.
-    for (std::size_t c = 0; c < n; ++c) {
-        for (std::size_t base = 0; base < n; base += 2 * stride) {
-            for (std::size_t off = 0; off < stride; ++off) {
-                std::size_t r0 = base + off;
-                std::size_t r1 = r0 + stride;
-                Complex a0 = rho[r0 * n + c], a1 = rho[r1 * n + c];
-                rho[r0 * n + c] = u[0] * a0 + u[1] * a1;
-                rho[r1 * n + c] = u[2] * a0 + u[3] * a1;
-            }
-        }
-    }
-    // Right multiply by U+: columns.
     Mat2 ud = adjoint(u);
-    for (std::size_t r = 0; r < n; ++r) {
-        for (std::size_t base = 0; base < n; base += 2 * stride) {
-            for (std::size_t off = 0; off < stride; ++off) {
-                std::size_t c0 = base + off;
-                std::size_t c1 = c0 + stride;
-                Complex a0 = rho[r * n + c0], a1 = rho[r * n + c1];
-                rho[r * n + c0] = a0 * ud[0] + a1 * ud[2];
-                rho[r * n + c1] = a0 * ud[1] + a1 * ud[3];
-            }
-        }
-    }
+
+    // Fused conjugation U rho U+: each (row-pair x column-pair) 2x2
+    // block transforms independently, so one in-place row-major sweep
+    // replaces the separate left- and right-multiply passes.
+    forEachBlock1(rho.data(), n, stride,
+                  [&u, &ud](Complex *row0, Complex *row1, std::size_t c0,
+                            std::size_t c1) {
+                      Complex m00 = row0[c0], m01 = row0[c1];
+                      Complex m10 = row1[c0], m11 = row1[c1];
+                      Complex t00 = u[0] * m00 + u[1] * m10;
+                      Complex t01 = u[0] * m01 + u[1] * m11;
+                      Complex t10 = u[2] * m00 + u[3] * m10;
+                      Complex t11 = u[2] * m01 + u[3] * m11;
+                      row0[c0] = t00 * ud[0] + t01 * ud[2];
+                      row0[c1] = t00 * ud[1] + t01 * ud[3];
+                      row1[c0] = t10 * ud[0] + t11 * ud[2];
+                      row1[c1] = t10 * ud[1] + t11 * ud[3];
+                  });
 }
 
 void
@@ -55,58 +77,38 @@ DensityMatrix::apply2(unsigned q_high, unsigned q_low, const Mat4 &u)
                 "bad two-qubit operand");
     std::size_t sh = std::size_t{1} << q_high;
     std::size_t sl = std::size_t{1} << q_low;
-
-    // Left multiply on rows.
-    for (std::size_t c = 0; c < n; ++c) {
-        for (std::size_t i = 0; i < n; ++i) {
-            if ((i & sh) || (i & sl))
-                continue;
-            std::size_t idx[4] = {i, i | sl, i | sh, i | sh | sl};
-            Complex v[4];
-            for (int k = 0; k < 4; ++k)
-                v[k] = rho[idx[k] * n + c];
-            for (int r = 0; r < 4; ++r) {
-                Complex acc{0, 0};
-                for (int k = 0; k < 4; ++k)
-                    acc += u[r * 4 + k] * v[k];
-                rho[idx[r] * n + c] = acc;
-            }
-        }
-    }
-    // Right multiply by U+ on columns.
     Mat4 ud = adjoint(u);
-    for (std::size_t r = 0; r < n; ++r) {
-        for (std::size_t i = 0; i < n; ++i) {
-            if ((i & sh) || (i & sl))
-                continue;
-            std::size_t idx[4] = {i, i | sl, i | sh, i | sh | sl};
-            Complex v[4];
-            for (int k = 0; k < 4; ++k)
-                v[k] = rho[r * n + idx[k]];
-            for (int c = 0; c < 4; ++c) {
-                Complex acc{0, 0};
-                for (int k = 0; k < 4; ++k)
-                    acc += v[k] * ud[k * 4 + c];
-                rho[r * n + idx[c]] = acc;
-            }
-        }
-    }
-}
 
-void
-DensityMatrix::leftMultiply1(unsigned q, const Mat2 &m,
-                             std::vector<Complex> &out) const
-{
-    std::size_t stride = std::size_t{1} << q;
-    out = rho;
-    for (std::size_t c = 0; c < n; ++c) {
-        for (std::size_t base = 0; base < n; base += 2 * stride) {
-            for (std::size_t off = 0; off < stride; ++off) {
-                std::size_t r0 = base + off;
-                std::size_t r1 = r0 + stride;
-                Complex a0 = rho[r0 * n + c], a1 = rho[r1 * n + c];
-                out[r0 * n + c] = m[0] * a0 + m[1] * a1;
-                out[r1 * n + c] = m[2] * a0 + m[3] * a1;
+    // Fused U rho U+ on 4x4 blocks (row quad x column quad), one pass.
+    for (std::size_t i = 0; i < n; ++i) {
+        if ((i & sh) || (i & sl))
+            continue;
+        std::size_t ridx[4] = {i, i | sl, i | sh, i | sh | sl};
+        for (std::size_t j = 0; j < n; ++j) {
+            if ((j & sh) || (j & sl))
+                continue;
+            std::size_t cidx[4] = {j, j | sl, j | sh, j | sh | sl};
+            Complex m[16], t[16];
+            for (int r = 0; r < 4; ++r)
+                for (int c = 0; c < 4; ++c)
+                    m[r * 4 + c] = rho[ridx[r] * n + cidx[c]];
+            // t = U m
+            for (int r = 0; r < 4; ++r) {
+                for (int c = 0; c < 4; ++c) {
+                    Complex acc{0, 0};
+                    for (int k = 0; k < 4; ++k)
+                        acc += u[r * 4 + k] * m[k * 4 + c];
+                    t[r * 4 + c] = acc;
+                }
+            }
+            // rho block = t U+
+            for (int r = 0; r < 4; ++r) {
+                for (int c = 0; c < 4; ++c) {
+                    Complex acc{0, 0};
+                    for (int k = 0; k < 4; ++k)
+                        acc += t[r * 4 + k] * ud[k * 4 + c];
+                    rho[ridx[r] * n + cidx[c]] = acc;
+                }
             }
         }
     }
@@ -117,26 +119,100 @@ DensityMatrix::applyKraus1(unsigned q, const std::vector<Mat2> &kraus)
 {
     quma_assert(q < nq, "qubit index out of range");
     std::size_t stride = std::size_t{1} << q;
-    std::vector<Complex> acc(n * n, Complex{0, 0});
-    std::vector<Complex> tmp;
+    scratch.assign(n * n, Complex{0, 0});
     for (const Mat2 &k : kraus) {
-        // tmp = K rho
-        leftMultiply1(q, k, tmp);
-        // acc += tmp * K+
         Mat2 kd = adjoint(k);
-        for (std::size_t r = 0; r < n; ++r) {
-            for (std::size_t base = 0; base < n; base += 2 * stride) {
-                for (std::size_t off = 0; off < stride; ++off) {
-                    std::size_t c0 = base + off;
-                    std::size_t c1 = c0 + stride;
-                    Complex a0 = tmp[r * n + c0], a1 = tmp[r * n + c1];
-                    acc[r * n + c0] += a0 * kd[0] + a1 * kd[2];
-                    acc[r * n + c1] += a0 * kd[1] + a1 * kd[3];
-                }
+        // scratch += K rho K+, fused per 2x2 block; no temporary
+        // matrices, and the accumulator persists across calls.
+        const Complex *src = rho.data();
+        Complex *dst = scratch.data();
+        forEachBlock1(rho.data(), n, stride,
+                      [&k, &kd, src, dst](Complex *row0, Complex *row1,
+                                          std::size_t c0, std::size_t c1) {
+                          Complex *out0 = dst + (row0 - src);
+                          Complex *out1 = dst + (row1 - src);
+                          Complex m00 = row0[c0], m01 = row0[c1];
+                          Complex m10 = row1[c0], m11 = row1[c1];
+                          Complex t00 = k[0] * m00 + k[1] * m10;
+                          Complex t01 = k[0] * m01 + k[1] * m11;
+                          Complex t10 = k[2] * m00 + k[3] * m10;
+                          Complex t11 = k[2] * m01 + k[3] * m11;
+                          out0[c0] += t00 * kd[0] + t01 * kd[2];
+                          out0[c1] += t00 * kd[1] + t01 * kd[3];
+                          out1[c0] += t10 * kd[0] + t11 * kd[2];
+                          out1[c1] += t10 * kd[1] + t11 * kd[3];
+                      });
+    }
+    rho.swap(scratch);
+}
+
+void
+DensityMatrix::applyDiag1(unsigned q, Complex d0, Complex d1)
+{
+    quma_assert(q < nq, "qubit index out of range");
+    std::size_t mask = std::size_t{1} << q;
+    Complex c0 = std::conj(d0), c1 = std::conj(d1);
+    for (std::size_t r = 0; r < n; ++r) {
+        Complex dr = (r & mask) ? d1 : d0;
+        Complex f0 = dr * c0, f1 = dr * c1;
+        Complex *row = rho.data() + r * n;
+        // Columns alternate between the two factors in runs of
+        // 2^q; walk the row contiguously.
+        for (std::size_t cb = 0; cb < n; cb += 2 * mask) {
+            for (std::size_t c = cb; c < cb + mask; ++c) {
+                row[c] *= f0;
+                row[c + mask] *= f1;
             }
         }
     }
-    rho = std::move(acc);
+}
+
+void
+DensityMatrix::applyRz(unsigned q, double theta)
+{
+    applyDiag1(q, std::polar(1.0, -theta / 2.0),
+               std::polar(1.0, theta / 2.0));
+}
+
+void
+DensityMatrix::applyCzPhase(unsigned q_a, unsigned q_b)
+{
+    quma_assert(q_a < nq && q_b < nq && q_a != q_b, "bad CZ operands");
+    std::size_t both = (std::size_t{1} << q_a) | (std::size_t{1} << q_b);
+    for (std::size_t r = 0; r < n; ++r) {
+        bool rBoth = (r & both) == both;
+        Complex *row = rho.data() + r * n;
+        for (std::size_t c = 0; c < n; ++c) {
+            if (rBoth != ((c & both) == both))
+                row[c] = -row[c];
+        }
+    }
+}
+
+void
+DensityMatrix::applyIdle(unsigned q, double gamma, double lambda,
+                         double phase)
+{
+    quma_assert(q < nq, "qubit index out of range");
+    quma_assert(gamma >= 0 && gamma <= 1 && lambda >= 0 && lambda <= 1,
+                "idle parameters out of range");
+    std::size_t stride = std::size_t{1} << q;
+    double keep = 1.0 - gamma;
+    double coh = std::sqrt(keep) * std::sqrt(1.0 - lambda);
+    // Coherence factor for the (0,1) element; the (1,0) element takes
+    // the conjugate. phase follows the rz(theta) convention: rho_01
+    // picks up exp(-i*theta).
+    Complex up = coh * Complex{std::cos(phase), -std::sin(phase)};
+    Complex down = std::conj(up);
+    forEachBlock1(rho.data(), n, stride,
+                  [gamma, keep, up, down](Complex *row0, Complex *row1,
+                                          std::size_t c0, std::size_t c1) {
+                      Complex m11 = row1[c1];
+                      row0[c0] += gamma * m11;
+                      row1[c1] = keep * m11;
+                      row0[c1] *= up;
+                      row1[c0] *= down;
+                  });
 }
 
 double
@@ -214,11 +290,19 @@ DensityMatrix::reset()
 void
 DensityMatrix::resetQubit(unsigned q)
 {
-    // Trace out q and re-prepare |0>: equivalent to measuring and
-    // discarding, then flipping 1 -> 0. Implemented as the channel
-    // with Kraus ops |0><0| and |0><1|.
-    applyKraus1(q, {Mat2{Complex{1, 0}, {0, 0}, {0, 0}, {0, 0}},
-                    Mat2{Complex{0, 0}, {1, 0}, {0, 0}, {0, 0}}});
+    quma_assert(q < nq, "qubit index out of range");
+    // Trace out q and re-prepare |0>: the |1> population folds onto
+    // |0> and every element touching |1> on either side vanishes.
+    // Closed form of the channel {|0><0|, |0><1|}; no Kraus matrices.
+    std::size_t stride = std::size_t{1} << q;
+    forEachBlock1(rho.data(), n, stride,
+                  [](Complex *row0, Complex *row1, std::size_t c0,
+                     std::size_t c1) {
+                      row0[c0] += row1[c1];
+                      row0[c1] = 0;
+                      row1[c0] = 0;
+                      row1[c1] = 0;
+                  });
 }
 
 } // namespace quma::qsim

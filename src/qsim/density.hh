@@ -6,6 +6,12 @@
  * amplitude damping (T1) and dephasing (T2) exactly, which the
  * coherence-time experiments (T1, Ramsey, echo) and the readout error
  * model rely on.
+ *
+ * Every shot of every experiment funnels through these kernels, so the
+ * hot entry points (apply1, apply2, applyKraus1, applyIdle and the
+ * diagonal fast paths) are written as fused, in-place, row-major block
+ * sweeps that perform no heap allocation on the steady-state path; see
+ * src/qsim/README.md for the kernel design notes.
  */
 
 #ifndef QUMA_QSIM_DENSITY_HH
@@ -40,6 +46,40 @@ class DensityMatrix
     /** Apply a single-qubit channel given by Kraus operators. */
     void applyKraus1(unsigned q, const std::vector<Mat2> &kraus);
 
+    /**
+     * Apply the diagonal unitary diag(d0, d1) on qubit q:
+     * rho_ij -> d_{i_q} rho_ij conj(d_{j_q}). A single O(n^2) sweep,
+     * no matrix conjugation.
+     */
+    void applyDiag1(unsigned q, Complex d0, Complex d1);
+
+    /** Fast path for rz(theta): applyDiag1 with the rz eigenvalues. */
+    void applyRz(unsigned q, double theta);
+
+    /**
+     * Fast path for CZ between two qubits: rho_ij flips sign where
+     * exactly one of i, j has both qubit bits set. O(n^2), no 4x4
+     * conjugation.
+     */
+    void applyCzPhase(unsigned q_a, unsigned q_b);
+
+    /**
+     * Closed-form idle (T1/T2) evolution on qubit q: amplitude damping
+     * with decay probability gamma composed with pure dephasing with
+     * parameter lambda, optionally fused with a frame rotation
+     * rz(phase) (quasi-static detuning). Element-wise on each 2x2
+     * block -- no Kraus matrices, no temporaries:
+     *
+     *   rho_00 += gamma * rho_11          rho_11 *= (1 - gamma)
+     *   rho_01 *= sqrt(1-gamma) * sqrt(1-lambda) * exp(-i*phase)
+     *   rho_10 *= sqrt(1-gamma) * sqrt(1-lambda) * exp(+i*phase)
+     *
+     * Equivalent (to rounding) to applyKraus1(idleChannel(...)) then
+     * applyRz(phase); see tests/test_qsim_kernels.cc.
+     */
+    void applyIdle(unsigned q, double gamma, double lambda,
+                   double phase = 0.0);
+
     /** Probability that measuring qubit q yields 1. */
     double probabilityOne(unsigned q) const;
 
@@ -62,13 +102,14 @@ class DensityMatrix
     void resetQubit(unsigned q);
 
   private:
-    /** rho -> M(row side) with M acting on bit q of the row index. */
-    void leftMultiply1(unsigned q, const Mat2 &m,
-                       std::vector<Complex> &out) const;
-
     unsigned nq;
     std::size_t n;
     std::vector<Complex> rho;
+    /**
+     * Persistent accumulator for applyKraus1; sized n*n on first use
+     * and reused (swapped with rho) so no per-call allocation remains.
+     */
+    std::vector<Complex> scratch;
 };
 
 } // namespace quma::qsim

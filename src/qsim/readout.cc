@@ -4,6 +4,7 @@
 #include <numbers>
 
 #include "common/logging.hh"
+#include "signal/phasor.hh"
 
 namespace quma::qsim {
 
@@ -34,13 +35,15 @@ simulateReadout(const ReadoutParams &params, bool initial_one,
     auto n = static_cast<std::size_t>(
         std::floor(static_cast<double>(duration_ns) / dt_ns));
     std::vector<double> samples(n);
-    const double twoPi = 2.0 * std::numbers::pi;
+    // IF tone via an incremental phasor: the per-sample value is
+    // Re(c * exp(i*arg)), one complex multiply instead of a sincos.
+    signal::Phasor ph = signal::gridPhasor(params.ifHz, 0.0, dt_ns);
     for (std::size_t k = 0; k < n; ++k) {
         double t_ns = (static_cast<double>(k) + 0.5) * dt_ns;
         bool one = initial_one && (decay_ns < 0 || t_ns < decay_ns);
         std::complex<double> c = one ? params.c1 : params.c0;
-        double arg = twoPi * params.ifHz * t_ns * 1e-9;
-        double v = c.real() * std::cos(arg) - c.imag() * std::sin(arg);
+        double v = c.real() * ph.cosine() - c.imag() * ph.sine();
+        ph.advance();
         samples[k] = v + rng.gaussian(0.0, params.noiseSigma);
     }
     out.trace = signal::Waveform(std::move(samples), params.adcRateHz);

@@ -7,6 +7,7 @@
 #include "common/logging.hh"
 #include "qsim/channels.hh"
 #include "signal/envelope.hh"
+#include "signal/phasor.hh"
 
 namespace quma::qsim {
 
@@ -75,12 +76,14 @@ TransmonChip::idleEvolve(TimeNs from_ns, TimeNs to_ns)
         if (start >= to_ns)
             continue;
         double dt = static_cast<double>(to_ns - start);
-        rho.applyKraus1(q, idleChannel(dt, params[q].t1Ns, params[q].t2Ns));
+        // Closed-form T1/T2 update fused with the quasi-static
+        // detuning frame rotation: one allocation-free sweep instead
+        // of a generic Kraus application plus an rz conjugation.
+        IdleChannelParams icp =
+            idleChannelParams(dt, params[q].t1Ns, params[q].t2Ns);
         double det = roundDetuningHz[q];
-        if (det != 0.0) {
-            // Quasi-static detuning: extra frame rotation about z.
-            rho.apply1(q, gates::rz(kTwoPi * det * dt * 1e-9));
-        }
+        rho.applyIdle(q, icp.gamma, icp.lambda,
+                      kTwoPi * det * dt * 1e-9);
     }
 }
 
@@ -118,13 +121,15 @@ TransmonChip::applyDrive(unsigned q, const signal::DrivePulse &pulse)
     const TransmonParams &p = params[q];
     double f_rot = (p.freqHz + roundDetuningHz[q]) - pulse.carrierHz;
     double dt_ns = 1e9 / pulse.i.rateHz();
+    // Incremental phasor over the uniform sample grid: one complex
+    // multiply per sample instead of a sincos. The frame rotates at
+    // -f_rot relative to the baseband samples.
+    signal::Phasor ph = signal::gridPhasor(
+        -f_rot, static_cast<double>(pulse.t0Ns), dt_ns);
     std::complex<double> acc{0.0, 0.0};
     for (std::size_t k = 0; k < pulse.i.size(); ++k) {
-        double t_ns = static_cast<double>(pulse.t0Ns) +
-                      (static_cast<double>(k) + 0.5) * dt_ns;
-        double arg = -kTwoPi * f_rot * t_ns * 1e-9;
-        std::complex<double> c{pulse.i[k], pulse.q[k]};
-        acc += c * std::complex<double>(std::cos(arg), std::sin(arg));
+        acc += std::complex<double>{pulse.i[k], pulse.q[k]} * ph.value();
+        ph.advance();
     }
     acc *= dt_ns;
 
@@ -143,7 +148,8 @@ TransmonChip::applyCz(unsigned a, unsigned b, TimeNs t0_ns,
     quma_assert(a < params.size() && b < params.size() && a != b,
                 "bad CZ operands");
     advanceAtLeast(t0_ns + duration_ns / 2);
-    rho.apply2(std::max(a, b), std::min(a, b), gates::cz());
+    // CZ is diagonal: an O(n^2) sign sweep, not a 4x4 conjugation.
+    rho.applyCzPhase(a, b);
     advanceAtLeast(t0_ns + duration_ns);
 }
 

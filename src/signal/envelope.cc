@@ -113,14 +113,16 @@ Envelope::area() const
       case EnvelopeKind::Square:
         return _amplitude * _durationNs;
       case EnvelopeKind::Gaussian: {
-        // Integrate numerically: the truncation shift has no closed
-        // form worth maintaining here, and this is not a hot path.
-        const int steps = 2000;
-        double dt = _durationNs / steps;
-        double acc = 0;
-        for (int i = 0; i < steps; ++i)
-            acc += value((i + 0.5) * dt) * dt;
-        return acc;
+        // Closed form of the truncated, edge-shifted Gaussian:
+        //   integral (g - edge) / (1 - edge)
+        // with integral g = sigma * sqrt(2 pi) * erf(t0 / (sigma sqrt 2))
+        // over [0, 2 t0]. Callers (calibration gain) sit on machine
+        // construction paths, so this avoids a 2000-step quadrature.
+        double t0 = _durationNs / 2.0;
+        double edge = std::exp(-0.5 * t0 * t0 / (_sigmaNs * _sigmaNs));
+        double gauss = _sigmaNs * std::sqrt(2.0 * std::numbers::pi) *
+                       std::erf(t0 / (_sigmaNs * std::sqrt(2.0)));
+        return _amplitude * (gauss - _durationNs * edge) / (1.0 - edge);
       }
       case EnvelopeKind::GaussianDerivative:
         // Odd function about the centre: integrates to zero.

@@ -1,26 +1,22 @@
 #include "signal/modulation.hh"
 
 #include <cmath>
-#include <numbers>
 
 #include "common/logging.hh"
+#include "signal/phasor.hh"
 
 namespace quma::signal {
-
-namespace {
-constexpr double kTwoPi = 2.0 * std::numbers::pi;
-} // namespace
 
 std::pair<Waveform, Waveform>
 ssbModulate(const Waveform &env, double ssb_hz, double t0_ns, double phi)
 {
     std::vector<double> i(env.size()), q(env.size());
     double dt_ns = 1e9 / env.rateHz();
+    Phasor ph = gridPhasor(ssb_hz, t0_ns, dt_ns, phi);
     for (std::size_t k = 0; k < env.size(); ++k) {
-        double t_s = (t0_ns + (static_cast<double>(k) + 0.5) * dt_ns) * 1e-9;
-        double arg = kTwoPi * ssb_hz * t_s + phi;
-        i[k] = env[k] * std::cos(arg);
-        q[k] = env[k] * std::sin(arg);
+        i[k] = env[k] * ph.cosine();
+        q[k] = env[k] * ph.sine();
+        ph.advance();
     }
     return {Waveform(std::move(i), env.rateHz()),
             Waveform(std::move(q), env.rateHz())};
@@ -34,10 +30,10 @@ iqUpconvert(const Waveform &i, const Waveform &q, double carrier_hz,
                 "iqUpconvert: I/Q shape mismatch");
     std::vector<double> rf(i.size());
     double dt_ns = 1e9 / i.rateHz();
+    Phasor ph = gridPhasor(carrier_hz, t0_ns, dt_ns);
     for (std::size_t k = 0; k < i.size(); ++k) {
-        double t_s = (t0_ns + (static_cast<double>(k) + 0.5) * dt_ns) * 1e-9;
-        double arg = kTwoPi * carrier_hz * t_s;
-        rf[k] = i[k] * std::cos(arg) - q[k] * std::sin(arg);
+        rf[k] = i[k] * ph.cosine() - q[k] * ph.sine();
+        ph.advance();
     }
     return Waveform(std::move(rf), i.rateHz());
 }
@@ -56,12 +52,11 @@ std::complex<double>
 demodulate(const Waveform &trace, double f_if_hz, double t0_ns)
 {
     double dt_ns = 1e9 / trace.rateHz();
+    Phasor ph = gridPhasor(f_if_hz, t0_ns, dt_ns);
     std::complex<double> acc{0.0, 0.0};
     for (std::size_t k = 0; k < trace.size(); ++k) {
-        double t_s = (t0_ns + (static_cast<double>(k) + 0.5) * dt_ns) * 1e-9;
-        double arg = kTwoPi * f_if_hz * t_s;
-        acc += trace[k] * std::complex<double>(std::cos(arg),
-                                               -std::sin(arg));
+        acc += trace[k] * std::conj(ph.value());
+        ph.advance();
     }
     if (!trace.empty())
         acc *= 2.0 / static_cast<double>(trace.size());
