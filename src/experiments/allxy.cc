@@ -115,10 +115,11 @@ finishAllxy(std::vector<double> raw, core::RunResult run)
     return result;
 }
 
+/** Run budget for `rounds` averaging rounds (1 = one-round body). */
 Cycle
-allxyBudget(const AllxyConfig &config)
+allxyBudget(std::size_t rounds)
 {
-    return static_cast<Cycle>(config.rounds) * 42 * 45000 + 1'000'000;
+    return static_cast<Cycle>(rounds) * 42 * 45000 + 1'000'000;
 }
 
 } // namespace
@@ -135,7 +136,7 @@ runAllxy(const AllxyConfig &config)
     machine.loadProgram(
         buildAllxyProgram(config.rounds, config.qubit).compile(opts));
 
-    core::RunResult run = machine.run(allxyBudget(config));
+    core::RunResult run = machine.run(allxyBudget(config.rounds));
     return finishAllxy(machine.dataCollector().averages(), run);
 }
 
@@ -146,12 +147,25 @@ allxyJob(const AllxyConfig &config)
     opts.useQisGates = config.useQisGates;
     runtime::JobSpec job;
     job.name = "allxy";
-    job.assembly = buildAllxyProgram(config.rounds, config.qubit)
-                       .compileToAssembly(opts);
     job.machine = allxyMachineConfig(config);
     job.bins = 42;
     job.seed = config.seed;
-    job.maxCycles = allxyBudget(config);
+    // An explicit shard request (>= 2) or a large auto sweep ships
+    // the ONE-round body and lets the runtime drive (and shard) the
+    // averaging loop; small auto sweeps keep the loop in the
+    // program, where the per-round reset overhead of the
+    // round-structured path is not worth paying.
+    if (runtime::wantsRoundStructured(config.shards, config.rounds)) {
+        job.assembly =
+            buildAllxyProgram(1, config.qubit).compileToAssembly(opts);
+        job.rounds = config.rounds;
+        job.shards = config.shards;
+        job.maxCycles = allxyBudget(1); // per round
+    } else {
+        job.assembly = buildAllxyProgram(config.rounds, config.qubit)
+                           .compileToAssembly(opts);
+        job.maxCycles = allxyBudget(config.rounds);
+    }
     return job;
 }
 

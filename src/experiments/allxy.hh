@@ -65,6 +65,15 @@ struct AllxyConfig
     bool stallInjection = true;
     std::uint64_t seed = 0x5eed;
     qsim::TransmonParams qubitParams = qsim::paperQubitParams();
+    /**
+     * Shard request for the service-routed variant: 0 = auto (large
+     * sweeps become round-structured jobs the runtime splits one
+     * shard per worker), 1 = keep the whole averaging loop in one
+     * program on one machine, k >= 2 = ask for k shards. The result
+     * of a round-structured job is bit-identical for every shard and
+     * worker count (see runtime/README.md).
+     */
+    std::size_t shards = 0;
 };
 
 struct AllxyResult

@@ -174,10 +174,17 @@ runSweepJobs(const CoherenceConfig &config, Sequence seq, unsigned n_pi,
     std::vector<runtime::JobId> ids;
     ids.reserve(config.delaysCycles.size());
     core::MachineConfig mc = sweepMachineConfig(config);
+    // Explicit shard requests and large auto sweeps request
+    // sharding: the point program carries only one round and the
+    // runtime fans the averaging rounds out across pooled machines
+    // (bit-identical to any other shard count).
+    bool roundStructured =
+        runtime::wantsRoundStructured(config.shards, config.rounds);
     for (std::size_t i = 0; i < config.delaysCycles.size(); ++i) {
         Cycle delay = config.delaysCycles[i];
-        compiler::QuantumProgram prog("coherence_pt", config.qubit + 1,
-                                      config.rounds);
+        compiler::QuantumProgram prog(
+            "coherence_pt", config.qubit + 1,
+            roundStructured ? 1 : config.rounds);
         compiler::Kernel &k = prog.newKernel("point");
         k.init();
         emitSequence(k, config, seq, n_pi, delay);
@@ -190,9 +197,14 @@ runSweepJobs(const CoherenceConfig &config, Sequence seq, unsigned n_pi,
         job.machine = mc;
         job.bins = 3;
         job.seed = Rng::derive(config.seed, i);
-        job.maxCycles = static_cast<Cycle>(config.rounds) * 3 *
-                            (41000 + delay) +
-                        1'000'000;
+        job.maxCycles =
+            static_cast<Cycle>(roundStructured ? 1 : config.rounds) *
+                3 * (41000 + delay) +
+            1'000'000;
+        if (roundStructured) {
+            job.rounds = config.rounds;
+            job.shards = config.shards;
+        }
         ids.push_back(service.submit(std::move(job)));
     }
 

@@ -33,6 +33,13 @@ struct CoherenceConfig
     double artificialDetuningHz = 0.0;
     std::uint64_t seed = 0xc0ffee;
     qsim::TransmonParams qubitParams = qsim::paperQubitParams();
+    /**
+     * Shard request for the service-routed variants: 0 = auto (each
+     * sweep-point job of a large sweep becomes round-structured and
+     * splits one shard per worker), 1 = whole-program points, k >= 2
+     * = k shards per point. See runtime::JobSpec::shards.
+     */
+    std::size_t shards = 0;
 
     /** A reasonable default sweep out to max_ns. */
     static CoherenceConfig withLinearSweep(TimeNs max_ns,

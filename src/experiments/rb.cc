@@ -119,12 +119,18 @@ runRb(const RbConfig &config, runtime::ExperimentService &service)
 
     // One job per sequence length: its random sequences plus the two
     // calibration points, drawn from a length-local RNG stream.
+    // Explicit shard requests and large auto runs request sharding:
+    // the program carries one round and the runtime fans the
+    // averaging rounds out across pooled machines.
+    bool roundStructured =
+        runtime::wantsRoundStructured(config.shards, config.rounds);
     std::vector<runtime::JobId> ids;
     for (std::size_t li = 0; li < config.lengths.size(); ++li) {
         unsigned m = config.lengths[li];
         Rng rng(Rng::derive(config.seed, li));
-        compiler::QuantumProgram prog("rb_len", config.qubit + 1,
-                                      config.rounds);
+        compiler::QuantumProgram prog(
+            "rb_len", config.qubit + 1,
+            roundStructured ? 1 : config.rounds);
         compiler::Kernel &k = prog.newKernel("rb_sequences");
         for (unsigned s = 0; s < config.seedsPerLength; ++s) {
             k.init();
@@ -145,9 +151,14 @@ runRb(const RbConfig &config, runtime::ExperimentService &service)
         job.machine = mc;
         job.bins = bins;
         job.seed = Rng::derive(config.seed, 0x1000 + li);
-        job.maxCycles = static_cast<Cycle>(config.rounds) * bins *
-                            (41000 + static_cast<Cycle>(m) * 32) +
-                        1'000'000;
+        job.maxCycles =
+            static_cast<Cycle>(roundStructured ? 1 : config.rounds) *
+                bins * (41000 + static_cast<Cycle>(m) * 32) +
+            1'000'000;
+        if (roundStructured) {
+            job.rounds = config.rounds;
+            job.shards = config.shards;
+        }
         ids.push_back(service.submit(std::move(job)));
     }
 

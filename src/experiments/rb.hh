@@ -35,6 +35,13 @@ struct RbConfig
     unsigned qubit = 0;
     std::uint64_t seed = 0x4b;
     qsim::TransmonParams qubitParams = qsim::paperQubitParams();
+    /**
+     * Shard request for the service-routed variant: 0 = auto (each
+     * length job of a large run becomes round-structured and splits
+     * one shard per worker), 1 = whole-program length jobs, k >= 2 =
+     * k shards per length. See runtime::JobSpec::shards.
+     */
+    std::size_t shards = 0;
 };
 
 struct RbResult

@@ -44,6 +44,17 @@ class DataCollectionUnit
     void addBit(bool bit);
     std::vector<double> bitAverages() const;
 
+    // Raw accumulator access: the runtime's shard merge re-sums
+    // per-round sums in global round order (bit-identical for any
+    // round partition), so it needs the sums before the division.
+    const std::vector<double> &binSums() const { return sums; }
+    const std::vector<std::size_t> &binCounts() const { return counts; }
+    const std::vector<double> &bitBinSums() const { return bitSums; }
+    const std::vector<std::size_t> &bitBinCounts() const
+    {
+        return bitCounts;
+    }
+
     void clear();
 
     /** Return to the unconfigured (freshly-constructed) state. */

@@ -1,5 +1,6 @@
 #include "runtime/job.hh"
 
+#include <algorithm>
 #include <sstream>
 
 #include "runtime/keys.hh"
@@ -8,6 +9,32 @@ namespace quma::runtime {
 
 using keys::appendBits;
 using keys::appendInt;
+
+std::vector<RoundRange>
+partitionRounds(std::size_t rounds, std::size_t shards,
+                std::size_t min_rounds_per_shard)
+{
+    if (rounds == 0)
+        return {};
+    std::size_t minRounds = std::max<std::size_t>(min_rounds_per_shard, 1);
+    std::size_t s = std::max<std::size_t>(shards, 1);
+    s = std::min(s, std::max<std::size_t>(rounds / minRounds, 1));
+    s = std::min(s, rounds);
+
+    // Balanced contiguous split: the first (rounds % s) shards take
+    // one extra round, so sizes differ by at most one.
+    std::vector<RoundRange> out;
+    out.reserve(s);
+    std::size_t base = rounds / s;
+    std::size_t extra = rounds % s;
+    std::size_t at = 0;
+    for (std::size_t i = 0; i < s; ++i) {
+        std::size_t len = base + (i < extra ? 1 : 0);
+        out.push_back({at, at + len});
+        at += len;
+    }
+    return out;
+}
 
 std::string
 configKey(const core::MachineConfig &config)

@@ -29,6 +29,60 @@ namespace quma::runtime {
 
 using JobId = std::uint64_t;
 
+/**
+ * Scheduling class of a job. Higher classes are drained first; aging
+ * (SchedulerConfig::agingQuantum) promotes long-waiting jobs one
+ * class step per quantum of newer submissions, so a backlog of Batch
+ * work is overtaken by High jobs without ever being starved by them.
+ */
+enum class JobPriority : std::uint8_t
+{
+    Batch = 0,
+    Normal = 1,
+    High = 2,
+};
+
+/**
+ * Experiment fan-out policy: sweeps with at least this many averaging
+ * rounds are worth round-structured (shardable) execution; below it
+ * the per-round machine reset/reload overhead outweighs what the
+ * extra parallelism can recover.
+ */
+inline constexpr std::size_t kShardableRounds = 16;
+
+/**
+ * The experiments' shared eligibility rule for round-structured
+ * execution: an explicit shard request (>= 2) always opts in; auto
+ * (0) opts in for large sweeps; 1 forces the legacy opaque mode.
+ */
+inline constexpr bool
+wantsRoundStructured(std::size_t shards_requested, std::size_t rounds)
+{
+    return shards_requested >= 2 ||
+           (shards_requested == 0 && rounds >= kShardableRounds);
+}
+
+/** A contiguous range of averaging rounds assigned to one shard. */
+struct RoundRange
+{
+    std::size_t begin = 0;
+    std::size_t end = 0;
+
+    std::size_t size() const { return end - begin; }
+};
+
+/**
+ * Balanced contiguous partition of `rounds` into at most `shards`
+ * ranges, clamped so every shard keeps at least
+ * `min_rounds_per_shard` rounds (and never more shards than rounds).
+ * shards == 0 requests one shard. The partition is a pure function of
+ * its arguments -- the deterministic-merge contract depends on the
+ * round->shard assignment being reproducible.
+ */
+std::vector<RoundRange> partitionRounds(std::size_t rounds,
+                                        std::size_t shards,
+                                        std::size_t min_rounds_per_shard);
+
 struct JobSpec
 {
     /** Human-readable label (diagnostics only; not part of results). */
@@ -52,8 +106,35 @@ struct JobSpec
     /** Job seed; chip and exec RNG streams are derived from it. */
     std::uint64_t seed = 0x5eed;
 
-    /** Run budget in cycles. */
+    /** Run budget in cycles (per round for round-structured jobs). */
     Cycle maxCycles = 2'000'000'000ULL;
+
+    /**
+     * Averaging rounds N. 0 = OPAQUE job: the program (which may
+     * contain its own averaging loop) runs once, on one machine, with
+     * one pair of job-level RNG streams. When N > 0 the job is
+     * ROUND-STRUCTURED: assembly/program must be the one-round body
+     * (QuantumProgram repetitions = 1), and the runtime executes it N
+     * times, deriving each round's RNG streams from (seed, round) --
+     * see runtime/keys.hh -- and merging the per-round collector sums
+     * in round order. Only round-structured jobs can be sharded.
+     */
+    std::size_t rounds = 0;
+
+    /**
+     * Requested shard count for a round-structured job: the scheduler
+     * splits the N rounds into this many contiguous ranges and runs
+     * them as parallel tasks on pooled machines. 0 = auto (one shard
+     * per worker); 1 = a single shard. Always clamped by
+     * minRoundsPerShard. The merged result is bit-identical for every
+     * shard count.
+     */
+    std::size_t shards = 1;
+    /** Smallest round range worth a pool lease (clamps `shards`). */
+    std::size_t minRoundsPerShard = 8;
+
+    /** Scheduling class (see JobPriority). */
+    JobPriority priority = JobPriority::Normal;
 };
 
 enum class JobStatus { Queued, Running, Done, Failed };

@@ -1,8 +1,29 @@
 /**
  * @file
- * Internal helpers for building memoization/shard keys: values are
- * streamed as exact bit patterns (no formatting round-trip), so two
- * keys are equal iff every field is bitwise equal.
+ * Internal helpers for building memoization/shard keys, and the RNG
+ * stream-derivation conventions of the runtime.
+ *
+ * Key building: values are streamed as exact bit patterns (no
+ * formatting round-trip), so two keys are equal iff every field is
+ * bitwise equal.
+ *
+ * RNG streams: a job seed fans out into independent generator seeds
+ * via Rng::derive(seed, stream). The stream indices are fixed here so
+ * every layer (scheduler, tests, benches) derives the same streams:
+ *
+ *  - kChipStream / kExecStream seed the chip-noise and the
+ *    stall-injection RNGs of an OPAQUE job (JobSpec::rounds == 0),
+ *    which runs its whole program on one machine with one pair of
+ *    streams, exactly as in a single-machine session.
+ *
+ *  - Round-structured jobs (JobSpec::rounds > 0) derive one stream
+ *    PAIR PER ROUND: round r uses chipStreamOf(r) / execStreamOf(r).
+ *    Because every round's randomness is a pure function of
+ *    (job seed, round index) -- never of which machine ran it, or of
+ *    which rounds preceded it on that machine -- any contiguous
+ *    partition of the rounds across pooled machines replays the exact
+ *    same per-round draws, which is what makes shard merges
+ *    bit-identical (see runtime/README.md, "Determinism contract").
  */
 
 #ifndef QUMA_RUNTIME_KEYS_HH
@@ -12,7 +33,30 @@
 #include <cstring>
 #include <sstream>
 
-namespace quma::runtime::keys {
+namespace quma::runtime {
+
+/** Chip-noise stream of an opaque (whole-program) job. */
+inline constexpr std::uint64_t kChipStream = 0;
+/** Stall-injection stream of an opaque (whole-program) job. */
+inline constexpr std::uint64_t kExecStream = 1;
+/** First per-round stream index; rounds use pairs from here up. */
+inline constexpr std::uint64_t kRoundStreamBase = 2;
+
+/** Chip-noise stream of round `r` of a round-structured job. */
+inline constexpr std::uint64_t
+chipStreamOf(std::uint64_t round)
+{
+    return kRoundStreamBase + 2 * round;
+}
+
+/** Stall-injection stream of round `r` of a round-structured job. */
+inline constexpr std::uint64_t
+execStreamOf(std::uint64_t round)
+{
+    return kRoundStreamBase + 2 * round + 1;
+}
+
+namespace keys {
 
 /** Append a double's exact bit pattern. */
 inline void
@@ -30,6 +74,8 @@ appendInt(std::ostringstream &os, std::uint64_t v)
     os << std::hex << v << ',';
 }
 
-} // namespace quma::runtime::keys
+} // namespace keys
+
+} // namespace quma::runtime
 
 #endif // QUMA_RUNTIME_KEYS_HH

@@ -1,17 +1,39 @@
 #include "runtime/scheduler.hh"
 
 #include <algorithm>
+#include <limits>
 
 #include "common/logging.hh"
 #include "common/rng.hh"
+#include "runtime/keys.hh"
 
 namespace quma::runtime {
 
 namespace {
 
-/** Stream indices for the per-job RNG derivation. */
-constexpr std::uint64_t kChipStream = 0;
-constexpr std::uint64_t kExecStream = 1;
+bool
+queueSaturated(const timing::QueueSaturation &q)
+{
+    // pushFailed is the backpressure signal proper: the producer hit
+    // a full queue and had to retry. High-water alone is not enough
+    // (a healthy pipeline is expected to run the queues deep).
+    return q.pushFailed > 0;
+}
+
+/** Did this run drive any timing event queue into backpressure? */
+bool
+machineSaturated(const core::MachineStats &s)
+{
+    if (queueSaturated(s.queues.timing) || queueSaturated(s.queues.mpg))
+        return true;
+    for (const auto &q : s.queues.pulse)
+        if (queueSaturated(q))
+            return true;
+    for (const auto &q : s.queues.md)
+        if (queueSaturated(q))
+            return true;
+    return false;
+}
 
 } // namespace
 
@@ -32,12 +54,24 @@ JobScheduler::~JobScheduler()
     {
         std::lock_guard<std::mutex> lock(mu);
         stop = true;
-        // Jobs still queued will never run: fail them so awaiters
-        // unblock with a diagnosable result.
-        for (JobId id : queue) {
-            Entry &e = entries[id];
+        // Tasks still queued will never run: fail their jobs so
+        // awaiters unblock with a diagnosable result. A job with
+        // shards already running is failed here too; the late shard
+        // deliveries see the Failed status and drop their partials.
+        for (const Task &t : queue) {
+            auto it = entries.find(t.id);
+            if (it == entries.end())
+                continue;
+            Entry &e = it->second;
+            if (e.jobStatus == JobStatus::Done ||
+                e.jobStatus == JobStatus::Failed)
+                continue;
             e.jobStatus = JobStatus::Failed;
+            e.result = JobResult{};
             e.result.error = "scheduler shut down before the job ran";
+            e.spec.reset();
+            e.partials.clear();
+            e.shardRanges.clear();
             ++counters.failed;
         }
         queue.clear();
@@ -66,9 +100,24 @@ JobScheduler::enqueueLocked(JobSpec &&spec)
     JobId id = nextId++;
     Entry e;
     e.key = configKey(spec.machine);
-    e.spec = std::move(spec);
+    e.priority = spec.priority;
+    e.seq = counters.submitted;
+    if (spec.rounds > 0) {
+        // Round-structured job: one task per shard. shards == 0 asks
+        // for the widest useful split, one shard per worker.
+        std::size_t shards = spec.shards ? spec.shards : cfg.workers;
+        e.shardRanges =
+            partitionRounds(spec.rounds, shards, spec.minRoundsPerShard);
+        e.partials.resize(e.shardRanges.size());
+        e.shardsRemaining = e.shardRanges.size();
+        if (e.shardRanges.size() > 1)
+            ++counters.shardedJobs;
+    }
+    std::size_t tasks = e.shardRanges.empty() ? 1 : e.shardRanges.size();
+    e.spec = std::make_shared<const JobSpec>(std::move(spec));
     entries.emplace(id, std::move(e));
-    queue.push_back(id);
+    for (std::size_t s = 0; s < tasks; ++s)
+        queue.push_back({id, static_cast<std::uint32_t>(s)});
     counters.queueHighWater =
         std::max(counters.queueHighWater, queue.size());
     ++counters.submitted;
@@ -86,7 +135,7 @@ JobScheduler::submit(JobSpec spec)
         fatal("submit on a stopped scheduler");
     JobId id = enqueueLocked(std::move(spec));
     lock.unlock();
-    cvWork.notify_one();
+    cvWork.notify_all();
     return id;
 }
 
@@ -94,13 +143,17 @@ std::optional<JobId>
 JobScheduler::trySubmit(JobSpec spec)
 {
     std::unique_lock<std::mutex> lock(mu);
-    if (stop || queue.size() >= cfg.queueCapacity) {
+    std::size_t bound = effectiveCapacityLocked();
+    if (stop || queue.size() >= bound) {
         ++counters.rejected;
+        if (!stop && bound < cfg.queueCapacity &&
+            queue.size() < cfg.queueCapacity)
+            ++counters.admissionSoftRejects;
         return std::nullopt;
     }
     JobId id = enqueueLocked(std::move(spec));
     lock.unlock();
-    cvWork.notify_one();
+    cvWork.notify_all();
     return id;
 }
 
@@ -161,7 +214,80 @@ JobScheduler::Stats
 JobScheduler::stats() const
 {
     std::lock_guard<std::mutex> lock(mu);
-    return counters;
+    Stats s = counters;
+    s.machineSaturation = saturationEwma;
+    return s;
+}
+
+std::vector<JobId>
+JobScheduler::finishedIds() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    return {finishedOrder.begin(), finishedOrder.end()};
+}
+
+std::size_t
+JobScheduler::effectiveQueueCapacity() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    return effectiveCapacityLocked();
+}
+
+std::size_t
+JobScheduler::effectiveCapacityLocked() const
+{
+    if (!cfg.adaptiveAdmission ||
+        saturationEwma <= cfg.saturationThreshold)
+        return cfg.queueCapacity;
+    auto tightened = static_cast<std::size_t>(
+        static_cast<double>(cfg.queueCapacity) *
+        cfg.congestedQueueFraction);
+    tightened = std::max<std::size_t>(tightened, cfg.workers);
+    return std::min(tightened, cfg.queueCapacity);
+}
+
+void
+JobScheduler::noteSaturationLocked(bool saturated)
+{
+    if (saturated)
+        ++counters.saturatedRuns;
+    saturationEwma = (1.0 - cfg.saturationAlpha) * saturationEwma +
+                     cfg.saturationAlpha * (saturated ? 1.0 : 0.0);
+}
+
+long
+JobScheduler::effectivePriorityLocked(const Entry &entry) const
+{
+    long p = static_cast<long>(entry.priority);
+    if (cfg.agingQuantum > 0)
+        p += static_cast<long>((counters.submitted - entry.seq) /
+                               cfg.agingQuantum);
+    return p;
+}
+
+std::size_t
+JobScheduler::pickBestLocked() const
+{
+    std::size_t best = 0;
+    long bestPrio = std::numeric_limits<long>::min();
+    for (std::size_t i = 0; i < queue.size(); ++i) {
+        const Entry &e = entries.at(queue[i].id);
+        long p = effectivePriorityLocked(e);
+        if (p > bestPrio) {
+            best = i;
+            bestPrio = p;
+            continue;
+        }
+        if (p == bestPrio) {
+            const Entry &b = entries.at(queue[best].id);
+            // Tie: oldest submission first; within one job, shards
+            // in round order.
+            if (e.seq < b.seq ||
+                (e.seq == b.seq && queue[i].shard < queue[best].shard))
+                best = i;
+        }
+    }
+    return best;
 }
 
 void
@@ -171,7 +297,10 @@ JobScheduler::finishLocked(JobId id, JobResult &&result)
     bool failed = result.failed();
     e.result = std::move(result);
     e.jobStatus = failed ? JobStatus::Failed : JobStatus::Done;
-    e.spec = JobSpec{}; // free the program/source copies
+    // Free the program/source copies and any shard bookkeeping.
+    e.spec.reset();
+    e.partials.clear();
+    e.shardRanges.clear();
     if (failed)
         ++counters.failed;
     else
@@ -186,8 +315,92 @@ JobScheduler::finishLocked(JobId id, JobResult &&result)
     }
 }
 
+void
+JobScheduler::deliverShardLocked(JobId id, std::uint32_t shard,
+                                 ShardPartial &&partial)
+{
+    auto it = entries.find(id);
+    if (it == entries.end())
+        return;
+    Entry &e = it->second;
+    // The job may already be failed (scheduler shutdown while this
+    // shard was running): drop the late partial.
+    if (e.jobStatus == JobStatus::Done ||
+        e.jobStatus == JobStatus::Failed)
+        return;
+    e.partials[shard] = std::move(partial);
+    quma_assert(e.shardsRemaining > 0, "shard delivered twice");
+    if (--e.shardsRemaining == 0)
+        mergeShardsLocked(id);
+}
+
+/**
+ * Deterministic merge: re-sum the per-round collector sums in global
+ * round order. Shard s holds rounds [begin_s, end_s) contiguously and
+ * the shards are visited in range order, so the floating-point
+ * additions happen in exactly the sequence round 0, 1, ..., N-1 --
+ * the SAME sequence for every partition, which is what makes the
+ * merged sums (and hence the averages) bit-identical across 1-way,
+ * 2-way and 4-way splits.
+ */
+void
+JobScheduler::mergeShardsLocked(JobId id)
+{
+    Entry &e = entries.at(id);
+    const JobSpec &spec = *e.spec;
+    std::size_t bins = spec.bins ? spec.bins : 1;
+
+    JobResult merged;
+    for (std::size_t s = 0; s < e.partials.size(); ++s) {
+        if (!e.partials[s].error.empty()) {
+            merged.error = "shard " + std::to_string(s) + " (rounds " +
+                           std::to_string(e.partials[s].range.begin) +
+                           ".." +
+                           std::to_string(e.partials[s].range.end) +
+                           ") failed: " + e.partials[s].error;
+            break;
+        }
+    }
+
+    if (merged.error.empty()) {
+        std::vector<double> sums(bins, 0.0);
+        std::vector<double> bitSums(bins, 0.0);
+        std::vector<std::size_t> cnt(bins, 0);
+        std::vector<std::size_t> bitCnt(bins, 0);
+        bool first = true;
+        for (const ShardPartial &p : e.partials) {
+            std::size_t rows = p.range.size();
+            for (std::size_t r = 0; r < rows; ++r)
+                for (std::size_t b = 0; b < bins; ++b) {
+                    sums[b] += p.roundSums[r * bins + b];
+                    bitSums[b] += p.roundBitSums[r * bins + b];
+                }
+            for (std::size_t b = 0; b < bins; ++b) {
+                cnt[b] += p.binCounts[b];
+                bitCnt[b] += p.bitBinCounts[b];
+            }
+            merged.run.accumulate(p.run, first);
+            first = false;
+            merged.sampleCount += p.samples;
+        }
+        merged.averages.assign(bins, 0.0);
+        merged.bitAverages.assign(bins, 0.0);
+        for (std::size_t b = 0; b < bins; ++b) {
+            if (cnt[b] > 0)
+                merged.averages[b] =
+                    sums[b] / static_cast<double>(cnt[b]);
+            if (bitCnt[b] > 0)
+                merged.bitAverages[b] =
+                    bitSums[b] / static_cast<double>(bitCnt[b]);
+        }
+    }
+
+    finishLocked(id, std::move(merged));
+}
+
 JobResult
-JobScheduler::runJob(const JobSpec &spec, core::QumaMachine &machine)
+JobScheduler::runJob(const JobSpec &spec, core::QumaMachine &machine,
+                     bool &saturated)
 {
     JobResult r;
     try {
@@ -205,11 +418,74 @@ JobScheduler::runJob(const JobSpec &spec, core::QumaMachine &machine)
         r.averages = machine.dataCollector().averages();
         r.bitAverages = machine.dataCollector().bitAverages();
         r.sampleCount = machine.dataCollector().sampleCount();
+        saturated = machineSaturated(machine.stats());
     } catch (const std::exception &ex) {
         r = JobResult{};
         r.error = ex.what();
     }
     return r;
+}
+
+JobScheduler::ShardPartial
+JobScheduler::runShard(const JobSpec &spec, core::QumaMachine &machine,
+                       RoundRange range, bool &saturated)
+{
+    ShardPartial p;
+    p.range = range;
+    std::size_t bins = spec.bins ? spec.bins : 1;
+    p.binCounts.assign(bins, 0);
+    p.bitBinCounts.assign(bins, 0);
+    p.roundSums.reserve(range.size() * bins);
+    p.roundBitSums.reserve(range.size() * bins);
+    try {
+        // cached keeps the assembled program alive for the loop; a
+        // pre-built program lives in spec, which outlives the run.
+        std::shared_ptr<const isa::Program> cached;
+        const isa::Program *program;
+        if (spec.program) {
+            program = &*spec.program;
+        } else {
+            cached = cache.assemble(spec.assembly);
+            program = cached.get();
+        }
+
+        for (std::size_t r = range.begin; r < range.end; ++r) {
+            // Every round is a full session with its OWN RNG streams
+            // derived from (seed, round): the draws a round sees
+            // never depend on which machine it ran on or which
+            // rounds preceded it there, so any partition of the
+            // rounds replays them exactly.
+            machine.reset(Rng::derive(spec.seed, chipStreamOf(r)),
+                          Rng::derive(spec.seed, execStreamOf(r)));
+            machine.configureDataCollection(bins);
+            machine.loadProgram(*program);
+            core::RunResult rr = machine.run(spec.maxCycles);
+            p.run.accumulate(rr, r == range.begin);
+
+            const auto &dc = machine.dataCollector();
+            const auto &sums = dc.binSums();
+            const auto &bitSums = dc.bitBinSums();
+            const auto &cnt = dc.binCounts();
+            const auto &bitCnt = dc.bitBinCounts();
+            p.roundSums.insert(p.roundSums.end(), sums.begin(),
+                               sums.end());
+            p.roundBitSums.insert(p.roundBitSums.end(),
+                                  bitSums.begin(), bitSums.end());
+            for (std::size_t b = 0; b < bins; ++b) {
+                p.binCounts[b] += cnt[b];
+                p.bitBinCounts[b] += bitCnt[b];
+            }
+            p.samples += dc.sampleCount();
+            // loadProgram re-arms the timing unit (clearing its
+            // counters), so saturation must be sampled per round.
+            saturated = saturated || machineSaturated(machine.stats());
+        }
+    } catch (const std::exception &ex) {
+        p = ShardPartial{};
+        p.range = range;
+        p.error = ex.what();
+    }
+    return p;
 }
 
 void
@@ -221,56 +497,88 @@ JobScheduler::workerLoop()
         if (stop)
             return;
 
-        JobId id = queue.front();
-        queue.pop_front();
+        std::size_t slot = pickBestLocked();
+        Task task = queue[slot];
+        queue.erase(queue.begin() +
+                    static_cast<std::ptrdiff_t>(slot));
         ++inFlight;
-        Entry &entry = entries.at(id);
+        Entry &entry = entries.at(task.id);
         entry.jobStatus = JobStatus::Running;
-        JobSpec spec = std::move(entry.spec);
+        std::shared_ptr<const JobSpec> spec = entry.spec;
         std::string key = entry.key;
+        bool sharded = !entry.shardRanges.empty();
+        RoundRange range =
+            sharded ? entry.shardRanges[task.shard] : RoundRange{};
         lock.unlock();
         cvSpace.notify_one();
 
         MachinePool::Lease lease;
         try {
-            lease = pool.acquireKeyed(key, spec.machine);
+            lease = pool.acquireKeyed(key, spec->machine);
         } catch (const std::exception &ex) {
-            // Machine construction rejected the config: fail THIS job;
-            // letting the exception leave the thread would terminate
-            // the whole service.
-            JobResult r;
-            r.error = std::string("machine unavailable: ") + ex.what();
+            // Machine construction rejected the config: fail THIS
+            // task; letting the exception leave the thread would
+            // terminate the whole service.
+            std::string err =
+                std::string("machine unavailable: ") + ex.what();
             lock.lock();
-            finishLocked(id, std::move(r));
+            if (sharded) {
+                ShardPartial p;
+                p.range = range;
+                p.error = std::move(err);
+                deliverShardLocked(task.id, task.shard, std::move(p));
+            } else {
+                JobResult r;
+                r.error = std::move(err);
+                finishLocked(task.id, std::move(r));
+            }
             --inFlight;
             cvDone.notify_all();
             continue;
         }
         std::size_t ranOnLease = 0;
         for (;;) {
-            JobResult result = runJob(spec, lease.machine());
+            bool saturated = false;
+            if (sharded) {
+                ShardPartial partial =
+                    runShard(*spec, lease.machine(), range, saturated);
+                lock.lock();
+                ++counters.shardsExecuted;
+                deliverShardLocked(task.id, task.shard,
+                                   std::move(partial));
+            } else {
+                JobResult result =
+                    runJob(*spec, lease.machine(), saturated);
+                lock.lock();
+                finishLocked(task.id, std::move(result));
+            }
+            noteSaturationLocked(saturated);
             ++ranOnLease;
-
-            lock.lock();
-            finishLocked(id, std::move(result));
             --inFlight;
             cvDone.notify_all();
 
-            // Lease batching: run the next same-config job without a
-            // pool round-trip.
+            // Lease batching: when the task the priority policy
+            // would pick next wants this machine configuration, run
+            // it on the same lease without a pool round-trip.
             if (!stop && !queue.empty() &&
-                ranOnLease < cfg.leaseBatchLimit &&
-                entries.at(queue.front()).key == key) {
-                id = queue.front();
-                queue.pop_front();
-                ++inFlight;
-                Entry &next = entries.at(id);
-                next.jobStatus = JobStatus::Running;
-                spec = std::move(next.spec);
-                ++counters.batchedJobs;
-                lock.unlock();
-                cvSpace.notify_one();
-                continue;
+                ranOnLease < cfg.leaseBatchLimit) {
+                std::size_t next = pickBestLocked();
+                Entry &ne = entries.at(queue[next].id);
+                if (ne.key == key) {
+                    task = queue[next];
+                    queue.erase(queue.begin() +
+                                static_cast<std::ptrdiff_t>(next));
+                    ++inFlight;
+                    ne.jobStatus = JobStatus::Running;
+                    spec = ne.spec;
+                    sharded = !ne.shardRanges.empty();
+                    range = sharded ? ne.shardRanges[task.shard]
+                                    : RoundRange{};
+                    ++counters.batchedJobs;
+                    lock.unlock();
+                    cvSpace.notify_one();
+                    continue;
+                }
             }
             break;
         }

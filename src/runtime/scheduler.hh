@@ -1,20 +1,36 @@
 /**
  * @file
- * The job scheduler: a bounded job queue drained by worker threads.
+ * The job scheduler: a prioritised task queue drained by worker
+ * threads, with shot-level sharding and stats-driven admission.
  *
- * Each worker pops a job, leases a machine of the job's configuration
- * from the pool, and executes the paper's host flow (reset + reseed,
- * configure collection, load the cached program, run, collect). While
- * it still holds the lease, the worker batches: if the next queued
- * job needs the same machine configuration it runs immediately on the
- * same lease, skipping a pool round-trip -- the common case when a
- * sweep fans out into many same-shaped jobs.
+ * SCHEDULING. Each queued task carries its job's priority class and
+ * submission sequence number. Workers always pop the task with the
+ * highest EFFECTIVE priority -- the class plus one step per
+ * `agingQuantum` newer submissions the task has waited through --
+ * breaking ties oldest-first. High jobs therefore overtake a backlog
+ * of Normal/Batch work, while aging guarantees the backlog is never
+ * starved by a continuous stream of fresh High jobs.
  *
- * Determinism: job results are a pure function of the JobSpec (see
- * job.hh), so the number of workers and the interleaving of the queue
- * change only throughput, never results. The determinism test runs
- * the same job set under 1, 2 and 8 workers and requires identical
- * aggregated results.
+ * SHARDING. An opaque job (JobSpec::rounds == 0) is one task. A
+ * round-structured job is split by partitionRounds() into contiguous
+ * round ranges, one task per shard, which run in parallel on pooled
+ * machines; the worker finishing the last shard merges the per-round
+ * collector sums in global round order. Per-round RNG derivation
+ * (runtime/keys.hh) plus the order-preserving merge make the merged
+ * result bit-identical for every shard count and worker count.
+ *
+ * BATCHING. After a task, while the worker still holds its machine
+ * lease, it runs the next BEST task immediately if that task needs
+ * the same machine configuration -- the common case when a sweep (or
+ * a sharded job) fans out into many same-shaped tasks.
+ *
+ * ADMISSION. Executed jobs sample QumaMachine::stats(): a run whose
+ * timing event queues rejected a push (producer backpressure; deep
+ * queues alone are healthy) counts as saturated, and an EWMA of that
+ * signal drives trySubmit's effective queue bound. While the machines report saturation the scheduler
+ * stops accepting work it could only queue (adding depth would add
+ * latency, not throughput); the configured queueCapacity remains the
+ * hard ceiling, and blocking submit() always uses it.
  */
 
 #ifndef QUMA_RUNTIME_SCHEDULER_HH
@@ -22,6 +38,7 @@
 
 #include <condition_variable>
 #include <deque>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <thread>
@@ -37,21 +54,43 @@ namespace quma::runtime {
 struct SchedulerConfig
 {
     unsigned workers = 2;
-    /** Bounded queue depth; submit blocks (trySubmit rejects) when
-     *  this many jobs are waiting. */
+    /**
+     * Hard queue bound, counted in TASKS (an S-way sharded job holds
+     * S slots). submit blocks at the bound (a multi-shard job may
+     * transiently overshoot it by shards-1 slots so its shards enter
+     * atomically); trySubmit rejects at the stats-driven effective
+     * bound, which never exceeds this.
+     */
     std::size_t queueCapacity = 64;
     /**
      * Do not spawn workers yet; start() does. Lets tests (and staged
      * deployments) fill the bounded queue before draining begins.
      */
     bool startPaused = false;
-    /** Max same-config jobs executed on one pool lease. */
+    /** Max same-config tasks executed on one pool lease. */
     std::size_t leaseBatchLimit = 8;
     /**
      * Finished JobResults retained for poll/await. When exceeded the
      * oldest finished results age out and their ids report unknown.
      */
     std::size_t maxRetainedResults = 65536;
+    /**
+     * Aging: a waiting task gains one priority step per this many
+     * newer submissions (0 disables aging). Keeps low classes from
+     * starving under a continuous high-priority stream; large enough
+     * by default that a burst-submitted backlog does not immediately
+     * tie with fresh High work.
+     */
+    std::size_t agingQuantum = 64;
+    /** Enable machine-stats-driven admission for trySubmit. */
+    bool adaptiveAdmission = true;
+    /** Saturation EWMA above this tightens the effective bound. */
+    double saturationThreshold = 0.5;
+    /** Effective bound while congested, as a queueCapacity fraction
+     *  (floored at the worker count). */
+    double congestedQueueFraction = 0.25;
+    /** EWMA smoothing of the per-run saturation samples. */
+    double saturationAlpha = 0.25;
 };
 
 class JobScheduler
@@ -64,8 +103,18 @@ class JobScheduler
         std::size_t completed = 0;
         std::size_t failed = 0;
         std::size_t queueHighWater = 0;
-        /** Jobs that reused the previous job's lease (batching). */
+        /** Tasks that reused the previous task's lease (batching). */
         std::size_t batchedJobs = 0;
+        /** Jobs split into more than one shard. */
+        std::size_t shardedJobs = 0;
+        /** Shard tasks executed (incl. single-shard round jobs). */
+        std::size_t shardsExecuted = 0;
+        /** Runs whose machine reported queue saturation. */
+        std::size_t saturatedRuns = 0;
+        /** trySubmit rejections below the hard bound (admission). */
+        std::size_t admissionSoftRejects = 0;
+        /** Saturation EWMA at the time of the snapshot. */
+        double machineSaturation = 0.0;
     };
 
     JobScheduler(SchedulerConfig config, MachinePool &pool,
@@ -80,7 +129,7 @@ class JobScheduler
 
     /** Enqueue a job; blocks while the queue is full. */
     JobId submit(JobSpec spec);
-    /** Enqueue a job; nullopt when the queue is full. */
+    /** Enqueue a job; nullopt when the (effective) bound is hit. */
     std::optional<JobId> trySubmit(JobSpec spec);
 
     JobStatus status(JobId id) const;
@@ -93,19 +142,76 @@ class JobScheduler
 
     Stats stats() const;
 
+    /**
+     * Ids of finished jobs in completion order, oldest first (the
+     * bounded retention window). Diagnostics and tests: this is how
+     * priority-ordering behaviour is observed.
+     */
+    std::vector<JobId> finishedIds() const;
+
+    /**
+     * The task bound trySubmit currently admits against: the full
+     * queueCapacity while the pooled machines keep up, tightened to
+     * congestedQueueFraction of it (floored at the worker count)
+     * while their queue-saturation EWMA exceeds the threshold.
+     */
+    std::size_t effectiveQueueCapacity() const;
+
   private:
+    /** Partial result of one shard: everything the deterministic
+     *  merge needs, kept in round order. */
+    struct ShardPartial
+    {
+        RoundRange range;
+        /** Per-round per-bin collector sums, row-major. */
+        std::vector<double> roundSums;
+        std::vector<double> roundBitSums;
+        /** Per-bin sample counts, summed over the shard's rounds. */
+        std::vector<std::size_t> binCounts;
+        std::vector<std::size_t> bitBinCounts;
+        std::size_t samples = 0;
+        core::RunResult run;
+        std::string error;
+    };
+
     struct Entry
     {
-        JobSpec spec;
+        std::shared_ptr<const JobSpec> spec;
         std::string key;
         JobStatus jobStatus = JobStatus::Queued;
         JobResult result;
+        JobPriority priority = JobPriority::Normal;
+        /** Submission sequence number (aging reference point). */
+        std::size_t seq = 0;
+        /** Round ranges per shard; empty for opaque jobs. */
+        std::vector<RoundRange> shardRanges;
+        std::vector<ShardPartial> partials;
+        std::size_t shardsRemaining = 0;
+    };
+
+    /** One queued unit of work: a whole opaque job or one shard. */
+    struct Task
+    {
+        JobId id = 0;
+        std::uint32_t shard = 0;
     };
 
     void workerLoop();
-    JobResult runJob(const JobSpec &spec, core::QumaMachine &machine);
+    JobResult runJob(const JobSpec &spec, core::QumaMachine &machine,
+                     bool &saturated);
+    ShardPartial runShard(const JobSpec &spec,
+                          core::QumaMachine &machine, RoundRange range,
+                          bool &saturated);
     JobId enqueueLocked(JobSpec &&spec);
     void finishLocked(JobId id, JobResult &&result);
+    void deliverShardLocked(JobId id, std::uint32_t shard,
+                            ShardPartial &&partial);
+    void mergeShardsLocked(JobId id);
+    /** Index of the highest-effective-priority queued task. */
+    std::size_t pickBestLocked() const;
+    long effectivePriorityLocked(const Entry &entry) const;
+    void noteSaturationLocked(bool saturated);
+    std::size_t effectiveCapacityLocked() const;
 
     const SchedulerConfig cfg;
     MachinePool &pool;
@@ -115,7 +221,7 @@ class JobScheduler
     std::condition_variable cvWork;
     std::condition_variable cvSpace;
     std::condition_variable cvDone;
-    std::deque<JobId> queue;
+    std::deque<Task> queue;
     std::unordered_map<JobId, Entry> entries;
     /** Finished ids, oldest first (bounded result retention). */
     std::deque<JobId> finishedOrder;
@@ -124,6 +230,8 @@ class JobScheduler
     bool stop = false;
     bool started = false;
     Stats counters;
+    /** EWMA of machine queue saturation over recent runs. */
+    double saturationEwma = 0.0;
     std::vector<std::thread> workers;
 };
 

@@ -13,6 +13,11 @@ schedulerConfigOf(const ServiceConfig &cfg)
     sc.startPaused = cfg.startPaused;
     sc.leaseBatchLimit = cfg.leaseBatchLimit;
     sc.maxRetainedResults = cfg.maxRetainedResults;
+    sc.agingQuantum = cfg.agingQuantum;
+    sc.adaptiveAdmission = cfg.adaptiveAdmission;
+    sc.saturationThreshold = cfg.saturationThreshold;
+    sc.congestedQueueFraction = cfg.congestedQueueFraction;
+    sc.saturationAlpha = cfg.saturationAlpha;
     return sc;
 }
 

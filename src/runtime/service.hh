@@ -35,6 +35,15 @@ struct ServiceConfig
     bool startPaused = false;
     std::size_t leaseBatchLimit = 8;
     std::size_t maxRetainedResults = 65536;
+    /** Priority aging: one class step per this many newer
+     *  submissions (0 = pure class order, no aging). */
+    std::size_t agingQuantum = 64;
+    /** Machine-stats-driven admission control for trySubmit (see
+     *  SchedulerConfig for the saturation knobs). */
+    bool adaptiveAdmission = true;
+    double saturationThreshold = 0.5;
+    double congestedQueueFraction = 0.25;
+    double saturationAlpha = 0.25;
 };
 
 class ExperimentService

@@ -77,6 +77,56 @@ TEST(MachineExtra, BackpressureThrottlesWithoutViolations)
     EXPECT_GT(m.execController().stats().dispatchRetries, 0u);
 }
 
+/**
+ * Regression guard for the machine pool: reset() must clear the
+ * timing event-queue saturation counters (pushFailed, high-water)
+ * along with the exec/pipeline counters, or a pooled machine would
+ * leak one job's backpressure statistics into the next job's
+ * stats() -- and into any scheduler admission policy reading them.
+ */
+TEST(MachineExtra, ResetClearsQueueSaturationCounters)
+{
+    MachineConfig cfg;
+    cfg.timing.timingQueueCapacity = 2;
+    cfg.timing.pulseQueueCapacity = 2;
+    QumaMachine m(cfg);
+    std::string src = "mov r15, 40000\nQNopReg r15\n";
+    for (int i = 0; i < 30; ++i)
+        src += "Pulse {q0}, X90\nWait 100\n";
+    src += "Wait 600\nhalt";
+    m.loadAssembly(src);
+    ASSERT_TRUE(m.run(10'000'000).halted);
+
+    MachineStats before = m.stats();
+    ASSERT_GT(before.queues.totalPushFailed(), 0u);
+    ASSERT_GT(before.queues.timing.highWater, 0u);
+    ASSERT_GT(before.microInstsIssued, 0u);
+
+    m.reset();
+    MachineStats after = m.stats();
+    EXPECT_EQ(after.queues.totalPushFailed(), 0u);
+    EXPECT_EQ(after.queues.timing.highWater, 0u);
+    EXPECT_EQ(after.queues.mpg.pushFailed, 0u);
+    for (const auto &q : after.queues.pulse) {
+        EXPECT_EQ(q.pushFailed, 0u);
+        EXPECT_EQ(q.highWater, 0u);
+    }
+    for (const auto &q : after.queues.md) {
+        EXPECT_EQ(q.pushFailed, 0u);
+        EXPECT_EQ(q.highWater, 0u);
+    }
+    EXPECT_EQ(after.exec.classicalExecuted, 0u);
+    EXPECT_EQ(after.exec.dispatchRetries, 0u);
+    EXPECT_EQ(after.microInstsIssued, 0u);
+
+    // And the seeded reset used by the runtime clears them too.
+    m.loadAssembly(src);
+    ASSERT_TRUE(m.run(10'000'000).halted);
+    m.reset(0x1234, 0x5678);
+    EXPECT_EQ(m.stats().queues.totalPushFailed(), 0u);
+    EXPECT_EQ(m.stats().queues.timing.highWater, 0u);
+}
+
 TEST(MachineExtra, HorizontalPulseRoutesAcrossAwgs)
 {
     MachineConfig cfg;

@@ -8,6 +8,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "common/logging.hh"
 #include "experiments/allxy.hh"
 #include "experiments/coherence.hh"
@@ -267,6 +269,197 @@ TEST(Scheduler, DeterministicAcrossWorkerCounts)
     }
 }
 
+TEST(Sharding, PartitionRoundsIsBalancedAndClamped)
+{
+    // Balanced: sizes differ by at most one and cover [0, N).
+    auto p = partitionRounds(10, 3, 1);
+    ASSERT_EQ(p.size(), 3u);
+    EXPECT_EQ(p[0].begin, 0u);
+    EXPECT_EQ(p[0].end, 4u);
+    EXPECT_EQ(p[1].end, 7u);
+    EXPECT_EQ(p[2].end, 10u);
+
+    // minRoundsPerShard clamps the width.
+    EXPECT_EQ(partitionRounds(16, 8, 8).size(), 2u);
+    EXPECT_EQ(partitionRounds(15, 8, 8).size(), 1u);
+    // Never more shards than rounds; 0 shards means one.
+    EXPECT_EQ(partitionRounds(3, 8, 1).size(), 3u);
+    EXPECT_EQ(partitionRounds(8, 0, 1).size(), 1u);
+    EXPECT_TRUE(partitionRounds(0, 4, 1).empty());
+}
+
+/**
+ * The tentpole invariant: a round-structured job merges to the SAME
+ * JobResult -- bit for bit -- no matter how its rounds are split
+ * across machines or how many workers drain the shards. Each round
+ * derives its RNG streams from (seed, round index) and the merge
+ * re-sums per-round collector sums in global round order.
+ */
+TEST(Sharding, ShardMergeIsBitIdenticalAcrossSplitsAndWorkers)
+{
+    auto run = [](std::size_t shards, unsigned workers) {
+        ExperimentService svc({.workers = workers});
+        JobSpec job = shotJob(1, 0xdead); // one-round body
+        job.rounds = 32;
+        job.shards = shards;
+        job.minRoundsPerShard = 8;
+        return svc.runSync(std::move(job));
+    };
+
+    JobResult oneWay = run(1, 1);
+    ASSERT_FALSE(oneWay.failed());
+    EXPECT_TRUE(oneWay.run.halted);
+    EXPECT_EQ(oneWay.sampleCount, 32u);
+
+    EXPECT_EQ(oneWay, run(2, 1));
+    EXPECT_EQ(oneWay, run(2, 4));
+    EXPECT_EQ(oneWay, run(4, 2));
+    EXPECT_EQ(oneWay, run(4, 4));
+}
+
+TEST(Sharding, ShardsRunInParallelAndCountersTrackThem)
+{
+    ExperimentService svc({.workers = 4});
+    JobSpec job = shotJob(1, 0x7e57);
+    job.rounds = 32;
+    job.shards = 4;
+    job.minRoundsPerShard = 8;
+    JobResult r = svc.runSync(std::move(job));
+    ASSERT_FALSE(r.failed());
+    auto s = svc.scheduler().stats();
+    EXPECT_EQ(s.shardedJobs, 1u);
+    EXPECT_EQ(s.shardsExecuted, 4u);
+    EXPECT_EQ(s.completed, 1u); // shards are tasks, not jobs
+}
+
+TEST(Sharding, ShardFailureFailsTheWholeJob)
+{
+    setLogQuiet(true);
+    ExperimentService svc({.workers = 2});
+    JobSpec job = shotJob(1, 0x1);
+    job.assembly = "ThisIsNotAnInstruction r1, r2";
+    job.rounds = 16;
+    job.shards = 2;
+    job.minRoundsPerShard = 8;
+    JobResult r = svc.runSync(std::move(job));
+    EXPECT_TRUE(r.failed());
+    EXPECT_NE(r.error.find("shard"), std::string::npos);
+    setLogQuiet(false);
+}
+
+TEST(Priority, HighClassOvertakesABacklog)
+{
+    // Paused single-worker service, aging off: drain order must be
+    // exactly class order, FIFO within a class.
+    ExperimentService svc({.workers = 1,
+                           .startPaused = true,
+                           .agingQuantum = 0});
+    std::vector<JobId> normals;
+    for (unsigned i = 0; i < 4; ++i)
+        normals.push_back(svc.submit(shotJob(2, i)));
+    JobSpec high = shotJob(2, 0x42);
+    high.priority = JobPriority::High;
+    JobSpec high2 = shotJob(2, 0x43);
+    high2.priority = JobPriority::High;
+    JobId h1 = svc.submit(std::move(high));
+    JobId h2 = svc.submit(std::move(high2));
+
+    svc.start();
+    svc.drain();
+    std::vector<JobId> order = svc.scheduler().finishedIds();
+    std::vector<JobId> expected{h1, h2, normals[0], normals[1],
+                                normals[2], normals[3]};
+    EXPECT_EQ(order, expected);
+}
+
+TEST(Priority, AgingKeepsTheBacklogFromStarving)
+{
+    // One Batch job followed by a stream of 8 High jobs, aging one
+    // class step per 2 newer submissions. By drain time the Batch
+    // job has aged past the YOUNGEST High jobs (0 + 9/2 = 4 vs
+    // 2 + 1/2 = 2) while the oldest High jobs still lead -- it is
+    // overtaken, but not starved to the back of the line.
+    ExperimentService svc({.workers = 1,
+                           .startPaused = true,
+                           .agingQuantum = 2});
+    JobSpec batch = shotJob(2, 0xb);
+    batch.priority = JobPriority::Batch;
+    JobId b = svc.submit(std::move(batch));
+    std::vector<JobId> highs;
+    for (unsigned i = 0; i < 8; ++i) {
+        JobSpec h = shotJob(2, 0x100 + i);
+        h.priority = JobPriority::High;
+        highs.push_back(svc.submit(std::move(h)));
+    }
+    svc.start();
+    svc.drain();
+    std::vector<JobId> order = svc.scheduler().finishedIds();
+    ASSERT_EQ(order.size(), 9u);
+    auto pos = std::find(order.begin(), order.end(), b) - order.begin();
+    EXPECT_GT(pos, 0);                       // overtaken by High work
+    EXPECT_LT(pos, static_cast<long>(order.size() - 1)); // not starved
+}
+
+/** A shotJob whose machine under-provisions the timing event queues:
+ *  the pipeline hits push backpressure, which stats() reports. */
+JobSpec
+saturatingJob(unsigned rounds, std::uint64_t seed)
+{
+    JobSpec job = shotJob(rounds, seed);
+    job.machine.timing.timingQueueCapacity = 4;
+    job.machine.timing.pulseQueueCapacity = 4;
+    return job;
+}
+
+TEST(Admission, MachineSaturationTightensAndRecovers)
+{
+    // alpha = 1: the EWMA follows the last run exactly, so the test
+    // is deterministic.
+    ExperimentService svc({.workers = 1,
+                           .queueCapacity = 16,
+                           .saturationAlpha = 1.0});
+    EXPECT_EQ(svc.scheduler().effectiveQueueCapacity(), 16u);
+
+    ASSERT_FALSE(svc.runSync(saturatingJob(8, 0x5a)).failed());
+    auto s = svc.scheduler().stats();
+    EXPECT_GE(s.saturatedRuns, 1u);
+    EXPECT_GT(s.machineSaturation, 0.5);
+    // Congested: a quarter of the hard bound (floored at workers).
+    EXPECT_EQ(svc.scheduler().effectiveQueueCapacity(), 4u);
+
+    // A clean run (default queue depths) recovers full admission.
+    ASSERT_FALSE(svc.runSync(shotJob(8, 0x5b)).failed());
+    EXPECT_EQ(svc.scheduler().stats().machineSaturation, 0.0);
+    EXPECT_EQ(svc.scheduler().effectiveQueueCapacity(), 16u);
+}
+
+TEST(Admission, TrySubmitShedsLoadWhileSaturated)
+{
+    ExperimentService svc({.workers = 1,
+                           .queueCapacity = 32,
+                           .saturationAlpha = 1.0});
+    ASSERT_FALSE(svc.runSync(saturatingJob(8, 0x6a)).failed());
+    ASSERT_EQ(svc.scheduler().effectiveQueueCapacity(), 8u);
+
+    // Flood: the effective bound (8) rejects well below the hard
+    // bound (32). The worker can drain at most a couple of jobs
+    // while this loop runs, so rejections are guaranteed.
+    std::vector<JobId> accepted;
+    unsigned rejected = 0;
+    for (unsigned i = 0; i < 32; ++i) {
+        auto id = svc.trySubmit(saturatingJob(8, 0x700 + i));
+        if (id)
+            accepted.push_back(*id);
+        else
+            ++rejected;
+    }
+    EXPECT_GT(rejected, 0u);
+    EXPECT_GE(svc.scheduler().stats().admissionSoftRejects, 1u);
+    svc.drain();
+    for (JobId id : accepted)
+        EXPECT_FALSE(svc.await(id).failed());
+}
+
 TEST(ServiceExperiments, AllxyThroughServiceIsDeterministic)
 {
     experiments::AllxyConfig cfg;
@@ -282,6 +475,32 @@ TEST(ServiceExperiments, AllxyThroughServiceIsDeterministic)
     ASSERT_EQ(viaOne.rawS.size(), 42u);
     EXPECT_EQ(viaOne.rawS, viaFour.rawS);
     EXPECT_EQ(viaOne.fidelity, viaFour.fidelity);
+}
+
+TEST(ServiceExperiments, LargeAllxySweepShardsBitIdentically)
+{
+    // rounds >= kShardableRounds: the job ships a one-round body and
+    // the runtime drives the averaging. Auto sharding picks 1 shard
+    // on 1 worker and 4 shards on 4 workers -- the results must
+    // still match bit for bit.
+    experiments::AllxyConfig cfg;
+    cfg.rounds = 32;
+    auto viaOne = [&] {
+        ExperimentService svc({.workers = 1});
+        return experiments::runAllxy(cfg, svc);
+    }();
+    auto viaFour = [&] {
+        ExperimentService svc({.workers = 4});
+        auto out = experiments::runAllxy(cfg, svc);
+        EXPECT_EQ(svc.scheduler().stats().shardedJobs, 1u);
+        EXPECT_EQ(svc.scheduler().stats().shardsExecuted, 4u);
+        return out;
+    }();
+    ASSERT_EQ(viaOne.rawS.size(), 42u);
+    EXPECT_EQ(viaOne.rawS, viaFour.rawS);
+    EXPECT_EQ(viaOne.fidelity, viaFour.fidelity);
+    // The staircase physics survives the per-round RNG restructure.
+    EXPECT_LT(viaOne.deviation, 0.2);
 }
 
 TEST(ServiceExperiments, CoherenceSweepPointsRunAsParallelJobs)
