@@ -1,0 +1,198 @@
+/**
+ * @file
+ * Throughput and latency of the network serving layer: a
+ * QumaServer over a real TCP loopback socket, driven by an
+ * increasing number of concurrent client connections.
+ *
+ * A fixed batch of opaque AllXY jobs is split evenly across C
+ * connections (one QumaClient per thread); the bench reports
+ * end-to-end jobs/sec, the mean submit round-trip latency, and the
+ * per-job wire traffic, for C = 1, 2, 4, ... -- plus a determinism
+ * check: the per-seed results must be bit-identical no matter how
+ * many connections carried them (and identical to an in-process
+ * run of the same specs).
+ *
+ * Tunables (environment): QUMA_BENCH_NET_JOBS (batch size, default
+ * 48), QUMA_BENCH_NET_ROUNDS (averaged shots per job, default 8),
+ * QUMA_BENCH_NET_MAX_CONNS (default 4), QUMA_BENCH_NET_WORKERS
+ * (service workers, default 4).
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <map>
+#include <thread>
+#include <vector>
+
+#include "bench/report.hh"
+#include "experiments/allxy.hh"
+#include "net/client.hh"
+#include "net/server.hh"
+#include "runtime/service.hh"
+
+using namespace quma;
+
+namespace {
+
+double
+secondsSince(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+/** The same job mix the runtime bench uses, keyed by seed. */
+std::vector<runtime::JobSpec>
+makeBatch(std::size_t jobs, std::size_t rounds)
+{
+    std::vector<runtime::JobSpec> batch;
+    for (std::size_t i = 0; i < jobs; ++i) {
+        experiments::AllxyConfig cfg;
+        cfg.rounds = rounds;
+        cfg.shards = 1;
+        cfg.amplitudeError = 0.02 * static_cast<double>(i % 3);
+        cfg.seed = 0xbe9c + i;
+        batch.push_back(experiments::allxyJob(cfg));
+    }
+    return batch;
+}
+
+struct ConnOutcome
+{
+    double seconds = 0.0;
+    double meanSubmitRttMs = 0.0;
+    std::size_t wireBytes = 0;
+    /** seed -> result, for the cross-width determinism check. */
+    std::map<std::uint64_t, runtime::JobResult> bySeed;
+};
+
+/** Run the batch through `conns` concurrent TCP connections. */
+ConnOutcome
+runWithConnections(const std::vector<runtime::JobSpec> &batch,
+                   std::uint16_t port, unsigned conns)
+{
+    std::vector<std::thread> drivers;
+    std::vector<ConnOutcome> partial(conns);
+    auto start = std::chrono::steady_clock::now();
+    for (unsigned c = 0; c < conns; ++c)
+        drivers.emplace_back([&, c] {
+            net::QumaClient client("127.0.0.1", port);
+            std::vector<runtime::JobId> ids;
+            std::vector<std::uint64_t> seeds;
+            double submitSeconds = 0.0;
+            // Connection c takes jobs c, c+conns, c+2*conns, ...
+            for (std::size_t j = c; j < batch.size(); j += conns) {
+                auto t0 = std::chrono::steady_clock::now();
+                ids.push_back(client.submit(batch[j]));
+                submitSeconds += secondsSince(t0);
+                seeds.push_back(batch[j].seed);
+            }
+            std::vector<runtime::JobResult> results =
+                client.awaitAll(ids);
+            ConnOutcome &mine = partial[c];
+            for (std::size_t k = 0; k < results.size(); ++k)
+                mine.bySeed.emplace(seeds[k], std::move(results[k]));
+            if (!ids.empty())
+                mine.meanSubmitRttMs =
+                    1e3 * submitSeconds /
+                    static_cast<double>(ids.size());
+            core::LinkStats link = client.linkStats();
+            mine.wireBytes = link.bytesUp + link.bytesDown;
+        });
+    for (auto &d : drivers)
+        d.join();
+
+    ConnOutcome out;
+    out.seconds = secondsSince(start);
+    double rttSum = 0.0;
+    for (const ConnOutcome &p : partial) {
+        out.bySeed.insert(p.bySeed.begin(), p.bySeed.end());
+        out.wireBytes += p.wireBytes;
+        rttSum += p.meanSubmitRttMs;
+    }
+    out.meanSubmitRttMs = rttSum / static_cast<double>(conns);
+    return out;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::size_t jobs = bench::envSize("QUMA_BENCH_NET_JOBS", 48);
+    std::size_t rounds = bench::envSize("QUMA_BENCH_NET_ROUNDS", 8);
+    std::size_t maxConns = bench::envSize("QUMA_BENCH_NET_MAX_CONNS", 4);
+    std::size_t workers = bench::envSize("QUMA_BENCH_NET_WORKERS", 4);
+    std::string jsonPath = bench::argValue(argc, argv, "--json");
+    bench::JsonReport json("net_throughput");
+    json.metric("jobs", static_cast<double>(jobs));
+    json.metric("rounds", static_cast<double>(rounds));
+    json.metric("workers", static_cast<double>(workers));
+
+    bench::banner("network serving: jobs/sec vs client connections");
+    std::printf("batch: %zu AllXY jobs x %zu rounds over TCP "
+                "loopback, %zu service workers\n",
+                jobs, rounds, workers);
+
+    runtime::ServiceConfig sc;
+    sc.workers = static_cast<unsigned>(workers);
+    sc.queueCapacity = jobs + 2;
+    runtime::ExperimentService service(sc);
+    auto listener = std::make_unique<net::TcpListener>(0);
+    std::uint16_t port = listener->port();
+    net::QumaServer server(service, std::move(listener));
+
+    std::vector<runtime::JobSpec> batch = makeBatch(jobs, rounds);
+
+    // In-process reference: remote results must match it bit for bit.
+    std::map<std::uint64_t, runtime::JobResult> reference;
+    {
+        runtime::ExperimentService local(
+            {.workers = static_cast<unsigned>(workers),
+             .queueCapacity = jobs + 2});
+        std::vector<runtime::JobId> ids;
+        for (const auto &spec : batch)
+            ids.push_back(local.submit(spec));
+        std::vector<runtime::JobResult> results = local.awaitAll(ids);
+        for (std::size_t i = 0; i < batch.size(); ++i)
+            reference.emplace(batch[i].seed, std::move(results[i]));
+    }
+
+    std::printf("%-13s %-12s %-12s %-16s %-14s\n", "connections",
+                "seconds", "jobs/sec", "submit RTT (ms)",
+                "wire B/job");
+    bench::rule();
+    for (std::size_t conns = 1; conns <= maxConns; conns *= 2) {
+        ConnOutcome out = runWithConnections(
+            batch, port, static_cast<unsigned>(conns));
+        double rate = static_cast<double>(jobs) / out.seconds;
+        double bytesPerJob = static_cast<double>(out.wireBytes) /
+                             static_cast<double>(jobs);
+        std::printf("%-13zu %-12.3f %-12.1f %-16.3f %-14.0f\n",
+                    conns, out.seconds, rate, out.meanSubmitRttMs,
+                    bytesPerJob);
+        json.metric("net_jobs_per_sec_" + std::to_string(conns) + "c",
+                    rate, "jobs/s");
+        json.metric("net_submit_rtt_ms_" + std::to_string(conns) + "c",
+                    out.meanSubmitRttMs, "ms");
+        json.metric("net_wire_bytes_per_job_" + std::to_string(conns) +
+                        "c",
+                    bytesPerJob, "B");
+        if (out.bySeed != reference) {
+            std::printf("REMOTE-VS-LOCAL DETERMINISM VIOLATION at "
+                        "%zu connections\n",
+                        conns);
+            return 1;
+        }
+    }
+    bench::rule();
+    std::printf(
+        "every connection count returned the bit-identical per-seed\n"
+        "results the in-process service computes: the wire protocol\n"
+        "adds transport, not physics. Request latency is dominated\n"
+        "by queue depth ahead of the job, not by the frame codec.\n");
+
+    json.writeTo(jsonPath);
+    return 0;
+}

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * quma_serve: the experiment runtime behind a TCP socket.
+ *
+ * Starts a shared runtime::ExperimentService and a net::QumaServer
+ * speaking the QuMA wire protocol (src/net/README.md), then serves
+ * until stdin closes (Ctrl-D, or the end of a piped script). Remote
+ * clients -- net::QumaClient, or anything speaking the frame format
+ * -- submit jobs, poll, await, and read scheduler/pool stats; each
+ * connection is served by its own thread against the one shared
+ * machine pool.
+ *
+ *   $ ./example_quma_serve [--port N] [--workers N] [--queue N] [--public]
+ *
+ * Default is an ephemeral port on 127.0.0.1 (printed on startup);
+ * --public binds all interfaces instead. On shutdown the serving
+ * stats -- connections, requests, wire traffic in §7.1 host-link
+ * terms -- are printed.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "net/server.hh"
+#include "net/transport.hh"
+#include "runtime/service.hh"
+
+namespace {
+
+unsigned long
+argNum(int argc, char **argv, const char *flag, unsigned long fallback)
+{
+    for (int i = 1; i + 1 < argc; ++i)
+        if (std::strcmp(argv[i], flag) == 0)
+            return std::strtoul(argv[i + 1], nullptr, 10);
+    return fallback;
+}
+
+bool
+argFlag(int argc, char **argv, const char *flag)
+{
+    for (int i = 1; i < argc; ++i)
+        if (std::strcmp(argv[i], flag) == 0)
+            return true;
+    return false;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace quma;
+
+    auto port = static_cast<std::uint16_t>(argNum(argc, argv, "--port", 0));
+    auto workers = static_cast<unsigned>(argNum(argc, argv, "--workers", 4));
+    auto queue = static_cast<std::size_t>(argNum(argc, argv, "--queue", 256));
+    bool open = argFlag(argc, argv, "--public");
+
+    runtime::ServiceConfig sc;
+    sc.workers = workers;
+    sc.queueCapacity = queue;
+    runtime::ExperimentService service(sc);
+
+    auto listener = std::make_unique<net::TcpListener>(port, !open);
+    std::uint16_t bound = listener->port();
+    net::QumaServer server(service, std::move(listener));
+
+    std::printf("quma_serve: listening on %s:%u (%u workers, "
+                "queue %zu)\n",
+                open ? "0.0.0.0" : "127.0.0.1", bound, workers, queue);
+    std::printf("serving until stdin closes...\n");
+    std::fflush(stdout);
+
+    // Park until the operator hangs up; the accept and connection
+    // threads do all the work.
+    while (std::fgetc(stdin) != EOF) {
+    }
+
+    server.stop();
+    net::QumaServer::Stats s = server.stats();
+    auto sched = service.scheduler().stats();
+    std::printf("connections: %zu  requests: %zu  errors: %zu\n",
+                s.connectionsAccepted, s.requestsServed,
+                s.errorsReturned);
+    std::printf("jobs: %zu completed, %zu failed, %zu cancelled "
+                "(%zu on disconnect)\n",
+                sched.completed, sched.failed, sched.cancelled,
+                s.jobsCancelledOnDisconnect);
+    std::printf("wire traffic: %zu bytes up / %zu bytes down "
+                "(%.3f ms / %.3f ms at the modeled link rate)\n",
+                s.link.bytesUp, s.link.bytesDown,
+                s.link.secondsUp * 1e3, s.link.secondsDown * 1e3);
+    return 0;
+}

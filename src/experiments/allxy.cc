@@ -171,9 +171,9 @@ allxyJob(const AllxyConfig &config)
 
 AllxyResult
 runAllxy(const AllxyConfig &config,
-         runtime::ExperimentService &service)
+         runtime::IExperimentBackend &backend)
 {
-    runtime::JobResult r = service.runSync(allxyJob(config));
+    runtime::JobResult r = backend.runSync(allxyJob(config));
     if (r.failed())
         fatal("AllXY job failed: ", r.error);
     return finishAllxy(std::move(r.averages), r.run);

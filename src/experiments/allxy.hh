@@ -22,7 +22,7 @@
 
 #include "compiler/codegen.hh"
 #include "quma/machine.hh"
-#include "runtime/service.hh"
+#include "runtime/backend.hh"
 
 namespace quma::experiments {
 
@@ -101,15 +101,16 @@ core::MachineConfig allxyMachineConfig(const AllxyConfig &config);
 AllxyResult runAllxy(const AllxyConfig &config);
 
 /**
- * Run AllXY as a runtime job: the program is compiled through the
- * service's cache and executed on a pooled machine. Results are
+ * Run AllXY as a runtime job on any experiment backend -- the local
+ * ExperimentService or a remote QumaClient. Results are
  * deterministic in config.seed (the job derives its RNG streams from
- * it), independent of worker count or pool state.
+ * it), independent of worker count, pool state, or which side of a
+ * wire the runtime sits on.
  */
 AllxyResult runAllxy(const AllxyConfig &config,
-                     runtime::ExperimentService &service);
+                     runtime::IExperimentBackend &backend);
 
-/** The JobSpec runAllxy(config, service) submits (one AllXY run). */
+/** The JobSpec runAllxy(config, backend) submits (one AllXY run). */
 runtime::JobSpec allxyJob(const AllxyConfig &config);
 
 /**

@@ -166,7 +166,7 @@ runSweep(const CoherenceConfig &config, Sequence seq,
  */
 SweepOutput
 runSweepJobs(const CoherenceConfig &config, Sequence seq, unsigned n_pi,
-             runtime::ExperimentService &service)
+             runtime::IExperimentBackend &backend)
 {
     if (config.delaysCycles.empty())
         fatal("coherence sweep needs at least one delay");
@@ -205,11 +205,11 @@ runSweepJobs(const CoherenceConfig &config, Sequence seq, unsigned n_pi,
             job.rounds = config.rounds;
             job.shards = config.shards;
         }
-        ids.push_back(service.submit(std::move(job)));
+        ids.push_back(backend.submit(std::move(job)));
     }
 
     SweepOutput out;
-    std::vector<runtime::JobResult> results = service.awaitAll(ids);
+    std::vector<runtime::JobResult> results = backend.awaitAll(ids);
     for (std::size_t i = 0; i < results.size(); ++i) {
         const runtime::JobResult &r = results[i];
         if (r.failed())
@@ -298,19 +298,19 @@ decayFromSweep(SweepOutput s)
 
 DecayResult
 runT1(const CoherenceConfig &config,
-      runtime::ExperimentService &service)
+      runtime::IExperimentBackend &backend)
 {
     return decayFromSweep(
-        runSweepJobs(config, Sequence::T1, 1, service));
+        runSweepJobs(config, Sequence::T1, 1, backend));
 }
 
 RamseyResult
 runRamsey(const CoherenceConfig &config,
-          runtime::ExperimentService &service)
+          runtime::IExperimentBackend &backend)
 {
     if (config.artificialDetuningHz <= 0)
         fatal("Ramsey needs a positive artificial detuning");
-    SweepOutput s = runSweepJobs(config, Sequence::Ramsey, 1, service);
+    SweepOutput s = runSweepJobs(config, Sequence::Ramsey, 1, backend);
     RamseyResult r;
     r.delaysNs = std::move(s.delaysNs);
     r.population = std::move(s.population);
@@ -322,20 +322,20 @@ runRamsey(const CoherenceConfig &config,
 
 DecayResult
 runEcho(const CoherenceConfig &config,
-        runtime::ExperimentService &service)
+        runtime::IExperimentBackend &backend)
 {
     return decayFromSweep(
-        runSweepJobs(config, Sequence::Echo, 1, service));
+        runSweepJobs(config, Sequence::Echo, 1, backend));
 }
 
 DecayResult
 runCpmg(const CoherenceConfig &config, unsigned n_pi,
-        runtime::ExperimentService &service)
+        runtime::IExperimentBackend &backend)
 {
     if (n_pi == 0)
         fatal("CPMG needs at least one refocusing pulse");
     return decayFromSweep(
-        runSweepJobs(config, Sequence::Cpmg, n_pi, service));
+        runSweepJobs(config, Sequence::Cpmg, n_pi, backend));
 }
 
 } // namespace quma::experiments

@@ -14,7 +14,7 @@
 #include "common/stats.hh"
 #include "compiler/codegen.hh"
 #include "quma/machine.hh"
-#include "runtime/service.hh"
+#include "runtime/backend.hh"
 
 namespace quma::experiments {
 
@@ -93,13 +93,13 @@ DecayResult runCpmg(const CoherenceConfig &config, unsigned n_pi);
  * (one machine, one stream) while the physics and fits agree.
  */
 DecayResult runT1(const CoherenceConfig &config,
-                  runtime::ExperimentService &service);
+                  runtime::IExperimentBackend &backend);
 RamseyResult runRamsey(const CoherenceConfig &config,
-                       runtime::ExperimentService &service);
+                       runtime::IExperimentBackend &backend);
 DecayResult runEcho(const CoherenceConfig &config,
-                    runtime::ExperimentService &service);
+                    runtime::IExperimentBackend &backend);
 DecayResult runCpmg(const CoherenceConfig &config, unsigned n_pi,
-                    runtime::ExperimentService &service);
+                    runtime::IExperimentBackend &backend);
 
 } // namespace quma::experiments
 

@@ -106,7 +106,7 @@ runRb(const RbConfig &config)
 }
 
 RbResult
-runRb(const RbConfig &config, runtime::ExperimentService &service)
+runRb(const RbConfig &config, runtime::IExperimentBackend &backend)
 {
     if (config.lengths.empty())
         fatal("RB needs at least one sequence length");
@@ -159,12 +159,12 @@ runRb(const RbConfig &config, runtime::ExperimentService &service)
             job.rounds = config.rounds;
             job.shards = config.shards;
         }
-        ids.push_back(service.submit(std::move(job)));
+        ids.push_back(backend.submit(std::move(job)));
     }
 
     RbResult result;
     std::vector<double> x;
-    std::vector<runtime::JobResult> results = service.awaitAll(ids);
+    std::vector<runtime::JobResult> results = backend.awaitAll(ids);
     for (std::size_t li = 0; li < results.size(); ++li) {
         const runtime::JobResult &r = results[li];
         if (r.failed())

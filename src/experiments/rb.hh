@@ -20,7 +20,7 @@
 #include "experiments/clifford.hh"
 #include "compiler/codegen.hh"
 #include "quma/machine.hh"
-#include "runtime/service.hh"
+#include "runtime/backend.hh"
 
 namespace quma::experiments {
 
@@ -73,7 +73,7 @@ RbResult runRb(const RbConfig &config);
  * which consumes one RNG across all lengths.
  */
 RbResult runRb(const RbConfig &config,
-               runtime::ExperimentService &service);
+               runtime::IExperimentBackend &backend);
 
 /**
  * Draw one random sequence of `length` Cliffords plus its recovery,

@@ -1,0 +1,180 @@
+#include "net/client.hh"
+
+#include "common/logging.hh"
+
+namespace quma::net {
+
+QumaClient::QumaClient(std::unique_ptr<ByteStream> stream_,
+                       double link_bytes_per_second)
+    : stream(std::move(stream_)), meter(link_bytes_per_second)
+{
+    if (!stream)
+        fatal("QumaClient needs a connected stream");
+}
+
+QumaClient::QumaClient(const std::string &host, std::uint16_t port)
+    : QumaClient(tcpConnect(host, port))
+{
+}
+
+QumaClient::~QumaClient()
+{
+    disconnect();
+}
+
+void
+QumaClient::disconnect()
+{
+    // Deliberately NOT under mu: a roundTrip blocked in recv holds
+    // the mutex, and this close() is exactly what unblocks it.
+    // ByteStream::close is thread-safe and idempotent, and the
+    // stream pointer itself is never reseated after construction.
+    stream->close();
+}
+
+core::LinkStats
+QumaClient::linkStats() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    return meter.stats();
+}
+
+std::vector<std::uint8_t>
+QumaClient::roundTrip(MsgType request, const Writer &payload,
+                      MsgType expected_reply) const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    std::vector<std::uint8_t> frame = sealFrame(request, payload);
+    stream->sendAll(frame.data(), frame.size());
+    meter.record(frame.size(), true);
+
+    std::uint8_t header[kFrameHeaderBytes];
+    if (!stream->recvAll(header, sizeof(header)))
+        throw WireError("server hung up before replying");
+    FrameHeader fh = decodeFrameHeader(header);
+    std::vector<std::uint8_t> body(fh.length);
+    if (fh.length > 0 && !stream->recvAll(body.data(), body.size()))
+        throw WireError("connection closed mid-frame");
+    meter.record(sizeof(header) + body.size(), false);
+
+    if (fh.type == MsgType::ErrorReply) {
+        Reader r(body);
+        ErrorFrame e = decodeErrorFrame(r);
+        r.expectEnd();
+        // Unknown ids mirror the local scheduler's fatal(); every
+        // other server-side failure is a wire-level error.
+        if (e.code == WireErrorCode::UnknownJob)
+            fatal("remote: ", e.message);
+        throw WireError("server error " +
+                        std::to_string(
+                            static_cast<std::uint16_t>(e.code)) +
+                        ": " + e.message);
+    }
+    if (fh.type != expected_reply)
+        throw WireError("unexpected reply type " +
+                        std::to_string(
+                            static_cast<std::uint16_t>(fh.type)));
+    return body;
+}
+
+runtime::JobId
+QumaClient::submit(runtime::JobSpec spec)
+{
+    Writer w;
+    encodeJobSpec(w, spec);
+    std::vector<std::uint8_t> body =
+        roundTrip(MsgType::SubmitRequest, w, MsgType::SubmitReply);
+    Reader r(body);
+    runtime::JobId id = r.u64();
+    r.expectEnd();
+    return id;
+}
+
+std::optional<runtime::JobId>
+QumaClient::trySubmit(runtime::JobSpec spec)
+{
+    Writer w;
+    encodeJobSpec(w, spec);
+    std::vector<std::uint8_t> body = roundTrip(
+        MsgType::TrySubmitRequest, w, MsgType::TrySubmitReply);
+    Reader r(body);
+    bool accepted = r.boolean();
+    runtime::JobId id = r.u64();
+    r.expectEnd();
+    if (!accepted)
+        return std::nullopt;
+    return id;
+}
+
+runtime::JobStatus
+QumaClient::status(runtime::JobId id) const
+{
+    Writer w;
+    w.u64(id);
+    std::vector<std::uint8_t> body =
+        roundTrip(MsgType::StatusRequest, w, MsgType::StatusReply);
+    Reader r(body);
+    std::uint8_t st = r.u8();
+    r.expectEnd();
+    if (st > static_cast<std::uint8_t>(runtime::JobStatus::Failed))
+        throw WireError("unknown job status " + std::to_string(st));
+    return static_cast<runtime::JobStatus>(st);
+}
+
+std::optional<runtime::JobResult>
+QumaClient::poll(runtime::JobId id) const
+{
+    Writer w;
+    w.u64(id);
+    std::vector<std::uint8_t> body =
+        roundTrip(MsgType::PollRequest, w, MsgType::PollReply);
+    Reader r(body);
+    bool has = r.boolean();
+    if (!has) {
+        r.expectEnd();
+        return std::nullopt;
+    }
+    runtime::JobResult result = decodeJobResult(r);
+    r.expectEnd();
+    return result;
+}
+
+runtime::JobResult
+QumaClient::await(runtime::JobId id)
+{
+    Writer w;
+    w.u64(id);
+    std::vector<std::uint8_t> body =
+        roundTrip(MsgType::AwaitRequest, w, MsgType::AwaitReply);
+    Reader r(body);
+    runtime::JobResult result = decodeJobResult(r);
+    r.expectEnd();
+    return result;
+}
+
+bool
+QumaClient::cancel(runtime::JobId id)
+{
+    Writer w;
+    w.u64(id);
+    std::vector<std::uint8_t> body =
+        roundTrip(MsgType::CancelRequest, w, MsgType::CancelReply);
+    Reader r(body);
+    bool ok = r.boolean();
+    r.expectEnd();
+    return ok;
+}
+
+StatsFrame
+QumaClient::stats()
+{
+    Writer w;
+    std::vector<std::uint8_t> body =
+        roundTrip(MsgType::StatsRequest, w, MsgType::StatsReply);
+    Reader r(body);
+    StatsFrame stats = decodeStatsFrame(r);
+    r.expectEnd();
+    return stats;
+}
+
+} // namespace quma::net

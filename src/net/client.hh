@@ -1,0 +1,90 @@
+/**
+ * @file
+ * QumaClient: a remote runtime::IExperimentBackend.
+ *
+ * Wraps one wire-protocol connection to a QumaServer and implements
+ * the same submit / trySubmit / poll / await surface as the local
+ * ExperimentService -- so an experiment fan-out written against
+ * IExperimentBackend (AllXY, RB, coherence sweeps) runs unchanged
+ * whether its jobs execute in-process or on a server across a
+ * socket, with bit-identical results (the spec, including seed,
+ * priority and sharding fields, travels losslessly).
+ *
+ * The protocol is strict request/reply, so calls are serialised on
+ * an internal mutex: the client is thread-safe but one in-flight
+ * request at a time. For concurrent load, open several clients (the
+ * network bench drives one connection per thread).
+ *
+ * Error mapping: ErrorReply{UnknownJob} surfaces as fatal(), exactly
+ * like the local scheduler's unknown-id path; other error codes and
+ * any framing violation surface as WireError.
+ */
+
+#ifndef QUMA_NET_CLIENT_HH
+#define QUMA_NET_CLIENT_HH
+
+#include <memory>
+#include <mutex>
+
+#include "net/transport.hh"
+#include "net/wire.hh"
+#include "quma/hostlink.hh"
+#include "runtime/backend.hh"
+
+namespace quma::net {
+
+class QumaClient final : public runtime::IExperimentBackend
+{
+  public:
+    /**
+     * Speak the wire protocol over an established stream.
+     * @param link_bytes_per_second modeled rate for linkStats()
+     */
+    explicit QumaClient(std::unique_ptr<ByteStream> stream,
+                        double link_bytes_per_second = 30.0e6);
+
+    /** Convenience: connect over TCP (dotted-quad host). */
+    QumaClient(const std::string &host, std::uint16_t port);
+
+    ~QumaClient() override;
+
+    // IExperimentBackend surface, forwarded over the wire. The
+    // const calls still talk on the wire: connection state is
+    // mutable, the observable backend state is not touched.
+    runtime::JobId submit(runtime::JobSpec spec) override;
+    std::optional<runtime::JobId>
+    trySubmit(runtime::JobSpec spec) override;
+    runtime::JobStatus status(runtime::JobId id) const override;
+    std::optional<runtime::JobResult>
+    poll(runtime::JobId id) const override;
+    runtime::JobResult await(runtime::JobId id) override;
+
+    /** Remote-side cancel of a still-queued job. */
+    bool cancel(runtime::JobId id);
+
+    /** Snapshot of the serving runtime's scheduler/pool stats. */
+    StatsFrame stats();
+
+    /** Wire traffic of this connection (bytesUp = toward server). */
+    core::LinkStats linkStats() const;
+
+    /** Hang up (idempotent, callable from any thread -- it unblocks
+     *  an in-flight request, which then fails with WireError);
+     *  subsequent requests fail. */
+    void disconnect();
+
+  private:
+    /** Send `type`+payload, receive the reply, check its type.
+     *  const: only the mutable connection plumbing is touched. */
+    std::vector<std::uint8_t> roundTrip(MsgType request,
+                                        const Writer &payload,
+                                        MsgType expected_reply) const;
+
+    mutable std::mutex mu;
+    std::unique_ptr<ByteStream> stream;
+    mutable core::LinkMeter meter;
+};
+
+} // namespace quma::net
+
+#endif // QUMA_NET_CLIENT_HH

@@ -1,0 +1,375 @@
+#include "net/server.hh"
+
+#include "common/logging.hh"
+
+namespace quma::net {
+
+namespace {
+
+/**
+ * Thrown when a liveness probe finds the client gone mid-request.
+ * Deliberately NOT a std::exception: it must fly through the
+ * per-request error-reply catches straight to the connection's
+ * disconnect handling (there is nobody left to send a reply to).
+ */
+struct ConnectionLost
+{
+};
+
+} // namespace
+
+QumaServer::QumaServer(runtime::ExperimentService &service_,
+                       std::unique_ptr<Listener> listener_,
+                       ServerConfig config)
+    : service(service_), listener(std::move(listener_)), cfg(config),
+      meter(cfg.linkBytesPerSecond)
+{
+    if (!listener)
+        fatal("QumaServer needs a listener");
+    acceptor = std::thread([this] { acceptLoop(); });
+}
+
+QumaServer::~QumaServer()
+{
+    stop();
+}
+
+void
+QumaServer::stop()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        if (stopped)
+            return;
+        stopped = true;
+    }
+    // Unblock the accept loop, then every serving thread's recv.
+    listener->close();
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        for (auto &conn : connections)
+            conn->close();
+    }
+    // Join the acceptor first: after it no new connection can start.
+    if (acceptor.joinable())
+        acceptor.join();
+    // Serving threads are detached and self-reap; wait for the last
+    // one to drain (each signals under mu, so none touches this
+    // object after the predicate turns true).
+    std::unique_lock<std::mutex> lock(mu);
+    cvDrained.wait(lock,
+                   [this] { return counters.connectionsActive == 0; });
+}
+
+QumaServer::Stats
+QumaServer::stats() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    Stats s = counters;
+    s.link = meter.stats();
+    return s;
+}
+
+void
+QumaServer::acceptLoop()
+{
+    for (;;) {
+        std::unique_ptr<ByteStream> stream = listener->accept();
+        if (!stream)
+            return;
+        ByteStream *raw = stream.get();
+        std::lock_guard<std::mutex> lock(mu);
+        if (stopped) {
+            stream->close();
+            return;
+        }
+        connections.push_back(std::move(stream));
+        ++counters.connectionsAccepted;
+        ++counters.connectionsActive;
+        // Detached: the thread reclaims its own connection state on
+        // exit; stop() waits for connectionsActive to drain.
+        try {
+            std::thread([this, raw] { serveConnection(raw); })
+                .detach();
+        } catch (const std::exception &ex) {
+            // Thread exhaustion must not strand the active count
+            // (stop() waits on it) or terminate the acceptor; drop
+            // just this connection and keep serving.
+            warn("serving thread spawn failed: ", ex.what());
+            std::erase_if(
+                connections,
+                [raw](const std::unique_ptr<ByteStream> &c) {
+                    return c.get() == raw;
+                });
+            --counters.connectionsActive;
+        }
+    }
+}
+
+bool
+QumaServer::stopping() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    return stopped;
+}
+
+void
+QumaServer::serveConnection(ByteStream *stream)
+{
+    std::unordered_set<runtime::JobId> submitted;
+    try {
+        while (serveRequest(*stream, submitted)) {
+        }
+    } catch (const ConnectionLost &) {
+        // Liveness probe saw the client go: straight to cleanup.
+    } catch (const std::exception &) {
+        // Dead or misbehaving peer: fall through to the disconnect
+        // handling. The connection is gone either way.
+    }
+    stream->close();
+
+    // Cancel the connection's queued-but-unstarted jobs: the only
+    // party that could read their results just vanished. Running
+    // work is never interrupted (cancel refuses it).
+    std::size_t cancelled = 0;
+    for (runtime::JobId id : submitted)
+        if (service.scheduler().cancel(id))
+            ++cancelled;
+
+    // Reclaim this connection's stream (closing the fd) instead of
+    // letting dead entries pile up until shutdown. Notify while
+    // still holding the lock: stop()'s wait can then only return
+    // after this thread is done touching the server.
+    std::lock_guard<std::mutex> lock(mu);
+    std::erase_if(connections,
+                  [stream](const std::unique_ptr<ByteStream> &c) {
+                      return c.get() == stream;
+                  });
+    counters.jobsCancelledOnDisconnect += cancelled;
+    --counters.connectionsActive;
+    cvDrained.notify_all();
+}
+
+void
+QumaServer::sendFrame(ByteStream &stream, MsgType type,
+                      const Writer &payload)
+{
+    std::vector<std::uint8_t> frame = sealFrame(type, payload);
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        meter.record(frame.size(), false);
+    }
+    stream.sendAll(frame.data(), frame.size());
+}
+
+void
+QumaServer::sendError(ByteStream &stream, WireErrorCode code,
+                      const std::string &message)
+{
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        ++counters.errorsReturned;
+    }
+    Writer w;
+    encodeErrorFrame(w, ErrorFrame{code, message});
+    sendFrame(stream, MsgType::ErrorReply, w);
+}
+
+bool
+QumaServer::serveRequest(ByteStream &stream,
+                         std::unordered_set<runtime::JobId> &submitted)
+{
+    std::uint8_t header[kFrameHeaderBytes];
+    if (!stream.recvAll(header, sizeof(header)))
+        return false; // clean EOF between frames
+    FrameHeader fh = decodeFrameHeader(header);
+    std::vector<std::uint8_t> payload(fh.length);
+    if (fh.length > 0 &&
+        !stream.recvAll(payload.data(), payload.size()))
+        throw WireError("connection closed mid-frame");
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        meter.record(sizeof(header) + payload.size(), true);
+        ++counters.requestsServed;
+    }
+
+    Reader r(payload);
+    try {
+        return dispatchRequest(stream, fh.type, r, submitted);
+    } catch (const WireError &ex) {
+        // The frame itself was fully received -- framing is intact,
+        // only this payload was malformed. That is the client's bug:
+        // answer it and keep the connection (tearing it down would
+        // also cancel the client's other queued jobs). If the
+        // ErrorReply cannot be sent the peer is dead and THAT
+        // exception propagates to the disconnect handling.
+        sendError(stream, WireErrorCode::BadRequest, ex.what());
+        return true;
+    }
+}
+
+bool
+QumaServer::dispatchRequest(ByteStream &stream, MsgType type,
+                            Reader &r,
+                            std::unordered_set<runtime::JobId> &submitted)
+{
+    // How long a blocking scheduler call may hold this thread before
+    // it rechecks stop(): bounds shutdown latency without polling
+    // hot (completions still wake the wait immediately).
+    constexpr std::chrono::milliseconds kStopCheck{50};
+
+    switch (type) {
+    case MsgType::SubmitRequest: {
+        runtime::JobSpec spec = decodeJobSpec(r);
+        r.expectEnd();
+        try {
+            std::optional<runtime::JobId> id;
+            // Interruptible submit: a queue that stays at the hard
+            // bound must not wedge stop() -- or a vanished client's
+            // disconnect handling -- behind this thread.
+            while (!(id = service.scheduler().submitFor(
+                         spec, kStopCheck))) {
+                if (stopping()) {
+                    sendError(stream, WireErrorCode::Shutdown,
+                              "server stopping");
+                    return false;
+                }
+                if (!stream.peerAlive())
+                    throw ConnectionLost{};
+            }
+            submitted.insert(*id);
+            Writer w;
+            w.u64(*id);
+            sendFrame(stream, MsgType::SubmitReply, w);
+        } catch (const std::exception &ex) {
+            sendError(stream, WireErrorCode::Internal, ex.what());
+        }
+        return true;
+    }
+    case MsgType::TrySubmitRequest: {
+        runtime::JobSpec spec = decodeJobSpec(r);
+        r.expectEnd();
+        try {
+            std::optional<runtime::JobId> id =
+                service.trySubmit(std::move(spec));
+            if (id)
+                submitted.insert(*id);
+            Writer w;
+            w.boolean(id.has_value());
+            w.u64(id.value_or(0));
+            sendFrame(stream, MsgType::TrySubmitReply, w);
+        } catch (const std::exception &ex) {
+            sendError(stream, WireErrorCode::Internal, ex.what());
+        }
+        return true;
+    }
+    case MsgType::StatusRequest: {
+        runtime::JobId id = r.u64();
+        r.expectEnd();
+        try {
+            runtime::JobStatus st = service.status(id);
+            Writer w;
+            w.u8(static_cast<std::uint8_t>(st));
+            sendFrame(stream, MsgType::StatusReply, w);
+        } catch (const std::exception &ex) {
+            sendError(stream, WireErrorCode::UnknownJob, ex.what());
+        }
+        return true;
+    }
+    case MsgType::PollRequest: {
+        runtime::JobId id = r.u64();
+        r.expectEnd();
+        try {
+            std::optional<runtime::JobResult> result =
+                service.poll(id);
+            Writer w;
+            w.boolean(result.has_value());
+            if (result)
+                encodeJobResult(w, *result);
+            sendFrame(stream, MsgType::PollReply, w);
+            // Result delivered: nothing left for disconnect-cancel
+            // to protect, and the per-connection id tracking must
+            // not grow for the lifetime of a busy connection.
+            if (result)
+                submitted.erase(id);
+        } catch (const std::exception &ex) {
+            // Unknown to the scheduler (likely aged out of result
+            // retention): dead weight in the tracking set too.
+            submitted.erase(id);
+            sendError(stream, WireErrorCode::UnknownJob, ex.what());
+        }
+        return true;
+    }
+    case MsgType::AwaitRequest: {
+        runtime::JobId id = r.u64();
+        r.expectEnd();
+        try {
+            // Blocks this connection's thread only; other clients
+            // are served by their own threads meanwhile. The bounded
+            // wait keeps stop() from wedging behind a slow job.
+            std::optional<runtime::JobResult> result;
+            while (!(result = service.scheduler().awaitFor(
+                         id, kStopCheck))) {
+                if (stopping()) {
+                    sendError(stream, WireErrorCode::Shutdown,
+                              "server stopping");
+                    return false;
+                }
+                // Detect a hung-up client from inside the wait:
+                // otherwise its disconnect (and the cancellation of
+                // its queued jobs) would stall until this job ends.
+                if (!stream.peerAlive())
+                    throw ConnectionLost{};
+            }
+            Writer w;
+            encodeJobResult(w, *result);
+            sendFrame(stream, MsgType::AwaitReply, w);
+            submitted.erase(id); // delivered; see PollRequest
+        } catch (const std::exception &ex) {
+            submitted.erase(id); // unknown/aged out: dead weight
+            sendError(stream, WireErrorCode::UnknownJob, ex.what());
+        }
+        return true;
+    }
+    case MsgType::StatsRequest: {
+        r.expectEnd();
+        StatsFrame stats;
+        stats.scheduler = service.scheduler().stats();
+        stats.pool = service.pool().stats();
+        stats.effectiveQueueCapacity =
+            service.scheduler().effectiveQueueCapacity();
+        Writer w;
+        encodeStatsFrame(w, stats);
+        sendFrame(stream, MsgType::StatsReply, w);
+        return true;
+    }
+    case MsgType::CancelRequest: {
+        runtime::JobId id = r.u64();
+        r.expectEnd();
+        // Ownership check: a connection may only cancel jobs it
+        // submitted itself -- ids are a guessable global sequence,
+        // and cancelling another client's queued work would corrupt
+        // that client's awaits.
+        bool ok = submitted.count(id) > 0 &&
+                  service.scheduler().cancel(id);
+        if (ok)
+            submitted.erase(id);
+        Writer w;
+        w.boolean(ok);
+        sendFrame(stream, MsgType::CancelReply, w);
+        return true;
+    }
+    default:
+        // A reply type arriving as a request is a protocol
+        // violation; tell the peer and keep the connection (the
+        // framing is still intact).
+        sendError(stream, WireErrorCode::BadRequest,
+                  "frame type " +
+                      std::to_string(
+                          static_cast<std::uint16_t>(type)) +
+                      " is not a request");
+        return true;
+    }
+}
+
+} // namespace quma::net

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * QumaServer: the experiment runtime behind a socket.
+ *
+ * One server wraps one shared runtime::ExperimentService and serves
+ * the wire protocol (wire.hh) over any transport Listener -- TCP for
+ * real remote clients, the in-process loopback for deterministic
+ * tests. Each accepted connection gets its own serving thread that
+ * decodes request frames, drives the service, and writes reply
+ * frames; blocking requests (Await) block only their own
+ * connection's thread, so concurrent clients proceed independently.
+ *
+ * Remote jobs keep the runtime's determinism contract end to end:
+ * the decoded JobSpec carries the same seed, priority and
+ * round-structured sharding fields the client serialized, so a job
+ * submitted over the wire produces the bit-identical JobResult the
+ * in-process path produces (pinned by tests/test_net.cc).
+ *
+ * DISCONNECT. When a connection dies (EOF or a wire error), jobs it
+ * submitted that are still fully queued are cancelled
+ * (JobScheduler::cancel) -- nobody is left to read their results.
+ * Work already running is never interrupted.
+ *
+ * ACCOUNTING. Every frame in either direction is metered through a
+ * core::LinkMeter, pricing the serving traffic in the same
+ * bytes-and-seconds units as the paper's §7.1 host-link budget.
+ */
+
+#ifndef QUMA_NET_SERVER_HH
+#define QUMA_NET_SERVER_HH
+
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_set>
+#include <vector>
+
+#include "net/transport.hh"
+#include "net/wire.hh"
+#include "quma/hostlink.hh"
+#include "runtime/service.hh"
+
+namespace quma::net {
+
+struct ServerConfig
+{
+    /** Modeled link rate for the wire-traffic accounting. */
+    double linkBytesPerSecond = 30.0e6;
+};
+
+class QumaServer
+{
+  public:
+    struct Stats
+    {
+        std::size_t connectionsAccepted = 0;
+        std::size_t connectionsActive = 0;
+        std::size_t requestsServed = 0;
+        /** Requests answered with an ErrorReply frame. */
+        std::size_t errorsReturned = 0;
+        /** Queued jobs cancelled because their client vanished. */
+        std::size_t jobsCancelledOnDisconnect = 0;
+        /** Wire traffic (bytesUp = client-to-server requests). */
+        core::LinkStats link;
+    };
+
+    /**
+     * Start serving immediately: the accept loop runs on its own
+     * thread until stop() (or destruction).
+     *
+     * @param service the shared runtime every connection drives
+     * @param listener transport accept side (TCP or loopback)
+     */
+    QumaServer(runtime::ExperimentService &service,
+               std::unique_ptr<Listener> listener,
+               ServerConfig config = {});
+    ~QumaServer();
+
+    QumaServer(const QumaServer &) = delete;
+    QumaServer &operator=(const QumaServer &) = delete;
+
+    /**
+     * Stop accepting, close every live connection and join all
+     * serving threads (idempotent). Jobs already submitted to the
+     * service keep running; only their queued-but-unread work is
+     * cancelled by the per-connection disconnect handling.
+     */
+    void stop();
+
+    Stats stats() const;
+
+  private:
+    void acceptLoop();
+    void serveConnection(ByteStream *stream);
+    /** Decode and serve one request; false once the peer hung up. */
+    bool serveRequest(ByteStream &stream,
+                      std::unordered_set<runtime::JobId> &submitted);
+    /** The type switch; false ends the connection (shutdown). */
+    bool dispatchRequest(ByteStream &stream, MsgType type, Reader &r,
+                         std::unordered_set<runtime::JobId> &submitted);
+    void sendFrame(ByteStream &stream, MsgType type,
+                   const Writer &payload);
+    void sendError(ByteStream &stream, WireErrorCode code,
+                   const std::string &message);
+    bool stopping() const;
+
+    runtime::ExperimentService &service;
+    std::unique_ptr<Listener> listener;
+    const ServerConfig cfg;
+
+    mutable std::mutex mu;
+    /** stop() waits on this for connectionsActive to reach zero. */
+    std::condition_variable cvDrained;
+    bool stopped = false;
+    std::thread acceptor;
+    /**
+     * Live connections, for unblocking their recvs on stop(). Each
+     * serving thread runs DETACHED and erases its own entry on exit
+     * (stream, fd and thread state are reclaimed per disconnect, not
+     * accumulated until shutdown); stop() closes whatever is still
+     * here and waits for the active count to drain.
+     */
+    std::vector<std::unique_ptr<ByteStream>> connections;
+    Stats counters;
+    core::LinkMeter meter;
+};
+
+} // namespace quma::net
+
+#endif // QUMA_NET_SERVER_HH

@@ -1,0 +1,336 @@
+#include "net/transport.hh"
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "common/logging.hh"
+#include "net/wire.hh"
+
+namespace quma::net {
+
+namespace {
+
+[[noreturn]] void
+throwErrno(const std::string &what)
+{
+    throw WireError(what + ": " + std::strerror(errno));
+}
+
+/** TCP stream over a connected socket fd. */
+class TcpStream final : public ByteStream
+{
+  public:
+    explicit TcpStream(int fd_) : fd(fd_)
+    {
+        // Request/reply frames are small and latency-bound; never
+        // let Nagle hold a reply back.
+        int one = 1;
+        ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    }
+
+    ~TcpStream() override
+    {
+        if (fd >= 0)
+            ::close(fd);
+    }
+
+    void
+    sendAll(const std::uint8_t *data, std::size_t size) override
+    {
+        std::size_t sent = 0;
+        while (sent < size) {
+            // MSG_NOSIGNAL: a vanished peer must surface as an error
+            // return, not a process-killing SIGPIPE.
+            ssize_t n = ::send(fd, data + sent, size - sent,
+                               MSG_NOSIGNAL);
+            if (n < 0) {
+                if (errno == EINTR)
+                    continue;
+                throwErrno("send failed");
+            }
+            sent += static_cast<std::size_t>(n);
+        }
+    }
+
+    bool
+    recvAll(std::uint8_t *data, std::size_t size) override
+    {
+        std::size_t got = 0;
+        while (got < size) {
+            ssize_t n = ::recv(fd, data + got, size - got, 0);
+            if (n < 0) {
+                if (errno == EINTR)
+                    continue;
+                throwErrno("recv failed");
+            }
+            if (n == 0) {
+                if (got == 0)
+                    return false; // clean EOF between frames
+                throw WireError("connection closed mid-frame");
+            }
+            got += static_cast<std::size_t>(n);
+        }
+        return true;
+    }
+
+    bool
+    peerAlive() override
+    {
+        std::uint8_t probe;
+        ssize_t n = ::recv(fd, &probe, 1, MSG_PEEK | MSG_DONTWAIT);
+        if (n > 0)
+            return true; // bytes pending: very much alive
+        if (n == 0)
+            return false; // orderly shutdown from the peer
+        return errno == EAGAIN || errno == EWOULDBLOCK ||
+               errno == EINTR;
+    }
+
+    void
+    close() override
+    {
+        // Shutdown (not close) so a concurrent recv/send unblocks
+        // without racing the fd teardown in the destructor.
+        ::shutdown(fd, SHUT_RDWR);
+    }
+
+  private:
+    int fd;
+};
+
+} // namespace
+
+// --- TcpListener ------------------------------------------------------------
+
+TcpListener::TcpListener(std::uint16_t port, bool loopback_only)
+{
+    fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0)
+        throwErrno("socket failed");
+    int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr =
+        htonl(loopback_only ? INADDR_LOOPBACK : INADDR_ANY);
+    addr.sin_port = htons(port);
+    // close() may clobber errno; save the failing call's value so
+    // the exception message names the real cause.
+    auto failWith = [this](const char *what) {
+        int saved = errno;
+        ::close(fd);
+        fd = -1;
+        errno = saved;
+        throwErrno(what);
+    };
+    if (::bind(fd, reinterpret_cast<sockaddr *>(&addr),
+               sizeof(addr)) < 0)
+        failWith("bind failed");
+    if (::listen(fd, SOMAXCONN) < 0)
+        failWith("listen failed");
+
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    if (::getsockname(fd, reinterpret_cast<sockaddr *>(&bound),
+                      &len) < 0)
+        failWith("getsockname failed");
+    boundPort = ntohs(bound.sin_port);
+}
+
+TcpListener::~TcpListener()
+{
+    if (fd >= 0)
+        ::close(fd);
+}
+
+std::unique_ptr<ByteStream>
+TcpListener::accept()
+{
+    for (;;) {
+        int client = ::accept(fd, nullptr, nullptr);
+        if (client >= 0)
+            return std::make_unique<TcpStream>(client);
+        switch (errno) {
+        case EINTR:
+        case ECONNABORTED:
+            // The connection died between the kernel's queue and our
+            // accept: the LISTENER is fine, keep accepting.
+            continue;
+        case EMFILE:
+        case ENFILE:
+        case ENOBUFS:
+        case ENOMEM:
+            // Resource exhaustion is transient; returning nullptr
+            // here would silently stop the server accepting forever.
+            warn("accept failed (", std::strerror(errno),
+                 "); retrying");
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(50));
+            continue;
+        default:
+            // EBADF/EINVAL after close() shut the listening socket
+            // down: a clean end of accepting, not an error.
+            return nullptr;
+        }
+    }
+}
+
+void
+TcpListener::close()
+{
+    if (fd >= 0)
+        ::shutdown(fd, SHUT_RDWR);
+}
+
+std::unique_ptr<ByteStream>
+tcpConnect(const std::string &host, std::uint16_t port)
+{
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0)
+        throwErrno("socket failed");
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+        ::close(fd);
+        throw WireError("not an IPv4 address: " + host);
+    }
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) < 0) {
+        int saved = errno;
+        ::close(fd);
+        errno = saved;
+        throwErrno("connect to " + host + ":" + std::to_string(port) +
+                   " failed");
+    }
+    return std::make_unique<TcpStream>(fd);
+}
+
+// --- in-process loopback ----------------------------------------------------
+
+namespace {
+
+/** One end of a loopback pipe: reads `in`, writes `out`. */
+class PipeStream final : public ByteStream
+{
+  public:
+    PipeStream(std::shared_ptr<PipeBuffer> in_,
+               std::shared_ptr<PipeBuffer> out_)
+        : in(std::move(in_)), out(std::move(out_))
+    {
+    }
+
+    ~PipeStream() override { close(); }
+
+    void
+    sendAll(const std::uint8_t *data, std::size_t size) override
+    {
+        std::lock_guard<std::mutex> lock(out->mu);
+        if (out->closed)
+            throw WireError("send on a closed loopback stream");
+        out->bytes.insert(out->bytes.end(), data, data + size);
+        out->cv.notify_all();
+    }
+
+    bool
+    recvAll(std::uint8_t *data, std::size_t size) override
+    {
+        std::unique_lock<std::mutex> lock(in->mu);
+        std::size_t got = 0;
+        while (got < size) {
+            in->cv.wait(lock, [this] {
+                return !in->bytes.empty() || in->closed;
+            });
+            if (in->bytes.empty()) {
+                if (got == 0)
+                    return false;
+                throw WireError("loopback closed mid-frame");
+            }
+            while (got < size && !in->bytes.empty()) {
+                data[got++] = in->bytes.front();
+                in->bytes.pop_front();
+            }
+        }
+        return true;
+    }
+
+    bool
+    peerAlive() override
+    {
+        std::lock_guard<std::mutex> lock(in->mu);
+        return !in->closed || !in->bytes.empty();
+    }
+
+    void
+    close() override
+    {
+        for (const auto &side : {in, out}) {
+            std::lock_guard<std::mutex> lock(side->mu);
+            side->closed = true;
+            side->cv.notify_all();
+        }
+    }
+
+  private:
+    std::shared_ptr<PipeBuffer> in;
+    std::shared_ptr<PipeBuffer> out;
+};
+
+} // namespace
+
+std::pair<std::unique_ptr<ByteStream>, std::unique_ptr<ByteStream>>
+loopbackPair()
+{
+    auto a2b = std::make_shared<PipeBuffer>();
+    auto b2a = std::make_shared<PipeBuffer>();
+    return {std::make_unique<PipeStream>(b2a, a2b),
+            std::make_unique<PipeStream>(a2b, b2a)};
+}
+
+std::unique_ptr<ByteStream>
+LoopbackListener::connect()
+{
+    auto [client, server] = loopbackPair();
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        if (stopped)
+            throw WireError("connect on a closed listener");
+        pending.push_back(std::move(server));
+    }
+    cv.notify_one();
+    return std::move(client);
+}
+
+std::unique_ptr<ByteStream>
+LoopbackListener::accept()
+{
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [this] { return !pending.empty() || stopped; });
+    if (pending.empty())
+        return nullptr;
+    auto stream = std::move(pending.front());
+    pending.pop_front();
+    return stream;
+}
+
+void
+LoopbackListener::close()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        stopped = true;
+    }
+    cv.notify_all();
+}
+
+} // namespace quma::net

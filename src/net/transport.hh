@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Byte transports under the QuMA wire protocol.
+ *
+ * The protocol layer (wire.hh) and the endpoints (QumaServer,
+ * QumaClient) speak to a blocking ByteStream; two transports
+ * implement it:
+ *
+ *  - TCP over POSIX sockets (TcpListener / tcpConnect): the real
+ *    deployment path, used by the quma_serve example, the network
+ *    bench and the remote-vs-local bit-identity tests (loopback);
+ *  - an in-process pipe pair (LoopbackListener / loopbackPair):
+ *    deterministic, file-descriptor-free connections for unit tests
+ *    and for embedding a server and its clients in one process.
+ *
+ * Both are stream-oriented and preserve byte order; framing is
+ * entirely the wire protocol's job.
+ */
+
+#ifndef QUMA_NET_TRANSPORT_HH
+#define QUMA_NET_TRANSPORT_HH
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+
+namespace quma::net {
+
+/**
+ * A blocking, bidirectional byte stream. Thread model: one thread
+ * may send while another receives, but each direction must be driven
+ * by at most one thread at a time.
+ */
+class ByteStream
+{
+  public:
+    virtual ~ByteStream() = default;
+
+    /** Send exactly `size` bytes; throws WireError on a dead peer. */
+    virtual void sendAll(const std::uint8_t *data, std::size_t size) = 0;
+
+    /**
+     * Receive exactly `size` bytes. Returns false on a clean EOF
+     * BEFORE the first byte (peer closed between frames); throws
+     * WireError when the stream dies mid-buffer.
+     */
+    virtual bool recvAll(std::uint8_t *data, std::size_t size) = 0;
+
+    /**
+     * Non-blocking liveness probe: false once the peer has hung up
+     * (or this end closed). The server polls this from its bounded
+     * scheduler waits so a vanished client's connection is torn down
+     * -- and its queued jobs cancelled -- without waiting for the
+     * blocked request to complete.
+     */
+    virtual bool peerAlive() = 0;
+
+    /** Shut the stream down, unblocking both directions (idempotent,
+     *  safe to call from any thread). */
+    virtual void close() = 0;
+};
+
+/** Accept side of a transport. */
+class Listener
+{
+  public:
+    virtual ~Listener() = default;
+
+    /** Block for the next connection; nullptr once closed. */
+    virtual std::unique_ptr<ByteStream> accept() = 0;
+
+    /** Stop accepting and unblock accept() (idempotent). */
+    virtual void close() = 0;
+};
+
+// --- TCP --------------------------------------------------------------------
+
+/**
+ * Listening TCP socket. Binds 127.0.0.1 by default (the serving
+ * layer models the paper's host-PC-to-control-box link, which is a
+ * local cable, and tests/benches only need loopback); pass
+ * loopback_only = false to serve a real network interface.
+ */
+class TcpListener final : public Listener
+{
+  public:
+    /** @param port TCP port; 0 picks an ephemeral one (see port()). */
+    explicit TcpListener(std::uint16_t port,
+                         bool loopback_only = true);
+    ~TcpListener() override;
+
+    TcpListener(const TcpListener &) = delete;
+    TcpListener &operator=(const TcpListener &) = delete;
+
+    /** The bound port (resolves an ephemeral request). */
+    std::uint16_t port() const { return boundPort; }
+
+    std::unique_ptr<ByteStream> accept() override;
+    void close() override;
+
+  private:
+    int fd = -1;
+    std::uint16_t boundPort = 0;
+};
+
+/** Connect to a QumaServer over TCP. */
+std::unique_ptr<ByteStream> tcpConnect(const std::string &host,
+                                       std::uint16_t port);
+
+// --- in-process loopback ----------------------------------------------------
+
+/** One direction of an in-process pipe. */
+struct PipeBuffer
+{
+    std::mutex mu;
+    std::condition_variable cv;
+    std::deque<std::uint8_t> bytes;
+    bool closed = false;
+};
+
+/** A connected pair of in-process streams (client end, server end). */
+std::pair<std::unique_ptr<ByteStream>, std::unique_ptr<ByteStream>>
+loopbackPair();
+
+/**
+ * In-process listener: connect() synthesises a loopbackPair, queues
+ * the server end for accept() and returns the client end.
+ */
+class LoopbackListener final : public Listener
+{
+  public:
+    /** New connection; returns the client-side stream. */
+    std::unique_ptr<ByteStream> connect();
+
+    std::unique_ptr<ByteStream> accept() override;
+    void close() override;
+
+  private:
+    std::mutex mu;
+    std::condition_variable cv;
+    std::deque<std::unique_ptr<ByteStream>> pending;
+    bool stopped = false;
+};
+
+} // namespace quma::net
+
+#endif // QUMA_NET_TRANSPORT_HH

@@ -1,0 +1,235 @@
+/**
+ * @file
+ * The QuMA wire protocol: versioned, length-prefixed binary frames
+ * carrying the experiment runtime's request/reply surface between a
+ * QumaClient and a QumaServer (see src/net/README.md for the full
+ * frame layout and versioning rules).
+ *
+ * Every frame is
+ *
+ *     u32 magic   "QuMA" (0x414D7551 little-endian)
+ *     u16 version kWireVersion
+ *     u16 type    MsgType
+ *     u32 length  payload byte count (<= kMaxPayloadBytes)
+ *     u8  payload[length]
+ *
+ * with every multi-byte integer serialized explicitly little-endian,
+ * byte by byte -- never by memcpy of a host struct -- so the format
+ * is identical across architectures and independent of padding.
+ * Doubles travel as the little-endian bytes of their IEEE-754 bit
+ * pattern, which is what makes remote JobResults candidates for
+ * BIT-identity with local ones rather than mere closeness.
+ *
+ * Decoding is defensive: a Reader never reads past the payload it
+ * was given and throws WireError (no UB, no over-read) on truncated
+ * or malformed input; decodeFrameHeader rejects bad magic, foreign
+ * versions and oversized lengths before any payload is touched.
+ */
+
+#ifndef QUMA_NET_WIRE_HH
+#define QUMA_NET_WIRE_HH
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "runtime/job.hh"
+#include "runtime/machine_pool.hh"
+#include "runtime/scheduler.hh"
+
+namespace quma::net {
+
+/** Malformed, truncated or protocol-violating wire data. */
+class WireError : public std::runtime_error
+{
+  public:
+    explicit WireError(const std::string &msg)
+        : std::runtime_error(msg)
+    {
+    }
+};
+
+/** "QuMA" in little-endian byte order. */
+inline constexpr std::uint32_t kWireMagic = 0x414D7551u;
+/** Bump on any incompatible layout change (see README). */
+inline constexpr std::uint16_t kWireVersion = 1;
+/** Hard per-frame payload cap; larger lengths are rejected. */
+inline constexpr std::uint32_t kMaxPayloadBytes = 64u << 20;
+/** Serialized frame header size in bytes. */
+inline constexpr std::size_t kFrameHeaderBytes = 12;
+
+/**
+ * Semantic caps on decoded JobSpecs. Framing checks alone would let
+ * a ~100-byte frame claim 1e8 shards and make the serving scheduler
+ * materialize one task per shard (gigabytes, under its mutex) --
+ * the denial-of-service the decode side must refuse. Generous
+ * multiples of every legitimate workload (the paper's largest sweep
+ * is 25600 rounds x 42 bins; shards beyond the pool size are
+ * useless).
+ */
+inline constexpr std::uint64_t kMaxWireShards = 4096;
+inline constexpr std::uint64_t kMaxWireRounds = 1ull << 24;
+inline constexpr std::uint64_t kMaxWireBins = 1ull << 20;
+/** Cap on rounds x bins: bounds the per-job collector-sum memory. */
+inline constexpr std::uint64_t kMaxWireRoundBins = 1ull << 26;
+
+/**
+ * Frame types. Requests occupy [1, 63], replies [64, 126]; 127 is
+ * the error reply. A reply's type is its request's type + 64, which
+ * clients use to reject mismatched responses.
+ */
+enum class MsgType : std::uint16_t
+{
+    SubmitRequest = 1,
+    TrySubmitRequest = 2,
+    StatusRequest = 3,
+    PollRequest = 4,
+    AwaitRequest = 5,
+    StatsRequest = 6,
+    CancelRequest = 7,
+
+    SubmitReply = 65,
+    TrySubmitReply = 66,
+    StatusReply = 67,
+    PollReply = 68,
+    AwaitReply = 69,
+    StatsReply = 70,
+    CancelReply = 71,
+
+    ErrorReply = 127,
+};
+
+/** Error codes carried by an ErrorReply frame. */
+enum class WireErrorCode : std::uint16_t
+{
+    /** Request frame decoded but violated protocol rules. */
+    BadRequest = 1,
+    /** Job id unknown to the serving scheduler. */
+    UnknownJob = 2,
+    /** Server is shutting down; no further requests served. */
+    Shutdown = 3,
+    /** Serving-side exception while executing the request. */
+    Internal = 4,
+};
+
+/** Little-endian payload builder. */
+class Writer
+{
+  public:
+    void u8(std::uint8_t v) { buf.push_back(v); }
+    void u16(std::uint16_t v);
+    void u32(std::uint32_t v);
+    void u64(std::uint64_t v);
+    void i64(std::int64_t v);
+    void f64(double v);
+    void boolean(bool v) { u8(v ? 1 : 0); }
+    /** u32 byte count + raw bytes. */
+    void str(const std::string &s);
+    void vecF64(const std::vector<double> &v);
+    void vecU64(const std::vector<std::size_t> &v);
+
+    const std::vector<std::uint8_t> &bytes() const { return buf; }
+
+  private:
+    std::vector<std::uint8_t> buf;
+};
+
+/** Bounds-checked little-endian payload consumer. */
+class Reader
+{
+  public:
+    Reader(const std::uint8_t *data, std::size_t size)
+        : p(data), n(size)
+    {
+    }
+    explicit Reader(const std::vector<std::uint8_t> &payload)
+        : Reader(payload.data(), payload.size())
+    {
+    }
+
+    std::uint8_t u8();
+    std::uint16_t u16();
+    std::uint32_t u32();
+    std::uint64_t u64();
+    std::int64_t i64();
+    double f64();
+    bool boolean();
+    std::string str();
+    std::vector<double> vecF64();
+    std::vector<std::size_t> vecU64();
+
+    std::size_t remaining() const { return n - at; }
+    /** Throw unless the payload was consumed exactly. */
+    void expectEnd() const;
+
+  private:
+    void need(std::size_t bytes) const;
+
+    const std::uint8_t *p;
+    std::size_t n;
+    std::size_t at = 0;
+};
+
+/** Decoded frame header (magic/version already validated). */
+struct FrameHeader
+{
+    MsgType type = MsgType::ErrorReply;
+    std::uint32_t length = 0;
+};
+
+/** Serialize a complete frame (header + payload). */
+std::vector<std::uint8_t> sealFrame(MsgType type,
+                                    const Writer &payload);
+
+/**
+ * Validate and decode the 12 header bytes; throws WireError on bad
+ * magic, unsupported version, unknown type or oversized length.
+ */
+FrameHeader decodeFrameHeader(const std::uint8_t *header);
+
+/** Error frame payload. */
+struct ErrorFrame
+{
+    WireErrorCode code = WireErrorCode::Internal;
+    std::string message;
+};
+
+/** Stats reply payload: one snapshot of the serving runtime. */
+struct StatsFrame
+{
+    runtime::JobScheduler::Stats scheduler;
+    runtime::MachinePool::Stats pool;
+    std::size_t effectiveQueueCapacity = 0;
+};
+
+// --- message payload codecs -------------------------------------------------
+//
+// Each encode appends to a Writer; each decode consumes from a Reader
+// and throws WireError on malformed input. Frame payloads must be
+// consumed exactly (the frame decoders call expectEnd()).
+
+/**
+ * Encode a JobSpec. Remote jobs travel as assembly source: a spec
+ * carrying a pre-assembled isa::Program is rejected here (the binary
+ * program image is a host-side optimisation, not a wire format).
+ */
+void encodeJobSpec(Writer &w, const runtime::JobSpec &spec);
+runtime::JobSpec decodeJobSpec(Reader &r);
+
+void encodeJobResult(Writer &w, const runtime::JobResult &result);
+runtime::JobResult decodeJobResult(Reader &r);
+
+void encodeStatsFrame(Writer &w, const StatsFrame &stats);
+StatsFrame decodeStatsFrame(Reader &r);
+
+void encodeErrorFrame(Writer &w, const ErrorFrame &error);
+ErrorFrame decodeErrorFrame(Reader &r);
+
+void encodeMachineConfig(Writer &w, const core::MachineConfig &mc);
+core::MachineConfig decodeMachineConfig(Reader &r);
+
+} // namespace quma::net
+
+#endif // QUMA_NET_WIRE_HH

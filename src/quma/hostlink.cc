@@ -5,6 +5,34 @@
 
 namespace quma::core {
 
+LinkMeter::LinkMeter(double bytes_per_second)
+    : rate(bytes_per_second)
+{
+    if (rate <= 0)
+        fatal("LinkMeter needs a positive link rate");
+}
+
+void
+LinkMeter::record(std::size_t bytes, bool to_device)
+{
+    if (to_device) {
+        ++acc.uploads;
+        acc.bytesUp += bytes;
+    } else {
+        ++acc.downloads;
+        acc.bytesDown += bytes;
+    }
+}
+
+LinkStats
+LinkMeter::stats() const
+{
+    LinkStats s = acc;
+    s.secondsUp = static_cast<double>(s.bytesUp) / rate;
+    s.secondsDown = static_cast<double>(s.bytesDown) / rate;
+    return s;
+}
+
 HostLink::HostLink(QumaMachine &machine, double bytes_per_second)
     : device(machine), rate(bytes_per_second)
 {
@@ -52,19 +80,10 @@ HostLink::retrieveAverages()
 LinkStats
 HostLink::stats() const
 {
-    LinkStats s;
-    for (const auto &t : log) {
-        if (t.toDevice) {
-            ++s.uploads;
-            s.bytesUp += t.bytes;
-        } else {
-            ++s.downloads;
-            s.bytesDown += t.bytes;
-        }
-    }
-    s.secondsUp = static_cast<double>(s.bytesUp) / rate;
-    s.secondsDown = static_cast<double>(s.bytesDown) / rate;
-    return s;
+    LinkMeter meter(rate);
+    for (const auto &t : log)
+        meter.record(t.bytes, t.toDevice);
+    return meter.stats();
 }
 
 } // namespace quma::core

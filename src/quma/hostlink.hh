@@ -43,6 +43,33 @@ struct LinkStats
 };
 
 /**
+ * Byte accounting of a modeled host link: counts transfers in each
+ * direction and converts them to transfer time at the link rate.
+ * HostLink meters the paper's configuration traffic through one;
+ * the net serving layer (net::QumaServer / net::QumaClient) meters
+ * its wire frames through another, so remote-experiment request
+ * traffic is quantified in the same units as §7.1's USB budget.
+ * Not thread-safe: callers serialise access (the server records
+ * under its stats lock).
+ */
+class LinkMeter
+{
+  public:
+    /** @param bytes_per_second link throughput (USB-ish 30 MB/s) */
+    explicit LinkMeter(double bytes_per_second = 30.0e6);
+
+    /** Account one transfer of `bytes` toward (true) or from the
+     *  device end of the link. */
+    void record(std::size_t bytes, bool to_device);
+
+    LinkStats stats() const;
+
+  private:
+    double rate;
+    LinkStats acc;
+};
+
+/**
  * A host session: wraps a machine and meters every configuration
  * action the way the experimental flow does (program binaries are
  * 64-bit words; LUT samples are 12-bit; results are 64-bit).

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * The experiment-backend interface: the submit / poll / await surface
+ * of the concurrent runtime, abstracted away from WHERE the runtime
+ * runs.
+ *
+ * Two implementations exist today:
+ *
+ *  - runtime::ExperimentService executes jobs in-process (the pooled
+ *    machines live in this address space);
+ *  - net::QumaClient forwards the same calls over a wire connection
+ *    to a QumaServer driving a remote ExperimentService.
+ *
+ * Experiment fan-outs (AllXY, RB, coherence sweeps) program against
+ * this interface, so the same sweep code runs unchanged against a
+ * local service or a remote one -- and the determinism contract
+ * (results are a pure function of the JobSpec) holds identically on
+ * both paths, which is what the remote-vs-local bit-identity tests
+ * pin.
+ */
+
+#ifndef QUMA_RUNTIME_BACKEND_HH
+#define QUMA_RUNTIME_BACKEND_HH
+
+#include <optional>
+#include <vector>
+
+#include "runtime/job.hh"
+
+namespace quma::runtime {
+
+class IExperimentBackend
+{
+  public:
+    virtual ~IExperimentBackend() = default;
+
+    /** Enqueue a job; blocks while the backend is at capacity. */
+    virtual JobId submit(JobSpec spec) = 0;
+    /** Enqueue a job; nullopt when admission rejects it. */
+    virtual std::optional<JobId> trySubmit(JobSpec spec) = 0;
+
+    virtual JobStatus status(JobId id) const = 0;
+    /** The result once the job finished, nullopt while in flight. */
+    virtual std::optional<JobResult> poll(JobId id) const = 0;
+    /** Block until the job finishes and return its result. */
+    virtual JobResult await(JobId id) = 0;
+
+    /** Await many jobs, results in argument order. */
+    virtual std::vector<JobResult>
+    awaitAll(const std::vector<JobId> &ids)
+    {
+        std::vector<JobResult> out;
+        out.reserve(ids.size());
+        for (JobId id : ids)
+            out.push_back(await(id));
+        return out;
+    }
+
+    /** Convenience: submit and block for the result. */
+    virtual JobResult
+    runSync(JobSpec spec)
+    {
+        return await(submit(std::move(spec)));
+    }
+};
+
+} // namespace quma::runtime
+
+#endif // QUMA_RUNTIME_BACKEND_HH

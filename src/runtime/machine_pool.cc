@@ -1,6 +1,7 @@
 #include "runtime/machine_pool.hh"
 
 #include <algorithm>
+#include <chrono>
 
 #include "common/logging.hh"
 
@@ -53,8 +54,11 @@ MachinePool::acquire(const core::MachineConfig &config)
 
 MachinePool::Lease
 MachinePool::acquireKeyed(const std::string &key,
-                          const core::MachineConfig &config)
+                          const core::MachineConfig &config,
+                          double *blocked_seconds)
 {
+    if (blocked_seconds)
+        *blocked_seconds = 0.0;
     // Declared before the lock so an evicted machine's (non-trivial)
     // teardown runs after the mutex is released.
     std::unique_ptr<core::QumaMachine> evicted;
@@ -99,7 +103,13 @@ MachinePool::acquireKeyed(const std::string &key,
             ++counters.evictions;
             continue;
         }
+        auto waitStart = std::chrono::steady_clock::now();
         cv.wait(lock);
+        if (blocked_seconds)
+            *blocked_seconds +=
+                std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - waitStart)
+                    .count();
     }
     ++counters.machinesCreated;
     lock.unlock();

@@ -90,9 +90,16 @@ class MachinePool
      */
     Lease acquire(const core::MachineConfig &config);
 
-    /** acquire() when the shard key is already known (scheduler). */
+    /**
+     * acquire() when the shard key is already known (scheduler).
+     * When `blocked_seconds` is given it receives the time this call
+     * spent BLOCKED waiting for a machine to come back -- not time
+     * spent constructing a new one, so a cold pool does not read as
+     * congestion (the scheduler's pool-wait admission signal).
+     */
     Lease acquireKeyed(const std::string &key,
-                       const core::MachineConfig &config);
+                       const core::MachineConfig &config,
+                       double *blocked_seconds = nullptr);
 
     std::size_t capacity() const { return maxMachines; }
     Stats stats() const;

@@ -11,6 +11,9 @@ namespace quma::runtime {
 
 namespace {
 
+/** Completions per priority class kept for percentile estimation. */
+constexpr std::size_t kLatencySampleWindow = 512;
+
 bool
 queueSaturated(const timing::QueueSaturation &q)
 {
@@ -102,6 +105,7 @@ JobScheduler::enqueueLocked(JobSpec &&spec)
     e.key = configKey(spec.machine);
     e.priority = spec.priority;
     e.seq = counters.submitted;
+    e.submittedAt = std::chrono::steady_clock::now();
     if (spec.rounds > 0) {
         // Round-structured job: one task per shard. shards == 0 asks
         // for the widest useful split, one shard per worker.
@@ -134,6 +138,24 @@ JobScheduler::submit(JobSpec spec)
     if (stop)
         fatal("submit on a stopped scheduler");
     JobId id = enqueueLocked(std::move(spec));
+    lock.unlock();
+    cvWork.notify_all();
+    return id;
+}
+
+std::optional<JobId>
+JobScheduler::submitFor(const JobSpec &spec,
+                        std::chrono::milliseconds timeout)
+{
+    std::unique_lock<std::mutex> lock(mu);
+    bool space = cvSpace.wait_for(lock, timeout, [this] {
+        return stop || queue.size() < cfg.queueCapacity;
+    });
+    if (!space)
+        return std::nullopt;
+    if (stop)
+        fatal("submit on a stopped scheduler");
+    JobId id = enqueueLocked(JobSpec(spec));
     lock.unlock();
     cvWork.notify_all();
     return id;
@@ -202,6 +224,27 @@ JobScheduler::await(JobId id)
     return it->second.result;
 }
 
+std::optional<JobResult>
+JobScheduler::awaitFor(JobId id, std::chrono::milliseconds timeout)
+{
+    std::unique_lock<std::mutex> lock(mu);
+    if (entries.find(id) == entries.end())
+        fatal("unknown job id ", id);
+    bool finished = cvDone.wait_for(lock, timeout, [&] {
+        auto it = entries.find(id);
+        return it == entries.end() ||
+               it->second.jobStatus == JobStatus::Done ||
+               it->second.jobStatus == JobStatus::Failed;
+    });
+    if (!finished)
+        return std::nullopt;
+    auto it = entries.find(id);
+    if (it == entries.end())
+        fatal("job ", id, " finished but its result aged out of the ",
+              "bounded retention before awaitFor could read it");
+    return it->second.result;
+}
+
 void
 JobScheduler::drain()
 {
@@ -210,12 +253,41 @@ JobScheduler::drain()
                 [this] { return queue.empty() && inFlight == 0; });
 }
 
+bool
+JobScheduler::cancel(JobId id)
+{
+    std::unique_lock<std::mutex> lock(mu);
+    auto it = entries.find(id);
+    if (it == entries.end())
+        return false;
+    Entry &e = it->second;
+    // Only a fully queued job can be cancelled: once any shard is
+    // running the machine time is committed and the merge machinery
+    // owns the entry.
+    if (e.jobStatus != JobStatus::Queued)
+        return false;
+    std::erase_if(queue, [id](const Task &t) { return t.id == id; });
+    ++counters.cancelled;
+    JobResult r;
+    r.error = "cancelled before execution";
+    // A cancelled job never ran: recording its queue-residence as a
+    // "latency" would drag the digests toward zero.
+    finishLocked(id, std::move(r), /*record_latency=*/false);
+    lock.unlock();
+    cvSpace.notify_all();
+    cvDone.notify_all();
+    return true;
+}
+
 JobScheduler::Stats
 JobScheduler::stats() const
 {
     std::lock_guard<std::mutex> lock(mu);
     Stats s = counters;
     s.machineSaturation = saturationEwma;
+    s.poolWaitEwmaSeconds = poolWaitEwma;
+    for (std::size_t cls = 0; cls < s.latency.size(); ++cls)
+        s.latency[cls] = latencyDigestLocked(cls);
     return s;
 }
 
@@ -223,7 +295,7 @@ std::vector<JobId>
 JobScheduler::finishedIds() const
 {
     std::lock_guard<std::mutex> lock(mu);
-    return {finishedOrder.begin(), finishedOrder.end()};
+    return {finishedHistory.begin(), finishedHistory.end()};
 }
 
 std::size_t
@@ -236,8 +308,14 @@ JobScheduler::effectiveQueueCapacity() const
 std::size_t
 JobScheduler::effectiveCapacityLocked() const
 {
-    if (!cfg.adaptiveAdmission ||
-        saturationEwma <= cfg.saturationThreshold)
+    // Two independent congestion signals tighten admission: the
+    // machines running their timing queues into backpressure, and
+    // workers blocking on the pool for a machine. Either means more
+    // queue depth would buy latency, not throughput.
+    bool congested =
+        saturationEwma > cfg.saturationThreshold ||
+        poolWaitEwma > cfg.poolWaitThresholdSeconds;
+    if (!cfg.adaptiveAdmission || !congested)
         return cfg.queueCapacity;
     auto tightened = static_cast<std::size_t>(
         static_cast<double>(cfg.queueCapacity) *
@@ -253,6 +331,57 @@ JobScheduler::noteSaturationLocked(bool saturated)
         ++counters.saturatedRuns;
     saturationEwma = (1.0 - cfg.saturationAlpha) * saturationEwma +
                      cfg.saturationAlpha * (saturated ? 1.0 : 0.0);
+}
+
+void
+JobScheduler::notePoolWaitLocked(double seconds)
+{
+    poolWaitEwma = (1.0 - cfg.poolWaitAlpha) * poolWaitEwma +
+                   cfg.poolWaitAlpha * seconds;
+}
+
+void
+JobScheduler::noteLatencyLocked(const Entry &entry)
+{
+    double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      entry.submittedAt)
+            .count();
+    auto cls = static_cast<std::size_t>(entry.priority);
+    ++latencyCount[cls];
+    latencyMax[cls] = std::max(latencyMax[cls], seconds);
+    std::vector<double> &window = latencyWindow[cls];
+    if (window.size() < kLatencySampleWindow) {
+        window.push_back(seconds);
+    } else {
+        window[latencyWindowNext[cls]] = seconds;
+        latencyWindowNext[cls] =
+            (latencyWindowNext[cls] + 1) % kLatencySampleWindow;
+    }
+}
+
+JobScheduler::LatencyDigest
+JobScheduler::latencyDigestLocked(std::size_t cls) const
+{
+    LatencyDigest d;
+    d.count = latencyCount[cls];
+    d.max = latencyMax[cls];
+    if (latencyWindow[cls].empty())
+        return d;
+    // Nearest-rank percentiles over a copy of the sliding window
+    // (stats() is a diagnostic path; the window is small).
+    std::vector<double> w = latencyWindow[cls];
+    auto rank = [&w](double q) {
+        auto idx = static_cast<std::size_t>(
+            q * static_cast<double>(w.size() - 1) + 0.5);
+        std::nth_element(w.begin(),
+                         w.begin() + static_cast<std::ptrdiff_t>(idx),
+                         w.end());
+        return w[idx];
+    };
+    d.p50 = rank(0.50);
+    d.p95 = rank(0.95);
+    return d;
 }
 
 long
@@ -291,9 +420,12 @@ JobScheduler::pickBestLocked() const
 }
 
 void
-JobScheduler::finishLocked(JobId id, JobResult &&result)
+JobScheduler::finishLocked(JobId id, JobResult &&result,
+                           bool record_latency)
 {
     Entry &e = entries.at(id);
+    if (record_latency)
+        noteLatencyLocked(e);
     bool failed = result.failed();
     e.result = std::move(result);
     e.jobStatus = failed ? JobStatus::Failed : JobStatus::Done;
@@ -313,6 +445,11 @@ JobScheduler::finishLocked(JobId id, JobResult &&result)
         entries.erase(finishedOrder.front());
         finishedOrder.pop_front();
     }
+    // The completion-order observable is its own, typically much
+    // smaller, ring: last N completions only.
+    finishedHistory.push_back(id);
+    while (finishedHistory.size() > cfg.finishedHistoryLimit)
+        finishedHistory.pop_front();
 }
 
 void
@@ -513,8 +650,10 @@ JobScheduler::workerLoop()
         cvSpace.notify_one();
 
         MachinePool::Lease lease;
+        double acquireWait = 0.0;
         try {
-            lease = pool.acquireKeyed(key, spec->machine);
+            lease = pool.acquireKeyed(key, spec->machine,
+                                      &acquireWait);
         } catch (const std::exception &ex) {
             // Machine construction rejected the config: fail THIS
             // task; letting the exception leave the thread would
@@ -536,6 +675,14 @@ JobScheduler::workerLoop()
             cvDone.notify_all();
             continue;
         }
+        // One pool-wait sample per acquisition (batched tasks reuse
+        // the lease and pay no wait -- that is the point of
+        // batching, so they contribute no sample). The sample is the
+        // time acquire spent BLOCKED on a fully leased pool, not the
+        // cost of constructing a cold machine.
+        lock.lock();
+        notePoolWaitLocked(acquireWait);
+        lock.unlock();
         std::size_t ranOnLease = 0;
         for (;;) {
             bool saturated = false;

@@ -36,6 +36,8 @@
 #ifndef QUMA_RUNTIME_SCHEDULER_HH
 #define QUMA_RUNTIME_SCHEDULER_HH
 
+#include <array>
+#include <chrono>
 #include <condition_variable>
 #include <deque>
 #include <memory>
@@ -91,17 +93,49 @@ struct SchedulerConfig
     double congestedQueueFraction = 0.25;
     /** EWMA smoothing of the per-run saturation samples. */
     double saturationAlpha = 0.25;
+    /**
+     * Second admission signal: workers sample how long each pool
+     * acquisition blocked waiting for a machine, and an EWMA of those
+     * waits above this threshold (seconds) tightens trySubmit's
+     * effective bound exactly like queue saturation does. Jobs
+     * waiting on machines mean pool capacity -- not queue depth -- is
+     * the bottleneck, so adding depth would add latency only.
+     */
+    double poolWaitThresholdSeconds = 0.02;
+    /** EWMA smoothing of the per-acquisition pool-wait samples. */
+    double poolWaitAlpha = 0.25;
+    /**
+     * Completions remembered by finishedIds(), newest-N ring. Bounds
+     * the completion-order observable separately from result
+     * retention so a long-lived server never grows it without limit.
+     */
+    std::size_t finishedHistoryLimit = 1024;
 };
 
 class JobScheduler
 {
   public:
+    /**
+     * Submit-to-finish latency summary of one priority class, over a
+     * sliding window of the most recent completions (percentiles) and
+     * the whole scheduler lifetime (count, max). All in seconds.
+     */
+    struct LatencyDigest
+    {
+        std::size_t count = 0;
+        double p50 = 0.0;
+        double p95 = 0.0;
+        double max = 0.0;
+    };
+
     struct Stats
     {
         std::size_t submitted = 0;
         std::size_t rejected = 0;
         std::size_t completed = 0;
         std::size_t failed = 0;
+        /** Jobs cancelled while still queued (counted in failed). */
+        std::size_t cancelled = 0;
         std::size_t queueHighWater = 0;
         /** Tasks that reused the previous task's lease (batching). */
         std::size_t batchedJobs = 0;
@@ -115,6 +149,11 @@ class JobScheduler
         std::size_t admissionSoftRejects = 0;
         /** Saturation EWMA at the time of the snapshot. */
         double machineSaturation = 0.0;
+        /** Pool-acquisition wait EWMA (seconds) at the snapshot. */
+        double poolWaitEwmaSeconds = 0.0;
+        /** Submit->finish latency per priority class, indexed by
+         *  the JobPriority value (Batch, Normal, High). */
+        std::array<LatencyDigest, 3> latency{};
     };
 
     JobScheduler(SchedulerConfig config, MachinePool &pool,
@@ -131,21 +170,50 @@ class JobScheduler
     JobId submit(JobSpec spec);
     /** Enqueue a job; nullopt when the (effective) bound is hit. */
     std::optional<JobId> trySubmit(JobSpec spec);
+    /**
+     * submit() that gives up after `timeout` if the queue stays at
+     * the HARD bound (admission is not consulted, exactly like
+     * submit). The serving layer loops on this so a shutdown can
+     * interrupt a remote submit blocked behind a full queue; the
+     * spec is only copied on a successful enqueue, so retries are
+     * free.
+     */
+    std::optional<JobId> submitFor(const JobSpec &spec,
+                                   std::chrono::milliseconds timeout);
 
     JobStatus status(JobId id) const;
     /** The result once the job finished, nullopt while in flight. */
     std::optional<JobResult> poll(JobId id) const;
     /** Block until the job finishes and return its result. */
     JobResult await(JobId id);
+    /**
+     * await() with a deadline: nullopt while the job is still in
+     * flight after `timeout`. Unknown ids fatal like await(). The
+     * serving layer loops on this so a shutdown can interrupt a
+     * connection thread parked on a slow job.
+     */
+    std::optional<JobResult>
+    awaitFor(JobId id, std::chrono::milliseconds timeout);
     /** Block until every submitted job has finished. */
     void drain();
+
+    /**
+     * Cancel a job that has not started running: its queued tasks are
+     * removed and the job finishes as Failed with a "cancelled"
+     * error, unblocking awaiters. Returns false (and does nothing)
+     * once any part of the job is running or it already finished --
+     * in-flight machine time is never interrupted. The serving layer
+     * uses this to drop the queued work of a disconnected client.
+     */
+    bool cancel(JobId id);
 
     Stats stats() const;
 
     /**
-     * Ids of finished jobs in completion order, oldest first (the
-     * bounded retention window). Diagnostics and tests: this is how
-     * priority-ordering behaviour is observed.
+     * Ids of finished jobs in completion order, oldest first -- a
+     * ring of the last finishedHistoryLimit completions, bounded
+     * independently of result retention. Diagnostics and tests: this
+     * is how priority-ordering behaviour is observed.
      */
     std::vector<JobId> finishedIds() const;
 
@@ -183,6 +251,8 @@ class JobScheduler
         JobPriority priority = JobPriority::Normal;
         /** Submission sequence number (aging reference point). */
         std::size_t seq = 0;
+        /** Submission instant (latency tracking reference point). */
+        std::chrono::steady_clock::time_point submittedAt;
         /** Round ranges per shard; empty for opaque jobs. */
         std::vector<RoundRange> shardRanges;
         std::vector<ShardPartial> partials;
@@ -203,7 +273,10 @@ class JobScheduler
                           core::QumaMachine &machine, RoundRange range,
                           bool &saturated);
     JobId enqueueLocked(JobSpec &&spec);
-    void finishLocked(JobId id, JobResult &&result);
+    /** record_latency = false for jobs that never executed
+     *  (cancellations must not pollute the latency digests). */
+    void finishLocked(JobId id, JobResult &&result,
+                      bool record_latency = true);
     void deliverShardLocked(JobId id, std::uint32_t shard,
                             ShardPartial &&partial);
     void mergeShardsLocked(JobId id);
@@ -211,6 +284,9 @@ class JobScheduler
     std::size_t pickBestLocked() const;
     long effectivePriorityLocked(const Entry &entry) const;
     void noteSaturationLocked(bool saturated);
+    void notePoolWaitLocked(double seconds);
+    void noteLatencyLocked(const Entry &entry);
+    LatencyDigest latencyDigestLocked(std::size_t cls) const;
     std::size_t effectiveCapacityLocked() const;
 
     const SchedulerConfig cfg;
@@ -223,8 +299,11 @@ class JobScheduler
     std::condition_variable cvDone;
     std::deque<Task> queue;
     std::unordered_map<JobId, Entry> entries;
-    /** Finished ids, oldest first (bounded result retention). */
+    /** Finished ids, oldest first (drives bounded result retention). */
     std::deque<JobId> finishedOrder;
+    /** Completion-order observable, a ring of the newest
+     *  finishedHistoryLimit ids (independent of retention). */
+    std::deque<JobId> finishedHistory;
     JobId nextId = 1;
     std::size_t inFlight = 0;
     bool stop = false;
@@ -232,6 +311,13 @@ class JobScheduler
     Stats counters;
     /** EWMA of machine queue saturation over recent runs. */
     double saturationEwma = 0.0;
+    /** EWMA of pool-acquisition waits (seconds). */
+    double poolWaitEwma = 0.0;
+    /** Sliding windows of submit->finish latencies per class. */
+    std::array<std::vector<double>, 3> latencyWindow;
+    std::array<std::size_t, 3> latencyWindowNext{};
+    std::array<std::size_t, 3> latencyCount{};
+    std::array<double, 3> latencyMax{};
     std::vector<std::thread> workers;
 };
 

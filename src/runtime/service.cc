@@ -18,6 +18,9 @@ schedulerConfigOf(const ServiceConfig &cfg)
     sc.saturationThreshold = cfg.saturationThreshold;
     sc.congestedQueueFraction = cfg.congestedQueueFraction;
     sc.saturationAlpha = cfg.saturationAlpha;
+    sc.poolWaitThresholdSeconds = cfg.poolWaitThresholdSeconds;
+    sc.poolWaitAlpha = cfg.poolWaitAlpha;
+    sc.finishedHistoryLimit = cfg.finishedHistoryLimit;
     return sc;
 }
 

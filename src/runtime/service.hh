@@ -18,6 +18,7 @@
 
 #include <vector>
 
+#include "runtime/backend.hh"
 #include "runtime/machine_pool.hh"
 #include "runtime/program_cache.hh"
 #include "runtime/scheduler.hh"
@@ -44,35 +45,49 @@ struct ServiceConfig
     double saturationThreshold = 0.5;
     double congestedQueueFraction = 0.25;
     double saturationAlpha = 0.25;
+    /** Pool-wait admission signal (see SchedulerConfig). */
+    double poolWaitThresholdSeconds = 0.02;
+    double poolWaitAlpha = 0.25;
+    /** Completion-order ring kept by finishedIds(). */
+    std::size_t finishedHistoryLimit = 1024;
 };
 
-class ExperimentService
+/**
+ * The in-process IExperimentBackend: jobs run on this address
+ * space's machine pool. net::QumaClient is the remote counterpart,
+ * and experiment fan-outs accept either through the interface.
+ */
+class ExperimentService : public IExperimentBackend
 {
   public:
     explicit ExperimentService(ServiceConfig config = {});
 
-    JobId submit(JobSpec spec) { return sched.submit(std::move(spec)); }
+    JobId
+    submit(JobSpec spec) override
+    {
+        return sched.submit(std::move(spec));
+    }
     std::optional<JobId>
-    trySubmit(JobSpec spec)
+    trySubmit(JobSpec spec) override
     {
         return sched.trySubmit(std::move(spec));
     }
 
-    JobStatus status(JobId id) const { return sched.status(id); }
-    std::optional<JobResult> poll(JobId id) const
+    JobStatus
+    status(JobId id) const override
+    {
+        return sched.status(id);
+    }
+    std::optional<JobResult>
+    poll(JobId id) const override
     {
         return sched.poll(id);
     }
-    JobResult await(JobId id) { return sched.await(id); }
+    JobResult await(JobId id) override { return sched.await(id); }
 
     /** Await many jobs, results in argument order. */
-    std::vector<JobResult> awaitAll(const std::vector<JobId> &ids);
-
-    /** Convenience: submit and block for the result. */
-    JobResult runSync(JobSpec spec)
-    {
-        return await(submit(std::move(spec)));
-    }
+    std::vector<JobResult>
+    awaitAll(const std::vector<JobId> &ids) override;
 
     void start() { sched.start(); }
     void drain() { sched.drain(); }

@@ -1,0 +1,823 @@
+/**
+ * @file
+ * Tests of the network serving layer: wire-format round-trips for
+ * every message type, defensive rejection of malformed frames
+ * (truncated, oversized, bad magic, foreign version -- no UB), the
+ * in-process loopback transport, the server's request dispatch and
+ * cancel-on-disconnect, and -- the acceptance invariant -- a
+ * sharded, priority-tagged AllXY job submitted through QumaClient
+ * over a real TCP loopback connection producing the bit-identical
+ * JobResult the in-process ExperimentService produces.
+ */
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "common/logging.hh"
+#include "experiments/allxy.hh"
+#include "net/client.hh"
+#include "net/server.hh"
+#include "net/transport.hh"
+#include "net/wire.hh"
+#include "runtime/service.hh"
+
+namespace quma::net {
+namespace {
+
+using runtime::ExperimentService;
+using runtime::JobPriority;
+using runtime::JobResult;
+using runtime::JobSpec;
+using runtime::JobStatus;
+using runtime::ServiceConfig;
+
+/** A small averaged measurement program (rounds x X180-measure). */
+std::string
+shotProgram(unsigned rounds)
+{
+    return R"(
+        mov r15, 40000
+        mov r1, 0
+        mov r2, )" +
+           std::to_string(rounds) + R"(
+        L:
+        QNopReg r15
+        Pulse {q0}, X180
+        Wait 4
+        MPG {q0}, 300
+        MD {q0}, r7
+        Wait 600
+        addi r1, r1, 1
+        bne r1, r2, L
+        halt
+    )";
+}
+
+JobSpec
+shotJob(unsigned rounds, std::uint64_t seed)
+{
+    JobSpec job;
+    job.name = "shots";
+    job.assembly = shotProgram(rounds);
+    job.bins = 1;
+    job.seed = seed;
+    job.maxCycles = 50'000'000;
+    return job;
+}
+
+/** A JobSpec exercising every serialized field non-trivially. */
+JobSpec
+fancySpec()
+{
+    JobSpec spec;
+    spec.name = "fancy";
+    spec.assembly = "Wait 10\nhalt";
+    spec.machine.qubits.assign(2, qsim::paperQubitParams());
+    spec.machine.qubits[1].freqHz = 5.1e9;
+    spec.machine.qubits[1].readout.c1 = {-0.75, 0.25};
+    spec.machine.qubits[1].readout.noiseSigma = 2.5;
+    spec.machine.driveAwg = {2, 0};
+    spec.machine.gateWaitCycles = 5;
+    spec.machine.amplitudeError = 0.03;
+    spec.machine.carrierDetuningHz = -1.25e5;
+    spec.machine.msmtPathDelayCycles = -1;
+    spec.machine.exec.stallInjection = true;
+    spec.machine.exec.stallProbability = 0.05;
+    spec.machine.timing.pulseQueueCapacity = 128;
+    spec.machine.chipSeed = 0x1234;
+    spec.bins = 42;
+    spec.seed = 0xfeedface;
+    spec.maxCycles = 123'456'789;
+    spec.rounds = 96;
+    spec.shards = 3;
+    spec.minRoundsPerShard = 4;
+    spec.priority = JobPriority::High;
+    return spec;
+}
+
+// --- wire primitives --------------------------------------------------------
+
+TEST(Wire, PrimitivesRoundTrip)
+{
+    Writer w;
+    w.u8(0xab);
+    w.u16(0xbeef);
+    w.u32(0xdeadbeef);
+    w.u64(0x0123456789abcdefULL);
+    w.i64(-42);
+    w.f64(-1.5e-300);
+    w.boolean(true);
+    const std::string embeddedNul("hello \0 wire", 12);
+    w.str(embeddedNul);
+    w.vecF64({1.0, -0.0, 2.5});
+    w.vecU64({7, 0, 9});
+
+    Reader r(w.bytes());
+    EXPECT_EQ(r.u8(), 0xab);
+    EXPECT_EQ(r.u16(), 0xbeef);
+    EXPECT_EQ(r.u32(), 0xdeadbeefu);
+    EXPECT_EQ(r.u64(), 0x0123456789abcdefULL);
+    EXPECT_EQ(r.i64(), -42);
+    EXPECT_EQ(r.f64(), -1.5e-300);
+    EXPECT_TRUE(r.boolean());
+    EXPECT_EQ(r.str(), embeddedNul);
+    EXPECT_EQ(r.vecF64(), (std::vector<double>{1.0, -0.0, 2.5}));
+    EXPECT_EQ(r.vecU64(), (std::vector<std::size_t>{7, 0, 9}));
+    EXPECT_NO_THROW(r.expectEnd());
+}
+
+TEST(Wire, IntegersAreLittleEndianOnTheWire)
+{
+    Writer w;
+    w.u32(0x01020304u);
+    ASSERT_EQ(w.bytes().size(), 4u);
+    EXPECT_EQ(w.bytes()[0], 0x04);
+    EXPECT_EQ(w.bytes()[3], 0x01);
+}
+
+TEST(Wire, ReaderRejectsTruncation)
+{
+    Writer w;
+    w.u32(7);
+    Reader r(w.bytes());
+    EXPECT_EQ(r.u16(), 7);
+    EXPECT_THROW(r.u32(), WireError);
+
+    // A string length claiming more bytes than the payload holds.
+    Writer s;
+    s.u32(1000);
+    Reader rs(s.bytes());
+    EXPECT_THROW(rs.str(), WireError);
+
+    // A vector length that would overflow the payload must be
+    // rejected BEFORE any allocation happens.
+    Writer v;
+    v.u32(0x40000000u);
+    Reader rv(v.bytes());
+    EXPECT_THROW(rv.vecF64(), WireError);
+}
+
+TEST(Wire, ReaderRejectsTrailingGarbage)
+{
+    Writer w;
+    w.u64(1);
+    w.u8(0);
+    Reader r(w.bytes());
+    (void)r.u64();
+    EXPECT_THROW(r.expectEnd(), WireError);
+}
+
+TEST(Wire, BooleanRejectsJunkByte)
+{
+    Writer w;
+    w.u8(2);
+    Reader r(w.bytes());
+    EXPECT_THROW(r.boolean(), WireError);
+}
+
+// --- frame header -----------------------------------------------------------
+
+TEST(Wire, FrameHeaderRoundTrip)
+{
+    Writer payload;
+    payload.u64(99);
+    std::vector<std::uint8_t> frame =
+        sealFrame(MsgType::AwaitRequest, payload);
+    ASSERT_EQ(frame.size(), kFrameHeaderBytes + 8);
+    FrameHeader fh = decodeFrameHeader(frame.data());
+    EXPECT_EQ(fh.type, MsgType::AwaitRequest);
+    EXPECT_EQ(fh.length, 8u);
+}
+
+TEST(Wire, FrameHeaderRejectsBadMagic)
+{
+    std::vector<std::uint8_t> frame =
+        sealFrame(MsgType::StatsRequest, Writer{});
+    frame[0] ^= 0xff;
+    EXPECT_THROW(decodeFrameHeader(frame.data()), WireError);
+}
+
+TEST(Wire, FrameHeaderRejectsForeignVersion)
+{
+    std::vector<std::uint8_t> frame =
+        sealFrame(MsgType::StatsRequest, Writer{});
+    frame[4] = static_cast<std::uint8_t>(kWireVersion + 1);
+    EXPECT_THROW(decodeFrameHeader(frame.data()), WireError);
+}
+
+TEST(Wire, FrameHeaderRejectsUnknownType)
+{
+    std::vector<std::uint8_t> frame =
+        sealFrame(MsgType::StatsRequest, Writer{});
+    frame[6] = 60; // inside the request range but unassigned
+    EXPECT_THROW(decodeFrameHeader(frame.data()), WireError);
+}
+
+TEST(Wire, FrameHeaderRejectsOversizedLength)
+{
+    std::vector<std::uint8_t> frame =
+        sealFrame(MsgType::StatsRequest, Writer{});
+    // Patch the length field to just past the cap.
+    Writer len;
+    len.u32(kMaxPayloadBytes + 1);
+    std::copy(len.bytes().begin(), len.bytes().end(),
+              frame.begin() + 8);
+    EXPECT_THROW(decodeFrameHeader(frame.data()), WireError);
+}
+
+// --- message payloads -------------------------------------------------------
+
+TEST(Wire, JobSpecRoundTripIsLossless)
+{
+    JobSpec spec = fancySpec();
+    Writer w;
+    encodeJobSpec(w, spec);
+    Reader r(w.bytes());
+    JobSpec back = decodeJobSpec(r);
+    EXPECT_NO_THROW(r.expectEnd());
+
+    EXPECT_EQ(back.name, spec.name);
+    EXPECT_EQ(back.assembly, spec.assembly);
+    EXPECT_EQ(back.bins, spec.bins);
+    EXPECT_EQ(back.seed, spec.seed);
+    EXPECT_EQ(back.maxCycles, spec.maxCycles);
+    EXPECT_EQ(back.rounds, spec.rounds);
+    EXPECT_EQ(back.shards, spec.shards);
+    EXPECT_EQ(back.minRoundsPerShard, spec.minRoundsPerShard);
+    EXPECT_EQ(back.priority, spec.priority);
+    // The machine configuration must survive bit-exactly: the shard
+    // key is built from exact bit patterns.
+    EXPECT_EQ(runtime::configKey(back.machine),
+              runtime::configKey(spec.machine));
+    EXPECT_EQ(back.machine.exec.seed, spec.machine.exec.seed);
+    EXPECT_EQ(back.machine.chipSeed, spec.machine.chipSeed);
+
+    // And re-encoding the decoded spec reproduces the same bytes.
+    Writer again;
+    encodeJobSpec(again, back);
+    EXPECT_EQ(again.bytes(), w.bytes());
+}
+
+TEST(Wire, JobSpecRejectsPreassembledProgram)
+{
+    JobSpec spec = fancySpec();
+    spec.program.emplace();
+    Writer w;
+    EXPECT_THROW(encodeJobSpec(w, spec), WireError);
+}
+
+TEST(Wire, JobSpecRejectsUnknownPriority)
+{
+    JobSpec spec = fancySpec();
+    Writer w;
+    encodeJobSpec(w, spec);
+    std::vector<std::uint8_t> bytes = w.bytes();
+    bytes.back() = 9; // priority is the final byte
+    Reader r(bytes.data(), bytes.size());
+    EXPECT_THROW(decodeJobSpec(r), WireError);
+}
+
+TEST(Wire, JobSpecRejectsResourceBombValues)
+{
+    // A tiny frame claiming astronomical shard/round counts must be
+    // refused at decode time: the scheduler would otherwise build
+    // one task per shard (the denial-of-service vector).
+    auto encodeWith = [](std::uint64_t bins, std::uint64_t rounds,
+                         std::uint64_t shards) {
+        Writer w;
+        w.str("evil");
+        w.str("halt");
+        encodeMachineConfig(w, core::MachineConfig{});
+        w.u64(bins);
+        w.u64(0x5eed);     // seed
+        w.u64(1'000'000);  // maxCycles
+        w.u64(rounds);
+        w.u64(shards);
+        w.u64(1); // minRoundsPerShard
+        w.u8(1);  // priority Normal
+        return w.bytes();
+    };
+
+    auto expectRejected = [&](std::uint64_t bins, std::uint64_t rounds,
+                              std::uint64_t shards) {
+        std::vector<std::uint8_t> bytes =
+            encodeWith(bins, rounds, shards);
+        Reader r(bytes.data(), bytes.size());
+        EXPECT_THROW(decodeJobSpec(r), WireError);
+    };
+    expectRejected(1, 100'000'000, 100'000'000); // shard bomb
+    expectRejected(1, kMaxWireRounds + 1, 1);
+    expectRejected(kMaxWireBins + 1, 0, 1);
+    expectRejected(1u << 16, 1u << 16, 1); // rounds x bins bomb
+
+    // Sanity: legitimate paper-scale values still decode.
+    std::vector<std::uint8_t> ok = encodeWith(42, 25600, 8);
+    Reader r(ok.data(), ok.size());
+    EXPECT_NO_THROW(decodeJobSpec(r));
+}
+
+TEST(Wire, JobResultRoundTrip)
+{
+    JobResult result;
+    result.run.cyclesRun = 123456;
+    result.run.halted = true;
+    result.run.violations.latePoints = 3;
+    result.run.violations.staleEvents = 1;
+    result.run.violations.totalLateCycles = 17;
+    result.averages = {0.25, -1.0, 0.5};
+    result.bitAverages = {1.0, 0.0, 0.5};
+    result.sampleCount = 4242;
+    result.error = "";
+
+    Writer w;
+    encodeJobResult(w, result);
+    Reader r(w.bytes());
+    JobResult back = decodeJobResult(r);
+    EXPECT_NO_THROW(r.expectEnd());
+    EXPECT_EQ(back, result);
+
+    JobResult failure;
+    failure.error = "it broke";
+    Writer wf;
+    encodeJobResult(wf, failure);
+    Reader rf(wf.bytes());
+    EXPECT_EQ(decodeJobResult(rf), failure);
+}
+
+TEST(Wire, StatsFrameRoundTrip)
+{
+    StatsFrame stats;
+    stats.scheduler.submitted = 10;
+    stats.scheduler.completed = 8;
+    stats.scheduler.failed = 1;
+    stats.scheduler.cancelled = 1;
+    stats.scheduler.shardedJobs = 2;
+    stats.scheduler.machineSaturation = 0.75;
+    stats.scheduler.poolWaitEwmaSeconds = 0.003;
+    stats.scheduler.latency[1] = {5, 0.01, 0.02, 0.05};
+    stats.scheduler.latency[2] = {2, 0.001, 0.002, 0.004};
+    stats.pool.machinesCreated = 3;
+    stats.pool.reuseHits = 7;
+    stats.effectiveQueueCapacity = 16;
+
+    Writer w;
+    encodeStatsFrame(w, stats);
+    Reader r(w.bytes());
+    StatsFrame back = decodeStatsFrame(r);
+    EXPECT_NO_THROW(r.expectEnd());
+    EXPECT_EQ(back.scheduler.submitted, 10u);
+    EXPECT_EQ(back.scheduler.cancelled, 1u);
+    EXPECT_EQ(back.scheduler.machineSaturation, 0.75);
+    EXPECT_EQ(back.scheduler.poolWaitEwmaSeconds, 0.003);
+    EXPECT_EQ(back.scheduler.latency[1].count, 5u);
+    EXPECT_EQ(back.scheduler.latency[1].p95, 0.02);
+    EXPECT_EQ(back.scheduler.latency[2].max, 0.004);
+    EXPECT_EQ(back.pool.machinesCreated, 3u);
+    EXPECT_EQ(back.pool.reuseHits, 7u);
+    EXPECT_EQ(back.effectiveQueueCapacity, 16u);
+}
+
+TEST(Wire, ErrorFrameRoundTrip)
+{
+    ErrorFrame e{WireErrorCode::UnknownJob, "job 7 is unknown"};
+    Writer w;
+    encodeErrorFrame(w, e);
+    Reader r(w.bytes());
+    ErrorFrame back = decodeErrorFrame(r);
+    EXPECT_EQ(back.code, WireErrorCode::UnknownJob);
+    EXPECT_EQ(back.message, "job 7 is unknown");
+
+    Writer bad;
+    bad.u16(999);
+    bad.str("?");
+    Reader rb(bad.bytes());
+    EXPECT_THROW(decodeErrorFrame(rb), WireError);
+}
+
+// --- loopback transport and server dispatch ---------------------------------
+
+TEST(Loopback, PairCarriesBytesBothWays)
+{
+    auto [a, b] = loopbackPair();
+    std::uint8_t out[3] = {1, 2, 3};
+    a->sendAll(out, 3);
+    std::uint8_t in[3] = {};
+    ASSERT_TRUE(b->recvAll(in, 3));
+    EXPECT_EQ(in[2], 3);
+    b->sendAll(in, 3);
+    ASSERT_TRUE(a->recvAll(in, 3));
+    a->close();
+    // After close, the peer sees clean EOF between frames.
+    EXPECT_FALSE(b->recvAll(in, 1));
+}
+
+TEST(Loopback, SubmitAwaitPollStatusAgainstServer)
+{
+    ExperimentService service({.workers = 2});
+    auto listener = std::make_unique<LoopbackListener>();
+    LoopbackListener *accept_side = listener.get();
+    QumaServer server(service, std::move(listener));
+    QumaClient client(accept_side->connect());
+
+    runtime::JobId id = client.submit(shotJob(4, 0x111));
+    JobResult remote = client.await(id);
+    EXPECT_FALSE(remote.failed());
+    EXPECT_EQ(remote.sampleCount, 4u);
+    // Once finished, status/poll agree.
+    EXPECT_EQ(client.status(id), JobStatus::Done);
+    std::optional<JobResult> polled = client.poll(id);
+    ASSERT_TRUE(polled.has_value());
+    EXPECT_EQ(*polled, remote);
+
+    // Determinism across backends: a second, fresh local service
+    // produces the bit-identical result for the same spec.
+    ExperimentService local({.workers = 1});
+    EXPECT_EQ(local.runSync(shotJob(4, 0x111)), remote);
+
+    QumaServer::Stats ss = server.stats();
+    EXPECT_EQ(ss.connectionsAccepted, 1u);
+    EXPECT_GE(ss.requestsServed, 4u);
+    EXPECT_GT(ss.link.bytesUp, 0u);
+    EXPECT_GT(ss.link.bytesDown, 0u);
+    core::LinkStats cs = client.linkStats();
+    EXPECT_GT(cs.bytesUp, 0u);
+    EXPECT_EQ(cs.uploads, ss.link.uploads);
+}
+
+TEST(Loopback, TrySubmitReportsAdmissionRejection)
+{
+    ServiceConfig sc;
+    sc.workers = 1;
+    sc.queueCapacity = 1;
+    sc.startPaused = true;
+    ExperimentService service(sc);
+    auto listener = std::make_unique<LoopbackListener>();
+    LoopbackListener *accept_side = listener.get();
+    QumaServer server(service, std::move(listener));
+    QumaClient client(accept_side->connect());
+
+    std::optional<runtime::JobId> first =
+        client.trySubmit(shotJob(2, 1));
+    ASSERT_TRUE(first.has_value());
+    std::optional<runtime::JobId> second =
+        client.trySubmit(shotJob(2, 2));
+    EXPECT_FALSE(second.has_value());
+
+    service.start();
+    EXPECT_FALSE(client.await(*first).failed());
+}
+
+TEST(Loopback, ExplicitCancelOfQueuedJob)
+{
+    ServiceConfig sc;
+    sc.workers = 1;
+    sc.queueCapacity = 8;
+    sc.startPaused = true;
+    ExperimentService service(sc);
+    auto listener = std::make_unique<LoopbackListener>();
+    LoopbackListener *accept_side = listener.get();
+    QumaServer server(service, std::move(listener));
+    QumaClient client(accept_side->connect());
+
+    runtime::JobId keep = client.submit(shotJob(2, 1));
+    runtime::JobId drop = client.submit(shotJob(2, 2));
+    EXPECT_TRUE(client.cancel(drop));
+    EXPECT_FALSE(client.cancel(drop)); // already finished (failed)
+    EXPECT_EQ(client.status(drop), JobStatus::Failed);
+    JobResult dropped = client.await(drop);
+    EXPECT_TRUE(dropped.failed());
+    EXPECT_NE(dropped.error.find("cancelled"), std::string::npos);
+
+    service.start();
+    EXPECT_FALSE(client.await(keep).failed());
+    EXPECT_EQ(client.stats().scheduler.cancelled, 1u);
+}
+
+TEST(Loopback, CancelIsScopedToTheSubmittingConnection)
+{
+    ServiceConfig sc;
+    sc.workers = 1;
+    sc.queueCapacity = 8;
+    sc.startPaused = true;
+    ExperimentService service(sc);
+    auto listener = std::make_unique<LoopbackListener>();
+    LoopbackListener *accept_side = listener.get();
+    QumaServer server(service, std::move(listener));
+    QumaClient alice(accept_side->connect());
+    QumaClient mallory(accept_side->connect());
+
+    runtime::JobId job = alice.submit(shotJob(2, 1));
+    // Another connection cannot cancel a job it does not own, even
+    // with a valid (guessed) id.
+    EXPECT_FALSE(mallory.cancel(job));
+    EXPECT_EQ(alice.status(job), JobStatus::Queued);
+    // The owner still can.
+    EXPECT_TRUE(alice.cancel(job));
+    EXPECT_EQ(alice.status(job), JobStatus::Failed);
+    service.start();
+    service.drain();
+}
+
+TEST(Loopback, DisconnectCancelsQueuedJobs)
+{
+    ServiceConfig sc;
+    sc.workers = 1;
+    sc.queueCapacity = 8;
+    sc.startPaused = true;
+    ExperimentService service(sc);
+    auto listener = std::make_unique<LoopbackListener>();
+    LoopbackListener *accept_side = listener.get();
+    QumaServer server(service, std::move(listener));
+
+    {
+        QumaClient client(accept_side->connect());
+        client.submit(shotJob(2, 1));
+        client.submit(shotJob(2, 2));
+        client.disconnect();
+    }
+    // The serving thread notices EOF asynchronously.
+    for (int i = 0; i < 500; ++i) {
+        if (server.stats().jobsCancelledOnDisconnect == 2)
+            break;
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    EXPECT_EQ(server.stats().jobsCancelledOnDisconnect, 2u);
+    EXPECT_EQ(service.scheduler().stats().cancelled, 2u);
+    // The connection's serving state was reclaimed, not parked.
+    EXPECT_EQ(server.stats().connectionsActive, 0u);
+    service.start();
+    service.drain();
+}
+
+TEST(Loopback, UnknownJobIdMirrorsLocalFatal)
+{
+    ExperimentService service({.workers = 1});
+    auto listener = std::make_unique<LoopbackListener>();
+    LoopbackListener *accept_side = listener.get();
+    QumaServer server(service, std::move(listener));
+    QumaClient client(accept_side->connect());
+    EXPECT_THROW(client.await(424242), FatalError);
+    // The connection survives an error reply.
+    EXPECT_FALSE(client.runSync(shotJob(2, 5)).failed());
+}
+
+TEST(Loopback, StatsFrameReflectsServedWork)
+{
+    ExperimentService service({.workers = 2});
+    auto listener = std::make_unique<LoopbackListener>();
+    LoopbackListener *accept_side = listener.get();
+    QumaServer server(service, std::move(listener));
+    QumaClient client(accept_side->connect());
+
+    JobSpec spec = shotJob(2, 0x77);
+    spec.priority = JobPriority::High;
+    EXPECT_FALSE(client.runSync(spec).failed());
+
+    StatsFrame stats = client.stats();
+    EXPECT_GE(stats.scheduler.completed, 1u);
+    EXPECT_GT(stats.effectiveQueueCapacity, 0u);
+    const auto &high = stats.scheduler.latency[static_cast<std::size_t>(
+        JobPriority::High)];
+    EXPECT_EQ(high.count, 1u);
+    EXPECT_GT(high.max, 0.0);
+    EXPECT_GE(high.p95, high.p50);
+    EXPECT_GE(stats.pool.machinesCreated, 1u);
+}
+
+TEST(Loopback, DisconnectDuringAwaitCancelsQueuedJobs)
+{
+    // The serving thread is parked in an await on a job that can
+    // never run (paused service) when the client vanishes: the
+    // liveness probe inside the bounded wait must notice and the
+    // disconnect handling must cancel the client's queued jobs.
+    ServiceConfig sc;
+    sc.workers = 1;
+    sc.queueCapacity = 8;
+    sc.startPaused = true;
+    ExperimentService service(sc);
+    auto listener = std::make_unique<LoopbackListener>();
+    LoopbackListener *accept_side = listener.get();
+    QumaServer server(service, std::move(listener));
+
+    {
+        QumaClient client(accept_side->connect());
+        runtime::JobId first = client.submit(shotJob(2, 1));
+        client.submit(shotJob(2, 2));
+        std::thread waiter([&] {
+            try {
+                client.await(first);
+            } catch (const std::exception &) {
+                // The disconnect below kills the in-flight await.
+            }
+        });
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+        client.disconnect();
+        waiter.join();
+    }
+    for (int i = 0; i < 1000; ++i) {
+        if (server.stats().jobsCancelledOnDisconnect == 2)
+            break;
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    EXPECT_EQ(server.stats().jobsCancelledOnDisconnect, 2u);
+    EXPECT_EQ(service.scheduler().stats().cancelled, 2u);
+    service.start();
+    service.drain();
+}
+
+TEST(Loopback, StopUnblocksAPendingAwait)
+{
+    // The service never starts, so the awaited job can never finish:
+    // stop() must still complete, interrupting the connection thread
+    // parked on the scheduler and answering the client with a
+    // Shutdown error.
+    ServiceConfig sc;
+    sc.workers = 1;
+    sc.startPaused = true;
+    ExperimentService service(sc);
+    auto listener = std::make_unique<LoopbackListener>();
+    LoopbackListener *accept_side = listener.get();
+    QumaServer server(service, std::move(listener));
+    QumaClient client(accept_side->connect());
+
+    runtime::JobId id = client.submit(shotJob(2, 1));
+    bool threw = false;
+    std::thread waiter([&] {
+        try {
+            client.await(id);
+        } catch (const std::exception &) {
+            threw = true;
+        }
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    server.stop(); // must not hang behind the blocked await
+    waiter.join();
+    EXPECT_TRUE(threw);
+    service.start();
+    service.drain();
+}
+
+/** Read one whole frame (header + payload) off a raw stream. */
+std::pair<FrameHeader, std::vector<std::uint8_t>>
+recvFrame(ByteStream &stream)
+{
+    std::uint8_t header[kFrameHeaderBytes];
+    EXPECT_TRUE(stream.recvAll(header, sizeof(header)));
+    FrameHeader fh = decodeFrameHeader(header);
+    std::vector<std::uint8_t> payload(fh.length);
+    if (fh.length > 0) {
+        EXPECT_TRUE(stream.recvAll(payload.data(), payload.size()));
+    }
+    return {fh, std::move(payload)};
+}
+
+TEST(Loopback, MalformedPayloadGetsBadRequestAndKeepsConnection)
+{
+    ServiceConfig sc;
+    sc.workers = 1;
+    sc.queueCapacity = 8;
+    sc.startPaused = true;
+    ExperimentService service(sc);
+    auto listener = std::make_unique<LoopbackListener>();
+    LoopbackListener *accept_side = listener.get();
+    QumaServer server(service, std::move(listener));
+
+    std::unique_ptr<ByteStream> raw = accept_side->connect();
+    // A healthy submit first, so the connection owns a queued job.
+    Writer submit;
+    encodeJobSpec(submit, shotJob(2, 9));
+    std::vector<std::uint8_t> frame =
+        sealFrame(MsgType::SubmitRequest, submit);
+    raw->sendAll(frame.data(), frame.size());
+    auto [sfh, sbody] = recvFrame(*raw);
+    ASSERT_EQ(sfh.type, MsgType::SubmitReply);
+
+    // Now a StatusRequest whose payload is 2 bytes short of its u64:
+    // framing is intact, the payload is the client's bug.
+    Writer bad;
+    bad.u32(7);
+    frame = sealFrame(MsgType::StatusRequest, bad);
+    raw->sendAll(frame.data(), frame.size());
+    auto [efh, ebody] = recvFrame(*raw);
+    ASSERT_EQ(efh.type, MsgType::ErrorReply);
+    Reader er(ebody);
+    EXPECT_EQ(decodeErrorFrame(er).code, WireErrorCode::BadRequest);
+
+    // The connection survived and the queued job was NOT cancelled.
+    Writer stats;
+    frame = sealFrame(MsgType::StatsRequest, stats);
+    raw->sendAll(frame.data(), frame.size());
+    auto [tfh, tbody] = recvFrame(*raw);
+    EXPECT_EQ(tfh.type, MsgType::StatsReply);
+    EXPECT_EQ(service.scheduler().stats().cancelled, 0u);
+
+    service.start();
+    service.drain();
+}
+
+// --- real TCP: the remote-vs-local acceptance invariant ---------------------
+
+TEST(Tcp, ShardedPriorityAllxyBitIdenticalRemoteVsLocal)
+{
+    experiments::AllxyConfig cfg;
+    cfg.rounds = 32;
+    cfg.shards = 4;
+    cfg.seed = 0xa11c;
+    JobSpec spec = experiments::allxyJob(cfg);
+    ASSERT_EQ(spec.rounds, 32u); // round-structured, sharded
+    spec.priority = JobPriority::High;
+
+    // In-process reference.
+    ExperimentService local({.workers = 2});
+    JobResult localResult = local.runSync(spec);
+    ASSERT_FALSE(localResult.failed());
+
+    // The same spec through a real TCP loopback connection.
+    ExperimentService served({.workers = 2});
+    auto listener = std::make_unique<TcpListener>(0);
+    std::uint16_t port = listener->port();
+    QumaServer server(served, std::move(listener));
+    QumaClient client("127.0.0.1", port);
+    JobResult remoteResult = client.runSync(spec);
+
+    ASSERT_FALSE(remoteResult.failed());
+    EXPECT_GT(remoteResult.sampleCount, 0u);
+    // THE acceptance bit: not close, identical.
+    EXPECT_EQ(remoteResult, localResult);
+
+    // The sharding fields made it across: the served scheduler saw a
+    // multi-shard job.
+    EXPECT_GE(served.scheduler().stats().shardedJobs, 1u);
+}
+
+TEST(Tcp, ExperimentFanOutRunsUnchangedAgainstRemoteBackend)
+{
+    experiments::AllxyConfig cfg;
+    cfg.rounds = 8;
+    cfg.shards = 1;
+    cfg.seed = 0x5eed;
+
+    ExperimentService local({.workers = 2});
+    experiments::AllxyResult onLocal =
+        experiments::runAllxy(cfg, local);
+
+    ExperimentService served({.workers = 2});
+    auto listener = std::make_unique<TcpListener>(0);
+    std::uint16_t port = listener->port();
+    QumaServer server(served, std::move(listener));
+    QumaClient client("127.0.0.1", port);
+    experiments::AllxyResult onRemote =
+        experiments::runAllxy(cfg, client);
+
+    // Same fan-out code, different backend, identical physics.
+    EXPECT_EQ(onRemote.rawS, onLocal.rawS);
+    EXPECT_EQ(onRemote.fidelity, onLocal.fidelity);
+    EXPECT_EQ(onRemote.deviation, onLocal.deviation);
+}
+
+TEST(Tcp, ConcurrentClientsGetTheirOwnResults)
+{
+    ExperimentService service({.workers = 2});
+    auto listener = std::make_unique<TcpListener>(0);
+    std::uint16_t port = listener->port();
+    QumaServer server(service, std::move(listener));
+
+    constexpr int kClients = 3;
+    constexpr int kJobsEach = 3;
+    std::vector<std::vector<JobResult>> results(kClients);
+    std::vector<std::thread> drivers;
+    drivers.reserve(kClients);
+    for (int c = 0; c < kClients; ++c)
+        drivers.emplace_back([&, c] {
+            QumaClient client("127.0.0.1", port);
+            std::vector<runtime::JobId> ids;
+            for (int j = 0; j < kJobsEach; ++j)
+                ids.push_back(client.submit(
+                    shotJob(2, 0x1000u + 16u * static_cast<unsigned>(c) +
+                                   static_cast<unsigned>(j))));
+            results[static_cast<std::size_t>(c)] =
+                client.awaitAll(ids);
+        });
+    for (auto &d : drivers)
+        d.join();
+
+    // Every client's results match a locally-run reference of the
+    // same seeds: no cross-connection mixups.
+    ExperimentService local({.workers = 1});
+    for (int c = 0; c < kClients; ++c)
+        for (int j = 0; j < kJobsEach; ++j) {
+            JobResult ref = local.runSync(
+                shotJob(2, 0x1000u + 16u * static_cast<unsigned>(c) +
+                               static_cast<unsigned>(j)));
+            EXPECT_EQ(results[static_cast<std::size_t>(c)]
+                             [static_cast<std::size_t>(j)],
+                      ref);
+        }
+    EXPECT_EQ(server.stats().connectionsAccepted,
+              static_cast<std::size_t>(kClients));
+}
+
+} // namespace
+} // namespace quma::net
