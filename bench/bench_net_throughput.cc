@@ -12,10 +12,20 @@
  * many connections carried them (and identical to an in-process
  * run of the same specs).
  *
+ * A second section measures what wire-v2 multiplexing buys on ONE
+ * connection: a batch of deliberately LIGHT jobs (one averaging
+ * round each -- the §7.1 regime where the host link, not the
+ * physics, bounds the rate) run strictly serially (submit+await
+ * each job, the v1 request/reply discipline) vs pipelined
+ * (submitAll, then awaitMany streaming results back in completion
+ * order). Same jobs, same socket; the ratio is the per-job
+ * round-trip cost the v2 protocol amortizes away.
+ *
  * Tunables (environment): QUMA_BENCH_NET_JOBS (batch size, default
  * 48), QUMA_BENCH_NET_ROUNDS (averaged shots per job, default 8),
- * QUMA_BENCH_NET_MAX_CONNS (default 4), QUMA_BENCH_NET_WORKERS
- * (service workers, default 4).
+ * QUMA_BENCH_NET_PIPE_ROUNDS (rounds of the pipelined-vs-serial
+ * jobs, default 1), QUMA_BENCH_NET_MAX_CONNS (default 4),
+ * QUMA_BENCH_NET_WORKERS (service workers, default 4).
  */
 
 #include <chrono>
@@ -137,7 +147,9 @@ main(int argc, char **argv)
 
     runtime::ServiceConfig sc;
     sc.workers = static_cast<unsigned>(workers);
-    sc.queueCapacity = jobs + 2;
+    // Room for the heavyweight batch AND the (4x larger) light batch
+    // the pipelined-vs-serial section bursts in at once.
+    sc.queueCapacity = 4 * jobs + 2;
     runtime::ExperimentService service(sc);
     auto listener = std::make_unique<net::TcpListener>(0);
     std::uint16_t port = listener->port();
@@ -192,6 +204,95 @@ main(int argc, char **argv)
         "results the in-process service computes: the wire protocol\n"
         "adds transport, not physics. Request latency is dominated\n"
         "by queue depth ahead of the job, not by the frame codec.\n");
+
+    // --- pipelined vs serial on one connection --------------------
+    //
+    // Serial replays the v1 discipline: one request in flight, the
+    // connection (and the whole service) idles for a round-trip
+    // between every job. Pipelined ships the whole batch before
+    // reading the first reply and streams results back as they
+    // finish. The jobs are LIGHT (default one round) so the
+    // per-job link cost -- the term §7.1 budgets and v2 amortizes --
+    // is what the ratio measures, not the physics compute that
+    // dominates the heavyweight sections above.
+    std::size_t pipeRounds =
+        bench::envSize("QUMA_BENCH_NET_PIPE_ROUNDS", 1);
+    // 4x the heavyweight batch: light jobs finish in fractions of a
+    // millisecond, so the section needs more of them for a stable
+    // measurement.
+    std::size_t pipeJobs = 4 * jobs;
+    bench::banner("one connection: pipelined vs serial (wire v2)");
+    std::printf("batch: %zu light AllXY jobs x %zu round(s)\n",
+                pipeJobs, pipeRounds);
+    std::vector<runtime::JobSpec> light;
+    for (std::size_t i = 0; i < pipeJobs; ++i) {
+        experiments::AllxyConfig cfg;
+        cfg.rounds = pipeRounds;
+        cfg.shards = 1;
+        cfg.seed = 0x11fe + i;
+        light.push_back(experiments::allxyJob(cfg));
+    }
+    std::map<std::uint64_t, runtime::JobResult> lightReference;
+    {
+        runtime::ExperimentService local(
+            {.workers = static_cast<unsigned>(workers),
+             .queueCapacity = pipeJobs + 2});
+        std::vector<runtime::JobId> ids = local.submitAll(light);
+        std::vector<runtime::JobResult> results = local.awaitAll(ids);
+        for (std::size_t i = 0; i < light.size(); ++i)
+            lightReference.emplace(light[i].seed,
+                                   std::move(results[i]));
+    }
+    double serialRate;
+    {
+        net::QumaClient client("127.0.0.1", port);
+        auto start = std::chrono::steady_clock::now();
+        std::map<std::uint64_t, runtime::JobResult> got;
+        for (const auto &spec : light)
+            got.emplace(spec.seed,
+                        client.await(client.submit(spec)));
+        double seconds = secondsSince(start);
+        serialRate = static_cast<double>(pipeJobs) / seconds;
+        std::printf("serial    : %8.3f s   %8.1f jobs/sec\n", seconds,
+                    serialRate);
+        if (got != lightReference) {
+            std::printf("SERIAL DETERMINISM VIOLATION\n");
+            return 1;
+        }
+    }
+    double pipelinedRate;
+    {
+        net::QumaClient client("127.0.0.1", port);
+        auto start = std::chrono::steady_clock::now();
+        std::vector<runtime::JobId> ids = client.submitAll(light);
+        std::map<std::uint64_t, runtime::JobResult> got;
+        std::size_t streamed = 0;
+        // awaitMany delivers in COMPLETION order; map back to seeds
+        // through the id order submitAll returned.
+        std::map<runtime::JobId, std::uint64_t> seedOf;
+        for (std::size_t i = 0; i < ids.size(); ++i)
+            seedOf.emplace(ids[i], light[i].seed);
+        for (auto &[id, result] : client.awaitMany(ids)) {
+            got.emplace(seedOf.at(id), std::move(result));
+            ++streamed;
+        }
+        double seconds = secondsSince(start);
+        pipelinedRate = static_cast<double>(pipeJobs) / seconds;
+        std::printf("pipelined : %8.3f s   %8.1f jobs/sec   "
+                    "(%zu results streamed)\n",
+                    seconds, pipelinedRate, streamed);
+        if (got != lightReference) {
+            std::printf("PIPELINED DETERMINISM VIOLATION\n");
+            return 1;
+        }
+    }
+    double speedup = pipelinedRate / serialRate;
+    std::printf("pipelining speedup at 1 connection: %.2fx\n",
+                speedup);
+    json.metric("net_serial_jobs_per_sec_1c", serialRate, "jobs/s");
+    json.metric("net_pipelined_jobs_per_sec_1c", pipelinedRate,
+                "jobs/s");
+    json.metric("net_pipelined_speedup_1c", speedup);
 
     json.writeTo(jsonPath);
     return 0;

@@ -161,8 +161,9 @@ runSweep(const CoherenceConfig &config, Sequence seq,
 
 /**
  * Service-routed sweep: one job per delay point, each a three-bin
- * program (the point plus both calibration points), submitted in a
- * burst and awaited together.
+ * program (the point plus both calibration points), submitted as one
+ * batch -- a remote backend pipelines the burst over its single
+ * connection -- and awaited together.
  */
 SweepOutput
 runSweepJobs(const CoherenceConfig &config, Sequence seq, unsigned n_pi,
@@ -171,8 +172,8 @@ runSweepJobs(const CoherenceConfig &config, Sequence seq, unsigned n_pi,
     if (config.delaysCycles.empty())
         fatal("coherence sweep needs at least one delay");
 
-    std::vector<runtime::JobId> ids;
-    ids.reserve(config.delaysCycles.size());
+    std::vector<runtime::JobSpec> specs;
+    specs.reserve(config.delaysCycles.size());
     core::MachineConfig mc = sweepMachineConfig(config);
     // Explicit shard requests and large auto sweeps request
     // sharding: the point program carries only one round and the
@@ -205,8 +206,10 @@ runSweepJobs(const CoherenceConfig &config, Sequence seq, unsigned n_pi,
             job.rounds = config.rounds;
             job.shards = config.shards;
         }
-        ids.push_back(backend.submit(std::move(job)));
+        specs.push_back(std::move(job));
     }
+    std::vector<runtime::JobId> ids =
+        backend.submitAll(std::move(specs));
 
     SweepOutput out;
     std::vector<runtime::JobResult> results = backend.awaitAll(ids);

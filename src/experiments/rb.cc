@@ -121,10 +121,14 @@ runRb(const RbConfig &config, runtime::IExperimentBackend &backend)
     // calibration points, drawn from a length-local RNG stream.
     // Explicit shard requests and large auto runs request sharding:
     // the program carries one round and the runtime fans the
-    // averaging rounds out across pooled machines.
+    // averaging rounds out across pooled machines. The whole sweep
+    // is submitted as ONE batch: a remote backend pipelines it over
+    // its single connection (~1 submit round-trip instead of one per
+    // length), a local service just loops.
     bool roundStructured =
         runtime::wantsRoundStructured(config.shards, config.rounds);
-    std::vector<runtime::JobId> ids;
+    std::vector<runtime::JobSpec> specs;
+    specs.reserve(config.lengths.size());
     for (std::size_t li = 0; li < config.lengths.size(); ++li) {
         unsigned m = config.lengths[li];
         Rng rng(Rng::derive(config.seed, li));
@@ -159,8 +163,10 @@ runRb(const RbConfig &config, runtime::IExperimentBackend &backend)
             job.rounds = config.rounds;
             job.shards = config.shards;
         }
-        ids.push_back(backend.submit(std::move(job)));
+        specs.push_back(std::move(job));
     }
+    std::vector<runtime::JobId> ids =
+        backend.submitAll(std::move(specs));
 
     RbResult result;
     std::vector<double> x;

@@ -1,5 +1,7 @@
 #include "net/client.hh"
 
+#include <algorithm>
+
 #include "common/logging.hh"
 
 namespace quma::net {
@@ -10,6 +12,7 @@ QumaClient::QumaClient(std::unique_ptr<ByteStream> stream_,
 {
     if (!stream)
         fatal("QumaClient needs a connected stream");
+    reader = std::thread([this] { readerLoop(); });
 }
 
 QumaClient::QumaClient(const std::string &host, std::uint16_t port)
@@ -20,15 +23,17 @@ QumaClient::QumaClient(const std::string &host, std::uint16_t port)
 QumaClient::~QumaClient()
 {
     disconnect();
+    if (reader.joinable())
+        reader.join();
 }
 
 void
 QumaClient::disconnect()
 {
-    // Deliberately NOT under mu: a roundTrip blocked in recv holds
-    // the mutex, and this close() is exactly what unblocks it.
-    // ByteStream::close is thread-safe and idempotent, and the
-    // stream pointer itself is never reseated after construction.
+    // Deliberately NOT under mu: close() is what unblocks the reader
+    // thread's recv (which then fails every parked request), and
+    // ByteStream::close is thread-safe and idempotent. The stream
+    // pointer itself is never reseated after construction.
     stream->close();
 }
 
@@ -39,26 +44,133 @@ QumaClient::linkStats() const
     return meter.stats();
 }
 
-std::vector<std::uint8_t>
-QumaClient::roundTrip(MsgType request, const Writer &payload,
-                      MsgType expected_reply) const
+void
+QumaClient::failAllLocked(const std::string &why)
+{
+    readerDown = true;
+    readerFailure = why;
+    for (auto &[rid, slot] : slots) {
+        if (slot.ready)
+            continue; // a real reply already landed; let it be read
+        slot.ready = true;
+        slot.failure = why;
+    }
+    cvSlots.notify_all();
+}
+
+void
+QumaClient::readerLoop()
+{
+    try {
+        for (;;) {
+            std::uint8_t header[kFrameHeaderBytes];
+            if (!stream->recvAll(header, sizeof(header)))
+                throw WireError("server hung up");
+            FrameHeader fh = decodeFrameHeader(header);
+            std::vector<std::uint8_t> body(fh.length);
+            if (fh.length > 0 &&
+                !stream->recvAll(body.data(), body.size()))
+                throw WireError("connection closed mid-frame");
+
+            std::lock_guard<std::mutex> lock(mu);
+            meter.record(sizeof(header) + body.size(), false);
+            if (fh.requestId == kConnectionRequestId) {
+                // A frame answering no request is the server talking
+                // about the CONNECTION (version mismatch and kin):
+                // nothing on it can be trusted further.
+                std::string why = "connection-level server error";
+                if (fh.type == MsgType::ErrorReply) {
+                    try {
+                        Reader r(body);
+                        ErrorFrame e = decodeErrorFrame(r);
+                        why = "server: " + e.message;
+                    } catch (const std::exception &) {
+                    }
+                }
+                failAllLocked(why);
+                return;
+            }
+            auto it = slots.find(fh.requestId);
+            if (it == slots.end()) {
+                // A reply nobody asked for: the demux contract is
+                // broken, and with it every routing guarantee.
+                failAllLocked("unsolicited reply for request id " +
+                              std::to_string(fh.requestId));
+                return;
+            }
+            if (it->second.abandoned) {
+                // Its batch call unwound; the reply has no reader.
+                slots.erase(it);
+                continue;
+            }
+            it->second.ready = true;
+            it->second.type = fh.type;
+            it->second.payload = std::move(body);
+            it->second.seq = ++arrivalSeq;
+            cvSlots.notify_all();
+        }
+    } catch (const std::exception &ex) {
+        std::lock_guard<std::mutex> lock(mu);
+        failAllLocked(ex.what());
+    }
+}
+
+void
+QumaClient::abandonSlots(const std::uint64_t *rids,
+                         std::size_t count) const
 {
     std::lock_guard<std::mutex> lock(mu);
-    std::vector<std::uint8_t> frame = sealFrame(request, payload);
-    stream->sendAll(frame.data(), frame.size());
+    for (std::size_t i = 0; i < count; ++i) {
+        auto it = slots.find(rids[i]);
+        if (it == slots.end())
+            continue;
+        if (it->second.ready)
+            slots.erase(it);
+        else
+            it->second.abandoned = true;
+    }
+}
+
+std::uint64_t
+QumaClient::sendRequest(MsgType type, const Writer &payload) const
+{
+    std::uint64_t rid;
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        if (readerDown)
+            throw WireError("connection is down: " + readerFailure);
+        rid = nextRequestId++;
+        slots.emplace(rid, Slot{});
+    }
+    std::vector<std::uint8_t> frame = sealFrame(type, rid, payload);
+    try {
+        // Frames from concurrent callers must not interleave; only
+        // the byte write is serialized, never a round-trip.
+        std::lock_guard<std::mutex> lock(sendMu);
+        stream->sendAll(frame.data(), frame.size());
+    } catch (...) {
+        std::lock_guard<std::mutex> lock(mu);
+        slots.erase(rid);
+        throw;
+    }
+    std::lock_guard<std::mutex> lock(mu);
     meter.record(frame.size(), true);
+    return rid;
+}
 
-    std::uint8_t header[kFrameHeaderBytes];
-    if (!stream->recvAll(header, sizeof(header)))
-        throw WireError("server hung up before replying");
-    FrameHeader fh = decodeFrameHeader(header);
-    std::vector<std::uint8_t> body(fh.length);
-    if (fh.length > 0 && !stream->recvAll(body.data(), body.size()))
-        throw WireError("connection closed mid-frame");
-    meter.record(sizeof(header) + body.size(), false);
-
-    if (fh.type == MsgType::ErrorReply) {
-        Reader r(body);
+std::vector<std::uint8_t>
+QumaClient::consumeSlotLocked(std::uint64_t request_id,
+                              MsgType expected_reply) const
+{
+    auto it = slots.find(request_id);
+    quma_assert(it != slots.end() && it->second.ready,
+                "consuming an unfulfilled slot");
+    Slot slot = std::move(it->second);
+    slots.erase(it);
+    if (!slot.failure.empty())
+        throw WireError(slot.failure);
+    if (slot.type == MsgType::ErrorReply) {
+        Reader r(slot.payload);
         ErrorFrame e = decodeErrorFrame(r);
         r.expectEnd();
         // Unknown ids mirror the local scheduler's fatal(); every
@@ -70,11 +182,30 @@ QumaClient::roundTrip(MsgType request, const Writer &payload,
                             static_cast<std::uint16_t>(e.code)) +
                         ": " + e.message);
     }
-    if (fh.type != expected_reply)
+    if (slot.type != expected_reply)
         throw WireError("unexpected reply type " +
-                        std::to_string(
-                            static_cast<std::uint16_t>(fh.type)));
-    return body;
+                        std::to_string(static_cast<std::uint16_t>(
+                            slot.type)));
+    return std::move(slot.payload);
+}
+
+std::vector<std::uint8_t>
+QumaClient::waitReply(std::uint64_t request_id,
+                      MsgType expected_reply) const
+{
+    std::unique_lock<std::mutex> lock(mu);
+    cvSlots.wait(lock, [&] {
+        auto it = slots.find(request_id);
+        return it != slots.end() && it->second.ready;
+    });
+    return consumeSlotLocked(request_id, expected_reply);
+}
+
+std::vector<std::uint8_t>
+QumaClient::roundTrip(MsgType request, const Writer &payload,
+                      MsgType expected_reply) const
+{
+    return waitReply(sendRequest(request, payload), expected_reply);
 }
 
 runtime::JobId
@@ -88,6 +219,40 @@ QumaClient::submit(runtime::JobSpec spec)
     runtime::JobId id = r.u64();
     r.expectEnd();
     return id;
+}
+
+std::vector<runtime::JobId>
+QumaClient::submitAll(std::vector<runtime::JobSpec> specs)
+{
+    // Phase 1: every spec leaves on the wire, no reads in between --
+    // the whole sweep is in the server's reader before the first
+    // acknowledgement travels back.
+    std::vector<std::uint64_t> rids;
+    rids.reserve(specs.size());
+    for (const runtime::JobSpec &spec : specs) {
+        Writer w;
+        encodeJobSpec(w, spec);
+        rids.push_back(sendRequest(MsgType::SubmitRequest, w));
+    }
+    // Phase 2: collect the ids (replies arrive in server order,
+    // routing by requestId makes the order irrelevant). If one
+    // submit fails, the siblings' slots must not leak: abandon
+    // whatever was not collected yet before rethrowing.
+    std::vector<runtime::JobId> ids;
+    ids.reserve(rids.size());
+    for (std::size_t i = 0; i < rids.size(); ++i) {
+        try {
+            std::vector<std::uint8_t> body =
+                waitReply(rids[i], MsgType::SubmitReply);
+            Reader r(body);
+            ids.push_back(r.u64());
+            r.expectEnd();
+        } catch (...) {
+            abandonSlots(rids.data() + i + 1, rids.size() - i - 1);
+            throw;
+        }
+    }
+    return ids;
 }
 
 std::optional<runtime::JobId>
@@ -144,12 +309,152 @@ QumaClient::await(runtime::JobId id)
 {
     Writer w;
     w.u64(id);
+    // The reply is PUSHED by the server when the job completes; this
+    // call just parks on the promise slot (other callers' requests
+    // keep flowing on the connection meanwhile).
     std::vector<std::uint8_t> body =
         roundTrip(MsgType::AwaitRequest, w, MsgType::AwaitReply);
     Reader r(body);
     runtime::JobResult result = decodeJobResult(r);
     r.expectEnd();
     return result;
+}
+
+std::vector<runtime::JobResult>
+QumaClient::awaitAll(const std::vector<runtime::JobId> &ids)
+{
+    // All awaits go out up front; the server streams each result as
+    // its job finishes, and the slots buffer whatever completes
+    // before this loop reaches it. Waiting in argument order adds no
+    // wall-clock: the LAST job gates the total either way.
+    std::vector<std::uint64_t> rids;
+    rids.reserve(ids.size());
+    for (runtime::JobId id : ids) {
+        Writer w;
+        w.u64(id);
+        rids.push_back(sendRequest(MsgType::AwaitRequest, w));
+    }
+    std::vector<runtime::JobResult> out;
+    out.reserve(rids.size());
+    for (std::size_t i = 0; i < rids.size(); ++i) {
+        try {
+            std::vector<std::uint8_t> body =
+                waitReply(rids[i], MsgType::AwaitReply);
+            Reader r(body);
+            out.push_back(decodeJobResult(r));
+            r.expectEnd();
+        } catch (...) {
+            // One await failed (e.g. an aged-out id fataling):
+            // late pushes for the rest must not leak in the slot
+            // map for the client's lifetime.
+            abandonSlots(rids.data() + i + 1, rids.size() - i - 1);
+            throw;
+        }
+    }
+    return out;
+}
+
+void
+QumaClient::awaitStreaming(
+    const std::vector<runtime::JobId> &ids,
+    const std::function<void(runtime::JobId, runtime::JobResult)>
+        &deliver)
+{
+    if (!deliver)
+        fatal("awaitStreaming needs a delivery callback");
+    // Arrival watermark taken BEFORE the requests leave: any reply
+    // to them bumps arrivalSeq past it. The wait predicate is then
+    // O(1) -- "has anything arrived since my last scan" -- instead
+    // of re-scanning every pending id on every reader wakeup (which
+    // would make a large sweep O(N^2) under the demux mutex).
+    std::uint64_t scannedThrough;
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        scannedThrough = arrivalSeq;
+    }
+    std::unordered_map<std::uint64_t, runtime::JobId> pending;
+    pending.reserve(ids.size());
+    for (runtime::JobId id : ids) {
+        Writer w;
+        w.u64(id);
+        pending.emplace(sendRequest(MsgType::AwaitRequest, w), id);
+    }
+    // On any throw below (error reply, decode failure, a throwing
+    // deliver callback), the outstanding awaits must not leak.
+    struct AbandonPending
+    {
+        const QumaClient *client;
+        std::unordered_map<std::uint64_t, runtime::JobId> *pending;
+        ~AbandonPending()
+        {
+            if (pending->empty())
+                return;
+            std::vector<std::uint64_t> rids;
+            rids.reserve(pending->size());
+            for (const auto &[rid, id] : *pending)
+                rids.push_back(rid);
+            client->abandonSlots(rids.data(), rids.size());
+        }
+    } abandonGuard{this, &pending};
+    while (!pending.empty()) {
+        // Collect every slot the reader has fulfilled, then deliver
+        // OUTSIDE the mutex (the callback may call back into this
+        // client -- poll another id, read stats -- without deadlock).
+        struct Arrived
+        {
+            std::uint64_t seq;
+            runtime::JobId id;
+            std::vector<std::uint8_t> body;
+        };
+        std::vector<Arrived> batch;
+        {
+            std::unique_lock<std::mutex> lock(mu);
+            // readerDown covers failure fulfilment, which marks
+            // slots ready without an arrival (failAllLocked).
+            cvSlots.wait(lock, [&] {
+                return arrivalSeq > scannedThrough || readerDown;
+            });
+            scannedThrough = arrivalSeq;
+            for (auto it = pending.begin(); it != pending.end();) {
+                auto slot = slots.find(it->first);
+                if (slot == slots.end() || !slot->second.ready) {
+                    ++it;
+                    continue;
+                }
+                std::uint64_t seq = slot->second.seq;
+                batch.push_back(
+                    {seq, it->second,
+                     consumeSlotLocked(it->first,
+                                       MsgType::AwaitReply)});
+                it = pending.erase(it);
+            }
+        }
+        // Deliver in ARRIVAL order: the server pushes each result
+        // the moment its job completes, so this is completion order.
+        std::sort(batch.begin(), batch.end(),
+                  [](const Arrived &a, const Arrived &b) {
+                      return a.seq < b.seq;
+                  });
+        for (Arrived &a : batch) {
+            Reader r(a.body);
+            runtime::JobResult result = decodeJobResult(r);
+            r.expectEnd();
+            deliver(a.id, std::move(result));
+        }
+    }
+}
+
+std::vector<std::pair<runtime::JobId, runtime::JobResult>>
+QumaClient::awaitMany(const std::vector<runtime::JobId> &ids)
+{
+    std::vector<std::pair<runtime::JobId, runtime::JobResult>> out;
+    out.reserve(ids.size());
+    awaitStreaming(ids,
+                   [&out](runtime::JobId id,
+                          runtime::JobResult result) {
+                       out.emplace_back(id, std::move(result));
+                   });
+    return out;
 }
 
 bool

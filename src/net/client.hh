@@ -1,6 +1,6 @@
 /**
  * @file
- * QumaClient: a remote runtime::IExperimentBackend.
+ * QumaClient: a remote runtime::IExperimentBackend that pipelines.
  *
  * Wraps one wire-protocol connection to a QumaServer and implements
  * the same submit / trySubmit / poll / await surface as the local
@@ -10,21 +10,38 @@
  * socket, with bit-identical results (the spec, including seed,
  * priority and sharding fields, travels losslessly).
  *
- * The protocol is strict request/reply, so calls are serialised on
- * an internal mutex: the client is thread-safe but one in-flight
- * request at a time. For concurrent load, open several clients (the
- * network bench drives one connection per thread).
+ * MULTIPLEXING (wire v2). Every request leaves with a fresh
+ * requestId; a background reader thread routes every incoming frame
+ * by that id to the promise slot of whichever call is waiting for
+ * it. Consequences:
+ *
+ *  - the client is thread-safe AND concurrent: any number of caller
+ *    threads may have requests in flight on the one connection;
+ *  - submitAll() pipelines a whole sweep -- all specs are written
+ *    back-to-back before the first SubmitReply is read, so an
+ *    N-point fan-out pays ~1 submit round-trip instead of N;
+ *  - await()/awaitAll()/awaitMany() never poll: the server pushes
+ *    each AwaitReply the moment the job completes (scheduler
+ *    completion subscription), and the reader fulfils the slot --
+ *    results stream in completion order, which awaitMany() exposes
+ *    directly and awaitAll() reorders to argument order.
  *
  * Error mapping: ErrorReply{UnknownJob} surfaces as fatal(), exactly
  * like the local scheduler's unknown-id path; other error codes and
- * any framing violation surface as WireError.
+ * any framing violation surface as WireError. A dead connection
+ * fails every in-flight and future call with WireError.
  */
 
 #ifndef QUMA_NET_CLIENT_HH
 #define QUMA_NET_CLIENT_HH
 
+#include <condition_variable>
+#include <functional>
 #include <memory>
 #include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <utility>
 
 #include "net/transport.hh"
 #include "net/wire.hh"
@@ -59,6 +76,29 @@ class QumaClient final : public runtime::IExperimentBackend
     poll(runtime::JobId id) const override;
     runtime::JobResult await(runtime::JobId id) override;
 
+    /** Pipelined batch submit: all specs are on the wire before the
+     *  first reply is read. Ids in argument order. */
+    std::vector<runtime::JobId>
+    submitAll(std::vector<runtime::JobSpec> specs) override;
+
+    /** Pipelined awaits; results reordered to argument order. */
+    std::vector<runtime::JobResult>
+    awaitAll(const std::vector<runtime::JobId> &ids) override;
+
+    /**
+     * Streaming await: one AwaitRequest per id goes out up front,
+     * then (id, result) pairs are returned in COMPLETION order as
+     * the server pushes them -- the first finished job is available
+     * while the rest still run. The callback overload delivers each
+     * pair as it lands instead of collecting.
+     */
+    std::vector<std::pair<runtime::JobId, runtime::JobResult>>
+    awaitMany(const std::vector<runtime::JobId> &ids);
+    void awaitStreaming(
+        const std::vector<runtime::JobId> &ids,
+        const std::function<void(runtime::JobId,
+                                 runtime::JobResult)> &deliver);
+
     /** Remote-side cancel of a still-queued job. */
     bool cancel(runtime::JobId id);
 
@@ -68,21 +108,74 @@ class QumaClient final : public runtime::IExperimentBackend
     /** Wire traffic of this connection (bytesUp = toward server). */
     core::LinkStats linkStats() const;
 
-    /** Hang up (idempotent, callable from any thread -- it unblocks
-     *  an in-flight request, which then fails with WireError);
-     *  subsequent requests fail. */
+    /** Hang up (idempotent, callable from any thread): every
+     *  in-flight and future request fails with WireError. */
     void disconnect();
 
   private:
-    /** Send `type`+payload, receive the reply, check its type.
-     *  const: only the mutable connection plumbing is touched. */
+    /** One in-flight request's parking spot. */
+    struct Slot
+    {
+        bool ready = false;
+        MsgType type = MsgType::ErrorReply;
+        std::vector<std::uint8_t> payload;
+        /** Connection-level failure message (empty = none). */
+        std::string failure;
+        /** Arrival rank (awaitStreaming delivers in this order). */
+        std::uint64_t seq = 0;
+        /**
+         * Nobody will ever consume this slot (its batch call threw
+         * mid-collection): the reader erases it on arrival instead
+         * of treating the reply as unsolicited or leaking it.
+         */
+        bool abandoned = false;
+    };
+
+    /**
+     * Register a slot and put the request on the wire; returns the
+     * requestId to wait on. Thread-safe; concurrent senders are
+     * serialized per frame (sendMu), never per round-trip.
+     */
+    std::uint64_t sendRequest(MsgType type,
+                              const Writer &payload) const;
+    /** Park until the reader fulfils the slot; decode error replies
+     *  (UnknownJob -> fatal, others -> WireError), check the type. */
+    std::vector<std::uint8_t> waitReply(std::uint64_t request_id,
+                                        MsgType expected_reply) const;
+    /** sendRequest + waitReply, the strict-sequential convenience. */
     std::vector<std::uint8_t> roundTrip(MsgType request,
                                         const Writer &payload,
                                         MsgType expected_reply) const;
+    void readerLoop();
+    /** Fail every slot and all future calls (reader died). */
+    void failAllLocked(const std::string &why);
+    /**
+     * A batch call is unwinding with replies still outstanding:
+     * erase what already arrived, flag the rest so the reader
+     * erases them on arrival (late pushes must neither leak in the
+     * slot map nor read as unsolicited frames).
+     */
+    void abandonSlots(const std::uint64_t *rids,
+                      std::size_t count) const;
+    /** Slot -> payload with the shared error mapping applied. */
+    std::vector<std::uint8_t> consumeSlotLocked(
+        std::uint64_t request_id, MsgType expected_reply) const;
 
+    /** Guards slots, nextRequestId, meter, readerDown. */
     mutable std::mutex mu;
+    /** Broadcast whenever the reader fulfils any slot. */
+    mutable std::condition_variable cvSlots;
+    /** Serializes frame writes (frames must not interleave). */
+    mutable std::mutex sendMu;
     std::unique_ptr<ByteStream> stream;
+    mutable std::unordered_map<std::uint64_t, Slot> slots;
+    mutable std::uint64_t nextRequestId = 1;
+    /** Monotone arrival counter stamped onto fulfilled slots. */
+    mutable std::uint64_t arrivalSeq = 0;
+    mutable bool readerDown = false;
+    mutable std::string readerFailure;
     mutable core::LinkMeter meter;
+    std::thread reader;
 };
 
 } // namespace quma::net

@@ -1,5 +1,7 @@
 #include "net/server.hh"
 
+#include <algorithm>
+
 #include "common/logging.hh"
 
 namespace quma::net {
@@ -17,6 +19,121 @@ struct ConnectionLost
 };
 
 } // namespace
+
+// --- Outbox -----------------------------------------------------------------
+
+bool
+QumaServer::Outbox::push(OutFrame entry)
+{
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        if (closed)
+            return false;
+        if (frames.size() >= limit) {
+            // Slow-consumer overflow: the peer requests but never
+            // reads. Close (dropping the backlog) -- the writer's
+            // pop sees it and tears the stream down, which wakes
+            // the reader into the disconnect handling.
+            closed = true;
+            frames.clear();
+            cv.notify_all();
+            return false;
+        }
+        frames.push_back(std::move(entry));
+    }
+    // notify_all: the cv is shared by the writer's pop AND a
+    // teardown drainFor; waking only one could park the writer
+    // behind a drain waiter and stall (then drop) this frame.
+    cv.notify_all();
+    return true;
+}
+
+std::optional<QumaServer::OutFrame>
+QumaServer::Outbox::pop()
+{
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [this] { return closed || !frames.empty(); });
+    if (closed)
+        return std::nullopt;
+    OutFrame entry = std::move(frames.front());
+    frames.pop_front();
+    sending = true;
+    return entry;
+}
+
+void
+QumaServer::Outbox::sent()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        sending = false;
+    }
+    // Wake a drainFor() waiter watching the queue empty out.
+    cv.notify_all();
+}
+
+void
+QumaServer::Outbox::drainFor(std::chrono::milliseconds timeout)
+{
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait_for(lock, timeout, [this] {
+        return closed || (frames.empty() && !sending);
+    });
+}
+
+void
+QumaServer::Outbox::close()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        closed = true;
+        frames.clear();
+    }
+    cv.notify_all();
+}
+
+// --- ConnState --------------------------------------------------------------
+
+void
+QumaServer::ConnState::noteSubmitted(runtime::JobId id)
+{
+    std::lock_guard<std::mutex> lock(mu);
+    submitted.insert(id);
+}
+
+void
+QumaServer::ConnState::noteDelivered(runtime::JobId id)
+{
+    std::lock_guard<std::mutex> lock(mu);
+    submitted.erase(id);
+}
+
+bool
+QumaServer::ConnState::owns(runtime::JobId id)
+{
+    std::lock_guard<std::mutex> lock(mu);
+    return submitted.count(id) > 0;
+}
+
+std::vector<runtime::JobId>
+QumaServer::ConnState::takeSubmitted()
+{
+    std::lock_guard<std::mutex> lock(mu);
+    std::vector<runtime::JobId> ids(submitted.begin(),
+                                    submitted.end());
+    submitted.clear();
+    return ids;
+}
+
+void
+QumaServer::ConnState::closeStream()
+{
+    std::lock_guard<std::mutex> lock(mu);
+    if (stream)
+        stream->close();
+}
+
+// --- QumaServer -------------------------------------------------------------
 
 QumaServer::QumaServer(runtime::ExperimentService &service_,
                        std::unique_ptr<Listener> listener_,
@@ -43,22 +160,23 @@ QumaServer::stop()
             return;
         stopped = true;
     }
-    // Unblock the accept loop, then every serving thread's recv.
+    // Unblock the accept loop, then every connection: closing the
+    // stream unblocks the reader's recv, closing the outbox unblocks
+    // the writer's pop.
     listener->close();
     {
         std::lock_guard<std::mutex> lock(mu);
-        for (auto &conn : connections)
-            conn->close();
+        for (auto &conn : connections) {
+            conn->stream->close();
+            conn->state->outbox.close();
+        }
     }
     // Join the acceptor first: after it no new connection can start.
     if (acceptor.joinable())
         acceptor.join();
-    // Serving threads are detached and self-reap; wait for the last
-    // one to drain (each signals under mu, so none touches this
-    // object after the predicate turns true).
-    std::unique_lock<std::mutex> lock(mu);
-    cvDrained.wait(lock,
-                   [this] { return counters.connectionsActive == 0; });
+    // Deterministic teardown: every serving thread is joined before
+    // stop() returns -- nothing detached survives the server.
+    reapConnections(/*join_all=*/true);
 }
 
 QumaServer::Stats
@@ -66,44 +184,15 @@ QumaServer::stats() const
 {
     std::lock_guard<std::mutex> lock(mu);
     Stats s = counters;
+    // counters only absorbs a connection's streamed count when it
+    // ends (and zeroes it there); live connections contribute here,
+    // so a long-lived client's pushes are visible mid-session.
+    for (const auto &conn : connections) {
+        std::lock_guard<std::mutex> slock(conn->state->mu);
+        s.resultsStreamed += conn->state->streamed;
+    }
     s.link = meter.stats();
     return s;
-}
-
-void
-QumaServer::acceptLoop()
-{
-    for (;;) {
-        std::unique_ptr<ByteStream> stream = listener->accept();
-        if (!stream)
-            return;
-        ByteStream *raw = stream.get();
-        std::lock_guard<std::mutex> lock(mu);
-        if (stopped) {
-            stream->close();
-            return;
-        }
-        connections.push_back(std::move(stream));
-        ++counters.connectionsAccepted;
-        ++counters.connectionsActive;
-        // Detached: the thread reclaims its own connection state on
-        // exit; stop() waits for connectionsActive to drain.
-        try {
-            std::thread([this, raw] { serveConnection(raw); })
-                .detach();
-        } catch (const std::exception &ex) {
-            // Thread exhaustion must not strand the active count
-            // (stop() waits on it) or terminate the acceptor; drop
-            // just this connection and keep serving.
-            warn("serving thread spawn failed: ", ex.what());
-            std::erase_if(
-                connections,
-                [raw](const std::unique_ptr<ByteStream> &c) {
-                    return c.get() == raw;
-                });
-            --counters.connectionsActive;
-        }
-    }
 }
 
 bool
@@ -114,11 +203,120 @@ QumaServer::stopping() const
 }
 
 void
-QumaServer::serveConnection(ByteStream *stream)
+QumaServer::reapConnections(bool join_all)
 {
-    std::unordered_set<runtime::JobId> submitted;
+    // Joining can briefly block (a finishing reader still cancelling
+    // jobs), so never join while holding mu: move the candidates out
+    // first.
+    std::vector<std::unique_ptr<Connection>> reaped;
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        auto split = std::partition(
+            connections.begin(), connections.end(),
+            [join_all](const std::unique_ptr<Connection> &c) {
+                return !join_all && !c->finished;
+            });
+        for (auto it = split; it != connections.end(); ++it)
+            reaped.push_back(std::move(*it));
+        connections.erase(split, connections.end());
+    }
+    for (auto &conn : reaped)
+        if (conn->reader.joinable())
+            conn->reader.join();
+}
+
+void
+QumaServer::acceptLoop()
+{
+    for (;;) {
+        std::unique_ptr<ByteStream> stream = listener->accept();
+        if (!stream)
+            return;
+        // Reclaim connections whose reader already finished, so a
+        // long-lived server's tracking stays proportional to the
+        // LIVE connection count, not the historical one.
+        reapConnections(/*join_all=*/false);
+        std::lock_guard<std::mutex> lock(mu);
+        if (stopped) {
+            stream->close();
+            return;
+        }
+        auto conn = std::make_unique<Connection>();
+        conn->stream = std::move(stream);
+        conn->state = std::make_shared<ConnState>();
+        conn->state->outbox.limit = cfg.maxQueuedReplyFrames;
+        Connection *raw = conn.get();
+        ++counters.connectionsAccepted;
+        ++counters.connectionsActive;
+        try {
+            conn->reader =
+                std::thread([this, raw] { serveConnection(*raw); });
+        } catch (const std::exception &ex) {
+            // Thread exhaustion must not strand the active count or
+            // terminate the acceptor; drop just this connection and
+            // keep serving.
+            warn("serving thread spawn failed: ", ex.what());
+            --counters.connectionsActive;
+            continue;
+        }
+        connections.push_back(std::move(conn));
+    }
+}
+
+void
+QumaServer::writerLoop(ByteStream &stream, ConnState &state)
+{
+    while (std::optional<OutFrame> entry = state.outbox.pop()) {
+        try {
+            if (entry->result) {
+                // Deferred streamed result: encode HERE, on this
+                // connection's own thread, so the scheduler's one
+                // notifier thread never serializes every
+                // connection's wire encoding behind one core.
+                Writer w;
+                encodeJobResult(w, *entry->result);
+                entry->frame = sealFrame(MsgType::AwaitReply,
+                                         entry->requestId, w);
+                entry->result.reset();
+            }
+            stream.sendAll(entry->frame.data(),
+                           entry->frame.size());
+        } catch (const std::exception &) {
+            // Dead peer: stop writing and wake the reader (its recv
+            // sees the closed stream), which runs the disconnect
+            // handling.
+            state.outbox.sent();
+            state.outbox.close();
+            stream.close();
+            return;
+        }
+        state.outbox.sent();
+        std::lock_guard<std::mutex> lock(mu);
+        meter.record(entry->frame.size(), false);
+    }
+    // Closed outbox (teardown, or slow-consumer overflow): make sure
+    // the reader is not left parked in recv on a connection nobody
+    // will write to again. Idempotent on the normal teardown path.
+    stream.close();
+}
+
+void
+QumaServer::serveConnection(Connection &conn)
+{
+    ByteStream &stream = *conn.stream;
+    ConnState &state = *conn.state;
+    {
+        // Publish the stream for the overflow teardown hook.
+        std::lock_guard<std::mutex> lock(state.mu);
+        state.stream = &stream;
+    }
+    // The writer is owned (and joined) by this reader thread; the
+    // outbox is the only coupling between them.
+    std::thread writer([this, &stream, &state] {
+        writerLoop(stream, state);
+    });
     try {
-        while (serveRequest(*stream, submitted)) {
+        while (serveRequest(stream, conn.state)) {
         }
     } catch (const ConnectionLost &) {
         // Liveness probe saw the client go: straight to cleanup.
@@ -126,45 +324,61 @@ QumaServer::serveConnection(ByteStream *stream)
         // Dead or misbehaving peer: fall through to the disconnect
         // handling. The connection is gone either way.
     }
-    stream->close();
+    // Let the writer flush farewell frames (a VersionMismatch or
+    // Shutdown error the peer should still see) -- bounded, because
+    // the peer may be gone -- then close: outbox first (ends the
+    // writer's pop), stream second (unblocks a wedged sendAll).
+    state.outbox.drainFor(std::chrono::milliseconds(500));
+    state.outbox.close();
+    stream.close();
+    writer.join();
+    {
+        // The stream is about to die with this connection: no late
+        // pusher may touch it through the hook anymore.
+        std::lock_guard<std::mutex> lock(state.mu);
+        state.stream = nullptr;
+    }
 
-    // Cancel the connection's queued-but-unstarted jobs: the only
+    // Cancel the connection's undelivered queued jobs: the only
     // party that could read their results just vanished. Running
-    // work is never interrupted (cancel refuses it).
+    // work is never interrupted (cancel refuses it); a job whose
+    // result was already streamed is no longer in the set.
     std::size_t cancelled = 0;
-    for (runtime::JobId id : submitted)
+    for (runtime::JobId id : state.takeSubmitted())
         if (service.scheduler().cancel(id))
             ++cancelled;
 
-    // Reclaim this connection's stream (closing the fd) instead of
-    // letting dead entries pile up until shutdown. Notify while
-    // still holding the lock: stop()'s wait can then only return
-    // after this thread is done touching the server.
     std::lock_guard<std::mutex> lock(mu);
-    std::erase_if(connections,
-                  [stream](const std::unique_ptr<ByteStream> &c) {
-                      return c.get() == stream;
-                  });
     counters.jobsCancelledOnDisconnect += cancelled;
-    --counters.connectionsActive;
-    cvDrained.notify_all();
-}
-
-void
-QumaServer::sendFrame(ByteStream &stream, MsgType type,
-                      const Writer &payload)
-{
-    std::vector<std::uint8_t> frame = sealFrame(type, payload);
+    // Absorb (and zero) the streamed count so stats() -- which also
+    // sums live connections -- never counts a finished-but-unreaped
+    // connection twice.
     {
-        std::lock_guard<std::mutex> lock(mu);
-        meter.record(frame.size(), false);
+        std::lock_guard<std::mutex> slock(state.mu);
+        counters.resultsStreamed += state.streamed;
+        state.streamed = 0;
     }
-    stream.sendAll(frame.data(), frame.size());
+    --counters.connectionsActive;
+    conn.finished = true;
 }
 
 void
-QumaServer::sendError(ByteStream &stream, WireErrorCode code,
-                      const std::string &message)
+QumaServer::queueFrame(ConnState &state, MsgType type,
+                       std::uint64_t request_id, const Writer &payload)
+{
+    if (!state.outbox.push(
+            {sealFrame(type, request_id, payload), nullptr, 0})) {
+        // Closed -- normal teardown, or a slow-consumer overflow
+        // that just closed it. Closing the stream (idempotent)
+        // guarantees the wedged writer and the reader both unblock
+        // into the disconnect handling either way.
+        state.closeStream();
+    }
+}
+
+void
+QumaServer::queueError(ConnState &state, std::uint64_t request_id,
+                       WireErrorCode code, const std::string &message)
 {
     {
         std::lock_guard<std::mutex> lock(mu);
@@ -172,16 +386,37 @@ QumaServer::sendError(ByteStream &stream, WireErrorCode code,
     }
     Writer w;
     encodeErrorFrame(w, ErrorFrame{code, message});
-    sendFrame(stream, MsgType::ErrorReply, w);
+    queueFrame(state, MsgType::ErrorReply, request_id, w);
 }
 
 bool
 QumaServer::serveRequest(ByteStream &stream,
-                         std::unordered_set<runtime::JobId> &submitted)
+                         const std::shared_ptr<ConnState> &state)
 {
+    // Read the version-independent prefix FIRST: a legacy v1 frame
+    // can be shorter than the v2 header (a 12-byte StatsRequest has
+    // no payload at all), and blocking for v2-header bytes the peer
+    // will never send would hang both ends instead of diagnosing.
     std::uint8_t header[kFrameHeaderBytes];
-    if (!stream.recvAll(header, sizeof(header)))
+    if (!stream.recvAll(header, kFrameHeaderPrefixBytes))
         return false; // clean EOF between frames
+    try {
+        checkFramePrefix(header);
+    } catch (const WireVersionError &ex) {
+        // A legacy (or future) peer: its framing is foreign -- v1
+        // frames have no requestId at all -- so this connection
+        // cannot be served, but the bytes read are enough to know
+        // WHY. Tell the peer on the connection-level id, then hang
+        // up (the writer flushes the outbox before the reader's
+        // close drops the stream).
+        queueError(*state, kConnectionRequestId,
+                   WireErrorCode::VersionMismatch, ex.what());
+        return false;
+    }
+    // Same version as ours: the rest of the v2 header is on the way.
+    if (!stream.recvAll(header + kFrameHeaderPrefixBytes,
+                        kFrameHeaderBytes - kFrameHeaderPrefixBytes))
+        throw WireError("connection closed mid-header");
     FrameHeader fh = decodeFrameHeader(header);
     std::vector<std::uint8_t> payload(fh.length);
     if (fh.length > 0 &&
@@ -195,30 +430,29 @@ QumaServer::serveRequest(ByteStream &stream,
 
     Reader r(payload);
     try {
-        return dispatchRequest(stream, fh.type, r, submitted);
+        return dispatchRequest(stream, state, fh, r);
     } catch (const WireError &ex) {
         // The frame itself was fully received -- framing is intact,
         // only this payload was malformed. That is the client's bug:
         // answer it and keep the connection (tearing it down would
-        // also cancel the client's other queued jobs). If the
-        // ErrorReply cannot be sent the peer is dead and THAT
-        // exception propagates to the disconnect handling.
-        sendError(stream, WireErrorCode::BadRequest, ex.what());
+        // also cancel the client's other queued jobs).
+        queueError(*state, fh.requestId, WireErrorCode::BadRequest,
+                   ex.what());
         return true;
     }
 }
 
 bool
-QumaServer::dispatchRequest(ByteStream &stream, MsgType type,
-                            Reader &r,
-                            std::unordered_set<runtime::JobId> &submitted)
+QumaServer::dispatchRequest(ByteStream &stream,
+                            const std::shared_ptr<ConnState> &state,
+                            const FrameHeader &header, Reader &r)
 {
-    // How long a blocking scheduler call may hold this thread before
-    // it rechecks stop(): bounds shutdown latency without polling
-    // hot (completions still wake the wait immediately).
+    // How long a blocking submit may hold the reader before it
+    // rechecks stop(): bounds shutdown latency without polling hot.
     constexpr std::chrono::milliseconds kStopCheck{50};
+    const std::uint64_t rid = header.requestId;
 
-    switch (type) {
+    switch (header.type) {
     case MsgType::SubmitRequest: {
         runtime::JobSpec spec = decodeJobSpec(r);
         r.expectEnd();
@@ -226,23 +460,29 @@ QumaServer::dispatchRequest(ByteStream &stream, MsgType type,
             std::optional<runtime::JobId> id;
             // Interruptible submit: a queue that stays at the hard
             // bound must not wedge stop() -- or a vanished client's
-            // disconnect handling -- behind this thread.
+            // disconnect handling -- behind this thread. This is the
+            // one deliberately blocking request: backpressure from a
+            // full queue is supposed to slow the pipelining client
+            // down.
             while (!(id = service.scheduler().submitFor(
                          spec, kStopCheck))) {
                 if (stopping()) {
-                    sendError(stream, WireErrorCode::Shutdown,
-                              "server stopping");
+                    queueError(*state, rid, WireErrorCode::Shutdown,
+                               "server stopping");
                     return false;
                 }
                 if (!stream.peerAlive())
                     throw ConnectionLost{};
             }
-            submitted.insert(*id);
+            state->noteSubmitted(*id);
             Writer w;
             w.u64(*id);
-            sendFrame(stream, MsgType::SubmitReply, w);
+            queueFrame(*state, MsgType::SubmitReply, rid, w);
+            // (ConnectionLost is not a std::exception by design: it
+            // flies past the handler below to the disconnect path.)
         } catch (const std::exception &ex) {
-            sendError(stream, WireErrorCode::Internal, ex.what());
+            queueError(*state, rid, WireErrorCode::Internal,
+                       ex.what());
         }
         return true;
     }
@@ -253,13 +493,14 @@ QumaServer::dispatchRequest(ByteStream &stream, MsgType type,
             std::optional<runtime::JobId> id =
                 service.trySubmit(std::move(spec));
             if (id)
-                submitted.insert(*id);
+                state->noteSubmitted(*id);
             Writer w;
             w.boolean(id.has_value());
             w.u64(id.value_or(0));
-            sendFrame(stream, MsgType::TrySubmitReply, w);
+            queueFrame(*state, MsgType::TrySubmitReply, rid, w);
         } catch (const std::exception &ex) {
-            sendError(stream, WireErrorCode::Internal, ex.what());
+            queueError(*state, rid, WireErrorCode::Internal,
+                       ex.what());
         }
         return true;
     }
@@ -270,9 +511,10 @@ QumaServer::dispatchRequest(ByteStream &stream, MsgType type,
             runtime::JobStatus st = service.status(id);
             Writer w;
             w.u8(static_cast<std::uint8_t>(st));
-            sendFrame(stream, MsgType::StatusReply, w);
+            queueFrame(*state, MsgType::StatusReply, rid, w);
         } catch (const std::exception &ex) {
-            sendError(stream, WireErrorCode::UnknownJob, ex.what());
+            queueError(*state, rid, WireErrorCode::UnknownJob,
+                       ex.what());
         }
         return true;
     }
@@ -286,17 +528,18 @@ QumaServer::dispatchRequest(ByteStream &stream, MsgType type,
             w.boolean(result.has_value());
             if (result)
                 encodeJobResult(w, *result);
-            sendFrame(stream, MsgType::PollReply, w);
+            queueFrame(*state, MsgType::PollReply, rid, w);
             // Result delivered: nothing left for disconnect-cancel
             // to protect, and the per-connection id tracking must
             // not grow for the lifetime of a busy connection.
             if (result)
-                submitted.erase(id);
+                state->noteDelivered(id);
         } catch (const std::exception &ex) {
             // Unknown to the scheduler (likely aged out of result
             // retention): dead weight in the tracking set too.
-            submitted.erase(id);
-            sendError(stream, WireErrorCode::UnknownJob, ex.what());
+            state->noteDelivered(id);
+            queueError(*state, rid, WireErrorCode::UnknownJob,
+                       ex.what());
         }
         return true;
     }
@@ -304,30 +547,43 @@ QumaServer::dispatchRequest(ByteStream &stream, MsgType type,
         runtime::JobId id = r.u64();
         r.expectEnd();
         try {
-            // Blocks this connection's thread only; other clients
-            // are served by their own threads meanwhile. The bounded
-            // wait keeps stop() from wedging behind a slow job.
-            std::optional<runtime::JobResult> result;
-            while (!(result = service.scheduler().awaitFor(
-                         id, kStopCheck))) {
-                if (stopping()) {
-                    sendError(stream, WireErrorCode::Shutdown,
-                              "server stopping");
-                    return false;
-                }
-                // Detect a hung-up client from inside the wait:
-                // otherwise its disconnect (and the cancellation of
-                // its queued jobs) would stall until this job ends.
-                if (!stream.peerAlive())
-                    throw ConnectionLost{};
-            }
-            Writer w;
-            encodeJobResult(w, *result);
-            sendFrame(stream, MsgType::AwaitReply, w);
-            submitted.erase(id); // delivered; see PollRequest
+            // The streaming path: no blocking, no polling. The
+            // completion callback runs on the scheduler's notifier
+            // thread and holds the connection state WEAKLY -- if the
+            // connection is gone by the time the job finishes, the
+            // push finds a closed outbox (or nothing at all) and
+            // evaporates without touching the server.
+            std::weak_ptr<ConnState> weak = state;
+            service.scheduler().subscribe(
+                id,
+                [weak, rid, id](
+                    runtime::JobId,
+                    std::shared_ptr<const runtime::JobResult>
+                        result) {
+                    std::shared_ptr<ConnState> st = weak.lock();
+                    if (!st)
+                        return;
+                    // Hand the shared result straight to the
+                    // connection's writer (which encodes it): the
+                    // notifier thread stays cheap no matter how
+                    // large the result or how many connections
+                    // stream concurrently.
+                    if (st->outbox.push(
+                            {{}, std::move(result), rid})) {
+                        std::lock_guard<std::mutex> lock(st->mu);
+                        st->submitted.erase(id);
+                        ++st->streamed;
+                    } else {
+                        // Dead or overflowed connection: make sure
+                        // its threads unwedge (idempotent; no-op
+                        // once the reader cleared the hook).
+                        st->closeStream();
+                    }
+                });
         } catch (const std::exception &ex) {
-            submitted.erase(id); // unknown/aged out: dead weight
-            sendError(stream, WireErrorCode::UnknownJob, ex.what());
+            state->noteDelivered(id); // unknown/aged out: dead weight
+            queueError(*state, rid, WireErrorCode::UnknownJob,
+                       ex.what());
         }
         return true;
     }
@@ -340,7 +596,7 @@ QumaServer::dispatchRequest(ByteStream &stream, MsgType type,
             service.scheduler().effectiveQueueCapacity();
         Writer w;
         encodeStatsFrame(w, stats);
-        sendFrame(stream, MsgType::StatsReply, w);
+        queueFrame(*state, MsgType::StatsReply, rid, w);
         return true;
     }
     case MsgType::CancelRequest: {
@@ -350,24 +606,23 @@ QumaServer::dispatchRequest(ByteStream &stream, MsgType type,
         // submitted itself -- ids are a guessable global sequence,
         // and cancelling another client's queued work would corrupt
         // that client's awaits.
-        bool ok = submitted.count(id) > 0 &&
-                  service.scheduler().cancel(id);
+        bool ok = state->owns(id) && service.scheduler().cancel(id);
         if (ok)
-            submitted.erase(id);
+            state->noteDelivered(id);
         Writer w;
         w.boolean(ok);
-        sendFrame(stream, MsgType::CancelReply, w);
+        queueFrame(*state, MsgType::CancelReply, rid, w);
         return true;
     }
     default:
         // A reply type arriving as a request is a protocol
         // violation; tell the peer and keep the connection (the
         // framing is still intact).
-        sendError(stream, WireErrorCode::BadRequest,
-                  "frame type " +
-                      std::to_string(
-                          static_cast<std::uint16_t>(type)) +
-                      " is not a request");
+        queueError(*state, rid, WireErrorCode::BadRequest,
+                   "frame type " +
+                       std::to_string(static_cast<std::uint16_t>(
+                           header.type)) +
+                       " is not a request");
         return true;
     }
 }

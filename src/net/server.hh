@@ -1,14 +1,27 @@
 /**
  * @file
- * QumaServer: the experiment runtime behind a socket.
+ * QumaServer: the experiment runtime behind a socket, multiplexed.
  *
  * One server wraps one shared runtime::ExperimentService and serves
  * the wire protocol (wire.hh) over any transport Listener -- TCP for
  * real remote clients, the in-process loopback for deterministic
- * tests. Each accepted connection gets its own serving thread that
- * decodes request frames, drives the service, and writes reply
- * frames; blocking requests (Await) block only their own
- * connection's thread, so concurrent clients proceed independently.
+ * tests. Each accepted connection gets a READER thread that decodes
+ * request frames and a WRITER thread that drains the connection's
+ * outbox; every reply frame echoes its request's requestId, so one
+ * connection carries any number of requests in flight at once.
+ *
+ * STREAMING. An AwaitRequest no longer parks the connection: the
+ * reader registers a JobScheduler completion subscription and moves
+ * on to the next frame. When the job finishes, the scheduler's
+ * notifier thread drops the shared result into the connection's
+ * outbox and the writer encodes and pushes it immediately (encoding
+ * on the per-connection writer keeps the single notifier thread
+ * cheap and lets concurrent connections encode in parallel) --
+ * results stream back in completion order, interleaved with other
+ * replies, with no awaitFor polling loop anywhere. The only request
+ * that can still block the reader is a Submit against a full queue
+ * (deliberate backpressure: the client should not be able to buffer
+ * unbounded work).
  *
  * Remote jobs keep the runtime's determinism contract end to end:
  * the decoded JobSpec carries the same seed, priority and
@@ -17,9 +30,23 @@
  * in-process path produces (pinned by tests/test_net.cc).
  *
  * DISCONNECT. When a connection dies (EOF or a wire error), jobs it
- * submitted that are still fully queued are cancelled
- * (JobScheduler::cancel) -- nobody is left to read their results.
- * Work already running is never interrupted.
+ * submitted whose results were not yet delivered and that are still
+ * fully queued are cancelled (JobScheduler::cancel) -- nobody is
+ * left to read their results. Work already running is never
+ * interrupted. Pending completion subscriptions hold only a weak
+ * reference to the connection's shared state; late pushes find the
+ * outbox closed and evaporate.
+ *
+ * SHUTDOWN. Serving threads are TRACKED and JOINED: stop() closes
+ * the listener, every live stream and outbox, then joins the
+ * acceptor and every reader (each reader joins its own writer), so
+ * teardown is deterministic -- no detached thread ever touches a
+ * dead server (the pre-v2 detached design could).
+ *
+ * VERSIONING. A frame claiming a foreign wire version is answered
+ * with an ErrorReply{VersionMismatch} carrying requestId 0 (the
+ * connection-level id) and the connection is closed: a legacy v1
+ * client fails with a diagnosis instead of hanging.
  *
  * ACCOUNTING. Every frame in either direction is metered through a
  * core::LinkMeter, pricing the serving traffic in the same
@@ -29,9 +56,12 @@
 #ifndef QUMA_NET_SERVER_HH
 #define QUMA_NET_SERVER_HH
 
+#include <chrono>
 #include <condition_variable>
+#include <deque>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <thread>
 #include <unordered_set>
 #include <vector>
@@ -47,6 +77,16 @@ struct ServerConfig
 {
     /** Modeled link rate for the wire-traffic accounting. */
     double linkBytesPerSecond = 30.0e6;
+    /**
+     * Per-connection cap on reply frames queued for the writer. A
+     * client that issues requests without ever reading replies would
+     * otherwise grow the outbox without bound (the pre-v2 design
+     * throttled naturally because the one serving thread blocked in
+     * send). At the cap the connection is treated as a dead slow
+     * consumer and torn down. Generous: a legitimate pipeliner's
+     * backlog is bounded by the scheduler queue it can fill.
+     */
+    std::size_t maxQueuedReplyFrames = 8192;
 };
 
 class QumaServer
@@ -61,6 +101,8 @@ class QumaServer
         std::size_t errorsReturned = 0;
         /** Queued jobs cancelled because their client vanished. */
         std::size_t jobsCancelledOnDisconnect = 0;
+        /** AwaitReply frames pushed by completion subscriptions. */
+        std::size_t resultsStreamed = 0;
         /** Wire traffic (bytesUp = client-to-server requests). */
         core::LinkStats link;
     };
@@ -83,7 +125,7 @@ class QumaServer
     /**
      * Stop accepting, close every live connection and join all
      * serving threads (idempotent). Jobs already submitted to the
-     * service keep running; only their queued-but-unread work is
+     * service keep running; only their queued-but-undelivered work is
      * cancelled by the per-connection disconnect handling.
      */
     void stop();
@@ -91,18 +133,120 @@ class QumaServer
     Stats stats() const;
 
   private:
+    /**
+     * One queued reply: either an already-sealed frame, or a
+     * deferred streamed result (shared with the scheduler, encoded
+     * by the WRITER thread -- so the scheduler's single notifier
+     * thread never pays per-result wire encoding, and concurrent
+     * connections encode their streams in parallel).
+     */
+    struct OutFrame
+    {
+        std::vector<std::uint8_t> frame;
+        std::shared_ptr<const runtime::JobResult> result;
+        std::uint64_t requestId = 0;
+    };
+
+    /**
+     * Replies queued for one connection's writer thread. Sealed
+     * frames go in from the reader (inline replies), deferred
+     * results from the scheduler's notifier thread (streamed
+     * AwaitReplys); the writer drains in FIFO order. close() drops
+     * whatever is pending -- once the connection is going away
+     * there is nobody to read it.
+     */
+    struct Outbox
+    {
+        std::mutex mu;
+        std::condition_variable cv;
+        std::deque<OutFrame> frames;
+        bool closed = false;
+        /** The writer popped an entry and is encoding/sending it. */
+        bool sending = false;
+        /** Queued-entry cap (ServerConfig::maxQueuedReplyFrames);
+         *  overflowing it closes the outbox -- slow-consumer
+         *  disconnect, the writer tears the stream down. */
+        std::size_t limit = 8192;
+
+        /** False (entry dropped) once closed or over the cap. */
+        bool push(OutFrame entry);
+        /** Block for the next entry (marks it in flight); nullopt
+         *  once closed and empty. */
+        std::optional<OutFrame> pop();
+        /** The in-flight entry left sendAll (either way). */
+        void sent();
+        /**
+         * Bounded wait for the writer to drain queue AND in-flight
+         * frame: lets a farewell frame (VersionMismatch, Shutdown)
+         * out before close() drops the rest. Bounded because the
+         * writer may be wedged against a dead peer.
+         */
+        void drainFor(std::chrono::milliseconds timeout);
+        void close();
+    };
+
+    /**
+     * Per-connection state shared between the reader, the writer and
+     * any in-flight completion callbacks (which hold it weakly: a
+     * push that outlives the connection finds the outbox closed).
+     */
+    struct ConnState
+    {
+        Outbox outbox;
+        std::mutex mu;
+        /** Jobs submitted here whose results were not delivered. */
+        std::unordered_set<runtime::JobId> submitted;
+        /** AwaitReply frames streamed on this connection. */
+        std::size_t streamed = 0;
+        /**
+         * Teardown hook for pushers: set by the reader while the
+         * connection lives (guarded by mu, cleared before the
+         * reader exits, so the target is always valid when called).
+         * An outbox overflow closes the stream through this, which
+         * unblocks a writer wedged in sendAll against the dead
+         * peer and wakes the reader into the disconnect handling.
+         */
+        ByteStream *stream = nullptr;
+
+        void noteSubmitted(runtime::JobId id);
+        void noteDelivered(runtime::JobId id);
+        bool owns(runtime::JobId id);
+        /** Drain the undelivered set (disconnect cancellation). */
+        std::vector<runtime::JobId> takeSubmitted();
+        /** Close the live stream, if any (idempotent). */
+        void closeStream();
+    };
+
+    /** One tracked connection: stream, shared state, reader thread
+     *  (the reader owns and joins the writer). */
+    struct Connection
+    {
+        std::unique_ptr<ByteStream> stream;
+        std::shared_ptr<ConnState> state;
+        std::thread reader;
+        /** Set by the reader on exit; the acceptor reaps. */
+        bool finished = false;
+    };
+
     void acceptLoop();
-    void serveConnection(ByteStream *stream);
-    /** Decode and serve one request; false once the peer hung up. */
+    void serveConnection(Connection &conn);
+    void writerLoop(ByteStream &stream, ConnState &state);
+    /** Decode and serve one request; false ends the connection.
+     *  The state travels as a shared_ptr so an Await subscription
+     *  can capture it weakly. */
     bool serveRequest(ByteStream &stream,
-                      std::unordered_set<runtime::JobId> &submitted);
+                      const std::shared_ptr<ConnState> &state);
     /** The type switch; false ends the connection (shutdown). */
-    bool dispatchRequest(ByteStream &stream, MsgType type, Reader &r,
-                         std::unordered_set<runtime::JobId> &submitted);
-    void sendFrame(ByteStream &stream, MsgType type,
-                   const Writer &payload);
-    void sendError(ByteStream &stream, WireErrorCode code,
-                   const std::string &message);
+    bool dispatchRequest(ByteStream &stream,
+                         const std::shared_ptr<ConnState> &state,
+                         const FrameHeader &header, Reader &r);
+    void queueFrame(ConnState &state, MsgType type,
+                    std::uint64_t request_id, const Writer &payload);
+    void queueError(ConnState &state, std::uint64_t request_id,
+                    WireErrorCode code, const std::string &message);
+    /** Join and erase finished connections (called by the acceptor
+     *  and by stop(), which first closes everything). */
+    void reapConnections(bool join_all);
     bool stopping() const;
 
     runtime::ExperimentService &service;
@@ -110,18 +254,10 @@ class QumaServer
     const ServerConfig cfg;
 
     mutable std::mutex mu;
-    /** stop() waits on this for connectionsActive to reach zero. */
-    std::condition_variable cvDrained;
     bool stopped = false;
     std::thread acceptor;
-    /**
-     * Live connections, for unblocking their recvs on stop(). Each
-     * serving thread runs DETACHED and erases its own entry on exit
-     * (stream, fd and thread state are reclaimed per disconnect, not
-     * accumulated until shutdown); stop() closes whatever is still
-     * here and waits for the active count to drain.
-     */
-    std::vector<std::unique_ptr<ByteStream>> connections;
+    /** Tracked connections; reaped on accept and joined at stop(). */
+    std::vector<std::unique_ptr<Connection>> connections;
     Stats counters;
     core::LinkMeter meter;
 };

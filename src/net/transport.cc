@@ -1,5 +1,6 @@
 #include "net/transport.hh"
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstring>
@@ -235,11 +236,25 @@ class PipeStream final : public ByteStream
     void
     sendAll(const std::uint8_t *data, std::size_t size) override
     {
-        std::lock_guard<std::mutex> lock(out->mu);
-        if (out->closed)
-            throw WireError("send on a closed loopback stream");
-        out->bytes.insert(out->bytes.end(), data, data + size);
-        out->cv.notify_all();
+        std::unique_lock<std::mutex> lock(out->mu);
+        std::size_t sent = 0;
+        while (sent < size) {
+            // Block while the peer's unread backlog is at capacity:
+            // the same backpressure a full kernel socket buffer
+            // exerts on a sender whose peer stopped reading.
+            out->cv.wait(lock, [this] {
+                return out->closed ||
+                       out->bytes.size() < out->capacity;
+            });
+            if (out->closed)
+                throw WireError("send on a closed loopback stream");
+            std::size_t room = out->capacity - out->bytes.size();
+            std::size_t chunk = std::min(room, size - sent);
+            out->bytes.insert(out->bytes.end(), data + sent,
+                              data + sent + chunk);
+            sent += chunk;
+            out->cv.notify_all();
+        }
     }
 
     bool
@@ -260,6 +275,8 @@ class PipeStream final : public ByteStream
                 data[got++] = in->bytes.front();
                 in->bytes.pop_front();
             }
+            // Space freed: wake a sender blocked on the capacity.
+            in->cv.notify_all();
         }
         return true;
     }
@@ -289,10 +306,12 @@ class PipeStream final : public ByteStream
 } // namespace
 
 std::pair<std::unique_ptr<ByteStream>, std::unique_ptr<ByteStream>>
-loopbackPair()
+loopbackPair(std::size_t capacity)
 {
     auto a2b = std::make_shared<PipeBuffer>();
     auto b2a = std::make_shared<PipeBuffer>();
+    a2b->capacity = capacity;
+    b2a->capacity = capacity;
     return {std::make_unique<PipeStream>(b2a, a2b),
             std::make_unique<PipeStream>(a2b, b2a)};
 }
@@ -300,7 +319,7 @@ loopbackPair()
 std::unique_ptr<ByteStream>
 LoopbackListener::connect()
 {
-    auto [client, server] = loopbackPair();
+    auto [client, server] = loopbackPair(pipeCapacity);
     {
         std::lock_guard<std::mutex> lock(mu);
         if (stopped)

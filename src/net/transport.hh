@@ -119,11 +119,21 @@ struct PipeBuffer
     std::condition_variable cv;
     std::deque<std::uint8_t> bytes;
     bool closed = false;
+    /**
+     * Buffered-byte bound, modeling a kernel socket buffer: a
+     * sender blocks once this many bytes are unread, exactly the
+     * backpressure a real TCP stream exerts on a peer that stops
+     * reading. Unlimited by default (the historical behaviour).
+     */
+    std::size_t capacity = static_cast<std::size_t>(-1);
 };
 
-/** A connected pair of in-process streams (client end, server end). */
+/**
+ * A connected pair of in-process streams (client end, server end).
+ * @param capacity per-direction buffered-byte bound (see PipeBuffer)
+ */
 std::pair<std::unique_ptr<ByteStream>, std::unique_ptr<ByteStream>>
-loopbackPair();
+loopbackPair(std::size_t capacity = static_cast<std::size_t>(-1));
 
 /**
  * In-process listener: connect() synthesises a loopbackPair, queues
@@ -132,6 +142,14 @@ loopbackPair();
 class LoopbackListener final : public Listener
 {
   public:
+    /** @param pipe_capacity buffered-byte bound per direction of
+     *  every synthesised connection (default unlimited). */
+    explicit LoopbackListener(
+        std::size_t pipe_capacity = static_cast<std::size_t>(-1))
+        : pipeCapacity(pipe_capacity)
+    {
+    }
+
     /** New connection; returns the client-side stream. */
     std::unique_ptr<ByteStream> connect();
 
@@ -143,6 +161,7 @@ class LoopbackListener final : public Listener
     std::condition_variable cv;
     std::deque<std::unique_ptr<ByteStream>> pending;
     bool stopped = false;
+    const std::size_t pipeCapacity;
 };
 
 } // namespace quma::net

@@ -185,7 +185,8 @@ Reader::expectEnd() const
 // --- framing ----------------------------------------------------------------
 
 std::vector<std::uint8_t>
-sealFrame(MsgType type, const Writer &payload)
+sealFrame(MsgType type, std::uint64_t request_id,
+          const Writer &payload)
 {
     const std::vector<std::uint8_t> &body = payload.bytes();
     if (body.size() > kMaxPayloadBytes)
@@ -195,6 +196,7 @@ sealFrame(MsgType type, const Writer &payload)
     header.u16(kWireVersion);
     header.u16(static_cast<std::uint16_t>(type));
     header.u32(static_cast<std::uint32_t>(body.size()));
+    header.u64(request_id);
     std::vector<std::uint8_t> frame = header.bytes();
     frame.insert(frame.end(), body.begin(), body.end());
     return frame;
@@ -228,18 +230,30 @@ knownMsgType(std::uint16_t t)
 
 } // namespace
 
-FrameHeader
-decodeFrameHeader(const std::uint8_t *header)
+void
+checkFramePrefix(const std::uint8_t *prefix)
 {
-    Reader r(header, kFrameHeaderBytes);
+    Reader r(prefix, kFrameHeaderPrefixBytes);
     std::uint32_t magic = r.u32();
     if (magic != kWireMagic)
         throw WireError("bad frame magic");
     std::uint16_t version = r.u16();
     if (version != kWireVersion)
-        throw WireError("unsupported wire version " +
-                        std::to_string(version) + " (speaking " +
-                        std::to_string(kWireVersion) + ")");
+        throw WireVersionError(
+            "unsupported wire version " + std::to_string(version) +
+                " (speaking " + std::to_string(kWireVersion) +
+                (version < kWireVersion
+                     ? "; v2 frames carry a requestId the peer does "
+                       "not send)"
+                     : ")"),
+            version);
+}
+
+FrameHeader
+decodeFrameHeader(const std::uint8_t *header)
+{
+    checkFramePrefix(header);
+    Reader r(header + 6, kFrameHeaderBytes - 6);
     std::uint16_t type = r.u16();
     if (!knownMsgType(type))
         throw WireError("unknown frame type " + std::to_string(type));
@@ -248,7 +262,8 @@ decodeFrameHeader(const std::uint8_t *header)
         throw WireError("frame payload length " +
                         std::to_string(length) +
                         " exceeds the size cap");
-    return FrameHeader{static_cast<MsgType>(type), length};
+    std::uint64_t requestId = r.u64();
+    return FrameHeader{static_cast<MsgType>(type), length, requestId};
 }
 
 // --- machine configuration --------------------------------------------------
@@ -567,7 +582,7 @@ decodeErrorFrame(Reader &r)
     ErrorFrame e;
     std::uint16_t code = r.u16();
     if (code < 1 ||
-        code > static_cast<std::uint16_t>(WireErrorCode::Internal))
+        code > static_cast<std::uint16_t>(WireErrorCode::VersionMismatch))
         throw WireError("unknown wire error code " +
                         std::to_string(code));
     e.code = static_cast<WireErrorCode>(code);

@@ -7,13 +7,24 @@
  *
  * Every frame is
  *
- *     u32 magic   "QuMA" (0x414D7551 little-endian)
- *     u16 version kWireVersion
- *     u16 type    MsgType
- *     u32 length  payload byte count (<= kMaxPayloadBytes)
+ *     u32 magic     "QuMA" (0x414D7551 little-endian)
+ *     u16 version   kWireVersion
+ *     u16 type      MsgType
+ *     u32 length    payload byte count (<= kMaxPayloadBytes)
+ *     u64 requestId demultiplexing key (v2; see below)
  *     u8  payload[length]
  *
- * with every multi-byte integer serialized explicitly little-endian,
+ * The requestId is what makes one connection carry many requests at
+ * once: a client stamps every request with a fresh id, the server
+ * echoes it on the matching reply, and the client's background
+ * reader routes each incoming frame to the request that is waiting
+ * for it -- in whatever order the replies arrive. Replies to
+ * blocking requests (Await) are pushed by the server the moment the
+ * job completes, so they routinely overtake later requests' replies.
+ * requestId 0 is reserved for connection-level error frames that
+ * answer no particular request (e.g. a version mismatch).
+ *
+ * Every multi-byte integer is serialized explicitly little-endian,
  * byte by byte -- never by memcpy of a host struct -- so the format
  * is identical across architectures and independent of padding.
  * Doubles travel as the little-endian bytes of their IEEE-754 bit
@@ -23,7 +34,10 @@
  * Decoding is defensive: a Reader never reads past the payload it
  * was given and throws WireError (no UB, no over-read) on truncated
  * or malformed input; decodeFrameHeader rejects bad magic, foreign
- * versions and oversized lengths before any payload is touched.
+ * versions and oversized lengths before any payload is touched. A
+ * foreign version throws the WireVersionError subclass so a server
+ * can answer the legacy peer with a clean VersionMismatch error
+ * frame before hanging up, instead of dying silently.
  */
 
 #ifndef QUMA_NET_WIRE_HH
@@ -51,14 +65,51 @@ class WireError : public std::runtime_error
     }
 };
 
+/**
+ * A structurally valid header speaking a different protocol version.
+ * Distinct from plain WireError so the serving side can answer the
+ * legacy peer with a VersionMismatch error frame (its framing is
+ * intact enough to read) before closing the connection.
+ */
+class WireVersionError : public WireError
+{
+  public:
+    WireVersionError(const std::string &msg, std::uint16_t peer)
+        : WireError(msg), peerVersion(peer)
+    {
+    }
+
+    /** The version the peer claimed to speak. */
+    std::uint16_t peerVersion;
+};
+
 /** "QuMA" in little-endian byte order. */
 inline constexpr std::uint32_t kWireMagic = 0x414D7551u;
-/** Bump on any incompatible layout change (see README). */
-inline constexpr std::uint16_t kWireVersion = 1;
+/**
+ * Bump on any incompatible layout change (see README).
+ * v1: strict request/reply, 12-byte header.
+ * v2: + u64 requestId in the header (connection multiplexing and
+ *     completion-pushed Await replies).
+ */
+inline constexpr std::uint16_t kWireVersion = 2;
 /** Hard per-frame payload cap; larger lengths are rejected. */
 inline constexpr std::uint32_t kMaxPayloadBytes = 64u << 20;
-/** Serialized frame header size in bytes. */
-inline constexpr std::size_t kFrameHeaderBytes = 12;
+/** Serialized frame header size in bytes (v2: requestId included). */
+inline constexpr std::size_t kFrameHeaderBytes = 20;
+/**
+ * The header prefix every version shares: magic, version, type,
+ * length (the v1 header was exactly this). A server reads this much
+ * first and validates magic+version before trusting the
+ * version-specific remainder -- a legacy frame SHORTER than the v2
+ * header (e.g. a 12-byte v1 StatsRequest) must still produce a
+ * clean VersionMismatch answer, not a blocked read.
+ */
+inline constexpr std::size_t kFrameHeaderPrefixBytes = 12;
+/**
+ * Request id reserved for connection-level error frames that answer
+ * no particular request (version mismatch, undecodable header).
+ */
+inline constexpr std::uint64_t kConnectionRequestId = 0;
 
 /**
  * Semantic caps on decoded JobSpecs. Framing checks alone would let
@@ -112,6 +163,13 @@ enum class WireErrorCode : std::uint16_t
     Shutdown = 3,
     /** Serving-side exception while executing the request. */
     Internal = 4,
+    /**
+     * Peer speaks a different wire version. Sent with
+     * requestId = kConnectionRequestId just before the connection is
+     * closed (mixed-version deployments are unsupported; the frame
+     * exists so the legacy peer fails with a diagnosis, not a hang).
+     */
+    VersionMismatch = 5,
 };
 
 /** Little-endian payload builder. */
@@ -177,15 +235,28 @@ struct FrameHeader
 {
     MsgType type = MsgType::ErrorReply;
     std::uint32_t length = 0;
+    /** Demux key echoed between request and its replies. */
+    std::uint64_t requestId = kConnectionRequestId;
 };
 
 /** Serialize a complete frame (header + payload). */
 std::vector<std::uint8_t> sealFrame(MsgType type,
+                                    std::uint64_t request_id,
                                     const Writer &payload);
 
 /**
- * Validate and decode the 12 header bytes; throws WireError on bad
- * magic, unsupported version, unknown type or oversized length.
+ * Validate the version-independent prefix (kFrameHeaderPrefixBytes):
+ * throws WireError on bad magic and WireVersionError on a foreign
+ * version. Callers read and check this much FIRST, so a legacy
+ * frame shorter than the v2 header still gets a clean diagnosis.
+ */
+void checkFramePrefix(const std::uint8_t *prefix);
+
+/**
+ * Validate and decode the kFrameHeaderBytes header bytes; throws
+ * WireError on bad magic, unknown type or oversized length, and
+ * WireVersionError on a foreign version (so the caller can answer
+ * the legacy peer before hanging up).
  */
 FrameHeader decodeFrameHeader(const std::uint8_t *header);
 

@@ -45,6 +45,23 @@ class IExperimentBackend
     /** Block until the job finishes and return its result. */
     virtual JobResult await(JobId id) = 0;
 
+    /**
+     * Submit a whole sweep's jobs at once; ids in argument order.
+     * The default loops over submit(); remote backends override it
+     * to PIPELINE the batch -- every spec leaves on the connection
+     * before the first acknowledgement is read, so an N-point
+     * fan-out pays roughly one round-trip instead of N.
+     */
+    virtual std::vector<JobId>
+    submitAll(std::vector<JobSpec> specs)
+    {
+        std::vector<JobId> ids;
+        ids.reserve(specs.size());
+        for (JobSpec &spec : specs)
+            ids.push_back(submit(std::move(spec)));
+        return ids;
+    }
+
     /** Await many jobs, results in argument order. */
     virtual std::vector<JobResult>
     awaitAll(const std::vector<JobId> &ids)

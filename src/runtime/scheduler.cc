@@ -48,6 +48,9 @@ JobScheduler::JobScheduler(SchedulerConfig config, MachinePool &pool_,
         fatal("JobScheduler needs at least one worker");
     if (cfg.queueCapacity == 0)
         fatal("JobScheduler needs a positive queue capacity");
+    // The notifier runs even while paused: subscriptions on jobs
+    // cancelled before start() still deliver.
+    notifier = std::thread([this] { notifierLoop(); });
     if (!cfg.startPaused)
         start();
 }
@@ -76,6 +79,9 @@ JobScheduler::~JobScheduler()
             e.partials.clear();
             e.shardRanges.clear();
             ++counters.failed;
+            // Shutdown failures notify too: a subscriber is promised
+            // exactly one callback per job, however the job ends.
+            queueNotificationsLocked(t.id, e.result);
         }
         queue.clear();
     }
@@ -84,6 +90,82 @@ JobScheduler::~JobScheduler()
     cvDone.notify_all();
     for (auto &w : workers)
         w.join();
+    // Only after the last worker is gone can no further completion
+    // arrive; the notifier drains what is queued, then exits.
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        notifierStop = true;
+    }
+    cvNotify.notify_all();
+    notifier.join();
+}
+
+void
+JobScheduler::subscribe(JobId id, CompletionCallback callback)
+{
+    if (!callback)
+        fatal("subscribe needs a callback");
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        auto it = entries.find(id);
+        if (it == entries.end())
+            fatal("unknown job id ", id);
+        const Entry &e = it->second;
+        if (e.jobStatus == JobStatus::Done ||
+            e.jobStatus == JobStatus::Failed) {
+            // Already finished: deliver through the same notifier
+            // thread so the ordering contract holds either way.
+            notifyQueue.push_back(
+                {id, std::make_shared<const JobResult>(e.result),
+                 std::move(callback)});
+        } else {
+            subscriptions[id].push_back(std::move(callback));
+            return;
+        }
+    }
+    cvNotify.notify_all();
+}
+
+void
+JobScheduler::queueNotificationsLocked(JobId id,
+                                       const JobResult &result)
+{
+    auto it = subscriptions.find(id);
+    if (it == subscriptions.end())
+        return;
+    // One shared copy of the result serves every subscriber of this
+    // job; the copy (not the entry) is what the notifier hands out,
+    // so bounded retention may evict the entry meanwhile.
+    auto shared = std::make_shared<const JobResult>(result);
+    for (CompletionCallback &cb : it->second)
+        notifyQueue.push_back({id, shared, std::move(cb)});
+    subscriptions.erase(it);
+    cvNotify.notify_all();
+}
+
+void
+JobScheduler::notifierLoop()
+{
+    std::unique_lock<std::mutex> lock(mu);
+    for (;;) {
+        cvNotify.wait(lock, [this] {
+            return notifierStop || !notifyQueue.empty();
+        });
+        if (notifyQueue.empty())
+            return; // notifierStop and fully drained
+        Notification n = std::move(notifyQueue.front());
+        notifyQueue.pop_front();
+        lock.unlock();
+        // Outside the mutex: the callback may call back into the
+        // scheduler (poll, stats, even subscribe) without deadlock.
+        try {
+            n.callback(n.id, n.result);
+        } catch (const std::exception &ex) {
+            warn("completion callback for job ", n.id,
+                 " threw: ", ex.what());
+        }
+        lock.lock();
+    }
 }
 
 void
@@ -437,6 +519,10 @@ JobScheduler::finishLocked(JobId id, JobResult &&result,
         ++counters.failed;
     else
         ++counters.completed;
+    // Push the result to completion subscribers (the notifier thread
+    // delivers outside the mutex). Before the retention loop below:
+    // it may evict this very entry.
+    queueNotificationsLocked(id, e.result);
     // Bounded retention: a long-lived service must not accumulate one
     // result per job forever. Oldest finished results age out; an
     // await/poll on an aged-out id reports an unknown job.

@@ -24,6 +24,13 @@
  * the same machine configuration -- the common case when a sweep (or
  * a sharded job) fans out into many same-shaped tasks.
  *
+ * NOTIFICATION. subscribe(id, cb) registers a one-shot completion
+ * callback, delivered by a dedicated notifier thread in completion
+ * order, outside the scheduler mutex. This is the push primitive the
+ * network serving layer streams results with: a finished job's
+ * JobResult frame leaves the server the moment the merge completes,
+ * with no awaitFor polling loop holding a thread per pending job.
+ *
  * ADMISSION. Executed jobs sample QumaMachine::stats(): a run whose
  * timing event queues rejected a push (producer backpressure; deep
  * queues alone are healthy) counts as saturated, and an EWMA of that
@@ -40,6 +47,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -207,6 +215,37 @@ class JobScheduler
      */
     bool cancel(JobId id);
 
+    /**
+     * One-shot completion callback: invoked with the job's id and
+     * final result once the job finishes (Done or Failed, including
+     * cancellation). Subscribing to an already-finished job delivers
+     * immediately. The result arrives as a shared_ptr so a consumer
+     * can hand it to another thread (e.g. a connection's writer, for
+     * off-notifier-thread encoding) without copying the payload.
+     * See subscribe() for the threading contract.
+     */
+    using CompletionCallback =
+        std::function<void(JobId, std::shared_ptr<const JobResult>)>;
+
+    /**
+     * Register `callback` to fire on the job's completion -- the
+     * push-notification primitive the serving layer builds result
+     * streaming on, replacing awaitFor polling loops.
+     *
+     * Threading contract: callbacks run on the scheduler's dedicated
+     * notifier thread, one at a time, in completion order (for an
+     * already-finished job, in subscription order), never under the
+     * scheduler mutex -- so a callback may call back into the
+     * scheduler, but must not block for long (it would delay every
+     * later notification; expensive per-result work belongs on the
+     * consumer's own thread, which the shared_ptr makes cheap to
+     * arrange). Multiple subscriptions per job are allowed. Unknown
+     * ids fatal(), exactly like await(). Destruction of the
+     * scheduler delivers every pending notification (shutdown-failed
+     * jobs included) before the destructor returns.
+     */
+    void subscribe(JobId id, CompletionCallback callback);
+
     Stats stats() const;
 
     /**
@@ -266,7 +305,20 @@ class JobScheduler
         std::uint32_t shard = 0;
     };
 
+    /** One queued completion push: the callback plus a private copy
+     *  of the result (retention may evict the entry before the
+     *  notifier thread gets to it). */
+    struct Notification
+    {
+        JobId id = 0;
+        std::shared_ptr<const JobResult> result;
+        CompletionCallback callback;
+    };
+
     void workerLoop();
+    void notifierLoop();
+    /** Move the job's subscriptions into the notifier queue. */
+    void queueNotificationsLocked(JobId id, const JobResult &result);
     JobResult runJob(const JobSpec &spec, core::QumaMachine &machine,
                      bool &saturated);
     ShardPartial runShard(const JobSpec &spec,
@@ -318,7 +370,16 @@ class JobScheduler
     std::array<std::size_t, 3> latencyWindowNext{};
     std::array<std::size_t, 3> latencyCount{};
     std::array<double, 3> latencyMax{};
+    /** Completion subscriptions still waiting for their job. */
+    std::unordered_map<JobId, std::vector<CompletionCallback>>
+        subscriptions;
+    /** Fired-but-undelivered notifications, completion order. */
+    std::deque<Notification> notifyQueue;
+    std::condition_variable cvNotify;
+    /** Set (after the workers are joined) to end the notifier. */
+    bool notifierStop = false;
     std::vector<std::thread> workers;
+    std::thread notifier;
 };
 
 } // namespace quma::runtime

@@ -2,21 +2,29 @@
  * @file
  * Tests of the network serving layer: wire-format round-trips for
  * every message type, defensive rejection of malformed frames
- * (truncated, oversized, bad magic, foreign version -- no UB), the
- * in-process loopback transport, the server's request dispatch and
- * cancel-on-disconnect, and -- the acceptance invariant -- a
+ * (truncated, oversized, bad magic, foreign version -- no UB),
+ * wire-v2 version negotiation (a v1 frame without a requestId is
+ * answered with a clean VersionMismatch error frame), truncation
+ * fuzzing of the 20-byte multiplexed header, the in-process
+ * loopback transport, the server's request dispatch and
+ * cancel-on-disconnect, and -- the acceptance invariants -- a
  * sharded, priority-tagged AllXY job submitted through QumaClient
  * over a real TCP loopback connection producing the bit-identical
- * JobResult the in-process ExperimentService produces.
+ * JobResult the in-process ExperimentService produces, and a whole
+ * sweep PIPELINED over one connection with results streamed back by
+ * server push (no polling) matching the in-process path bit for
+ * bit.
  */
 
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <map>
 #include <thread>
 
 #include "common/logging.hh"
 #include "experiments/allxy.hh"
+#include "experiments/coherence.hh"
 #include "net/client.hh"
 #include "net/server.hh"
 #include "net/transport.hh"
@@ -184,17 +192,20 @@ TEST(Wire, FrameHeaderRoundTrip)
     Writer payload;
     payload.u64(99);
     std::vector<std::uint8_t> frame =
-        sealFrame(MsgType::AwaitRequest, payload);
+        sealFrame(MsgType::AwaitRequest, 0x1122334455667788ull,
+                  payload);
     ASSERT_EQ(frame.size(), kFrameHeaderBytes + 8);
     FrameHeader fh = decodeFrameHeader(frame.data());
     EXPECT_EQ(fh.type, MsgType::AwaitRequest);
     EXPECT_EQ(fh.length, 8u);
+    // The v2 demux key survives the trip exactly.
+    EXPECT_EQ(fh.requestId, 0x1122334455667788ull);
 }
 
 TEST(Wire, FrameHeaderRejectsBadMagic)
 {
     std::vector<std::uint8_t> frame =
-        sealFrame(MsgType::StatsRequest, Writer{});
+        sealFrame(MsgType::StatsRequest, 1, Writer{});
     frame[0] ^= 0xff;
     EXPECT_THROW(decodeFrameHeader(frame.data()), WireError);
 }
@@ -202,15 +213,25 @@ TEST(Wire, FrameHeaderRejectsBadMagic)
 TEST(Wire, FrameHeaderRejectsForeignVersion)
 {
     std::vector<std::uint8_t> frame =
-        sealFrame(MsgType::StatsRequest, Writer{});
+        sealFrame(MsgType::StatsRequest, 1, Writer{});
     frame[4] = static_cast<std::uint8_t>(kWireVersion + 1);
-    EXPECT_THROW(decodeFrameHeader(frame.data()), WireError);
+    // A foreign version throws the SUBCLASS carrying the peer's
+    // version, so a server can answer before hanging up.
+    try {
+        decodeFrameHeader(frame.data());
+        FAIL() << "foreign version must be rejected";
+    } catch (const WireVersionError &ex) {
+        EXPECT_EQ(ex.peerVersion, kWireVersion + 1);
+    }
+    // The legacy v1 value is equally foreign to a v2 speaker.
+    frame[4] = 1;
+    EXPECT_THROW(decodeFrameHeader(frame.data()), WireVersionError);
 }
 
 TEST(Wire, FrameHeaderRejectsUnknownType)
 {
     std::vector<std::uint8_t> frame =
-        sealFrame(MsgType::StatsRequest, Writer{});
+        sealFrame(MsgType::StatsRequest, 1, Writer{});
     frame[6] = 60; // inside the request range but unassigned
     EXPECT_THROW(decodeFrameHeader(frame.data()), WireError);
 }
@@ -218,7 +239,7 @@ TEST(Wire, FrameHeaderRejectsUnknownType)
 TEST(Wire, FrameHeaderRejectsOversizedLength)
 {
     std::vector<std::uint8_t> frame =
-        sealFrame(MsgType::StatsRequest, Writer{});
+        sealFrame(MsgType::StatsRequest, 1, Writer{});
     // Patch the length field to just past the cap.
     Writer len;
     len.u32(kMaxPayloadBytes + 1);
@@ -689,32 +710,276 @@ TEST(Loopback, MalformedPayloadGetsBadRequestAndKeepsConnection)
     Writer submit;
     encodeJobSpec(submit, shotJob(2, 9));
     std::vector<std::uint8_t> frame =
-        sealFrame(MsgType::SubmitRequest, submit);
+        sealFrame(MsgType::SubmitRequest, 1, submit);
     raw->sendAll(frame.data(), frame.size());
     auto [sfh, sbody] = recvFrame(*raw);
     ASSERT_EQ(sfh.type, MsgType::SubmitReply);
+    EXPECT_EQ(sfh.requestId, 1u);
 
     // Now a StatusRequest whose payload is 2 bytes short of its u64:
     // framing is intact, the payload is the client's bug.
     Writer bad;
     bad.u32(7);
-    frame = sealFrame(MsgType::StatusRequest, bad);
+    frame = sealFrame(MsgType::StatusRequest, 2, bad);
     raw->sendAll(frame.data(), frame.size());
     auto [efh, ebody] = recvFrame(*raw);
     ASSERT_EQ(efh.type, MsgType::ErrorReply);
+    // The error reply routes back to the offending request.
+    EXPECT_EQ(efh.requestId, 2u);
     Reader er(ebody);
     EXPECT_EQ(decodeErrorFrame(er).code, WireErrorCode::BadRequest);
 
     // The connection survived and the queued job was NOT cancelled.
     Writer stats;
-    frame = sealFrame(MsgType::StatsRequest, stats);
+    frame = sealFrame(MsgType::StatsRequest, 3, stats);
     raw->sendAll(frame.data(), frame.size());
     auto [tfh, tbody] = recvFrame(*raw);
     EXPECT_EQ(tfh.type, MsgType::StatsReply);
+    EXPECT_EQ(tfh.requestId, 3u);
     EXPECT_EQ(service.scheduler().stats().cancelled, 0u);
 
     service.start();
     service.drain();
+}
+
+// --- version negotiation and header fuzzing ---------------------------------
+
+/** A v1-era frame: 12-byte header (no requestId), then payload. */
+std::vector<std::uint8_t>
+sealV1Frame(MsgType type, const Writer &payload)
+{
+    Writer header;
+    header.u32(kWireMagic);
+    header.u16(1); // the legacy version
+    header.u16(static_cast<std::uint16_t>(type));
+    header.u32(static_cast<std::uint32_t>(payload.bytes().size()));
+    std::vector<std::uint8_t> frame = header.bytes();
+    frame.insert(frame.end(), payload.bytes().begin(),
+                 payload.bytes().end());
+    return frame;
+}
+
+TEST(Loopback, LegacyV1FrameGetsCleanVersionMismatchThenHangup)
+{
+    ExperimentService service({.workers = 1});
+    auto listener = std::make_unique<LoopbackListener>();
+    LoopbackListener *accept_side = listener.get();
+    QumaServer server(service, std::move(listener));
+
+    // A v1 StatusRequest: 12 header bytes + 8 payload bytes, so the
+    // server's 20-byte header read completes and sees version 1.
+    std::unique_ptr<ByteStream> raw = accept_side->connect();
+    Writer payload;
+    payload.u64(7);
+    std::vector<std::uint8_t> frame =
+        sealV1Frame(MsgType::StatusRequest, payload);
+    ASSERT_EQ(frame.size(), kFrameHeaderBytes); // reads as one header
+    raw->sendAll(frame.data(), frame.size());
+
+    // The answer is a clean, DECODABLE v2 error frame on the
+    // connection-level request id -- not silence, not a dropped
+    // socket mid-frame.
+    auto [fh, body] = recvFrame(*raw);
+    EXPECT_EQ(fh.type, MsgType::ErrorReply);
+    EXPECT_EQ(fh.requestId, kConnectionRequestId);
+    Reader r(body);
+    ErrorFrame e = decodeErrorFrame(r);
+    EXPECT_EQ(e.code, WireErrorCode::VersionMismatch);
+    EXPECT_NE(e.message.find("version 1"), std::string::npos);
+
+    // ... after which the server hangs up (clean EOF).
+    std::uint8_t probe;
+    EXPECT_FALSE(raw->recvAll(&probe, 1));
+
+    // The nastier case: a v1 frame SHORTER than the v2 header (a
+    // 12-byte StatsRequest has no payload). The server must not
+    // block waiting for v2-header bytes that will never come -- the
+    // prefix check fires on the first 12 bytes alone.
+    std::unique_ptr<ByteStream> short_raw = accept_side->connect();
+    std::vector<std::uint8_t> tiny =
+        sealV1Frame(MsgType::StatsRequest, Writer{});
+    ASSERT_EQ(tiny.size(), kFrameHeaderPrefixBytes);
+    short_raw->sendAll(tiny.data(), tiny.size());
+    auto [tfh, tbody] = recvFrame(*short_raw);
+    EXPECT_EQ(tfh.type, MsgType::ErrorReply);
+    Reader tr(tbody);
+    EXPECT_EQ(decodeErrorFrame(tr).code,
+              WireErrorCode::VersionMismatch);
+    EXPECT_FALSE(short_raw->recvAll(&probe, 1));
+}
+
+TEST(Loopback, SlowConsumerOverflowTearsTheConnectionDown)
+{
+    // A client that fires requests but never reads replies must not
+    // grow the server's outbox without bound: once the pipe (here a
+    // TCP-buffer-sized 256 bytes) wedges the writer and the outbox
+    // hits its cap, the connection is treated as dead and reclaimed.
+    ExperimentService service({.workers = 1});
+    auto listener =
+        std::make_unique<LoopbackListener>(/*pipe_capacity=*/256);
+    LoopbackListener *accept_side = listener.get();
+    ServerConfig cfg;
+    cfg.maxQueuedReplyFrames = 4;
+    QumaServer server(service, std::move(listener), cfg);
+
+    std::unique_ptr<ByteStream> raw = accept_side->connect();
+    std::vector<std::uint8_t> frame =
+        sealFrame(MsgType::StatsRequest, 1, Writer{});
+    // Far more requests than fit in the reply pipe plus the outbox
+    // cap; never read a single reply. Sends may block on the
+    // bounded pipe and then fail once the server hangs up -- which
+    // is the point.
+    bool hungUpOnUs = false;
+    for (int i = 0; i < 64 && !hungUpOnUs; ++i) {
+        try {
+            raw->sendAll(frame.data(), frame.size());
+        } catch (const WireError &) {
+            hungUpOnUs = true;
+        }
+    }
+    for (int i = 0; i < 1000; ++i) {
+        if (server.stats().connectionsActive == 0)
+            break;
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    EXPECT_EQ(server.stats().connectionsActive, 0u);
+
+    // The server remains healthy for well-behaved clients.
+    QumaClient client(accept_side->connect());
+    EXPECT_FALSE(client.runSync(shotJob(2, 0x51)).failed());
+}
+
+TEST(Loopback, TruncatedHeadersNeverWedgeTheServer)
+{
+    ExperimentService service({.workers = 1});
+    auto listener = std::make_unique<LoopbackListener>();
+    LoopbackListener *accept_side = listener.get();
+    QumaServer server(service, std::move(listener));
+
+    Writer payload;
+    payload.u64(424242);
+    std::vector<std::uint8_t> whole =
+        sealFrame(MsgType::AwaitRequest, 9, payload);
+
+    // Every proper prefix of the 20-byte header (plus a mid-payload
+    // cut): the server must treat each as a dead/misbehaving peer
+    // and reclaim the connection -- no hang, no crash, no UB for
+    // any cut point across the new header fields (requestId
+    // included).
+    for (std::size_t cut = 1; cut < whole.size(); ++cut) {
+        std::unique_ptr<ByteStream> raw = accept_side->connect();
+        raw->sendAll(whole.data(), cut);
+        raw->close();
+    }
+    // Connections are torn down asynchronously; wait for the server
+    // to reclaim all of them.
+    for (int i = 0; i < 1000; ++i) {
+        if (server.stats().connectionsActive == 0)
+            break;
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    EXPECT_EQ(server.stats().connectionsActive, 0u);
+
+    // And the server still serves fresh, well-formed connections.
+    QumaClient client(accept_side->connect());
+    EXPECT_FALSE(client.runSync(shotJob(2, 0xf42)).failed());
+}
+
+// --- pipelining and server-push streaming ------------------------------------
+
+TEST(Loopback, ManyAwaitsInFlightOnOneConnection)
+{
+    // Three awaits park on ONE connection while the service is still
+    // paused -- impossible under the v1 strict request/reply
+    // discipline, where the first await would own the connection
+    // until its job completed.
+    ServiceConfig sc;
+    sc.workers = 1;
+    sc.queueCapacity = 8;
+    sc.startPaused = true;
+    ExperimentService service(sc);
+    auto listener = std::make_unique<LoopbackListener>();
+    LoopbackListener *accept_side = listener.get();
+    QumaServer server(service, std::move(listener));
+    QumaClient client(accept_side->connect());
+
+    std::vector<runtime::JobId> ids = client.submitAll(
+        {shotJob(2, 0xa), shotJob(2, 0xb), shotJob(2, 0xc)});
+    ASSERT_EQ(ids.size(), 3u);
+
+    std::vector<std::pair<runtime::JobId, JobResult>> streamed;
+    std::thread waiter([&] { streamed = client.awaitMany(ids); });
+    // Give the awaits time to reach the server; they must all be
+    // REGISTERED (requests served), not queued behind each other.
+    for (int i = 0; i < 1000; ++i) {
+        if (server.stats().requestsServed >= 6)
+            break;
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    EXPECT_GE(server.stats().requestsServed, 6u);
+
+    service.start();
+    waiter.join();
+    ASSERT_EQ(streamed.size(), 3u);
+    // Exactly one request frame per submit and per await crossed the
+    // wire: results were PUSHED on completion, never polled for.
+    EXPECT_EQ(server.stats().requestsServed, 6u);
+
+    // Results route to the right ids and match a local reference.
+    ExperimentService local({.workers = 1});
+    std::map<runtime::JobId, JobResult> bySubmitted;
+    for (auto &[id, result] : streamed)
+        bySubmitted.emplace(id, result);
+    std::vector<std::uint64_t> seeds = {0xa, 0xb, 0xc};
+    for (std::size_t i = 0; i < ids.size(); ++i)
+        EXPECT_EQ(bySubmitted.at(ids[i]),
+                  local.runSync(shotJob(2, seeds[i])));
+}
+
+TEST(Loopback, AwaitStreamingDeliversInCompletionOrder)
+{
+    // One worker, paused: the jobs will finish in queue order, and
+    // the streamed delivery order must match the scheduler's own
+    // completion record -- results arrive as they finish, not in
+    // request order.
+    ServiceConfig sc;
+    sc.workers = 1;
+    sc.queueCapacity = 8;
+    sc.startPaused = true;
+    ExperimentService service(sc);
+    auto listener = std::make_unique<LoopbackListener>();
+    LoopbackListener *accept_side = listener.get();
+    QumaServer server(service, std::move(listener));
+    QumaClient client(accept_side->connect());
+
+    std::vector<runtime::JobId> ids = client.submitAll(
+        {shotJob(2, 1), shotJob(2, 2), shotJob(2, 3),
+         shotJob(2, 4)});
+    // Await in REVERSE argument order to decouple request order from
+    // completion order.
+    std::vector<runtime::JobId> reversed(ids.rbegin(), ids.rend());
+    std::vector<runtime::JobId> delivered;
+    std::thread waiter([&] {
+        client.awaitStreaming(
+            reversed, [&delivered](runtime::JobId id,
+                                   JobResult result) {
+                EXPECT_FALSE(result.failed());
+                delivered.push_back(id);
+            });
+    });
+    // All four awaits must be REGISTERED (4 submits + 4 awaits
+    // served) before the first job may run, or an early finisher
+    // would be delivered in subscription order instead.
+    for (int i = 0; i < 1000; ++i) {
+        if (server.stats().requestsServed >= 8)
+            break;
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    ASSERT_GE(server.stats().requestsServed, 8u);
+    service.start();
+    waiter.join();
+    ASSERT_EQ(delivered.size(), ids.size());
+    EXPECT_EQ(delivered, service.scheduler().finishedIds());
 }
 
 // --- real TCP: the remote-vs-local acceptance invariant ---------------------
@@ -817,6 +1082,83 @@ TEST(Tcp, ConcurrentClientsGetTheirOwnResults)
         }
     EXPECT_EQ(server.stats().connectionsAccepted,
               static_cast<std::size_t>(kClients));
+}
+
+TEST(Tcp, PipelinedShardedSweepBitIdenticalRemoteVsLocal)
+{
+    // THE v2 acceptance invariant: a whole sweep of sharded,
+    // priority-tagged jobs pipelined over ONE TCP connection, with
+    // results streamed back by server push, merges bit-identically
+    // to the in-process path.
+    std::vector<JobSpec> sweep;
+    for (std::uint64_t i = 0; i < 4; ++i) {
+        experiments::AllxyConfig cfg;
+        cfg.rounds = 24;
+        cfg.shards = 2;
+        cfg.seed = 0x90e0 + i;
+        JobSpec spec = experiments::allxyJob(cfg);
+        ASSERT_EQ(spec.rounds, 24u); // round-structured, sharded
+        spec.priority = JobPriority::High;
+        sweep.push_back(std::move(spec));
+    }
+
+    // In-process reference.
+    ExperimentService local({.workers = 2});
+    std::vector<JobResult> localResults =
+        local.awaitAll(local.submitAll(sweep));
+
+    // The same sweep through one TCP loopback connection.
+    ExperimentService served({.workers = 2});
+    auto listener = std::make_unique<TcpListener>(0);
+    std::uint16_t port = listener->port();
+    QumaServer server(served, std::move(listener));
+    QumaClient client("127.0.0.1", port);
+
+    std::vector<runtime::JobId> ids = client.submitAll(sweep);
+    std::map<runtime::JobId, JobResult> byId;
+    for (auto &[id, result] : client.awaitMany(ids))
+        byId.emplace(id, std::move(result));
+
+    ASSERT_EQ(byId.size(), sweep.size());
+    for (std::size_t i = 0; i < sweep.size(); ++i) {
+        ASSERT_FALSE(localResults[i].failed());
+        // THE acceptance bit: not close, identical.
+        EXPECT_EQ(byId.at(ids[i]), localResults[i]);
+    }
+
+    // The sharding fields made it across (multi-shard jobs on the
+    // serving scheduler) and delivery was pure push: exactly one
+    // frame per submit and per await, no polling traffic.
+    EXPECT_GE(served.scheduler().stats().shardedJobs, sweep.size());
+    EXPECT_EQ(server.stats().requestsServed, 2 * sweep.size());
+}
+
+TEST(Tcp, CoherenceSweepFanOutPipelinedMatchesLocal)
+{
+    // The rewired experiment fan-out end to end: runT1 against a
+    // remote backend submits its whole sweep with submitAll (one
+    // pipelined burst over the single connection) and must still
+    // reproduce the local service's numbers exactly.
+    experiments::CoherenceConfig cfg =
+        experiments::CoherenceConfig::withLinearSweep(4000.0, 4);
+    cfg.rounds = 16;
+    cfg.shards = 2;
+    cfg.seed = 0x71a;
+
+    ExperimentService local({.workers = 2});
+    experiments::DecayResult onLocal = experiments::runT1(cfg, local);
+
+    ExperimentService served({.workers = 2});
+    auto listener = std::make_unique<TcpListener>(0);
+    std::uint16_t port = listener->port();
+    QumaServer server(served, std::move(listener));
+    QumaClient client("127.0.0.1", port);
+    experiments::DecayResult onRemote =
+        experiments::runT1(cfg, client);
+
+    EXPECT_EQ(onRemote.delaysNs, onLocal.delaysNs);
+    EXPECT_EQ(onRemote.population, onLocal.population);
+    EXPECT_EQ(onRemote.fit.tau, onLocal.fit.tau);
 }
 
 } // namespace
