@@ -1,0 +1,134 @@
+/**
+ * @file
+ * quma_remote_sweep: a remote AllXY amplitude sweep against a
+ * running quma_serve, exercising the full serving surface.
+ *
+ * Connects a net::QumaClient to the given host/port, pipelines one
+ * AllXY job per amplitude-error point (submitAll: every spec is on
+ * the wire before the first id comes back), then streams the results
+ * in COMPLETION order (awaitMany: the server pushes each result the
+ * moment its job finishes). Afterwards the serving runtime's stats
+ * frame -- scheduler, pool, and (wire v3) program/LUT cache -- is
+ * fetched and printed alongside this connection's own link meter.
+ *
+ *   $ ./example_quma_serve --port 7777 &
+ *   $ ./example_quma_remote_sweep --port 7777 [--host 127.0.0.1]
+ *                                 [--points N] [--rounds N]
+ *
+ * Used by the CI metrics-scrape job as the load generator behind a
+ * /metrics validation (.github/workflows/ci.yml).
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "experiments/allxy.hh"
+#include "net/client.hh"
+
+namespace {
+
+unsigned long
+argNum(int argc, char **argv, const char *flag, unsigned long fallback)
+{
+    for (int i = 1; i + 1 < argc; ++i)
+        if (std::strcmp(argv[i], flag) == 0)
+            return std::strtoul(argv[i + 1], nullptr, 10);
+    return fallback;
+}
+
+const char *
+argStr(int argc, char **argv, const char *flag, const char *fallback)
+{
+    for (int i = 1; i + 1 < argc; ++i)
+        if (std::strcmp(argv[i], flag) == 0)
+            return argv[i + 1];
+    return fallback;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace quma;
+
+    auto port =
+        static_cast<std::uint16_t>(argNum(argc, argv, "--port", 0));
+    auto points =
+        static_cast<std::size_t>(argNum(argc, argv, "--points", 8));
+    auto rounds =
+        static_cast<std::size_t>(argNum(argc, argv, "--rounds", 16));
+    std::string host = argStr(argc, argv, "--host", "127.0.0.1");
+    if (port == 0) {
+        std::fprintf(stderr,
+                     "usage: %s --port N [--host H] [--points N] "
+                     "[--rounds N]\n",
+                     argv[0]);
+        return 2;
+    }
+
+    net::QumaClient client(host, port);
+
+    // One job per amplitude-error point. Identical machine config
+    // across points would defeat the sweep, so each point's error is
+    // distinct -- which also exercises the pool's keyed sharding and
+    // the program cache on the serving side.
+    std::vector<runtime::JobSpec> specs;
+    specs.reserve(points);
+    for (std::size_t i = 0; i < points; ++i) {
+        experiments::AllxyConfig cfg;
+        cfg.rounds = rounds;
+        cfg.shards = 1;
+        cfg.amplitudeError =
+            0.05 * static_cast<double>(i) /
+            static_cast<double>(points > 1 ? points - 1 : 1);
+        cfg.seed = 0x5eed + i;
+        specs.push_back(experiments::allxyJob(cfg));
+    }
+
+    std::printf("submitting %zu AllXY jobs (%zu rounds each) to "
+                "%s:%u...\n",
+                specs.size(), rounds, host.c_str(), port);
+    std::vector<runtime::JobId> ids =
+        client.submitAll(std::move(specs));
+
+    std::size_t streamed = 0;
+    for (const auto &[id, result] : client.awaitMany(ids)) {
+        ++streamed;
+        if (result.failed()) {
+            std::printf("job %llu FAILED: %s\n",
+                        static_cast<unsigned long long>(id),
+                        result.error.c_str());
+            continue;
+        }
+        double first =
+            result.averages.empty() ? 0.0 : result.averages.front();
+        std::printf("job %llu done (%zu/%zu): %zu bins, "
+                    "point0 = %.4f\n",
+                    static_cast<unsigned long long>(id), streamed,
+                    ids.size(), result.averages.size(), first);
+    }
+
+    net::StatsFrame stats = client.stats();
+    std::printf("\nserver scheduler: %zu submitted, %zu completed, "
+                "%zu failed\n",
+                stats.scheduler.submitted, stats.scheduler.completed,
+                stats.scheduler.failed);
+    std::printf("server pool: %zu machines created, %zu reuse hits, "
+                "%zu resets\n",
+                stats.pool.machinesCreated, stats.pool.reuseHits,
+                stats.pool.machineResets);
+    std::printf("server cache: programs %zu hit / %zu miss "
+                "(%zu evicted), LUTs %zu hit / %zu miss "
+                "(%zu evicted)\n",
+                stats.cache.programHits, stats.cache.programMisses,
+                stats.cache.programEvictions, stats.cache.lutHits,
+                stats.cache.lutMisses, stats.cache.lutEvictions);
+    core::LinkStats link = client.linkStats();
+    std::printf("wire traffic: %zu bytes up / %zu bytes down\n",
+                link.bytesUp, link.bytesDown);
+    return 0;
+}

@@ -10,18 +10,30 @@
  * connection is served by its own thread against the one shared
  * machine pool.
  *
- *   $ ./example_quma_serve [--port N] [--workers N] [--queue N] [--public]
+ *   $ ./example_quma_serve [--port N] [--workers N] [--queue N]
+ *                          [--metrics-port N] [--trace FILE] [--public]
  *
  * Default is an ephemeral port on 127.0.0.1 (printed on startup);
  * --public binds all interfaces instead. On shutdown the serving
  * stats -- connections, requests, wire traffic in §7.1 host-link
  * terms -- are printed.
+ *
+ * OBSERVABILITY. --metrics-port N additionally serves Prometheus
+ * text exposition on `GET http://127.0.0.1:N/metrics` (0 = pick an
+ * ephemeral port, printed on startup; docs/observability.md lists
+ * the families). --trace FILE enables job-lifecycle tracing and
+ * writes the capture as Chrome trace-event JSON to FILE at shutdown
+ * (load it in chrome://tracing or Perfetto).
  */
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
+#include <string>
 
+#include "common/metrics.hh"
+#include "net/metrics_endpoint.hh"
 #include "net/server.hh"
 #include "net/transport.hh"
 #include "runtime/service.hh"
@@ -46,6 +58,16 @@ argFlag(int argc, char **argv, const char *flag)
     return false;
 }
 
+/** The value following `flag`, or null when the flag is absent. */
+const char *
+argValue(int argc, char **argv, const char *flag)
+{
+    for (int i = 1; i + 1 < argc; ++i)
+        if (std::strcmp(argv[i], flag) == 0)
+            return argv[i + 1];
+    return nullptr;
+}
+
 } // namespace
 
 int
@@ -57,19 +79,51 @@ main(int argc, char **argv)
     auto workers = static_cast<unsigned>(argNum(argc, argv, "--workers", 4));
     auto queue = static_cast<std::size_t>(argNum(argc, argv, "--queue", 256));
     bool open = argFlag(argc, argv, "--public");
+    const char *metricsPortArg =
+        argValue(argc, argv, "--metrics-port");
+    const char *traceFile = argValue(argc, argv, "--trace");
+
+    // The registry is declared BEFORE the components whose gauge
+    // callbacks it will render (and is only enabled when somebody
+    // asked to scrape): the components outlive its last render.
+    quma::metrics::MetricsRegistry registry(metricsPortArg != nullptr);
 
     runtime::ServiceConfig sc;
     sc.workers = workers;
     sc.queueCapacity = queue;
     runtime::ExperimentService service(sc);
+    service.bindMetrics(registry);
+    if (traceFile)
+        service.trace().enable();
 
     auto listener = std::make_unique<net::TcpListener>(port, !open);
     std::uint16_t bound = listener->port();
     net::QumaServer server(service, std::move(listener));
+    server.bindMetrics(registry);
+
+    // Declared after the server: destroyed (and stopped) first, so
+    // no scrape renders callbacks into dying components.
+    std::unique_ptr<net::MetricsEndpoint> metricsEndpoint;
+    std::uint16_t metricsBound = 0;
+    if (metricsPortArg) {
+        auto mp = static_cast<std::uint16_t>(
+            std::strtoul(metricsPortArg, nullptr, 10));
+        auto mlistener =
+            std::make_unique<net::TcpListener>(mp, !open);
+        metricsBound = mlistener->port();
+        metricsEndpoint = std::make_unique<net::MetricsEndpoint>(
+            registry, std::move(mlistener));
+    }
 
     std::printf("quma_serve: listening on %s:%u (%u workers, "
                 "queue %zu)\n",
                 open ? "0.0.0.0" : "127.0.0.1", bound, workers, queue);
+    if (metricsEndpoint)
+        std::printf("metrics: http://%s:%u/metrics\n",
+                    open ? "0.0.0.0" : "127.0.0.1", metricsBound);
+    if (traceFile)
+        std::printf("tracing: job lifecycle -> %s at shutdown\n",
+                    traceFile);
     std::printf("serving until stdin closes...\n");
     std::fflush(stdout);
 
@@ -78,7 +132,21 @@ main(int argc, char **argv)
     while (std::fgetc(stdin) != EOF) {
     }
 
+    if (metricsEndpoint)
+        metricsEndpoint->stop();
     server.stop();
+    if (traceFile) {
+        std::string json = service.trace().chromeTraceJson();
+        if (std::FILE *f = std::fopen(traceFile, "w")) {
+            std::fwrite(json.data(), 1, json.size(), f);
+            std::fclose(f);
+            std::printf("trace: %zu events -> %s (%zu dropped)\n",
+                        service.trace().eventCount(), traceFile,
+                        service.trace().dropped());
+        } else {
+            std::printf("trace: could not open %s\n", traceFile);
+        }
+    }
     net::QumaServer::Stats s = server.stats();
     auto sched = service.scheduler().stats();
     std::printf("connections: %zu  requests: %zu  errors: %zu\n",

@@ -74,6 +74,7 @@ QumaClient::readerLoop()
 
             std::lock_guard<std::mutex> lock(mu);
             meter.record(sizeof(header) + body.size(), false);
+            ms.repliesReceived.inc();
             if (fh.requestId == kConnectionRequestId) {
                 // A frame answering no request is the server talking
                 // about the CONNECTION (version mismatch and kin):
@@ -155,7 +156,39 @@ QumaClient::sendRequest(MsgType type, const Writer &payload) const
     }
     std::lock_guard<std::mutex> lock(mu);
     meter.record(frame.size(), true);
+    ms.requestsSent.inc();
     return rid;
+}
+
+void
+QumaClient::bindMetrics(metrics::MetricsRegistry &registry)
+{
+    ms.requestsSent = registry.counter(
+        "quma_client_requests_sent_total",
+        "Request frames put on the wire by this client.");
+    ms.repliesReceived = registry.counter(
+        "quma_client_replies_received_total",
+        "Reply frames routed by this client's reader.");
+    registry.gaugeFn("quma_client_inflight_requests",
+                     "Requests awaiting their reply slot.", {},
+                     [this] {
+                         std::lock_guard<std::mutex> lock(mu);
+                         return static_cast<double>(slots.size());
+                     });
+    registry.counterFn("quma_client_link_bytes_total",
+                       "Wire traffic of this connection.",
+                       {{"direction", "up"}}, [this] {
+                           std::lock_guard<std::mutex> lock(mu);
+                           return static_cast<double>(
+                               meter.stats().bytesUp);
+                       });
+    registry.counterFn("quma_client_link_bytes_total",
+                       "Wire traffic of this connection.",
+                       {{"direction", "down"}}, [this] {
+                           std::lock_guard<std::mutex> lock(mu);
+                           return static_cast<double>(
+                               meter.stats().bytesDown);
+                       });
 }
 
 std::vector<std::uint8_t>

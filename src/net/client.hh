@@ -43,6 +43,7 @@
 #include <unordered_map>
 #include <utility>
 
+#include "common/metrics.hh"
 #include "net/transport.hh"
 #include "net/wire.hh"
 #include "quma/hostlink.hh"
@@ -107,6 +108,12 @@ class QumaClient final : public runtime::IExperimentBackend
 
     /** Wire traffic of this connection (bytesUp = toward server). */
     core::LinkStats linkStats() const;
+
+    /**
+     * Register this client's series with `registry` (quma_client_*
+     * family). The client must outlive the registry's last render.
+     */
+    void bindMetrics(metrics::MetricsRegistry &registry);
 
     /** Hang up (idempotent, callable from any thread): every
      *  in-flight and future request fails with WireError. */
@@ -175,6 +182,16 @@ class QumaClient final : public runtime::IExperimentBackend
     mutable bool readerDown = false;
     mutable std::string readerFailure;
     mutable core::LinkMeter meter;
+
+    /** Metric handles; no-ops until bound. Mutable: the const
+     *  request surface still counts its traffic. */
+    struct Instruments
+    {
+        metrics::Counter requestsSent;
+        metrics::Counter repliesReceived;
+    };
+    mutable Instruments ms;
+
     std::thread reader;
 };
 

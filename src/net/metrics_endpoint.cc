@@ -1,0 +1,160 @@
+#include "net/metrics_endpoint.hh"
+
+#include <cstddef>
+#include <string>
+
+#include "common/logging.hh"
+
+namespace quma::net {
+
+namespace {
+
+/** Hard cap on one request's bytes: a request line plus a sane
+ *  header block fits far under this; past it the peer is hostile. */
+constexpr std::size_t kMaxRequestBytes = 8192;
+
+/** The exposition content type Prometheus scrapers negotiate. */
+constexpr const char *kContentType =
+    "text/plain; version=0.0.4; charset=utf-8";
+
+std::string
+httpResponse(const std::string &status, const std::string &body)
+{
+    std::string out = "HTTP/1.0 " + status + "\r\n";
+    out += "Content-Type: ";
+    out += kContentType;
+    out += "\r\n";
+    out += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+    out += "Connection: close\r\n\r\n";
+    out += body;
+    return out;
+}
+
+} // namespace
+
+MetricsEndpoint::MetricsEndpoint(
+    const metrics::MetricsRegistry &registry_,
+    std::unique_ptr<Listener> listener_)
+    : registry(registry_), listener(std::move(listener_))
+{
+    if (!listener)
+        fatal("MetricsEndpoint needs a listener");
+    acceptor = std::thread([this] { acceptLoop(); });
+}
+
+MetricsEndpoint::~MetricsEndpoint()
+{
+    stop();
+}
+
+void
+MetricsEndpoint::stop()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        if (stopped)
+            return;
+        stopped = true;
+        // A scrape in flight must not hold the join below: closing
+        // its stream unblocks the byte-at-a-time request read.
+        if (active)
+            active->close();
+    }
+    listener->close();
+    if (acceptor.joinable())
+        acceptor.join();
+}
+
+std::size_t
+MetricsEndpoint::scrapesServed() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    return scrapes;
+}
+
+void
+MetricsEndpoint::acceptLoop()
+{
+    for (;;) {
+        std::unique_ptr<ByteStream> stream = listener->accept();
+        if (!stream)
+            return;
+        {
+            std::lock_guard<std::mutex> lock(mu);
+            if (stopped) {
+                stream->close();
+                return;
+            }
+            active = stream.get();
+        }
+        try {
+            serveScrape(*stream);
+        } catch (const std::exception &) {
+            // Dead or hostile scraper: drop the connection, keep
+            // the endpoint.
+        }
+        {
+            std::lock_guard<std::mutex> lock(mu);
+            active = nullptr;
+        }
+        stream->close();
+    }
+}
+
+void
+MetricsEndpoint::serveScrape(ByteStream &stream)
+{
+    // Byte-at-a-time until the header terminator: an HTTP request
+    // has no length prefix, and over-reading past the terminator
+    // would block forever on a client that sent exactly one request
+    // (curl keeps the socket open for the response).
+    std::string request;
+    while (request.find("\r\n\r\n") == std::string::npos &&
+           request.find("\n\n") == std::string::npos) {
+        if (request.size() >= kMaxRequestBytes) {
+            std::string r =
+                httpResponse("400 Bad Request", "request too large\n");
+            stream.sendAll(
+                reinterpret_cast<const std::uint8_t *>(r.data()),
+                r.size());
+            return;
+        }
+        std::uint8_t byte = 0;
+        if (!stream.recvAll(&byte, 1))
+            return; // peer hung up before finishing the request
+        request.push_back(static_cast<char>(byte));
+    }
+
+    // Request line: METHOD SP PATH SP VERSION. Only the first two
+    // tokens matter here.
+    std::size_t eol = request.find_first_of("\r\n");
+    std::string line = request.substr(0, eol);
+    std::size_t sp1 = line.find(' ');
+    std::size_t sp2 =
+        sp1 == std::string::npos ? std::string::npos
+                                 : line.find(' ', sp1 + 1);
+    std::string method =
+        sp1 == std::string::npos ? line : line.substr(0, sp1);
+    std::string path = sp2 == std::string::npos
+                           ? std::string()
+                           : line.substr(sp1 + 1, sp2 - sp1 - 1);
+
+    std::string response;
+    if (method != "GET" || path.empty()) {
+        response = httpResponse("400 Bad Request",
+                                "only GET requests are served\n");
+    } else if (path != "/metrics") {
+        response = httpResponse("404 Not Found",
+                                "try GET /metrics\n");
+    } else {
+        response =
+            httpResponse("200 OK", registry.renderPrometheus());
+        std::lock_guard<std::mutex> lock(mu);
+        ++scrapes;
+    }
+    stream.sendAll(
+        reinterpret_cast<const std::uint8_t *>(response.data()),
+        response.size());
+}
+
+} // namespace quma::net

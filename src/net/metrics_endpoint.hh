@@ -1,0 +1,79 @@
+/**
+ * @file
+ * MetricsEndpoint: the /metrics scrape surface of a serving runtime.
+ *
+ * A deliberately minimal HTTP/1.0 responder over any transport
+ * Listener (TCP in quma_serve, the in-process loopback in tests):
+ * `GET /metrics` answers 200 with the registry's Prometheus text
+ * exposition (v0.0.4), any other path answers 404, anything that is
+ * not a well-formed GET answers 400. Every response closes the
+ * connection (HTTP/1.0 semantics) -- no keep-alive, no chunking, no
+ * header parsing beyond the request line, which is all a Prometheus
+ * scraper (or curl) needs and all a quantum-experiment server should
+ * carry.
+ *
+ * The endpoint serves scrapes SERIALLY on its one acceptor thread: a
+ * scrape is a single registry render (microseconds) and serializing
+ * them keeps the endpoint from ever amplifying load on the runtime
+ * it observes. Requests are read byte-at-a-time up to a hard cap, so
+ * a misbehaving scraper can neither buffer unbounded bytes nor hold
+ * the endpoint hostage past the cap.
+ *
+ * stop() (and destruction) closes the listener and whatever stream
+ * is mid-scrape, then joins the acceptor -- the same deterministic
+ * teardown discipline as QumaServer.
+ */
+
+#ifndef QUMA_NET_METRICS_ENDPOINT_HH
+#define QUMA_NET_METRICS_ENDPOINT_HH
+
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "common/metrics.hh"
+#include "net/transport.hh"
+
+namespace quma::net {
+
+class MetricsEndpoint
+{
+  public:
+    /**
+     * Start answering scrapes immediately.
+     * @param registry rendered per scrape; must outlive the endpoint
+     * @param listener transport accept side (TCP or loopback)
+     */
+    MetricsEndpoint(const metrics::MetricsRegistry &registry,
+                    std::unique_ptr<Listener> listener);
+    ~MetricsEndpoint();
+
+    MetricsEndpoint(const MetricsEndpoint &) = delete;
+    MetricsEndpoint &operator=(const MetricsEndpoint &) = delete;
+
+    /** Close the listener and any in-flight scrape; join the
+     *  acceptor (idempotent). */
+    void stop();
+
+    /** Scrapes answered 200 since construction. */
+    std::size_t scrapesServed() const;
+
+  private:
+    void acceptLoop();
+    /** Read one request, write one response, close. */
+    void serveScrape(ByteStream &stream);
+
+    const metrics::MetricsRegistry &registry;
+    std::unique_ptr<Listener> listener;
+
+    mutable std::mutex mu;
+    bool stopped = false;
+    /** The stream being served right now (stop() closes it). */
+    ByteStream *active = nullptr;
+    std::size_t scrapes = 0;
+    std::thread acceptor;
+};
+
+} // namespace quma::net
+
+#endif // QUMA_NET_METRICS_ENDPOINT_HH

@@ -1,6 +1,7 @@
 #include "net/server.hh"
 
 #include <algorithm>
+#include <iterator>
 
 #include "common/logging.hh"
 
@@ -182,17 +183,121 @@ QumaServer::stop()
 QumaServer::Stats
 QumaServer::stats() const
 {
+    // ONE lock acquisition covers the whole snapshot: counters, the
+    // live connections' streamed counts (atomics -- no per-connection
+    // mutex nests in here) and the meter all sit behind mu, so the
+    // fields of the returned Stats are mutually consistent.
     std::lock_guard<std::mutex> lock(mu);
     Stats s = counters;
     // counters only absorbs a connection's streamed count when it
     // ends (and zeroes it there); live connections contribute here,
     // so a long-lived client's pushes are visible mid-session.
-    for (const auto &conn : connections) {
-        std::lock_guard<std::mutex> slock(conn->state->mu);
-        s.resultsStreamed += conn->state->streamed;
-    }
+    for (const auto &conn : connections)
+        s.resultsStreamed +=
+            conn->state->streamed.load(std::memory_order_relaxed);
     s.link = meter.stats();
     return s;
+}
+
+std::size_t
+QumaServer::queuedReplyFrames() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    std::size_t depth = 0;
+    // mu -> outbox.mu nests only here and never in reverse (outbox
+    // operations elsewhere run without the server mutex held).
+    for (const auto &conn : connections) {
+        Outbox &box = conn->state->outbox;
+        std::lock_guard<std::mutex> block(box.mu);
+        depth += box.frames.size();
+    }
+    return depth;
+}
+
+void
+QumaServer::bindMetrics(metrics::MetricsRegistry &registry)
+{
+    registry.counterFn(
+        "quma_server_connections_accepted_total",
+        "Connections accepted by the serving listener.", {}, [this] {
+            std::lock_guard<std::mutex> lock(mu);
+            return static_cast<double>(counters.connectionsAccepted);
+        });
+    registry.gaugeFn(
+        "quma_server_connections_active",
+        "Connections currently being served.", {}, [this] {
+            std::lock_guard<std::mutex> lock(mu);
+            return static_cast<double>(counters.connectionsActive);
+        });
+    registry.counterFn(
+        "quma_server_requests_served_total",
+        "Request frames fully received and dispatched.", {}, [this] {
+            std::lock_guard<std::mutex> lock(mu);
+            return static_cast<double>(counters.requestsServed);
+        });
+    static constexpr const char *kTypeNames[8] = {
+        "other", "submit", "try_submit", "status",
+        "poll",  "await",  "stats",      "cancel"};
+    for (std::size_t t = 0; t < std::size(kTypeNames); ++t)
+        registry.counterFn(
+            "quma_server_requests_total",
+            "Requests served, by wire frame type.",
+            {{"type", kTypeNames[t]}}, [this, t] {
+                std::lock_guard<std::mutex> lock(mu);
+                return static_cast<double>(counters.requestsByType[t]);
+            });
+    registry.counterFn(
+        "quma_server_errors_returned_total",
+        "Requests answered with an ErrorReply frame.", {}, [this] {
+            std::lock_guard<std::mutex> lock(mu);
+            return static_cast<double>(counters.errorsReturned);
+        });
+    registry.counterFn(
+        "quma_server_disconnect_cancelled_jobs_total",
+        "Queued jobs cancelled because their client vanished.", {},
+        [this] {
+            std::lock_guard<std::mutex> lock(mu);
+            return static_cast<double>(
+                counters.jobsCancelledOnDisconnect);
+        });
+    registry.counterFn(
+        "quma_server_results_streamed_total",
+        "AwaitReply frames pushed by completion subscriptions.", {},
+        [this] {
+            return static_cast<double>(stats().resultsStreamed);
+        });
+    registry.gaugeFn(
+        "quma_server_outbox_frames",
+        "Reply frames queued across live connections' outboxes.", {},
+        [this] { return static_cast<double>(queuedReplyFrames()); });
+    registry.counterFn("quma_link_bytes_total",
+                       "Wire traffic through the serving link meter.",
+                       {{"direction", "up"}}, [this] {
+                           std::lock_guard<std::mutex> lock(mu);
+                           return static_cast<double>(
+                               meter.stats().bytesUp);
+                       });
+    registry.counterFn("quma_link_bytes_total",
+                       "Wire traffic through the serving link meter.",
+                       {{"direction", "down"}}, [this] {
+                           std::lock_guard<std::mutex> lock(mu);
+                           return static_cast<double>(
+                               meter.stats().bytesDown);
+                       });
+    registry.counterFn(
+        "quma_link_seconds_total",
+        "Modeled transfer time at the configured link rate.",
+        {{"direction", "up"}}, [this] {
+            std::lock_guard<std::mutex> lock(mu);
+            return meter.stats().secondsUp;
+        });
+    registry.counterFn(
+        "quma_link_seconds_total",
+        "Modeled transfer time at the configured link rate.",
+        {{"direction", "down"}}, [this] {
+            std::lock_guard<std::mutex> lock(mu);
+            return meter.stats().secondsDown;
+        });
 }
 
 bool
@@ -353,11 +458,8 @@ QumaServer::serveConnection(Connection &conn)
     // Absorb (and zero) the streamed count so stats() -- which also
     // sums live connections -- never counts a finished-but-unreaped
     // connection twice.
-    {
-        std::lock_guard<std::mutex> slock(state.mu);
-        counters.resultsStreamed += state.streamed;
-        state.streamed = 0;
-    }
+    counters.resultsStreamed +=
+        state.streamed.exchange(0, std::memory_order_relaxed);
     --counters.connectionsActive;
     conn.finished = true;
 }
@@ -426,6 +528,11 @@ QumaServer::serveRequest(ByteStream &stream,
         std::lock_guard<std::mutex> lock(mu);
         meter.record(sizeof(header) + payload.size(), true);
         ++counters.requestsServed;
+        auto type = static_cast<std::size_t>(fh.type);
+        ++counters
+              .requestsByType[type < counters.requestsByType.size()
+                                  ? type
+                                  : 0];
     }
 
     Reader r(payload);
@@ -570,9 +677,12 @@ QumaServer::dispatchRequest(ByteStream &stream,
                     // stream concurrently.
                     if (st->outbox.push(
                             {{}, std::move(result), rid})) {
-                        std::lock_guard<std::mutex> lock(st->mu);
-                        st->submitted.erase(id);
-                        ++st->streamed;
+                        {
+                            std::lock_guard<std::mutex> lock(st->mu);
+                            st->submitted.erase(id);
+                        }
+                        st->streamed.fetch_add(
+                            1, std::memory_order_relaxed);
                     } else {
                         // Dead or overflowed connection: make sure
                         // its threads unwedge (idempotent; no-op
@@ -592,6 +702,7 @@ QumaServer::dispatchRequest(ByteStream &stream,
         StatsFrame stats;
         stats.scheduler = service.scheduler().stats();
         stats.pool = service.pool().stats();
+        stats.cache = service.cache().stats();
         stats.effectiveQueueCapacity =
             service.scheduler().effectiveQueueCapacity();
         Writer w;

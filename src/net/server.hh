@@ -56,6 +56,8 @@
 #ifndef QUMA_NET_SERVER_HH
 #define QUMA_NET_SERVER_HH
 
+#include <array>
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <deque>
@@ -66,6 +68,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "common/metrics.hh"
 #include "net/transport.hh"
 #include "net/wire.hh"
 #include "quma/hostlink.hh"
@@ -103,6 +106,12 @@ class QumaServer
         std::size_t jobsCancelledOnDisconnect = 0;
         /** AwaitReply frames pushed by completion subscriptions. */
         std::size_t resultsStreamed = 0;
+        /**
+         * Requests by frame type, indexed by the request MsgType
+         * value (1..7); slot 0 counts non-request frame types that
+         * reached dispatch.
+         */
+        std::array<std::size_t, 8> requestsByType{};
         /** Wire traffic (bytesUp = client-to-server requests). */
         core::LinkStats link;
     };
@@ -130,7 +139,20 @@ class QumaServer
      */
     void stop();
 
+    /**
+     * One coherent snapshot: every field is read under a single
+     * acquisition of the server mutex (live connections' streamed
+     * counts are atomics, so no per-connection lock nests inside).
+     */
     Stats stats() const;
+
+    /**
+     * Register this server's series with `registry` (quma_server_*
+     * and quma_link_* families). The server must outlive the
+     * registry's last render: the series are callbacks reading live
+     * server state.
+     */
+    void bindMetrics(metrics::MetricsRegistry &registry);
 
   private:
     /**
@@ -196,8 +218,10 @@ class QumaServer
         std::mutex mu;
         /** Jobs submitted here whose results were not delivered. */
         std::unordered_set<runtime::JobId> submitted;
-        /** AwaitReply frames streamed on this connection. */
-        std::size_t streamed = 0;
+        /** AwaitReply frames streamed on this connection. Atomic so
+         *  stats() reads it without nesting this->mu inside the
+         *  server mutex. */
+        std::atomic<std::size_t> streamed{0};
         /**
          * Teardown hook for pushers: set by the reader while the
          * connection lives (guarded by mu, cleared before the
@@ -248,6 +272,8 @@ class QumaServer
      *  and by stop(), which first closes everything). */
     void reapConnections(bool join_all);
     bool stopping() const;
+    /** Reply frames queued across live connections' outboxes. */
+    std::size_t queuedReplyFrames() const;
 
     runtime::ExperimentService &service;
     std::unique_ptr<Listener> listener;

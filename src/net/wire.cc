@@ -528,8 +528,17 @@ encodeStatsFrame(Writer &w, const StatsFrame &stats)
     w.u64(p.acquisitions);
     w.u64(p.reuseHits);
     w.u64(p.evictions);
+    w.u64(p.machineResets);
     w.u64(p.idleMachines);
     w.u64(p.leasedMachines);
+
+    const auto &c = stats.cache;
+    w.u64(c.programHits);
+    w.u64(c.programMisses);
+    w.u64(c.programEvictions);
+    w.u64(c.lutHits);
+    w.u64(c.lutMisses);
+    w.u64(c.lutEvictions);
 
     w.u64(stats.effectiveQueueCapacity);
 }
@@ -560,8 +569,17 @@ decodeStatsFrame(Reader &r)
     p.acquisitions = static_cast<std::size_t>(r.u64());
     p.reuseHits = static_cast<std::size_t>(r.u64());
     p.evictions = static_cast<std::size_t>(r.u64());
+    p.machineResets = static_cast<std::size_t>(r.u64());
     p.idleMachines = static_cast<std::size_t>(r.u64());
     p.leasedMachines = static_cast<std::size_t>(r.u64());
+
+    auto &c = stats.cache;
+    c.programHits = static_cast<std::size_t>(r.u64());
+    c.programMisses = static_cast<std::size_t>(r.u64());
+    c.programEvictions = static_cast<std::size_t>(r.u64());
+    c.lutHits = static_cast<std::size_t>(r.u64());
+    c.lutMisses = static_cast<std::size_t>(r.u64());
+    c.lutEvictions = static_cast<std::size_t>(r.u64());
 
     stats.effectiveQueueCapacity = static_cast<std::size_t>(r.u64());
     return stats;

@@ -90,11 +90,13 @@ inline constexpr std::uint32_t kWireMagic = 0x414D7551u;
  * v1: strict request/reply, 12-byte header.
  * v2: + u64 requestId in the header (connection multiplexing and
  *     completion-pushed Await replies).
+ * v3: StatsFrame carries program/LUT-cache stats and the pool's
+ *     machine-reset count (header layout unchanged from v2).
  */
-inline constexpr std::uint16_t kWireVersion = 2;
+inline constexpr std::uint16_t kWireVersion = 3;
 /** Hard per-frame payload cap; larger lengths are rejected. */
 inline constexpr std::uint32_t kMaxPayloadBytes = 64u << 20;
-/** Serialized frame header size in bytes (v2: requestId included). */
+/** Serialized frame header size in bytes (v2+: requestId included). */
 inline constexpr std::size_t kFrameHeaderBytes = 20;
 /**
  * The header prefix every version shares: magic, version, type,
@@ -272,6 +274,8 @@ struct StatsFrame
 {
     runtime::JobScheduler::Stats scheduler;
     runtime::MachinePool::Stats pool;
+    /** Program/LUT cache counters (v3). */
+    runtime::ProgramCache::Stats cache;
     std::size_t effectiveQueueCapacity = 0;
 };
 

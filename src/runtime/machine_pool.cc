@@ -59,11 +59,13 @@ MachinePool::acquireKeyed(const std::string &key,
 {
     if (blocked_seconds)
         *blocked_seconds = 0.0;
+    double waited = 0.0;
     // Declared before the lock so an evicted machine's (non-trivial)
     // teardown runs after the mutex is released.
     std::unique_ptr<core::QumaMachine> evicted;
     std::unique_lock<std::mutex> lock(mu);
     ++counters.acquisitions;
+    ms.acquisitions.inc();
     for (;;) {
         auto it = idle.find(key);
         if (it != idle.end() && !it->second.empty()) {
@@ -78,7 +80,11 @@ MachinePool::acquireKeyed(const std::string &key,
                         "idle-order bookkeeping out of sync");
             idleOrder.erase(pos);
             ++counters.reuseHits;
+            ms.reuseHits.inc();
             ++leased;
+            if (blocked_seconds)
+                *blocked_seconds = waited;
+            ms.leaseWait.observe(waited);
             return Lease(this, key, std::move(m));
         }
         if (totalMachines < maxMachines) {
@@ -101,17 +107,19 @@ MachinePool::acquireKeyed(const std::string &key,
                 idle.erase(vit);
             --totalMachines;
             ++counters.evictions;
+            ms.evictions.inc();
             continue;
         }
         auto waitStart = std::chrono::steady_clock::now();
         cv.wait(lock);
-        if (blocked_seconds)
-            *blocked_seconds +=
-                std::chrono::duration<double>(
-                    std::chrono::steady_clock::now() - waitStart)
-                    .count();
+        waited += std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - waitStart)
+                      .count();
     }
     ++counters.machinesCreated;
+    if (blocked_seconds)
+        *blocked_seconds = waited;
+    ms.leaseWait.observe(waited);
     lock.unlock();
 
     try {
@@ -119,6 +127,10 @@ MachinePool::acquireKeyed(const std::string &key,
         m->uploadStandardCalibration(
             lutCache ? lutCache->lutProvider()
                      : core::QumaMachine::LutProvider{});
+        // The metric counts only constructions that survived (the
+        // exported counter is monotonic and cannot mirror the
+        // Stats rollback in the catch below).
+        ms.machinesCreated.inc();
         return Lease(this, key, std::move(m));
     } catch (...) {
         std::lock_guard<std::mutex> relock(mu);
@@ -136,13 +148,60 @@ MachinePool::give_back(const std::string &key,
 {
     // Re-arm outside the lock: reset cost must not serialize workers.
     machine->reset();
+    ms.machineResets.inc();
     {
         std::lock_guard<std::mutex> lock(mu);
+        ++counters.machineResets;
         idle[key].push_back(std::move(machine));
         idleOrder.push_back(key);
         --leased;
     }
     cv.notify_one();
+}
+
+void
+MachinePool::bindMetrics(metrics::MetricsRegistry &registry)
+{
+    ms.acquisitions = registry.counter(
+        "quma_pool_acquisitions_total",
+        "Machine lease requests (reuse hits + constructions).");
+    ms.reuseHits = registry.counter(
+        "quma_pool_reuse_hits_total",
+        "Lease requests served by an idle machine (no construction).");
+    ms.machinesCreated = registry.counter(
+        "quma_pool_machines_created_total",
+        "Machines constructed, calibration upload included.");
+    ms.evictions = registry.counter(
+        "quma_pool_evictions_total",
+        "Idle machines destroyed to make room for another config.");
+    ms.machineResets = registry.counter(
+        "quma_pool_machine_resets_total",
+        "QumaMachine::reset() calls on lease hand-back.");
+    // Sub-millisecond buckets: an uncongested pool hands leases back
+    // in microseconds, and the interesting signal is the onset of
+    // blocking, not its exact depth.
+    ms.leaseWait = registry.histogram(
+        "quma_pool_lease_wait_seconds",
+        "Time acquire spent blocked on a fully leased pool.",
+        {0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
+         0.05, 0.1, 0.25, 0.5, 1.0});
+    registry.gaugeFn("quma_pool_machines_idle",
+                     "Idle machines currently held by the pool.", {},
+                     [this] {
+                         std::lock_guard<std::mutex> lock(mu);
+                         return static_cast<double>(totalMachines -
+                                                    leased);
+                     });
+    registry.gaugeFn("quma_pool_machines_leased",
+                     "Machines currently leased out to workers.", {},
+                     [this] {
+                         std::lock_guard<std::mutex> lock(mu);
+                         return static_cast<double>(leased);
+                     });
+    registry.gaugeFn(
+        "quma_pool_capacity",
+        "Pool capacity: the leased + idle machine bound.", {},
+        [this] { return static_cast<double>(maxMachines); });
 }
 
 MachinePool::Stats

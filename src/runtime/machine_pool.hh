@@ -26,6 +26,7 @@
 #include <string>
 #include <unordered_map>
 
+#include "common/metrics.hh"
 #include "quma/machine.hh"
 #include "runtime/job.hh"
 #include "runtime/program_cache.hh"
@@ -43,6 +44,8 @@ class MachinePool
         std::size_t reuseHits = 0;
         /** Idle machines destroyed to make room for another config. */
         std::size_t evictions = 0;
+        /** QumaMachine::reset() calls on lease hand-back. */
+        std::size_t machineResets = 0;
         std::size_t idleMachines = 0;
         std::size_t leasedMachines = 0;
     };
@@ -104,6 +107,13 @@ class MachinePool
     std::size_t capacity() const { return maxMachines; }
     Stats stats() const;
 
+    /**
+     * Register this pool's series with `registry` (quma_pool_*
+     * family). The pool must outlive the registry's last render:
+     * gauge callbacks read live pool state.
+     */
+    void bindMetrics(metrics::MetricsRegistry &registry);
+
   private:
     void give_back(const std::string &key,
                    std::unique_ptr<core::QumaMachine> machine);
@@ -122,6 +132,18 @@ class MachinePool
     std::size_t totalMachines = 0;
     std::size_t leased = 0;
     Stats counters;
+
+    /** Metric handles; default-constructed (no-op) until bound. */
+    struct Instruments
+    {
+        metrics::Counter acquisitions;
+        metrics::Counter reuseHits;
+        metrics::Counter machinesCreated;
+        metrics::Counter evictions;
+        metrics::Counter machineResets;
+        metrics::Histogram leaseWait;
+    };
+    Instruments ms;
 };
 
 } // namespace quma::runtime

@@ -37,9 +37,11 @@ ProgramCache::assemble(const std::string &source)
         auto it = programs.find(source);
         if (it != programs.end()) {
             ++counters.programHits;
+            ms.hits.inc();
             return it->second;
         }
         ++counters.programMisses;
+        ms.misses.inc();
     }
 
     // Assemble outside the lock: compiles of distinct sources run in
@@ -57,6 +59,7 @@ ProgramCache::assemble(const std::string &source)
             programs.erase(programOrder.front());
             programOrder.pop_front();
             ++counters.programEvictions;
+            ms.evictions.inc();
         }
     }
     return it->second;
@@ -71,9 +74,11 @@ ProgramCache::lut(const awg::CalibrationParams &params)
         auto it = luts.find(key);
         if (it != luts.end()) {
             ++counters.lutHits;
+            ms.lutHits.inc();
             return it->second;
         }
         ++counters.lutMisses;
+        ms.lutMisses.inc();
     }
 
     auto entries =
@@ -87,6 +92,8 @@ ProgramCache::lut(const awg::CalibrationParams &params)
         while (lutOrder.size() > maxLuts) {
             luts.erase(lutOrder.front());
             lutOrder.pop_front();
+            ++counters.lutEvictions;
+            ms.lutEvictions.inc();
         }
     }
     return it->second;
@@ -105,6 +112,52 @@ ProgramCache::stats() const
 {
     std::lock_guard<std::mutex> lock(mu);
     return counters;
+}
+
+std::size_t
+ProgramCache::programCount() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    return programs.size();
+}
+
+std::size_t
+ProgramCache::lutCount() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    return luts.size();
+}
+
+void
+ProgramCache::bindMetrics(metrics::MetricsRegistry &registry)
+{
+    ms.hits = registry.counter(
+        "quma_cache_program_hits_total",
+        "assemble() calls served from the program layer.");
+    ms.misses = registry.counter(
+        "quma_cache_program_misses_total",
+        "assemble() calls that ran the assembler.");
+    ms.evictions = registry.counter(
+        "quma_cache_program_evictions_total",
+        "Programs aged out of the bounded program layer (FIFO).");
+    ms.lutHits = registry.counter(
+        "quma_cache_lut_hits_total",
+        "Calibration uploads served from the LUT layer.");
+    ms.lutMisses = registry.counter(
+        "quma_cache_lut_misses_total",
+        "Calibration uploads that re-rendered the waveform tables.");
+    ms.lutEvictions = registry.counter(
+        "quma_cache_lut_evictions_total",
+        "LUT sets aged out of the bounded LUT layer (FIFO).");
+    registry.gaugeFn("quma_cache_programs_resident",
+                     "Programs currently held by the program layer.",
+                     {}, [this] {
+                         return static_cast<double>(programCount());
+                     });
+    registry.gaugeFn(
+        "quma_cache_luts_resident",
+        "LUT sets currently held by the calibration layer.", {},
+        [this] { return static_cast<double>(lutCount()); });
 }
 
 void

@@ -28,6 +28,7 @@
 #include <unordered_map>
 
 #include "awg/calibration.hh"
+#include "common/metrics.hh"
 #include "isa/program.hh"
 #include "quma/machine.hh"
 
@@ -43,6 +44,7 @@ class ProgramCache
         std::size_t programEvictions = 0;
         std::size_t lutHits = 0;
         std::size_t lutMisses = 0;
+        std::size_t lutEvictions = 0;
     };
 
     explicit ProgramCache(std::size_t max_programs = 256,
@@ -62,6 +64,18 @@ class ProgramCache
     Stats stats() const;
     void clear();
 
+    /** Programs currently resident in the program layer. */
+    std::size_t programCount() const;
+    /** LUT sets currently resident in the calibration layer. */
+    std::size_t lutCount() const;
+
+    /**
+     * Register this cache's series with `registry` (quma_cache_*
+     * family). The cache must outlive the registry's last render:
+     * gauge callbacks read live cache state.
+     */
+    void bindMetrics(metrics::MetricsRegistry &registry);
+
   private:
     mutable std::mutex mu;
     std::size_t maxPrograms;
@@ -75,6 +89,18 @@ class ProgramCache
         luts;
     std::deque<std::string> lutOrder;
     Stats counters;
+
+    /** Metric handles; default-constructed (no-op) until bound. */
+    struct Instruments
+    {
+        metrics::Counter hits;
+        metrics::Counter misses;
+        metrics::Counter evictions;
+        metrics::Counter lutHits;
+        metrics::Counter lutMisses;
+        metrics::Counter lutEvictions;
+    };
+    Instruments ms;
 };
 
 } // namespace quma::runtime

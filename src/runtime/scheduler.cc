@@ -42,7 +42,7 @@ machineSaturated(const core::MachineStats &s)
 
 JobScheduler::JobScheduler(SchedulerConfig config, MachinePool &pool_,
                            ProgramCache &cache_)
-    : cfg(config), pool(pool_), cache(cache_)
+    : cfg(config), pool(pool_), cache(cache_), tracer(config.trace)
 {
     if (cfg.workers == 0)
         fatal("JobScheduler needs at least one worker");
@@ -79,6 +79,7 @@ JobScheduler::~JobScheduler()
             e.partials.clear();
             e.shardRanges.clear();
             ++counters.failed;
+            ms.failed.inc();
             // Shutdown failures notify too: a subscriber is promised
             // exactly one callback per job, however the job ends.
             queueNotificationsLocked(t.id, e.result);
@@ -164,6 +165,7 @@ JobScheduler::notifierLoop()
             warn("completion callback for job ", n.id,
                  " threw: ", ex.what());
         }
+        traceRecord(n.id, TracePhase::ResultPushed);
         lock.lock();
     }
 }
@@ -196,8 +198,10 @@ JobScheduler::enqueueLocked(JobSpec &&spec)
             partitionRounds(spec.rounds, shards, spec.minRoundsPerShard);
         e.partials.resize(e.shardRanges.size());
         e.shardsRemaining = e.shardRanges.size();
-        if (e.shardRanges.size() > 1)
+        if (e.shardRanges.size() > 1) {
             ++counters.shardedJobs;
+            ms.shardedJobs.inc();
+        }
     }
     std::size_t tasks = e.shardRanges.empty() ? 1 : e.shardRanges.size();
     e.spec = std::make_shared<const JobSpec>(std::move(spec));
@@ -207,6 +211,14 @@ JobScheduler::enqueueLocked(JobSpec &&spec)
     counters.queueHighWater =
         std::max(counters.queueHighWater, queue.size());
     ++counters.submitted;
+    ms.submitted.inc();
+    // Every enqueue passed its gate (queue-space wait or admission
+    // control) and entered the queue in the same breath; the three
+    // lifecycle points coincide by construction here, but stay
+    // distinct phases so traces read against the documented model.
+    traceRecord(id, TracePhase::Submitted);
+    traceRecord(id, TracePhase::Admitted);
+    traceRecord(id, TracePhase::Queued);
     return id;
 }
 
@@ -250,9 +262,12 @@ JobScheduler::trySubmit(JobSpec spec)
     std::size_t bound = effectiveCapacityLocked();
     if (stop || queue.size() >= bound) {
         ++counters.rejected;
+        ms.rejected.inc();
         if (!stop && bound < cfg.queueCapacity &&
-            queue.size() < cfg.queueCapacity)
+            queue.size() < cfg.queueCapacity) {
             ++counters.admissionSoftRejects;
+            ms.admissionSoftRejects.inc();
+        }
         return std::nullopt;
     }
     JobId id = enqueueLocked(std::move(spec));
@@ -350,6 +365,7 @@ JobScheduler::cancel(JobId id)
         return false;
     std::erase_if(queue, [id](const Task &t) { return t.id == id; });
     ++counters.cancelled;
+    ms.cancelled.inc();
     JobResult r;
     r.error = "cancelled before execution";
     // A cancelled job never ran: recording its queue-residence as a
@@ -359,6 +375,90 @@ JobScheduler::cancel(JobId id)
     cvSpace.notify_all();
     cvDone.notify_all();
     return true;
+}
+
+void
+JobScheduler::bindMetrics(metrics::MetricsRegistry &registry)
+{
+    ms.submitted = registry.counter(
+        "quma_jobs_submitted_total",
+        "Jobs accepted by a submit path (one per assigned job id).");
+    ms.rejected = registry.counter(
+        "quma_submit_rejected_total",
+        "trySubmit rejections, hard-bound and admission together.");
+    ms.admissionSoftRejects = registry.counter(
+        "quma_admission_soft_rejects_total",
+        "trySubmit rejections below the hard queue bound (the "
+        "stats-driven admission controller said no).");
+    ms.completed = registry.counter(
+        "quma_jobs_completed_total",
+        "Jobs finished with a successful result.");
+    ms.failed = registry.counter(
+        "quma_jobs_failed_total",
+        "Jobs finished Failed (errors, cancellations, shutdown).");
+    ms.cancelled = registry.counter(
+        "quma_jobs_cancelled_total",
+        "Jobs cancelled while still fully queued.");
+    ms.batchedJobs = registry.counter(
+        "quma_tasks_lease_batched_total",
+        "Tasks that reused the previous task's machine lease.");
+    ms.shardedJobs = registry.counter(
+        "quma_jobs_sharded_total",
+        "Jobs split into more than one shard.");
+    ms.shardsExecuted = registry.counter(
+        "quma_shards_executed_total",
+        "Shard tasks executed (single-shard round jobs included).");
+    ms.saturatedRuns = registry.counter(
+        "quma_saturated_runs_total",
+        "Runs whose machine reported timing-queue backpressure.");
+    static constexpr const char *kClassNames[3] = {"batch", "normal",
+                                                   "high"};
+    for (std::size_t cls = 0; cls < ms.latency.size(); ++cls)
+        ms.latency[cls] = registry.histogram(
+            "quma_job_latency_seconds",
+            "Submit->finish latency by priority class.",
+            metrics::latencyBucketsSeconds(),
+            {{"priority", kClassNames[cls]}});
+
+    registry.gaugeFn("quma_queue_depth",
+                     "Tasks currently queued (sharded jobs hold one "
+                     "slot per shard).",
+                     {}, [this] {
+                         return static_cast<double>(queueDepth());
+                     });
+    registry.gaugeFn("quma_jobs_in_flight",
+                     "Tasks currently executing on workers.", {},
+                     [this] {
+                         std::lock_guard<std::mutex> lock(mu);
+                         return static_cast<double>(inFlight);
+                     });
+    registry.gaugeFn("quma_queue_capacity_effective",
+                     "Task bound trySubmit currently admits against.",
+                     {}, [this] {
+                         return static_cast<double>(
+                             effectiveQueueCapacity());
+                     });
+    registry.gaugeFn("quma_machine_saturation_ewma",
+                     "EWMA of machine queue-saturation samples "
+                     "(admission signal 1).",
+                     {}, [this] {
+                         std::lock_guard<std::mutex> lock(mu);
+                         return saturationEwma;
+                     });
+    registry.gaugeFn("quma_pool_wait_ewma_seconds",
+                     "EWMA of pool-acquisition waits (admission "
+                     "signal 2).",
+                     {}, [this] {
+                         std::lock_guard<std::mutex> lock(mu);
+                         return poolWaitEwma;
+                     });
+}
+
+std::size_t
+JobScheduler::queueDepth() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    return queue.size();
 }
 
 JobScheduler::Stats
@@ -409,8 +509,10 @@ JobScheduler::effectiveCapacityLocked() const
 void
 JobScheduler::noteSaturationLocked(bool saturated)
 {
-    if (saturated)
+    if (saturated) {
         ++counters.saturatedRuns;
+        ms.saturatedRuns.inc();
+    }
     saturationEwma = (1.0 - cfg.saturationAlpha) * saturationEwma +
                      cfg.saturationAlpha * (saturated ? 1.0 : 0.0);
 }
@@ -430,6 +532,7 @@ JobScheduler::noteLatencyLocked(const Entry &entry)
                                       entry.submittedAt)
             .count();
     auto cls = static_cast<std::size_t>(entry.priority);
+    ms.latency[cls].observe(seconds);
     ++latencyCount[cls];
     latencyMax[cls] = std::max(latencyMax[cls], seconds);
     std::vector<double> &window = latencyWindow[cls];
@@ -515,10 +618,14 @@ JobScheduler::finishLocked(JobId id, JobResult &&result,
     e.spec.reset();
     e.partials.clear();
     e.shardRanges.clear();
-    if (failed)
+    if (failed) {
         ++counters.failed;
-    else
+        ms.failed.inc();
+    } else {
         ++counters.completed;
+        ms.completed.inc();
+    }
+    traceRecord(id, TracePhase::Finished);
     // Push the result to completion subscribers (the notifier thread
     // delivers outside the mutex). Before the retention loop below:
     // it may evict this very entry.
@@ -569,6 +676,7 @@ JobScheduler::deliverShardLocked(JobId id, std::uint32_t shard,
 void
 JobScheduler::mergeShardsLocked(JobId id)
 {
+    traceRecord(id, TracePhase::Merge);
     Entry &e = entries.at(id);
     const JobSpec &spec = *e.spec;
     std::size_t bins = spec.bins ? spec.bins : 1;
@@ -769,19 +877,26 @@ JobScheduler::workerLoop()
         lock.lock();
         notePoolWaitLocked(acquireWait);
         lock.unlock();
+        traceRecord(task.id, TracePhase::Leased, task.shard);
         std::size_t ranOnLease = 0;
         for (;;) {
             bool saturated = false;
+            traceRecord(task.id, TracePhase::ShardStart, task.shard);
             if (sharded) {
                 ShardPartial partial =
                     runShard(*spec, lease.machine(), range, saturated);
+                traceRecord(task.id, TracePhase::ShardFinish,
+                            task.shard);
                 lock.lock();
                 ++counters.shardsExecuted;
+                ms.shardsExecuted.inc();
                 deliverShardLocked(task.id, task.shard,
                                    std::move(partial));
             } else {
                 JobResult result =
                     runJob(*spec, lease.machine(), saturated);
+                traceRecord(task.id, TracePhase::ShardFinish,
+                            task.shard);
                 lock.lock();
                 finishLocked(task.id, std::move(result));
             }
@@ -808,8 +923,11 @@ JobScheduler::workerLoop()
                     range = sharded ? ne.shardRanges[task.shard]
                                     : RoundRange{};
                     ++counters.batchedJobs;
+                    ms.batchedJobs.inc();
                     lock.unlock();
                     cvSpace.notify_one();
+                    traceRecord(task.id, TracePhase::Leased,
+                                task.shard);
                     continue;
                 }
             }

@@ -55,9 +55,11 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/metrics.hh"
 #include "runtime/job.hh"
 #include "runtime/machine_pool.hh"
 #include "runtime/program_cache.hh"
+#include "runtime/trace.hh"
 
 namespace quma::runtime {
 
@@ -118,6 +120,13 @@ struct SchedulerConfig
      * retention so a long-lived server never grows it without limit.
      */
     std::size_t finishedHistoryLimit = 1024;
+    /**
+     * Job-lifecycle trace recorder (not owned; must outlive the
+     * scheduler). Null disables tracing entirely; a non-null but
+     * DISABLED recorder costs one relaxed load per lifecycle point
+     * -- the default ExperimentService wiring.
+     */
+    JobTraceRecorder *trace = nullptr;
 };
 
 class JobScheduler
@@ -249,6 +258,22 @@ class JobScheduler
     Stats stats() const;
 
     /**
+     * Register this scheduler's metric families with `registry`:
+     * lifecycle counters (quma_jobs_*_total), point-in-time gauges
+     * (queue depth, in-flight, effective capacity, admission EWMAs)
+     * and the per-priority submit->finish latency histogram
+     * quma_job_latency_seconds. Counter/histogram updates ride the
+     * existing increment sites at a few relaxed atomics each; gauges
+     * are callback series evaluated at scrape time. The scheduler
+     * must outlive the registry's last render. Idempotent (handles
+     * re-bind to the same cells).
+     */
+    void bindMetrics(metrics::MetricsRegistry &registry);
+
+    /** Tasks currently queued (the quma_queue_depth gauge). */
+    std::size_t queueDepth() const;
+
+    /**
      * Ids of finished jobs in completion order, oldest first -- a
      * ring of the last finishedHistoryLimit completions, bounded
      * independently of result retention. Diagnostics and tests: this
@@ -341,9 +366,38 @@ class JobScheduler
     LatencyDigest latencyDigestLocked(std::size_t cls) const;
     std::size_t effectiveCapacityLocked() const;
 
+    /** Exported-metric handles, no-ops until bindMetrics(). The
+     *  names mirror Stats; see docs/observability.md for the
+     *  catalogue. */
+    struct Instruments
+    {
+        metrics::Counter submitted;
+        metrics::Counter rejected;
+        metrics::Counter admissionSoftRejects;
+        metrics::Counter completed;
+        metrics::Counter failed;
+        metrics::Counter cancelled;
+        metrics::Counter batchedJobs;
+        metrics::Counter shardedJobs;
+        metrics::Counter shardsExecuted;
+        metrics::Counter saturatedRuns;
+        /** Submit->finish latency, one series per priority class. */
+        std::array<metrics::Histogram, 3> latency;
+    };
+
+    /** tracer->record guarded by the null check at every site. */
+    void traceRecord(JobId id, TracePhase phase,
+                     std::uint32_t shard = 0) const
+    {
+        if (tracer)
+            tracer->record(id, phase, shard);
+    }
+
     const SchedulerConfig cfg;
     MachinePool &pool;
     ProgramCache &cache;
+    JobTraceRecorder *const tracer;
+    Instruments ms;
 
     mutable std::mutex mu;
     std::condition_variable cvWork;

@@ -5,9 +5,10 @@ namespace quma::runtime {
 namespace {
 
 SchedulerConfig
-schedulerConfigOf(const ServiceConfig &cfg)
+schedulerConfigOf(const ServiceConfig &cfg, JobTraceRecorder *trace)
 {
     SchedulerConfig sc;
+    sc.trace = trace;
     sc.workers = cfg.workers;
     sc.queueCapacity = cfg.queueCapacity;
     sc.startPaused = cfg.startPaused;
@@ -31,8 +32,39 @@ ExperimentService::ExperimentService(ServiceConfig config)
       poolStore(config.poolCapacity ? config.poolCapacity
                                     : config.workers + 2,
                 &cacheStore),
-      sched(schedulerConfigOf(config), poolStore, cacheStore)
+      traceStore(config.traceCapacity),
+      sched(schedulerConfigOf(config, &traceStore), poolStore,
+            cacheStore)
 {
+}
+
+ServiceStats
+ExperimentService::stats() const
+{
+    ServiceStats s;
+    s.scheduler = sched.stats();
+    s.pool = poolStore.stats();
+    s.cache = cacheStore.stats();
+    s.effectiveQueueCapacity = sched.effectiveQueueCapacity();
+    return s;
+}
+
+void
+ExperimentService::bindMetrics(metrics::MetricsRegistry &registry)
+{
+    cacheStore.bindMetrics(registry);
+    poolStore.bindMetrics(registry);
+    sched.bindMetrics(registry);
+    registry.gaugeFn("quma_trace_events",
+                     "Job-lifecycle trace events currently buffered.",
+                     {}, [this] {
+                         return static_cast<double>(
+                             traceStore.eventCount());
+                     });
+    registry.counterFn(
+        "quma_trace_events_dropped_total",
+        "Trace events lost to the bounded capture buffer.", {},
+        [this] { return static_cast<double>(traceStore.dropped()); });
 }
 
 std::vector<JobResult>

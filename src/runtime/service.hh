@@ -18,10 +18,12 @@
 
 #include <vector>
 
+#include "common/metrics.hh"
 #include "runtime/backend.hh"
 #include "runtime/machine_pool.hh"
 #include "runtime/program_cache.hh"
 #include "runtime/scheduler.hh"
+#include "runtime/trace.hh"
 
 namespace quma::runtime {
 
@@ -50,6 +52,17 @@ struct ServiceConfig
     double poolWaitAlpha = 0.25;
     /** Completion-order ring kept by finishedIds(). */
     std::size_t finishedHistoryLimit = 1024;
+    /** Job-lifecycle trace buffer bound (events, not jobs). */
+    std::size_t traceCapacity = 1 << 16;
+};
+
+/** One-call snapshot across all three runtime layers. */
+struct ServiceStats
+{
+    JobScheduler::Stats scheduler;
+    MachinePool::Stats pool;
+    ProgramCache::Stats cache;
+    std::size_t effectiveQueueCapacity = 0;
 };
 
 /**
@@ -96,9 +109,28 @@ class ExperimentService : public IExperimentBackend
     MachinePool &pool() { return poolStore; }
     JobScheduler &scheduler() { return sched; }
 
+    /**
+     * Job-lifecycle trace recorder wired into the scheduler. Off by
+     * default; trace().enable() starts capturing.
+     */
+    JobTraceRecorder &trace() { return traceStore; }
+    const JobTraceRecorder &trace() const { return traceStore; }
+
+    /** Snapshot of all three layers (what StatsFrame serializes). */
+    ServiceStats stats() const;
+
+    /**
+     * Register every layer's series with `registry`. The service
+     * must outlive the registry's last render: gauge callbacks read
+     * live component state.
+     */
+    void bindMetrics(metrics::MetricsRegistry &registry);
+
   private:
     ProgramCache cacheStore;
     MachinePool poolStore;
+    /** Before sched: SchedulerConfig::trace points here. */
+    JobTraceRecorder traceStore;
     JobScheduler sched;
 };
 

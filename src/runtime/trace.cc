@@ -1,0 +1,163 @@
+#include "runtime/trace.hh"
+
+#include <cstdio>
+#include <map>
+#include <utility>
+
+namespace quma::runtime {
+
+const char *
+tracePhaseName(TracePhase phase)
+{
+    switch (phase) {
+    case TracePhase::Submitted:
+        return "submitted";
+    case TracePhase::Admitted:
+        return "admitted";
+    case TracePhase::Queued:
+        return "queued";
+    case TracePhase::Leased:
+        return "leased";
+    case TracePhase::ShardStart:
+        return "shard start";
+    case TracePhase::ShardFinish:
+        return "shard finish";
+    case TracePhase::Merge:
+        return "merge";
+    case TracePhase::Finished:
+        return "finished";
+    case TracePhase::ResultPushed:
+        return "result pushed";
+    }
+    return "unknown";
+}
+
+JobTraceRecorder::JobTraceRecorder(std::size_t capacity)
+    : cap(capacity ? capacity : 1),
+      epoch(std::chrono::steady_clock::now())
+{
+}
+
+void
+JobTraceRecorder::record(JobId job, TracePhase phase,
+                         std::uint32_t shard)
+{
+    if (!enabled())
+        return;
+    auto nanos = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - epoch)
+            .count());
+    std::lock_guard<std::mutex> lock(mu);
+    if (buf.size() >= cap) {
+        ++droppedCount;
+        return;
+    }
+    buf.push_back({job, shard, phase, nanos});
+}
+
+std::vector<TraceEvent>
+JobTraceRecorder::events() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    return buf;
+}
+
+std::size_t
+JobTraceRecorder::eventCount() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    return buf.size();
+}
+
+std::size_t
+JobTraceRecorder::dropped() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    return droppedCount;
+}
+
+void
+JobTraceRecorder::clear()
+{
+    std::lock_guard<std::mutex> lock(mu);
+    buf.clear();
+    droppedCount = 0;
+}
+
+std::string
+JobTraceRecorder::chromeTraceJson() const
+{
+    std::vector<TraceEvent> snapshot = events();
+
+    std::string out = "{\"traceEvents\":[";
+    bool first = true;
+    char line[256];
+
+    auto emit = [&out, &first](const char *text) {
+        if (!first)
+            out += ',';
+        first = false;
+        out += text;
+    };
+
+    // ShardStart events wait here for their matching ShardFinish;
+    // unmatched starts (job still running at dump time) fall back to
+    // instant events below.
+    std::map<std::pair<JobId, std::uint32_t>, std::uint64_t> open;
+
+    for (const TraceEvent &e : snapshot) {
+        double us = static_cast<double>(e.nanos) / 1e3;
+        if (e.phase == TracePhase::ShardStart) {
+            open[{e.job, e.shard}] = e.nanos;
+            continue;
+        }
+        if (e.phase == TracePhase::ShardFinish) {
+            auto it = open.find({e.job, e.shard});
+            if (it != open.end()) {
+                double beginUs = static_cast<double>(it->second) / 1e3;
+                double durUs =
+                    static_cast<double>(e.nanos - it->second) / 1e3;
+                std::snprintf(line, sizeof line,
+                              "{\"name\":\"shard %u\",\"ph\":\"X\","
+                              "\"ts\":%.3f,\"dur\":%.3f,\"pid\":1,"
+                              "\"tid\":%llu,\"args\":{\"job\":%llu,"
+                              "\"shard\":%u}}",
+                              e.shard, beginUs, durUs,
+                              static_cast<unsigned long long>(e.job),
+                              static_cast<unsigned long long>(e.job),
+                              e.shard);
+                emit(line);
+                open.erase(it);
+                continue;
+            }
+        }
+        std::snprintf(line, sizeof line,
+                      "{\"name\":\"%s\",\"ph\":\"i\",\"ts\":%.3f,"
+                      "\"pid\":1,\"tid\":%llu,\"s\":\"t\","
+                      "\"args\":{\"job\":%llu,\"shard\":%u}}",
+                      tracePhaseName(e.phase), us,
+                      static_cast<unsigned long long>(e.job),
+                      static_cast<unsigned long long>(e.job), e.shard);
+        emit(line);
+    }
+
+    // Shards still open at dump time: render what is known as an
+    // instant so the start is not silently lost.
+    for (const auto &[key, nanos] : open) {
+        std::snprintf(line, sizeof line,
+                      "{\"name\":\"shard %u (running)\",\"ph\":\"i\","
+                      "\"ts\":%.3f,\"pid\":1,\"tid\":%llu,\"s\":\"t\","
+                      "\"args\":{\"job\":%llu,\"shard\":%u}}",
+                      key.second, static_cast<double>(nanos) / 1e3,
+                      static_cast<unsigned long long>(key.first),
+                      static_cast<unsigned long long>(key.first),
+                      key.second);
+        emit(line);
+    }
+
+    out += "]}";
+    return out;
+}
+
+} // namespace quma::runtime

@@ -381,6 +381,13 @@ TEST(Wire, StatsFrameRoundTrip)
     stats.scheduler.latency[2] = {2, 0.001, 0.002, 0.004};
     stats.pool.machinesCreated = 3;
     stats.pool.reuseHits = 7;
+    stats.pool.machineResets = 9;
+    stats.cache.programHits = 11;
+    stats.cache.programMisses = 4;
+    stats.cache.programEvictions = 1;
+    stats.cache.lutHits = 22;
+    stats.cache.lutMisses = 6;
+    stats.cache.lutEvictions = 2;
     stats.effectiveQueueCapacity = 16;
 
     Writer w;
@@ -397,6 +404,13 @@ TEST(Wire, StatsFrameRoundTrip)
     EXPECT_EQ(back.scheduler.latency[2].max, 0.004);
     EXPECT_EQ(back.pool.machinesCreated, 3u);
     EXPECT_EQ(back.pool.reuseHits, 7u);
+    EXPECT_EQ(back.pool.machineResets, 9u);
+    EXPECT_EQ(back.cache.programHits, 11u);
+    EXPECT_EQ(back.cache.programMisses, 4u);
+    EXPECT_EQ(back.cache.programEvictions, 1u);
+    EXPECT_EQ(back.cache.lutHits, 22u);
+    EXPECT_EQ(back.cache.lutMisses, 6u);
+    EXPECT_EQ(back.cache.lutEvictions, 2u);
     EXPECT_EQ(back.effectiveQueueCapacity, 16u);
 }
 
@@ -605,6 +619,27 @@ TEST(Loopback, StatsFrameReflectsServedWork)
     EXPECT_GT(high.max, 0.0);
     EXPECT_GE(high.p95, high.p50);
     EXPECT_GE(stats.pool.machinesCreated, 1u);
+}
+
+TEST(Loopback, StatsFrameCarriesCacheCounters)
+{
+    // Wire v3: the stats frame exposes the serving side's program/LUT
+    // cache, so a remote operator can judge cache health without shell
+    // access to the server host.
+    ExperimentService service({.workers = 2});
+    auto listener = std::make_unique<LoopbackListener>();
+    LoopbackListener *accept_side = listener.get();
+    QumaServer server(service, std::move(listener));
+    QumaClient client(accept_side->connect());
+
+    // Same assembly twice: the second run must be a program-cache hit.
+    EXPECT_FALSE(client.runSync(shotJob(2, 0x1)).failed());
+    EXPECT_FALSE(client.runSync(shotJob(2, 0x2)).failed());
+
+    StatsFrame stats = client.stats();
+    EXPECT_EQ(stats.cache.programMisses, 1u);
+    EXPECT_GE(stats.cache.programHits, 1u);
+    EXPECT_GE(stats.cache.lutHits + stats.cache.lutMisses, 1u);
 }
 
 TEST(Loopback, DisconnectDuringAwaitCancelsQueuedJobs)

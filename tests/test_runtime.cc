@@ -10,6 +10,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <set>
 #include <thread>
 
 #include "common/logging.hh"
@@ -653,6 +654,125 @@ TEST(Scheduler, CancelDropsQueuedWorkOnly)
     EXPECT_EQ(stats.cancelled, 1u);
     EXPECT_EQ(stats.completed, 1u);
     EXPECT_EQ(stats.failed, 1u); // the cancelled job counts as failed
+}
+
+namespace {
+
+/** Phases recorded for `id`, in record order. */
+std::vector<TracePhase>
+phasesOf(const std::vector<TraceEvent> &events, JobId id)
+{
+    std::vector<TracePhase> out;
+    for (const TraceEvent &e : events)
+        if (e.job == id)
+            out.push_back(e.phase);
+    return out;
+}
+
+bool
+contains(const std::vector<TracePhase> &phases, TracePhase p)
+{
+    return std::find(phases.begin(), phases.end(), p) != phases.end();
+}
+
+} // namespace
+
+TEST(Trace, DisabledByDefaultRecordsNothing)
+{
+    ExperimentService svc({.workers = 2});
+    EXPECT_FALSE(svc.trace().enabled());
+    EXPECT_FALSE(svc.await(svc.submit(shotJob(2, 0x1))).failed());
+    EXPECT_EQ(svc.trace().eventCount(), 0u);
+    EXPECT_EQ(svc.trace().dropped(), 0u);
+}
+
+TEST(Trace, EnabledRunCapturesTheFullLifecycle)
+{
+    ExperimentService svc({.workers = 2});
+    svc.trace().enable();
+    JobId id = svc.submit(shotJob(2, 0x2));
+    EXPECT_FALSE(svc.await(id).failed());
+
+    std::vector<TracePhase> phases =
+        phasesOf(svc.trace().events(), id);
+    for (TracePhase p :
+         {TracePhase::Submitted, TracePhase::Admitted,
+          TracePhase::Queued, TracePhase::Leased,
+          TracePhase::ShardStart, TracePhase::ShardFinish,
+          TracePhase::Finished})
+        EXPECT_TRUE(contains(phases, p)) << tracePhaseName(p);
+    // Causal order within the job's own event stream.
+    EXPECT_EQ(phases.front(), TracePhase::Submitted);
+    EXPECT_LT(std::find(phases.begin(), phases.end(),
+                        TracePhase::ShardStart),
+              std::find(phases.begin(), phases.end(),
+                        TracePhase::ShardFinish));
+    // Timestamps never run backwards (steady clock, record order).
+    std::vector<TraceEvent> all = svc.trace().events();
+    for (std::size_t i = 1; i < all.size(); ++i)
+        EXPECT_GE(all[i].nanos, all[i - 1].nanos);
+}
+
+TEST(Trace, ShardedJobTracksEveryShard)
+{
+    // A round-structured job (rounds on the spec, one-round body):
+    // only those shard, and only they have a merge step to trace.
+    ExperimentService svc({.workers = 4});
+    svc.trace().enable();
+    experiments::AllxyConfig cfg;
+    cfg.rounds = 32;
+    cfg.shards = 4;
+    JobId id = svc.submit(experiments::allxyJob(cfg));
+    EXPECT_FALSE(svc.await(id).failed());
+
+    std::vector<TraceEvent> events = svc.trace().events();
+    std::set<std::uint32_t> started, finished;
+    bool merged = false;
+    for (const TraceEvent &e : events) {
+        if (e.job != id)
+            continue;
+        if (e.phase == TracePhase::ShardStart)
+            started.insert(e.shard);
+        if (e.phase == TracePhase::ShardFinish)
+            finished.insert(e.shard);
+        if (e.phase == TracePhase::Merge)
+            merged = true;
+    }
+    EXPECT_EQ(started.size(), 4u);
+    EXPECT_EQ(finished, started);
+    EXPECT_TRUE(merged);
+}
+
+TEST(Trace, OverflowDropsInsteadOfGrowing)
+{
+    JobTraceRecorder recorder(/*capacity=*/4);
+    recorder.enable();
+    for (JobId id = 1; id <= 10; ++id)
+        recorder.record(id, TracePhase::Submitted);
+    EXPECT_EQ(recorder.eventCount(), 4u);
+    EXPECT_EQ(recorder.dropped(), 6u);
+    recorder.clear();
+    EXPECT_EQ(recorder.eventCount(), 0u);
+    EXPECT_EQ(recorder.dropped(), 0u);
+}
+
+TEST(Trace, ChromeDumpPairsSlicesAndParses)
+{
+    ExperimentService svc({.workers = 2});
+    svc.trace().enable();
+    EXPECT_FALSE(svc.await(svc.submit(shotJob(2, 0x4))).failed());
+
+    std::string json = svc.trace().chromeTraceJson();
+    EXPECT_EQ(json.rfind("{\"traceEvents\":[", 0), 0u);
+    EXPECT_EQ(json.substr(json.size() - 2), "]}");
+    // Shard execution renders as a complete slice, the lifecycle
+    // points as instants.
+    EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+    EXPECT_NE(json.find("\"name\":\"submitted\""), std::string::npos);
+    // Balanced braces -- cheap structural sanity without a parser.
+    EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+              std::count(json.begin(), json.end(), '}'));
 }
 
 } // namespace
