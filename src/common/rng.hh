@@ -173,6 +173,20 @@ class Rng
     }
 
     /**
+     * Fill buf[0..n) with standard-normal draws. The draws are the
+     * same stream, in the same order, as n successive
+     * standardNormal() calls -- batching a hot loop's noise into one
+     * pass never changes the results, it only separates the RNG
+     * work from whatever the loop interleaved it with.
+     */
+    void
+    fillStandardNormal(double *buf, std::size_t n)
+    {
+        for (std::size_t k = 0; k < n; ++k)
+            buf[k] = standardNormal();
+    }
+
+    /**
      * Derive an independent stream seed from a base seed and a stream
      * index (splitmix64). Used wherever one logical seed must fan out
      * into several decorrelated generators -- e.g. a runtime job seed

@@ -14,6 +14,7 @@
 #define QUMA_QSIM_READOUT_HH
 
 #include <complex>
+#include <vector>
 
 #include "common/rng.hh"
 #include "common/types.hh"
@@ -55,9 +56,17 @@ struct ReadoutTrace
  * If the qubit starts in |1> it may decay during the window with the
  * exponential statistics of the supplied T1; the trace switches from
  * the |1> response to the |0> response at the decay instant.
+ *
+ * The additive noise is drawn in one batched pass (the whole
+ * window's gaussians up front, then a vectorizable add) -- the RNG
+ * stream and draw order are identical to a per-sample loop, so the
+ * trace is bit-identical either way. `noise_scratch`, when given,
+ * holds the batch buffer so repeated readouts on one chip stay
+ * allocation-free.
  */
 ReadoutTrace simulateReadout(const ReadoutParams &params, bool initial_one,
-                             TimeNs duration_ns, double t1_ns, Rng &rng);
+                             TimeNs duration_ns, double t1_ns, Rng &rng,
+                             std::vector<double> *noise_scratch = nullptr);
 
 } // namespace quma::qsim
 

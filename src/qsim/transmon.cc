@@ -169,7 +169,7 @@ TransmonChip::measure(unsigned q, TimeNs t0_ns, TimeNs duration_ns)
 
     const TransmonParams &p = params[q];
     ReadoutTrace trace = simulateReadout(p.readout, outcome, duration_ns,
-                                         p.t1Ns, random);
+                                         p.t1Ns, random, &noiseScratch);
 
     // The measured qubit's state at the end of the window is decided
     // by the sampled trace (T1 decay included); decoherence inside

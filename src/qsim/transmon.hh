@@ -141,6 +141,9 @@ class TransmonChip
     DensityMatrix rho;
     Rng random;
     TimeNs nowNs = 0;
+    /** Batched readout-noise buffer, reused across measurements so
+     *  the per-shot readout path stays allocation-free. */
+    std::vector<double> noiseScratch;
 };
 
 /**

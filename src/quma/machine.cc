@@ -82,6 +82,11 @@ QumaMachine::QumaMachine(MachineConfig config) : cfg(std::move(config))
 
     chipSim = std::make_unique<qsim::TransmonChip>(cfg.qubits,
                                                    cfg.chipSeed);
+    if (numEventSources() > timing::EventWheel::kMaxSources)
+        fatal("machine has ", numEventSources(),
+              " event sources; the event wheel supports at most ",
+              timing::EventWheel::kMaxSources);
+    wheel = timing::EventWheel(numEventSources());
     mdWriteMode.assign(nq, {true, 0});
     msmtDelay = cfg.msmtPathDelayCycles >= 0
                     ? static_cast<Cycle>(cfg.msmtPathDelayCycles)
@@ -220,6 +225,7 @@ QumaMachine::stats() const
     s.queues = tcu->queueStats();
     s.exec = exec->stats();
     s.microInstsIssued = qp->microInstsIssued();
+    s.wheel = wheel.stats();
     return s;
 }
 
@@ -240,6 +246,8 @@ QumaMachine::reset()
     collector.reset();
     recorder.clear();
     mdWriteMode.assign(cfg.qubits.size(), {true, 0});
+    wheel.clear();
+    wheel.clearStats();
     ran = false;
 }
 
@@ -257,6 +265,7 @@ QumaMachine::onPulseFired(unsigned queue, Cycle td,
                           const timing::PulseEvent &ev)
 {
     recorder.recordUopFire({td, queue, ev.uop, ev.mask});
+    wokenMask |= std::uint64_t{1} << srcAwg(queue);
     awgs[queue]->fireUop(ev.uop, td, ev.mask);
 }
 
@@ -267,6 +276,7 @@ QumaMachine::onMpgFired(Cycle td, const timing::MpgEvent &ev)
     // The measurement path's calibrated latency aligns the readout
     // window with the gate pulses at the chip; delivery is scheduled
     // so it stays ordered with the other deterministic events.
+    wokenMask |= std::uint64_t{1} << srcDigOut();
     digOut->fire(ev.mask, td + msmtDelay, ev.durationCycles);
 }
 
@@ -279,6 +289,7 @@ QumaMachine::onMdFired(unsigned queue, Cycle td,
     auto qubit = static_cast<unsigned>(
         std::countr_zero(static_cast<std::uint32_t>(ev.mask)));
     mdWriteMode[queue] = {ev.overwrite, ev.bitIndex};
+    wokenMask |= std::uint64_t{1} << srcMdu(queue);
     mdus[queue]->discriminate(td, ev.destReg, QubitMask{1} << qubit);
 }
 
@@ -318,6 +329,7 @@ QumaMachine::onMeasurementPulse(unsigned qubit,
     Cycle dur = nsToCycles(pulse.durationNs);
     auto trace = chipSim->measure(qubit, pulse.t0Ns, pulse.durationNs);
     recorder.recordMeasurement({td, qubit, dur, trace.initialOne});
+    wokenMask |= std::uint64_t{1} << srcMdu(qubit);
     mdus[qubit]->submitTrace(std::move(trace.trace), td, dur);
 }
 
@@ -355,51 +367,87 @@ QumaMachine::run(Cycle max_cycles)
     if (collector.numBins() == 0)
         collector.configure(1);
 
+    const unsigned nAwg = static_cast<unsigned>(awgs.size());
+    const unsigned nMdu = static_cast<unsigned>(mdus.size());
+    const unsigned sDig = srcDigOut();
+    const unsigned sMdu0 = srcMdu(0);
+    const unsigned sQp = srcQp();
+    const unsigned sExec = srcExec();
+
+    // Every component registers its next due cycle in the event
+    // wheel after being touched; the loop pops the global minimum in
+    // O(1) amortized instead of re-polling every nextEventCycle()
+    // per step. A source is touched (and must re-register) when it
+    // was due at the popped cycle or a cross-component sink woke it
+    // this cycle (wokenMask); the TCU, pipeline and execution
+    // controller are touched every visited cycle -- re-polling is
+    // what unblocks a backpressured producer, and the TCU's lateness
+    // accounting needs to observe every visited cycle.
+    wheel.clear();
+    wheel.clearStats();
+    auto reschedule = [this](unsigned src, std::optional<Cycle> c,
+                             Cycle now) {
+        if (c)
+            wheel.schedule(src, std::max(*c, now + 1));
+        else
+            wheel.cancel(src);
+    };
+
     tcu->start(0);
     Cycle now = 0;
-    while (now <= max_cycles) {
+    // Cycle 0 considers every source, exactly like a full poll.
+    std::uint64_t due = ~std::uint64_t{0};
+    for (;;) {
+        wokenMask = 0;
         // Deterministic domain first: fire everything due now. The
         // AWGs run before the digital outputs so gate pulses due at
         // the same cycle reach the chip before a measurement window
-        // opening that cycle.
+        // opening that cycle. Sinks fired along the way extend
+        // wokenMask, and every wake target sits later in this fixed
+        // order than its waker, so one pass suffices.
         tcu->advanceTo(now);
-        for (auto &a : awgs)
-            a->advanceTo(now);
-        digOut->advanceTo(now);
-        for (auto &m : mdus)
-            m->advanceTo(now);
+        for (unsigned a = 0; a < nAwg; ++a)
+            if ((due | wokenMask) & (std::uint64_t{1} << (1 + a)))
+                awgs[a]->advanceTo(now);
+        if ((due | wokenMask) & (std::uint64_t{1} << sDig))
+            digOut->advanceTo(now);
+        for (unsigned q = 0; q < nMdu; ++q)
+            if ((due | wokenMask) & (std::uint64_t{1} << (sMdu0 + q)))
+                mdus[q]->advanceTo(now);
 
         // Non-deterministic domain: drain and execute.
         qp->drainAt(now);
         exec->stepAt(now);
 
-        // Find the next cycle with work.
-        std::optional<Cycle> next;
-        auto consider = [&](std::optional<Cycle> c) {
-            if (!c)
-                return;
-            Cycle v = std::max(*c, now + 1);
-            if (!next || v < *next)
-                next = v;
-        };
-        consider(tcu->nextDueCycle());
-        for (auto &a : awgs)
-            consider(a->nextEventCycle());
-        consider(digOut->nextEventCycle());
-        for (auto &m : mdus)
-            consider(m->nextEventCycle());
-        consider(qp->nextEventCycle());
-        consider(exec->nextEventCycle());
+        // Re-register every touched source. The TCU goes last-ish in
+        // state terms: drainAt may have pushed new time points.
+        const std::uint64_t touched = due | wokenMask;
+        reschedule(kSrcTcu, tcu->nextDueCycle(), now);
+        for (unsigned a = 0; a < nAwg; ++a)
+            if (touched & (std::uint64_t{1} << (1 + a)))
+                reschedule(1 + a, awgs[a]->nextEventCycle(), now);
+        if (touched & (std::uint64_t{1} << sDig))
+            reschedule(sDig, digOut->nextEventCycle(), now);
+        for (unsigned q = 0; q < nMdu; ++q)
+            if (touched & (std::uint64_t{1} << (sMdu0 + q)))
+                reschedule(sMdu0 + q, mdus[q]->nextEventCycle(), now);
+        reschedule(sQp, qp->nextEventCycle(), now);
+        reschedule(sExec, exec->nextEventCycle(), now);
+
         // A blocked producer is woken by whatever event frees it; if
         // nothing is scheduled at all, decide between done and wedged.
-        if (!next) {
+        auto popped = wheel.popEarliest();
+        if (!popped) {
             bool done = exec->halted() && qp->empty() &&
                         tcu->allQueuesEmpty();
             if (done)
                 break;
             reportWedge(now);
         }
-        now = *next;
+        now = popped->cycle;
+        due = popped->sources;
+        if (now > max_cycles)
+            break;
     }
 
     RunResult result;

@@ -30,6 +30,7 @@
 #include "quma/execcontroller.hh"
 #include "quma/qmb.hh"
 #include "quma/trace.hh"
+#include "timing/wheel.hh"
 
 namespace quma::core {
 
@@ -122,6 +123,8 @@ struct MachineStats
     timing::TimingUnitStats queues;
     ExecStats exec;
     std::size_t microInstsIssued = 0;
+    /** Event-wheel counters of the most recent run. */
+    timing::EventWheelStats wheel;
 };
 
 class QumaMachine
@@ -207,6 +210,20 @@ class QumaMachine
 
     [[noreturn]] void reportWedge(Cycle now) const;
 
+    // --- event-wheel source ids (bit positions in the due/woken
+    //     masks; fixed processing order = fixed dispatch order) ---
+    static constexpr unsigned kSrcTcu = 0;
+    unsigned srcAwg(unsigned a) const { return 1 + a; }
+    unsigned srcDigOut() const { return 1 + cfg.numAwgs; }
+    unsigned srcMdu(unsigned q) const { return 2 + cfg.numAwgs + q; }
+    unsigned srcQp() const
+    {
+        return 2 + cfg.numAwgs +
+               static_cast<unsigned>(cfg.qubits.size());
+    }
+    unsigned srcExec() const { return srcQp() + 1; }
+    unsigned numEventSources() const { return srcExec() + 1; }
+
     MachineConfig cfg;
     QubitRouting routing;
     TraceRecorder recorder;
@@ -224,6 +241,12 @@ class QumaMachine
     std::vector<std::pair<bool, unsigned>> mdWriteMode;
     /** Resolved measurement path delay (cycles). */
     Cycle msmtDelay = 0;
+
+    /** Next-event index over all sources; cleared per run. */
+    timing::EventWheel wheel;
+    /** Sources poked by a cross-component sink this cycle; their
+     *  advanceTo must run even if the wheel had them idle. */
+    std::uint64_t wokenMask = 0;
 
     bool calibrated = false;
     bool ran = false;

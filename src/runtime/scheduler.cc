@@ -18,9 +18,12 @@ bool
 queueSaturated(const timing::QueueSaturation &q)
 {
     // pushFailed is the backpressure signal proper: the producer hit
-    // a full queue and had to retry. High-water alone is not enough
-    // (a healthy pipeline is expected to run the queues deep).
-    return q.pushFailed > 0;
+    // a full queue and had to retry. Stale drops are the same story
+    // from the consumer side -- payloads silently discarded because
+    // the machine fell behind its own time points. High-water alone
+    // is not enough (a healthy pipeline is expected to run the
+    // queues deep).
+    return q.pushFailed > 0 || q.staleDropped > 0;
 }
 
 /** Did this run drive any timing event queue into backpressure? */
@@ -78,6 +81,7 @@ JobScheduler::~JobScheduler()
             e.spec.reset();
             e.partials.clear();
             e.shardRanges.clear();
+            e.progress.clear();
             ++counters.failed;
             ms.failed.inc();
             // Shutdown failures notify too: a subscriber is promised
@@ -197,6 +201,10 @@ JobScheduler::enqueueLocked(JobSpec &&spec)
         e.shardRanges =
             partitionRounds(spec.rounds, shards, spec.minRoundsPerShard);
         e.partials.resize(e.shardRanges.size());
+        e.progress.resize(e.shardRanges.size());
+        for (std::size_t s = 0; s < e.shardRanges.size(); ++s)
+            e.progress[s] = {e.shardRanges[s].begin,
+                             e.shardRanges[s].end, false};
         e.shardsRemaining = e.shardRanges.size();
         if (e.shardRanges.size() > 1) {
             ++counters.shardedJobs;
@@ -411,6 +419,16 @@ JobScheduler::bindMetrics(metrics::MetricsRegistry &registry)
     ms.saturatedRuns = registry.counter(
         "quma_saturated_runs_total",
         "Runs whose machine reported timing-queue backpressure.");
+    ms.shardsStolen = registry.counter(
+        "quma_shards_stolen_total",
+        "Shards created by splitting a running shard's unclaimed "
+        "round tail onto an idle worker.");
+    ms.roundsStolen = registry.counter(
+        "quma_rounds_stolen_total",
+        "Rounds moved between workers by shard stealing.");
+    ms.eventsDispatched = registry.counter(
+        "quma_wheel_events_dispatched_total",
+        "Event-wheel pops performed by machines running jobs.");
     static constexpr const char *kClassNames[3] = {"batch", "normal",
                                                    "high"};
     for (std::size_t cls = 0; cls < ms.latency.size(); ++cls)
@@ -451,6 +469,14 @@ JobScheduler::bindMetrics(metrics::MetricsRegistry &registry)
                      {}, [this] {
                          std::lock_guard<std::mutex> lock(mu);
                          return poolWaitEwma;
+                     });
+    registry.gaugeFn("quma_wheel_occupancy_high_water",
+                     "Largest number of simultaneously registered "
+                     "event sources seen in any machine run.",
+                     {}, [this] {
+                         std::lock_guard<std::mutex> lock(mu);
+                         return static_cast<double>(
+                             counters.wheelHighWater);
                      });
 }
 
@@ -618,6 +644,8 @@ JobScheduler::finishLocked(JobId id, JobResult &&result,
     e.spec.reset();
     e.partials.clear();
     e.shardRanges.clear();
+    e.progress.clear();
+    activeSharded.erase(id);
     if (failed) {
         ++counters.failed;
         ms.failed.inc();
@@ -658,6 +686,11 @@ JobScheduler::deliverShardLocked(JobId id, std::uint32_t shard,
     if (e.jobStatus == JobStatus::Done ||
         e.jobStatus == JobStatus::Failed)
         return;
+    // The shard is no longer a steal victim; zero its claim window
+    // so any unclaimed rounds of a FAILED shard are not stolen and
+    // run after the job's fate is already sealed.
+    if (shard < e.progress.size())
+        e.progress[shard] = {0, 0, false};
     e.partials[shard] = std::move(partial);
     quma_assert(e.shardsRemaining > 0, "shard delivered twice");
     if (--e.shardsRemaining == 0)
@@ -666,12 +699,13 @@ JobScheduler::deliverShardLocked(JobId id, std::uint32_t shard,
 
 /**
  * Deterministic merge: re-sum the per-round collector sums in global
- * round order. Shard s holds rounds [begin_s, end_s) contiguously and
- * the shards are visited in range order, so the floating-point
- * additions happen in exactly the sequence round 0, 1, ..., N-1 --
- * the SAME sequence for every partition, which is what makes the
- * merged sums (and hence the averages) bit-identical across 1-way,
- * 2-way and 4-way splits.
+ * round order. Every shard holds a contiguous round range (stealing
+ * splits ranges but never interleaves them) and the shards are
+ * visited sorted by range start, so the floating-point additions
+ * happen in exactly the sequence round 0, 1, ..., N-1 -- the SAME
+ * sequence for every partition, which is what makes the merged sums
+ * (and hence the averages) bit-identical across 1-way, 2-way and
+ * 4-way splits, with stealing on or off, at any worker count.
  */
 void
 JobScheduler::mergeShardsLocked(JobId id)
@@ -681,14 +715,24 @@ JobScheduler::mergeShardsLocked(JobId id)
     const JobSpec &spec = *e.spec;
     std::size_t bins = spec.bins ? spec.bins : 1;
 
+    // Stolen shards were appended as they were split off; restore
+    // global round order before merging.
+    std::vector<const ShardPartial *> order;
+    order.reserve(e.partials.size());
+    for (const ShardPartial &p : e.partials)
+        order.push_back(&p);
+    std::sort(order.begin(), order.end(),
+              [](const ShardPartial *a, const ShardPartial *b) {
+                  return a->range.begin < b->range.begin;
+              });
+
     JobResult merged;
-    for (std::size_t s = 0; s < e.partials.size(); ++s) {
-        if (!e.partials[s].error.empty()) {
-            merged.error = "shard " + std::to_string(s) + " (rounds " +
-                           std::to_string(e.partials[s].range.begin) +
-                           ".." +
-                           std::to_string(e.partials[s].range.end) +
-                           ") failed: " + e.partials[s].error;
+    for (const ShardPartial *p : order) {
+        if (!p->error.empty()) {
+            merged.error = "shard covering rounds " +
+                           std::to_string(p->range.begin) + ".." +
+                           std::to_string(p->range.end) +
+                           " failed: " + p->error;
             break;
         }
     }
@@ -699,7 +743,15 @@ JobScheduler::mergeShardsLocked(JobId id)
         std::vector<std::size_t> cnt(bins, 0);
         std::vector<std::size_t> bitCnt(bins, 0);
         bool first = true;
-        for (const ShardPartial &p : e.partials) {
+        for (const ShardPartial *pp : order) {
+            const ShardPartial &p = *pp;
+            // Defensive: a shard whose rounds were all stolen away
+            // before it ran contributes nothing (cannot happen with
+            // the current claim rules, which always leave the victim
+            // at least one round -- but an empty partial must never
+            // poison the halted AND below).
+            if (p.range.size() == 0 && p.samples == 0)
+                continue;
             std::size_t rows = p.range.size();
             for (std::size_t r = 0; r < rows; ++r)
                 for (std::size_t b = 0; b < bins; ++b) {
@@ -731,7 +783,7 @@ JobScheduler::mergeShardsLocked(JobId id)
 
 JobResult
 JobScheduler::runJob(const JobSpec &spec, core::QumaMachine &machine,
-                     bool &saturated)
+                     RunSample &sample)
 {
     JobResult r;
     try {
@@ -749,7 +801,8 @@ JobScheduler::runJob(const JobSpec &spec, core::QumaMachine &machine,
         r.averages = machine.dataCollector().averages();
         r.bitAverages = machine.dataCollector().bitAverages();
         r.sampleCount = machine.dataCollector().sampleCount();
-        saturated = machineSaturated(machine.stats());
+        auto st = machine.stats();
+        sample.absorb(st, machineSaturated(st));
     } catch (const std::exception &ex) {
         r = JobResult{};
         r.error = ex.what();
@@ -759,10 +812,14 @@ JobScheduler::runJob(const JobSpec &spec, core::QumaMachine &machine,
 
 JobScheduler::ShardPartial
 JobScheduler::runShard(const JobSpec &spec, core::QumaMachine &machine,
-                       RoundRange range, bool &saturated)
+                       JobId id, std::uint32_t shard, RoundRange range,
+                       RunSample &sample)
 {
     ShardPartial p;
-    p.range = range;
+    // The claimed range grows round by round; claims are contiguous
+    // from range.begin in both modes, so [range.begin, p.range.end)
+    // is always exactly the rounds this partial holds.
+    p.range = {range.begin, range.begin};
     std::size_t bins = spec.bins ? spec.bins : 1;
     p.binCounts.assign(bins, 0);
     p.bitBinCounts.assign(bins, 0);
@@ -780,18 +837,44 @@ JobScheduler::runShard(const JobSpec &spec, core::QumaMachine &machine,
             program = cached.get();
         }
 
-        for (std::size_t r = range.begin; r < range.end; ++r) {
+        bool first = true;
+        for (;;) {
+            std::size_t r;
+            if (cfg.workSteal) {
+                // Claim the next round under the scheduler mutex:
+                // the shard's window may have shrunk (a thief took
+                // the tail) or vanished (the job failed at
+                // shutdown). Claims stay contiguous because only
+                // this worker advances the cursor.
+                std::lock_guard<std::mutex> claim(mu);
+                auto it = entries.find(id);
+                if (it == entries.end())
+                    break;
+                Entry &e = it->second;
+                if (shard >= e.progress.size())
+                    break; // job already finished/failed
+                ShardProgress &pr = e.progress[shard];
+                if (pr.cursor >= pr.end)
+                    break;
+                r = pr.cursor++;
+            } else {
+                if (p.range.end >= range.end)
+                    break;
+                r = p.range.end;
+            }
             // Every round is a full session with its OWN RNG streams
             // derived from (seed, round): the draws a round sees
             // never depend on which machine it ran on or which
             // rounds preceded it there, so any partition of the
-            // rounds replays them exactly.
+            // rounds -- including one rebalanced by stealing --
+            // replays them exactly.
             machine.reset(Rng::derive(spec.seed, chipStreamOf(r)),
                           Rng::derive(spec.seed, execStreamOf(r)));
             machine.configureDataCollection(bins);
             machine.loadProgram(*program);
             core::RunResult rr = machine.run(spec.maxCycles);
-            p.run.accumulate(rr, r == range.begin);
+            p.run.accumulate(rr, first);
+            first = false;
 
             const auto &dc = machine.dataCollector();
             const auto &sums = dc.binSums();
@@ -809,7 +892,9 @@ JobScheduler::runShard(const JobSpec &spec, core::QumaMachine &machine,
             p.samples += dc.sampleCount();
             // loadProgram re-arms the timing unit (clearing its
             // counters), so saturation must be sampled per round.
-            saturated = saturated || machineSaturated(machine.stats());
+            auto st = machine.stats();
+            sample.absorb(st, machineSaturated(st));
+            p.range.end = r + 1;
         }
     } catch (const std::exception &ex) {
         p = ShardPartial{};
@@ -819,29 +904,139 @@ JobScheduler::runShard(const JobSpec &spec, core::QumaMachine &machine,
     return p;
 }
 
+bool
+JobScheduler::stealableLocked() const
+{
+    if (!cfg.workSteal)
+        return false;
+    std::size_t floor = std::max<std::size_t>(cfg.minStealRounds, 2);
+    for (JobId id : activeSharded) {
+        auto it = entries.find(id);
+        if (it == entries.end())
+            continue;
+        for (const ShardProgress &pr : it->second.progress)
+            if (pr.running && pr.end > pr.cursor &&
+                pr.end - pr.cursor >= floor)
+                return true;
+    }
+    return false;
+}
+
+std::optional<JobScheduler::Task>
+JobScheduler::stealLocked()
+{
+    std::size_t floor = std::max<std::size_t>(cfg.minStealRounds, 2);
+    JobId bestId = 0;
+    std::size_t bestShard = 0;
+    std::size_t bestRemaining = 0;
+    for (JobId id : activeSharded) {
+        auto it = entries.find(id);
+        if (it == entries.end())
+            continue;
+        const Entry &e = it->second;
+        for (std::size_t s = 0; s < e.progress.size(); ++s) {
+            const ShardProgress &pr = e.progress[s];
+            if (!pr.running || pr.end <= pr.cursor)
+                continue;
+            std::size_t remaining = pr.end - pr.cursor;
+            if (remaining >= floor && remaining > bestRemaining) {
+                bestRemaining = remaining;
+                bestId = id;
+                bestShard = s;
+            }
+        }
+    }
+    if (bestRemaining == 0)
+        return std::nullopt;
+
+    // Split the victim's unclaimed tail in half. The victim always
+    // keeps at least one round (stolen < remaining), so no partial
+    // ever ends up empty.
+    Entry &e = entries.at(bestId);
+    ShardProgress &v = e.progress[bestShard];
+    std::size_t stolen = (v.end - v.cursor) / 2;
+    std::size_t mid = v.end - stolen;
+    std::size_t oldEnd = v.end;
+    v.end = mid;
+    auto shardIdx = static_cast<std::uint32_t>(e.shardRanges.size());
+    e.shardRanges.push_back({mid, oldEnd});
+    e.partials.emplace_back();
+    // Marked running immediately: the thief executes it without a
+    // queue round-trip, and its own tail is stealable meanwhile.
+    e.progress.push_back({mid, oldEnd, true});
+    ++e.shardsRemaining;
+    ++counters.shardsStolen;
+    ms.shardsStolen.inc();
+    counters.roundsStolen += stolen;
+    ms.roundsStolen.inc(static_cast<double>(stolen));
+    return Task{bestId, shardIdx};
+}
+
+void
+JobScheduler::noteRunLocked(const RunSample &sample)
+{
+    noteSaturationLocked(sample.saturated);
+    counters.eventsDispatched += sample.eventsDispatched;
+    counters.wheelHighWater =
+        std::max(counters.wheelHighWater, sample.wheelHighWater);
+    counters.staleEventDrops += sample.staleDrops;
+    ms.eventsDispatched.inc(
+        static_cast<double>(sample.eventsDispatched));
+}
+
 void
 JobScheduler::workerLoop()
 {
     std::unique_lock<std::mutex> lock(mu);
     for (;;) {
-        cvWork.wait(lock, [this] { return stop || !queue.empty(); });
+        cvWork.wait(lock, [this] {
+            return stop || !queue.empty() || stealableLocked();
+        });
         if (stop)
             return;
 
-        std::size_t slot = pickBestLocked();
-        Task task = queue[slot];
-        queue.erase(queue.begin() +
-                    static_cast<std::ptrdiff_t>(slot));
+        Task task;
+        std::shared_ptr<const JobSpec> spec;
+        std::string key;
+        bool sharded;
+        RoundRange range;
+        if (!queue.empty()) {
+            std::size_t slot = pickBestLocked();
+            task = queue[slot];
+            queue.erase(queue.begin() +
+                        static_cast<std::ptrdiff_t>(slot));
+            Entry &entry = entries.at(task.id);
+            entry.jobStatus = JobStatus::Running;
+            spec = entry.spec;
+            key = entry.key;
+            sharded = !entry.shardRanges.empty();
+            range = sharded ? entry.shardRanges[task.shard]
+                            : RoundRange{};
+            if (sharded) {
+                entry.progress[task.shard].running = true;
+                activeSharded.insert(task.id);
+            }
+        } else {
+            // Queue drained but a running shard has rounds to spare:
+            // split its tail off as a fresh shard and run it here,
+            // without a queue round-trip.
+            auto stolen = stealLocked();
+            if (!stolen)
+                continue; // raced with the victim finishing
+            task = *stolen;
+            Entry &entry = entries.at(task.id);
+            spec = entry.spec;
+            key = entry.key;
+            sharded = true;
+            range = entry.shardRanges[task.shard];
+        }
         ++inFlight;
-        Entry &entry = entries.at(task.id);
-        entry.jobStatus = JobStatus::Running;
-        std::shared_ptr<const JobSpec> spec = entry.spec;
-        std::string key = entry.key;
-        bool sharded = !entry.shardRanges.empty();
-        RoundRange range =
-            sharded ? entry.shardRanges[task.shard] : RoundRange{};
         lock.unlock();
         cvSpace.notify_one();
+        // A newly started (or newly stolen) shard is itself a steal
+        // candidate: wake idle workers so they can carve it up.
+        if (sharded)
+            cvWork.notify_all();
 
         MachinePool::Lease lease;
         double acquireWait = 0.0;
@@ -880,11 +1075,12 @@ JobScheduler::workerLoop()
         traceRecord(task.id, TracePhase::Leased, task.shard);
         std::size_t ranOnLease = 0;
         for (;;) {
-            bool saturated = false;
+            RunSample sample;
             traceRecord(task.id, TracePhase::ShardStart, task.shard);
             if (sharded) {
                 ShardPartial partial =
-                    runShard(*spec, lease.machine(), range, saturated);
+                    runShard(*spec, lease.machine(), task.id,
+                             task.shard, range, sample);
                 traceRecord(task.id, TracePhase::ShardFinish,
                             task.shard);
                 lock.lock();
@@ -894,13 +1090,13 @@ JobScheduler::workerLoop()
                                    std::move(partial));
             } else {
                 JobResult result =
-                    runJob(*spec, lease.machine(), saturated);
+                    runJob(*spec, lease.machine(), sample);
                 traceRecord(task.id, TracePhase::ShardFinish,
                             task.shard);
                 lock.lock();
                 finishLocked(task.id, std::move(result));
             }
-            noteSaturationLocked(saturated);
+            noteRunLocked(sample);
             ++ranOnLease;
             --inFlight;
             cvDone.notify_all();
@@ -922,10 +1118,16 @@ JobScheduler::workerLoop()
                     sharded = !ne.shardRanges.empty();
                     range = sharded ? ne.shardRanges[task.shard]
                                     : RoundRange{};
+                    if (sharded) {
+                        ne.progress[task.shard].running = true;
+                        activeSharded.insert(task.id);
+                    }
                     ++counters.batchedJobs;
                     ms.batchedJobs.inc();
                     lock.unlock();
                     cvSpace.notify_one();
+                    if (sharded)
+                        cvWork.notify_all();
                     traceRecord(task.id, TracePhase::Leased,
                                 task.shard);
                     continue;

@@ -31,9 +31,21 @@
  * JobResult frame leaves the server the moment the merge completes,
  * with no awaitFor polling loop holding a thread per pending job.
  *
+ * WORK STEALING. A slow shard would otherwise gate its job's merge
+ * while other workers idle. With workSteal enabled, the executing
+ * worker claims its shard's rounds one at a time (contiguously, under
+ * the scheduler mutex) and an idle worker may SPLIT the largest
+ * in-flight shard: the tail half of its unclaimed rounds becomes a
+ * new shard the thief runs immediately. Because every round derives
+ * its RNG streams from (seed, round) and the merge walks partials in
+ * round order, stealing changes WHO runs a round but never WHAT it
+ * computes -- merged results stay bit-identical with stealing on or
+ * off, at any worker count.
+ *
  * ADMISSION. Executed jobs sample QumaMachine::stats(): a run whose
  * timing event queues rejected a push (producer backpressure; deep
- * queues alone are healthy) counts as saturated, and an EWMA of that
+ * queues alone are healthy) or silently dropped stale events counts
+ * as saturated, and an EWMA of that
  * signal drives trySubmit's effective queue bound. While the machines report saturation the scheduler
  * stops accepting work it could only queue (adding depth would add
  * latency, not throughput); the configured queueCapacity remains the
@@ -43,6 +55,7 @@
 #ifndef QUMA_RUNTIME_SCHEDULER_HH
 #define QUMA_RUNTIME_SCHEDULER_HH
 
+#include <algorithm>
 #include <array>
 #include <chrono>
 #include <condition_variable>
@@ -53,6 +66,7 @@
 #include <optional>
 #include <thread>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "common/metrics.hh"
@@ -127,6 +141,19 @@ struct SchedulerConfig
      * -- the default ExperimentService wiring.
      */
     JobTraceRecorder *trace = nullptr;
+    /**
+     * Let idle workers split the remaining round range of a running
+     * shard (see WORK STEALING above). Results are bit-identical
+     * either way; off trades tail-latency rebalancing for
+     * strictly lock-free round execution inside a shard.
+     */
+    bool workSteal = true;
+    /**
+     * A shard is a steal victim only while it still has at least
+     * this many unclaimed rounds (floored at 2 so the victim always
+     * keeps one and the thief always gets one).
+     */
+    std::size_t minStealRounds = 4;
 };
 
 class JobScheduler
@@ -162,6 +189,16 @@ class JobScheduler
         std::size_t shardsExecuted = 0;
         /** Runs whose machine reported queue saturation. */
         std::size_t saturatedRuns = 0;
+        /** Shards created by stealing a running shard's tail. */
+        std::size_t shardsStolen = 0;
+        /** Rounds handed to thieves by those steals. */
+        std::size_t roundsStolen = 0;
+        /** Event-wheel dispatches summed over executed runs. */
+        std::size_t eventsDispatched = 0;
+        /** Highest event-wheel occupancy any run reached. */
+        std::size_t wheelHighWater = 0;
+        /** Stale timing-queue drops summed over executed runs. */
+        std::size_t staleEventDrops = 0;
         /** trySubmit rejections below the hard bound (admission). */
         std::size_t admissionSoftRejects = 0;
         /** Saturation EWMA at the time of the snapshot. */
@@ -306,6 +343,22 @@ class JobScheduler
         std::string error;
     };
 
+    /**
+     * Live claim state of one shard (work stealing). The executing
+     * worker claims rounds by advancing `cursor`; a thief shrinks
+     * `end` and appends the stolen tail as a new shard. All mutation
+     * happens under the scheduler mutex, so claimed ranges stay
+     * contiguous by construction.
+     */
+    struct ShardProgress
+    {
+        std::size_t cursor = 0;
+        std::size_t end = 0;
+        /** A shard is stealable only while a worker is executing it
+         *  (queued shards are picked up whole from the queue). */
+        bool running = false;
+    };
+
     struct Entry
     {
         std::shared_ptr<const JobSpec> spec;
@@ -317,9 +370,13 @@ class JobScheduler
         std::size_t seq = 0;
         /** Submission instant (latency tracking reference point). */
         std::chrono::steady_clock::time_point submittedAt;
-        /** Round ranges per shard; empty for opaque jobs. */
+        /** Round ranges per shard; empty for opaque jobs. Stolen
+         *  shards are appended, so ranges are not sorted -- the
+         *  merge orders partials by range.begin. */
         std::vector<RoundRange> shardRanges;
         std::vector<ShardPartial> partials;
+        /** Parallel to shardRanges (work-stealing claim state). */
+        std::vector<ShardProgress> progress;
         std::size_t shardsRemaining = 0;
     };
 
@@ -340,15 +397,40 @@ class JobScheduler
         CompletionCallback callback;
     };
 
+    /** Machine-sampled signals aggregated over one task's runs. */
+    struct RunSample
+    {
+        bool saturated = false;
+        std::size_t eventsDispatched = 0;
+        std::size_t wheelHighWater = 0;
+        std::size_t staleDrops = 0;
+
+        void
+        absorb(const core::MachineStats &s, bool machine_saturated)
+        {
+            saturated = saturated || machine_saturated;
+            eventsDispatched += s.wheel.dispatched;
+            wheelHighWater = std::max(wheelHighWater, s.wheel.highWater);
+            staleDrops += s.queues.totalStaleDropped();
+        }
+    };
+
     void workerLoop();
     void notifierLoop();
     /** Move the job's subscriptions into the notifier queue. */
     void queueNotificationsLocked(JobId id, const JobResult &result);
     JobResult runJob(const JobSpec &spec, core::QumaMachine &machine,
-                     bool &saturated);
+                     RunSample &sample);
     ShardPartial runShard(const JobSpec &spec,
-                          core::QumaMachine &machine, RoundRange range,
-                          bool &saturated);
+                          core::QumaMachine &machine, JobId id,
+                          std::uint32_t shard, RoundRange range,
+                          RunSample &sample);
+    /** Steal the tail half of the best victim shard, appending it as
+     *  a new shard of its job; nullopt when nothing is stealable. */
+    std::optional<Task> stealLocked();
+    bool stealableLocked() const;
+    /** Fold one task's machine samples into counters and EWMAs. */
+    void noteRunLocked(const RunSample &sample);
     JobId enqueueLocked(JobSpec &&spec);
     /** record_latency = false for jobs that never executed
      *  (cancellations must not pollute the latency digests). */
@@ -381,6 +463,9 @@ class JobScheduler
         metrics::Counter shardedJobs;
         metrics::Counter shardsExecuted;
         metrics::Counter saturatedRuns;
+        metrics::Counter shardsStolen;
+        metrics::Counter roundsStolen;
+        metrics::Counter eventsDispatched;
         /** Submit->finish latency, one series per priority class. */
         std::array<metrics::Histogram, 3> latency;
     };
@@ -405,6 +490,9 @@ class JobScheduler
     std::condition_variable cvDone;
     std::deque<Task> queue;
     std::unordered_map<JobId, Entry> entries;
+    /** Jobs with shards currently executing -- the steal scan's
+     *  candidate set, so idle workers never walk all entries. */
+    std::unordered_set<JobId> activeSharded;
     /** Finished ids, oldest first (drives bounded result retention). */
     std::deque<JobId> finishedOrder;
     /** Completion-order observable, a ring of the newest

@@ -21,6 +21,8 @@ schedulerConfigOf(const ServiceConfig &cfg, JobTraceRecorder *trace)
     sc.saturationAlpha = cfg.saturationAlpha;
     sc.poolWaitThresholdSeconds = cfg.poolWaitThresholdSeconds;
     sc.poolWaitAlpha = cfg.poolWaitAlpha;
+    sc.workSteal = cfg.workSteal;
+    sc.minStealRounds = cfg.minStealRounds;
     sc.finishedHistoryLimit = cfg.finishedHistoryLimit;
     return sc;
 }

@@ -50,6 +50,9 @@ struct ServiceConfig
     /** Pool-wait admission signal (see SchedulerConfig). */
     double poolWaitThresholdSeconds = 0.02;
     double poolWaitAlpha = 0.25;
+    /** Work stealing between shards (see SchedulerConfig). */
+    bool workSteal = true;
+    std::size_t minStealRounds = 4;
     /** Completion-order ring kept by finishedIds(). */
     std::size_t finishedHistoryLimit = 1024;
     /** Job-lifecycle trace buffer bound (events, not jobs). */

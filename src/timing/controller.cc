@@ -177,7 +177,8 @@ template <typename T>
 QueueSaturation
 saturationOf(const EventQueue<T> &q)
 {
-    return {q.pushFailed(), q.highWaterMark(), q.capacity()};
+    return {q.pushFailed(), q.highWaterMark(), q.capacity(),
+            q.staleDropped()};
 }
 
 } // namespace

@@ -51,6 +51,8 @@ struct QueueSaturation
     std::size_t pushFailed = 0;
     std::size_t highWater = 0;
     std::size_t capacity = 0;
+    /** Stale payloads silently dropped by popMatching. */
+    std::size_t staleDropped = 0;
 };
 
 /**
@@ -74,6 +76,17 @@ struct TimingUnitStats
             total += s.pushFailed;
         for (const auto &s : md)
             total += s.pushFailed;
+        return total;
+    }
+
+    std::size_t
+    totalStaleDropped() const
+    {
+        std::size_t total = timing.staleDropped + mpg.staleDropped;
+        for (const auto &s : pulse)
+            total += s.staleDropped;
+        for (const auto &s : md)
+            total += s.staleDropped;
         return total;
     }
 };

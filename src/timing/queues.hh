@@ -36,6 +36,10 @@ class EventQueue
     std::size_t pushFailed() const { return pushFailedCount; }
     /** Deepest occupancy reached since the last clearStats(). */
     std::size_t highWaterMark() const { return highWater; }
+    /** Stale front entries dropped by popMatching since clearStats():
+     *  payloads silently discarded because their time point already
+     *  passed -- a saturation signal just like pushFailed. */
+    std::size_t staleDropped() const { return staleDroppedCount; }
 
     /** Enqueue; returns false (and drops nothing) when full. */
     bool
@@ -71,6 +75,7 @@ class EventQueue
         while (!q.empty() && q.front().label < label) {
             q.pop_front();
             ++stale;
+            ++staleDroppedCount;
         }
         while (!q.empty() && q.front().label == label) {
             fired.push_back(q.front());
@@ -93,6 +98,7 @@ class EventQueue
     {
         pushFailedCount = 0;
         highWater = 0;
+        staleDroppedCount = 0;
     }
 
   private:
@@ -100,6 +106,7 @@ class EventQueue
     std::size_t cap;
     std::size_t pushFailedCount = 0;
     std::size_t highWater = 0;
+    std::size_t staleDroppedCount = 0;
 };
 
 } // namespace quma::timing

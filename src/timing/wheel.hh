@@ -1,0 +1,362 @@
+/**
+ * @file
+ * Hierarchical timing wheel for next-event dispatch.
+ *
+ * The machine's event loop needs one operation fast: "which cycle has
+ * work next, and whose work is it?". Polling every component's
+ * nextEventCycle() per step is O(#components) per step; the wheel
+ * makes it O(1) amortized. Every event source owns a small integer id
+ * and REGISTERS its next due cycle whenever that cycle changes; the
+ * loop pops the global minimum and gets back the exact set of sources
+ * due there.
+ *
+ * Layout: a radix-64 trie over absolute cycle numbers, kLevels deep.
+ * A source due at cycle D lives at the lowest level whose slot D
+ * shares with the current cursor's enclosing block -- so level 0
+ * holds the sources due inside the cursor's current 64-cycle block
+ * (one slot per exact cycle), level 1 one slot per 64-cycle block of
+ * the enclosing 4096-cycle block, and so on. Each slot is a 64-bit
+ * source mask, and each level keeps a slot-occupancy mask, so "first
+ * occupied slot at or after the cursor" is a shift and a
+ * count-trailing-zeros. Advancing the cursor into a new block
+ * CASCADES that block's sources one level down; each source cascades
+ * at most kLevels-1 times per registration, which is the amortized
+ * O(1). Dues beyond the wheel horizon (64^kLevels cycles past the
+ * cursor's top-level block) wait in an overflow set and re-enter when
+ * the cursor's top-level block reaches them.
+ *
+ * Determinism: popEarliest returns ALL sources registered at the
+ * minimum cycle as one mask; the caller processes them in its own
+ * fixed component order, so the dispatch order never depends on
+ * registration order.
+ *
+ * Capacity is kMaxSources (64) sources -- a source id is a bit in the
+ * slot masks. The QumaMachine uses ~a dozen (timing unit, AWGs,
+ * digital outputs, MDUs, pipeline, execution controller).
+ */
+
+#ifndef QUMA_TIMING_WHEEL_HH
+#define QUMA_TIMING_WHEEL_HH
+
+#include <bit>
+#include <cstdint>
+#include <optional>
+
+#include "common/logging.hh"
+#include "common/types.hh"
+
+namespace quma::timing {
+
+/** Lifetime counters of one EventWheel (cleared with clearStats). */
+struct EventWheelStats
+{
+    /** schedule() calls that placed or moved a source. */
+    std::size_t scheduled = 0;
+    /** Source dispatches delivered by popEarliest (mask popcounts). */
+    std::size_t dispatched = 0;
+    /** popEarliest calls that returned a cycle (loop iterations). */
+    std::size_t pops = 0;
+    /** Source re-placements while cascading levels down. */
+    std::size_t cascades = 0;
+    /** Most sources registered at once. */
+    std::size_t highWater = 0;
+    /** Sources registered right now. */
+    std::size_t occupancy = 0;
+};
+
+class EventWheel
+{
+  public:
+    static constexpr unsigned kMaxSources = 64;
+    static constexpr unsigned kSlotBits = 6;
+    static constexpr unsigned kSlots = 1u << kSlotBits;
+    static constexpr unsigned kLevels = 4;
+    /** Cycles spanned by the levels before overflow takes over. */
+    static constexpr Cycle kHorizon = Cycle{1}
+                                      << (kSlotBits * kLevels);
+
+    explicit EventWheel(unsigned num_sources = kMaxSources)
+    {
+        quma_assert(num_sources >= 1 && num_sources <= kMaxSources,
+                    "EventWheel supports 1..64 sources");
+        nsrc = num_sources;
+        clear();
+    }
+
+    unsigned numSources() const { return nsrc; }
+    bool empty() const { return liveCount == 0; }
+    std::size_t size() const { return liveCount; }
+    Cycle cursor() const { return cur; }
+    bool registered(unsigned src) const
+    {
+        quma_assert(src < nsrc, "wheel source id out of range");
+        return level[src] != kLevelNone;
+    }
+    /** Registered due cycle; source must be registered. */
+    Cycle
+    dueCycle(unsigned src) const
+    {
+        quma_assert(registered(src), "source not registered");
+        return due[src];
+    }
+
+    /**
+     * Register (or move) a source's next due cycle. A due in the
+     * past is clamped to the cursor: it fires on the next pop.
+     * Re-registering an unchanged due is a no-op.
+     */
+    void
+    schedule(unsigned src, Cycle when)
+    {
+        quma_assert(src < nsrc, "wheel source id out of range");
+        if (when < cur)
+            when = cur;
+        if (level[src] != kLevelNone) {
+            if (due[src] == when)
+                return;
+            detach(src);
+        } else {
+            ++liveCount;
+            if (liveCount > stat.highWater)
+                stat.highWater = liveCount;
+        }
+        due[src] = when;
+        place(src);
+        ++stat.scheduled;
+        stat.occupancy = liveCount;
+    }
+
+    /** Remove a source's registration (idempotent). */
+    void
+    cancel(unsigned src)
+    {
+        quma_assert(src < nsrc, "wheel source id out of range");
+        if (level[src] == kLevelNone)
+            return;
+        detach(src);
+        level[src] = kLevelNone;
+        --liveCount;
+        stat.occupancy = liveCount;
+    }
+
+    /** One popped dispatch: the minimum cycle and every source due
+     *  at it (bit per source id). */
+    struct Popped
+    {
+        Cycle cycle = 0;
+        std::uint64_t sources = 0;
+    };
+
+    /**
+     * Pop the minimum registered due cycle and all sources due at
+     * it, advancing the cursor there. Empty wheel returns nullopt.
+     */
+    std::optional<Popped>
+    popEarliest()
+    {
+        if (liveCount == 0)
+            return std::nullopt;
+        // Invariant: every level>=1 slot along the cursor's block
+        // path is empty (place() puts such sources at level 0), so
+        // the common path is one masked scan of level 0. Cascading
+        // is needed only right after advanceCursor moves the cursor
+        // into a new block.
+        for (;;) {
+            unsigned off = static_cast<unsigned>(cur) & (kSlots - 1);
+            std::uint64_t ahead = occ[0] & (~std::uint64_t{0} << off);
+            if (ahead != 0) {
+                auto s = static_cast<unsigned>(std::countr_zero(ahead));
+                Popped p;
+                p.cycle = (cur & ~Cycle{kSlots - 1}) | s;
+                p.sources = slots[0][s];
+                occ[0] &= ~(std::uint64_t{1} << s);
+                slots[0][s] = 0;
+                std::uint64_t m = p.sources;
+                while (m != 0) {
+                    auto src =
+                        static_cast<unsigned>(std::countr_zero(m));
+                    m &= m - 1;
+                    level[src] = kLevelNone;
+                }
+                auto n = static_cast<std::size_t>(
+                    std::popcount(p.sources));
+                liveCount -= n;
+                stat.dispatched += n;
+                ++stat.pops;
+                stat.occupancy = liveCount;
+                cur = p.cycle;
+                return p;
+            }
+            if (!advanceCursor())
+                return std::nullopt; // unreachable while liveCount>0
+            cascadeAt(cur);
+        }
+    }
+
+    /** Drop every registration and rewind the cursor to 0. */
+    void
+    clear()
+    {
+        for (unsigned l = 0; l < kLevels; ++l) {
+            occ[l] = 0;
+            for (unsigned s = 0; s < kSlots; ++s)
+                slots[l][s] = 0;
+        }
+        overflow = 0;
+        for (unsigned s = 0; s < kMaxSources; ++s) {
+            level[s] = kLevelNone;
+            due[s] = 0;
+        }
+        liveCount = 0;
+        cur = 0;
+        stat.occupancy = 0;
+    }
+
+    const EventWheelStats &stats() const { return stat; }
+    void
+    clearStats()
+    {
+        stat = EventWheelStats{};
+        stat.occupancy = liveCount;
+        stat.highWater = liveCount;
+    }
+
+  private:
+    static constexpr std::uint8_t kLevelNone = 0xff;
+    static constexpr std::uint8_t kLevelOverflow = 0xfe;
+
+    static unsigned
+    slotOf(Cycle c, unsigned lvl)
+    {
+        return static_cast<unsigned>(c >> (kSlotBits * lvl)) &
+               (kSlots - 1);
+    }
+
+    /** Level at which `when` shares a parent block with the cursor:
+     *  the lowest l where when and cur agree above bit 6*(l+1). */
+    void
+    place(unsigned src)
+    {
+        Cycle when = due[src];
+        for (unsigned l = 0; l < kLevels; ++l) {
+            if ((when >> (kSlotBits * (l + 1))) ==
+                (cur >> (kSlotBits * (l + 1)))) {
+                unsigned s = slotOf(when, l);
+                slots[l][s] |= std::uint64_t{1} << src;
+                occ[l] |= std::uint64_t{1} << s;
+                level[src] = static_cast<std::uint8_t>(l);
+                slot[src] = static_cast<std::uint8_t>(s);
+                return;
+            }
+        }
+        overflow |= std::uint64_t{1} << src;
+        level[src] = kLevelOverflow;
+    }
+
+    /** Unlink a registered source from its slot (level[] untouched). */
+    void
+    detach(unsigned src)
+    {
+        if (level[src] == kLevelOverflow) {
+            overflow &= ~(std::uint64_t{1} << src);
+            return;
+        }
+        unsigned l = level[src];
+        unsigned s = slot[src];
+        slots[l][s] &= ~(std::uint64_t{1} << src);
+        if (slots[l][s] == 0)
+            occ[l] &= ~(std::uint64_t{1} << s);
+    }
+
+    /** Pull every source sharing `at`'s blocks down to its resting
+     *  level, top level first so each re-place lands finally. */
+    void
+    cascadeAt(Cycle at)
+    {
+        if (overflow != 0) {
+            std::uint64_t m = overflow;
+            while (m != 0) {
+                auto src =
+                    static_cast<unsigned>(std::countr_zero(m));
+                m &= m - 1;
+                if ((due[src] >> (kSlotBits * kLevels)) ==
+                    (at >> (kSlotBits * kLevels))) {
+                    overflow &= ~(std::uint64_t{1} << src);
+                    place(src);
+                    ++stat.cascades;
+                }
+            }
+        }
+        for (unsigned l = kLevels - 1; l >= 1; --l) {
+            unsigned s = slotOf(at, l);
+            std::uint64_t m = slots[l][s];
+            if (m == 0)
+                continue;
+            slots[l][s] = 0;
+            occ[l] &= ~(std::uint64_t{1} << s);
+            while (m != 0) {
+                auto src =
+                    static_cast<unsigned>(std::countr_zero(m));
+                m &= m - 1;
+                place(src); // lands below l: due shares l's block
+                ++stat.cascades;
+            }
+        }
+    }
+
+    /**
+     * Nothing due in the cursor's level-0 block: jump the cursor to
+     * the start of the next block holding work. Returns false only
+     * when the wheel is empty.
+     */
+    bool
+    advanceCursor()
+    {
+        for (unsigned l = 1; l < kLevels; ++l) {
+            unsigned pos = slotOf(cur, l);
+            std::uint64_t ahead =
+                occ[l] & (~std::uint64_t{0} << pos);
+            if (ahead != 0) {
+                auto s =
+                    static_cast<unsigned>(std::countr_zero(ahead));
+                Cycle width = Cycle{1} << (kSlotBits * l);
+                Cycle base = cur & ~((width << kSlotBits) - 1);
+                cur = base + static_cast<Cycle>(s) * width;
+                return true;
+            }
+        }
+        if (overflow != 0) {
+            // Everything left is past the horizon: jump straight to
+            // the earliest overflow due (it is the global minimum).
+            Cycle best = 0;
+            bool any = false;
+            std::uint64_t m = overflow;
+            while (m != 0) {
+                auto src =
+                    static_cast<unsigned>(std::countr_zero(m));
+                m &= m - 1;
+                if (!any || due[src] < best)
+                    best = due[src];
+                any = true;
+            }
+            cur = best;
+            return true;
+        }
+        return false;
+    }
+
+    unsigned nsrc = kMaxSources;
+    Cycle cur = 0;
+    std::size_t liveCount = 0;
+    std::uint64_t occ[kLevels] = {};
+    std::uint64_t slots[kLevels][kSlots] = {};
+    std::uint64_t overflow = 0;
+    Cycle due[kMaxSources] = {};
+    std::uint8_t level[kMaxSources] = {};
+    std::uint8_t slot[kMaxSources] = {};
+    EventWheelStats stat;
+};
+
+} // namespace quma::timing
+
+#endif // QUMA_TIMING_WHEEL_HH
