@@ -1,0 +1,113 @@
+/**
+ * @file
+ * quma_replay: re-drive captured sessions, diff every result.
+ *
+ *   $ ./example_quma_replay [--workers N] [--queue N]
+ *                           [--timeout-ms N] FILE...
+ *
+ * Each FILE is a connection capture recorded by
+ * `quma_serve --capture DIR` (DIR/conn-<N>.qcap; format in
+ * src/net/capture.hh). For each one, a fresh in-process
+ * ExperimentService is booted, the captured inbound frames are
+ * re-sent in order (job ids remapped through the Submit replies),
+ * and every captured AwaitReply is byte-compared against the
+ * replayed one -- the determinism contract says they must be
+ * identical, so any diff is a real regression (or a real
+ * nondeterminism bug), not noise.
+ *
+ * Exit status: 0 when every file replays with every result matching;
+ * 1 on any mismatch/timeout; 2 on unusable input. That makes the
+ * tool directly usable as a CI gate over checked-in captures (see
+ * the durability job in .github/workflows/ci.yml).
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "net/capture.hh"
+#include "net/replay.hh"
+#include "net/wire.hh"
+
+namespace {
+
+unsigned long
+argNum(int argc, char **argv, const char *flag, unsigned long fallback)
+{
+    for (int i = 1; i + 1 < argc; ++i)
+        if (std::strcmp(argv[i], flag) == 0)
+            return std::strtoul(argv[i + 1], nullptr, 10);
+    return fallback;
+}
+
+/** Positional arguments: everything that is not a flag or its value. */
+std::vector<std::string>
+positional(int argc, char **argv)
+{
+    std::vector<std::string> files;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strncmp(argv[i], "--", 2) == 0) {
+            ++i; // every flag of this tool takes a value
+            continue;
+        }
+        files.emplace_back(argv[i]);
+    }
+    return files;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace quma;
+
+    net::ReplayOptions options;
+    options.workers =
+        static_cast<unsigned>(argNum(argc, argv, "--workers", 2));
+    options.queueCapacity =
+        static_cast<std::size_t>(argNum(argc, argv, "--queue", 4096));
+    options.timeout = std::chrono::milliseconds(
+        argNum(argc, argv, "--timeout-ms", 120'000));
+
+    std::vector<std::string> files = positional(argc, argv);
+    if (files.empty()) {
+        std::fprintf(stderr,
+                     "usage: %s [--workers N] [--queue N] "
+                     "[--timeout-ms N] FILE...\n",
+                     argv[0]);
+        return 2;
+    }
+
+    bool all_ok = true;
+    for (const std::string &file : files) {
+        net::CaptureFile capture = net::readCapture(file);
+        if (!capture.valid) {
+            std::fprintf(stderr, "%s: not a capture file\n",
+                         file.c_str());
+            return 2;
+        }
+        net::ReplayReport report;
+        try {
+            report = net::replayCapture(capture, options);
+        } catch (const net::WireError &ex) {
+            std::fprintf(stderr, "%s: %s\n", file.c_str(), ex.what());
+            return 2;
+        }
+        std::printf("%s: %zu frames sent, %zu/%zu results matched"
+                    "%s%s\n",
+                    file.c_str(), report.framesSent,
+                    report.matchedResults, report.awaitedResults,
+                    report.timedOut ? ", TIMEOUTS" : "",
+                    capture.corruptRecords ? " (torn tail dropped)"
+                                           : "");
+        for (const net::ReplayMismatch &m : report.mismatches)
+            std::printf("  MISMATCH rid=%llu: %s\n",
+                        static_cast<unsigned long long>(m.requestId),
+                        m.reason.c_str());
+        all_ok = all_ok && report.ok();
+    }
+    return all_ok ? 0 : 1;
+}

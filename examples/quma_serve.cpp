@@ -12,6 +12,8 @@
  *
  *   $ ./example_quma_serve [--port N] [--workers N] [--queue N]
  *                          [--metrics-port N] [--trace FILE] [--public]
+ *                          [--journal FILE] [--journal-fsync MODE]
+ *                          [--capture DIR]
  *
  * Default is an ephemeral port on 127.0.0.1 (printed on startup);
  * --public binds all interfaces instead. On shutdown the serving
@@ -24,6 +26,14 @@
  * the families). --trace FILE enables job-lifecycle tracing and
  * writes the capture as Chrome trace-event JSON to FILE at shutdown
  * (load it in chrome://tracing or Perfetto).
+ *
+ * DURABILITY (docs/durability.md). --journal FILE write-ahead
+ * journals every accepted job; on startup, submitted-but-unfinished
+ * work found in FILE is recovered and re-run (a recovery summary is
+ * printed). --journal-fsync none|batch|always picks the
+ * latency/durability trade-off (default batch). --capture DIR
+ * records each connection's wire traffic as DIR/conn-<N>.qcap,
+ * replayable byte-for-byte with example_quma_replay.
  */
 
 #include <cstdio>
@@ -82,6 +92,10 @@ main(int argc, char **argv)
     const char *metricsPortArg =
         argValue(argc, argv, "--metrics-port");
     const char *traceFile = argValue(argc, argv, "--trace");
+    const char *journalFile = argValue(argc, argv, "--journal");
+    const char *journalFsync =
+        argValue(argc, argv, "--journal-fsync");
+    const char *captureDir = argValue(argc, argv, "--capture");
 
     // The registry is declared BEFORE the components whose gauge
     // callbacks it will render (and is only enabled when somebody
@@ -91,15 +105,45 @@ main(int argc, char **argv)
     runtime::ServiceConfig sc;
     sc.workers = workers;
     sc.queueCapacity = queue;
+    if (journalFile)
+        sc.journalPath = journalFile;
+    if (journalFsync) {
+        auto policy = runtime::fsyncPolicyFromName(journalFsync);
+        if (!policy) {
+            std::fprintf(stderr,
+                         "quma_serve: --journal-fsync wants "
+                         "none|batch|always, got '%s'\n",
+                         journalFsync);
+            return 2;
+        }
+        sc.journalFsync = *policy;
+    }
     runtime::ExperimentService service(sc);
     service.bindMetrics(registry);
     if (traceFile)
         service.trace().enable();
+    if (journalFile) {
+        const runtime::RecoveryReport &rec = service.recovery();
+        std::printf("journal: %s (fsync %s)\n", journalFile,
+                    journalFsync ? journalFsync : "batch");
+        if (rec.journalExisted)
+            std::printf("recovery: %zu records scanned, %zu jobs "
+                        "recovered, %zu corrupt records\n",
+                        rec.recordsScanned,
+                        service.recoveredIds().size(),
+                        rec.corruptRecords);
+    }
 
+    net::ServerConfig server_cfg;
+    if (captureDir)
+        server_cfg.captureDir = captureDir;
     auto listener = std::make_unique<net::TcpListener>(port, !open);
     std::uint16_t bound = listener->port();
-    net::QumaServer server(service, std::move(listener));
+    net::QumaServer server(service, std::move(listener), server_cfg);
     server.bindMetrics(registry);
+    if (captureDir)
+        std::printf("capture: wire traffic -> %s/conn-<N>.qcap\n",
+                    captureDir);
 
     // Declared after the server: destroyed (and stopped) first, so
     // no scrape renders callbacks into dying components.
@@ -160,5 +204,12 @@ main(int argc, char **argv)
                 "(%.3f ms / %.3f ms at the modeled link rate)\n",
                 s.link.bytesUp, s.link.bytesDown,
                 s.link.secondsUp * 1e3, s.link.secondsDown * 1e3);
+    if (service.journal()) {
+        runtime::JournalStats js = service.journal()->stats();
+        std::printf("journal: %zu records / %zu bytes appended, "
+                    "%zu fsyncs, %zu errors\n",
+                    js.recordsAppended, js.bytesAppended, js.fsyncs,
+                    js.appendErrors);
+    }
     return 0;
 }

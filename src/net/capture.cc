@@ -1,0 +1,96 @@
+#include "net/capture.hh"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+
+#include "common/logging.hh"
+#include "runtime/journal.hh"
+
+namespace quma::net {
+
+CaptureFile
+readCapture(const std::string &path)
+{
+    CaptureFile out;
+
+    std::vector<std::uint8_t> bytes;
+    {
+        std::ifstream in(path, std::ios::binary);
+        if (!in)
+            return out;
+        bytes.assign(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+    }
+
+    runtime::ScanResult scan =
+        runtime::scanRecords(bytes, kCaptureMagic);
+    out.corruptRecords = scan.corruptRecords;
+    out.valid = scan.magicValid;
+    for (runtime::ScannedRecord &rec : scan.records) {
+        switch (static_cast<CaptureRecordType>(rec.type)) {
+        case CaptureRecordType::Inbound:
+        case CaptureRecordType::Outbound:
+            out.frames.push_back(
+                {rec.type == static_cast<std::uint16_t>(
+                                 CaptureRecordType::Inbound),
+                 std::move(rec.payload)});
+            break;
+        default:
+            break; // future record type: skip, keep the rest
+        }
+    }
+    return out;
+}
+
+CaptureWriter::CaptureWriter(const std::string &path)
+{
+    fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd < 0)
+        fatal("capture: cannot open '", path,
+              "': ", std::strerror(errno));
+    if (::write(fd, kCaptureMagic.data(), kCaptureMagic.size()) !=
+        static_cast<ssize_t>(kCaptureMagic.size())) {
+        ::close(fd);
+        fatal("capture: cannot write magic to '", path,
+              "': ", std::strerror(errno));
+    }
+}
+
+CaptureWriter::~CaptureWriter()
+{
+    if (fd >= 0)
+        ::close(fd);
+}
+
+void
+CaptureWriter::record(CaptureRecordType direction,
+                      const std::uint8_t *frame, std::size_t size)
+{
+    std::vector<std::uint8_t> payload(frame, frame + size);
+    std::vector<std::uint8_t> record;
+    runtime::appendRecord(record,
+                          static_cast<std::uint16_t>(direction),
+                          payload);
+
+    std::lock_guard<std::mutex> lock(mu);
+    if (fd < 0)
+        return;
+    std::size_t off = 0;
+    while (off < record.size()) {
+        const ssize_t n =
+            ::write(fd, record.data() + off, record.size() - off);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            warn("capture: write failed: ", std::strerror(errno));
+            return;
+        }
+        off += static_cast<std::size_t>(n);
+    }
+}
+
+} // namespace quma::net

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Connection capture: a byte-exact recording of one served
+ * connection's wire traffic, in the journal's record container.
+ *
+ * When QumaServer runs with ServerConfig::captureDir set, every
+ * accepted connection gets its own capture file
+ * (`conn-<N>.qcap`, N = accept sequence number) holding the
+ * connection's frames as length+CRC records (the same container the
+ * job journal uses -- see runtime/journal.hh): record type Inbound
+ * for each fully-received request frame, Outbound for each fully-sent
+ * reply frame, payload = the raw frame bytes, header included.
+ *
+ * ORDERING. Records of one direction appear in that direction's wire
+ * order. ACROSS directions the interleaving reflects when each side's
+ * thread reached the capture hook, which is racy by nature (the
+ * reader and writer are separate threads) -- consumers must not read
+ * cross-direction order as a protocol statement. Replay
+ * (net/replay.hh) only needs per-direction order plus the requestId
+ * correlation the protocol already carries.
+ *
+ * A `kill -9` mid-write leaves a torn final record; readCapture()
+ * tolerates it exactly like journal recovery does -- the valid prefix
+ * is returned and the damage counted.
+ */
+
+#ifndef QUMA_NET_CAPTURE_HH
+#define QUMA_NET_CAPTURE_HH
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace quma::net {
+
+/** Capture file magic (8 bytes; same container as the journal). */
+inline constexpr std::string_view kCaptureMagic = "QUMACAP1";
+
+/** Capture record types (u16 on disk; wire-frozen). */
+enum class CaptureRecordType : std::uint16_t
+{
+    /** A request frame the server fully received. */
+    Inbound = 1,
+    /** A reply frame the server fully sent. */
+    Outbound = 2,
+};
+
+/** One captured frame: direction + the raw frame bytes. */
+struct CapturedFrame
+{
+    bool inbound = false;
+    std::vector<std::uint8_t> frame;
+};
+
+/** A parsed capture file (the valid prefix of one, after damage). */
+struct CaptureFile
+{
+    std::vector<CapturedFrame> frames;
+    /** Torn/corrupt tail records dropped by the scan. */
+    std::size_t corruptRecords = 0;
+    /** False when the file is missing, empty or not a capture. */
+    bool valid = false;
+
+    std::size_t
+    inboundCount() const
+    {
+        std::size_t n = 0;
+        for (const CapturedFrame &f : frames)
+            n += f.inbound ? 1 : 0;
+        return n;
+    }
+};
+
+/** Read (never throws) the capture file at `path`. */
+CaptureFile readCapture(const std::string &path);
+
+/**
+ * The write side: one file, appended to by the connection's reader
+ * (inbound) and writer (outbound) threads, serialized by a mutex.
+ * Writes are unbuffered so a killed process loses at most the record
+ * being written -- a torn tail the reader tolerates, not a silently
+ * shorter session.
+ */
+class CaptureWriter
+{
+  public:
+    /** Creates/truncates `path` and stamps the magic; fatal() when
+     *  the path cannot be opened. */
+    explicit CaptureWriter(const std::string &path);
+    ~CaptureWriter();
+
+    CaptureWriter(const CaptureWriter &) = delete;
+    CaptureWriter &operator=(const CaptureWriter &) = delete;
+
+    void record(CaptureRecordType direction,
+                const std::uint8_t *frame, std::size_t size);
+
+  private:
+    std::mutex mu;
+    int fd = -1;
+};
+
+} // namespace quma::net
+
+#endif // QUMA_NET_CAPTURE_HH

@@ -1,6 +1,10 @@
 #include "net/server.hh"
 
+#include <sys/stat.h>
+
 #include <algorithm>
+#include <cerrno>
+#include <cstring>
 #include <iterator>
 
 #include "common/logging.hh"
@@ -144,6 +148,11 @@ QumaServer::QumaServer(runtime::ExperimentService &service_,
 {
     if (!listener)
         fatal("QumaServer needs a listener");
+    if (!cfg.captureDir.empty() &&
+        ::mkdir(cfg.captureDir.c_str(), 0755) != 0 &&
+        errno != EEXIST)
+        fatal("capture: cannot create directory '", cfg.captureDir,
+              "': ", std::strerror(errno));
     acceptor = std::thread([this] { acceptLoop(); });
 }
 
@@ -350,6 +359,23 @@ QumaServer::acceptLoop()
         conn->stream = std::move(stream);
         conn->state = std::make_shared<ConnState>();
         conn->state->outbox.limit = cfg.maxQueuedReplyFrames;
+        if (!cfg.captureDir.empty()) {
+            // Named by the accept sequence number: captures line up
+            // with quma_server_connections_accepted_total and never
+            // collide across a server's lifetime.
+            const std::string path =
+                cfg.captureDir + "/conn-" +
+                std::to_string(counters.connectionsAccepted + 1) +
+                ".qcap";
+            try {
+                conn->state->capture =
+                    std::make_shared<CaptureWriter>(path);
+            } catch (const FatalError &ex) {
+                // Serve without the recording rather than refusing
+                // the client: capture is a diagnostic aid.
+                warn("capture disabled for connection: ", ex.what());
+            }
+        }
         Connection *raw = conn.get();
         ++counters.connectionsAccepted;
         ++counters.connectionsActive;
@@ -396,6 +422,10 @@ QumaServer::writerLoop(ByteStream &stream, ConnState &state)
             return;
         }
         state.outbox.sent();
+        if (state.capture)
+            state.capture->record(CaptureRecordType::Outbound,
+                                  entry->frame.data(),
+                                  entry->frame.size());
         std::lock_guard<std::mutex> lock(mu);
         meter.record(entry->frame.size(), false);
     }
@@ -524,6 +554,16 @@ QumaServer::serveRequest(ByteStream &stream,
     if (fh.length > 0 &&
         !stream.recvAll(payload.data(), payload.size()))
         throw WireError("connection closed mid-frame");
+    if (state->capture) {
+        // Record only FULLY received frames (header + payload), so a
+        // capture replays cleanly: a request torn by a dying client
+        // was never served and must not be re-driven either.
+        std::vector<std::uint8_t> frame(header,
+                                        header + sizeof(header));
+        frame.insert(frame.end(), payload.begin(), payload.end());
+        state->capture->record(CaptureRecordType::Inbound,
+                               frame.data(), frame.size());
+    }
     {
         std::lock_guard<std::mutex> lock(mu);
         meter.record(sizeof(header) + payload.size(), true);
@@ -571,8 +611,7 @@ QumaServer::dispatchRequest(ByteStream &stream,
             // one deliberately blocking request: backpressure from a
             // full queue is supposed to slow the pipelining client
             // down.
-            while (!(id = service.scheduler().submitFor(
-                         spec, kStopCheck))) {
+            while (!(id = service.submitFor(spec, kStopCheck))) {
                 if (stopping()) {
                     queueError(*state, rid, WireErrorCode::Shutdown,
                                "server stopping");

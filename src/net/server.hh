@@ -69,6 +69,7 @@
 #include <vector>
 
 #include "common/metrics.hh"
+#include "net/capture.hh"
 #include "net/transport.hh"
 #include "net/wire.hh"
 #include "quma/hostlink.hh"
@@ -90,6 +91,14 @@ struct ServerConfig
      * backlog is bounded by the scheduler queue it can fill.
      */
     std::size_t maxQueuedReplyFrames = 8192;
+    /**
+     * Record every connection's wire traffic into this directory
+     * ("" = off), one `conn-<N>.qcap` file per accepted connection
+     * (see net/capture.hh for the format). A captured session can be
+     * re-driven byte-for-byte by quma_replay -- the exact-repro
+     * debugging loop docs/durability.md describes.
+     */
+    std::string captureDir;
 };
 
 class QumaServer
@@ -231,6 +240,10 @@ class QumaServer
          * peer and wakes the reader into the disconnect handling.
          */
         ByteStream *stream = nullptr;
+        /** Wire-traffic recorder (ServerConfig::captureDir); null
+         *  when capture is off. Internally mutex-serialized, so the
+         *  reader and writer threads record through it directly. */
+        std::shared_ptr<CaptureWriter> capture;
 
         void noteSubmitted(runtime::JobId id);
         void noteDelivered(runtime::JobId id);

@@ -77,7 +77,7 @@ JobScheduler::~JobScheduler()
                 continue;
             e.jobStatus = JobStatus::Failed;
             e.result = JobResult{};
-            e.result.error = "scheduler shut down before the job ran";
+            e.result.error = kShutdownJobError;
             e.spec.reset();
             e.partials.clear();
             e.shardRanges.clear();
@@ -375,7 +375,7 @@ JobScheduler::cancel(JobId id)
     ++counters.cancelled;
     ms.cancelled.inc();
     JobResult r;
-    r.error = "cancelled before execution";
+    r.error = kCancelledJobError;
     // A cancelled job never ran: recording its queue-residence as a
     // "latency" would drag the digests toward zero.
     finishLocked(id, std::move(r), /*record_latency=*/false);

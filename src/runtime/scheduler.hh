@@ -77,6 +77,21 @@
 
 namespace quma::runtime {
 
+/**
+ * JobResult::error of a job cancelled while still queued. A named
+ * constant because the journal layer (runtime/journal.hh) keys off
+ * it: cancellations journal as Cancelled (must NOT be recovered).
+ */
+inline constexpr const char *kCancelledJobError =
+    "cancelled before execution";
+/**
+ * JobResult::error of a queued job failed by scheduler shutdown. The
+ * journal layer treats completions carrying this error as NOT
+ * completed -- the work never ran, and recovery must bring it back.
+ */
+inline constexpr const char *kShutdownJobError =
+    "scheduler shut down before the job ran";
+
 struct SchedulerConfig
 {
     unsigned workers = 2;

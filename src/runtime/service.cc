@@ -1,8 +1,42 @@
 #include "runtime/service.hh"
 
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/logging.hh"
+
 namespace quma::runtime {
 
 namespace {
+
+/**
+ * Open the journal for appending, with the recovery report in hand:
+ *  - a foreign (wrong-magic) file is refused outright -- appending
+ *    would neither clobber the operator's file nor ever be
+ *    recoverable, so durability would silently not exist;
+ *  - a damaged tail is truncated back to the valid prefix first, so
+ *    new records extend readable data instead of hiding behind
+ *    garbage (a second restart would otherwise re-run retired work).
+ */
+std::unique_ptr<JobJournal>
+openJournal(const ServiceConfig &cfg, const RecoveryReport &rec)
+{
+    if (cfg.journalPath.empty())
+        return nullptr;
+    if (rec.journalExisted && !rec.magicValid)
+        fatal("journal: '" + cfg.journalPath +
+              "' exists but is not a journal file; refusing to "
+              "append to it");
+    if (rec.corruptRecords > 0 && rec.magicValid &&
+        ::truncate(cfg.journalPath.c_str(),
+                   static_cast<off_t>(rec.validPrefixBytes)) != 0)
+        warn("journal: cannot truncate damaged tail of '" +
+             cfg.journalPath + "': " + std::strerror(errno));
+    return std::make_unique<JobJournal>(
+        JournalConfig{cfg.journalPath, cfg.journalFsync});
+}
 
 SchedulerConfig
 schedulerConfigOf(const ServiceConfig &cfg, JobTraceRecorder *trace)
@@ -35,9 +69,97 @@ ExperimentService::ExperimentService(ServiceConfig config)
                                     : config.workers + 2,
                 &cacheStore),
       traceStore(config.traceCapacity),
+      recoveryReport(config.journalPath.empty()
+                         ? RecoveryReport{}
+                         : recoverJournal(config.journalPath)),
+      journalStore(openJournal(config, recoveryReport)),
       sched(schedulerConfigOf(config, &traceStore), poolStore,
             cacheStore)
 {
+    // Re-drive what the crashed process never finished. One atomic
+    // Resubmitted record per job retires the stale pending entry and
+    // opens the fresh id, so a second crash recovers exactly once.
+    for (const RecoveredJob &job : recoveryReport.pending) {
+        auto encoded = JobJournal::encodeSpec(job.spec);
+        const JobId id = sched.submit(job.spec);
+        if (encoded)
+            journalStore->appendResubmitted(job.journalId, id, *encoded);
+        subscribeJournal(id);
+        recoveredIdsStore.push_back(id);
+    }
+}
+
+ExperimentService::~ExperimentService()
+{
+    // Close the journal BEFORE the scheduler destructor fails the
+    // still-queued jobs: their shutdown notifications must not mark
+    // pending work completed on disk. An undrained destruction
+    // therefore journals exactly like a crash.
+    if (journalStore)
+        journalStore->close();
+}
+
+JobId
+ExperimentService::submit(JobSpec spec)
+{
+    if (!journalStore)
+        return sched.submit(std::move(spec));
+    // Encode before submit consumes the spec; append after submit
+    // assigns the id. With FsyncPolicy::Always the append blocks
+    // until durable, so a returned id is a crash-safe promise.
+    auto encoded = JobJournal::encodeSpec(spec);
+    const JobId id = sched.submit(std::move(spec));
+    if (encoded) {
+        journalStore->appendSubmitted(id, *encoded);
+        subscribeJournal(id);
+    }
+    return id;
+}
+
+std::optional<JobId>
+ExperimentService::submitFor(const JobSpec &spec,
+                             std::chrono::milliseconds timeout)
+{
+    std::optional<JobId> id = sched.submitFor(spec, timeout);
+    if (id && journalStore) {
+        if (auto encoded = JobJournal::encodeSpec(spec)) {
+            journalStore->appendSubmitted(*id, *encoded);
+            subscribeJournal(*id);
+        }
+    }
+    return id;
+}
+
+std::optional<JobId>
+ExperimentService::trySubmit(JobSpec spec)
+{
+    if (!journalStore)
+        return sched.trySubmit(std::move(spec));
+    auto encoded = JobJournal::encodeSpec(spec);
+    std::optional<JobId> id = sched.trySubmit(std::move(spec));
+    if (id && encoded) {
+        journalStore->appendSubmitted(*id, *encoded);
+        subscribeJournal(*id);
+    }
+    return id;
+}
+
+void
+ExperimentService::subscribeJournal(JobId id)
+{
+    sched.subscribe(id, [this](JobId done,
+                               std::shared_ptr<const JobResult> r) {
+        // Shutdown failures mean the job never ran: leave it pending
+        // on disk so the next process recovers it. (The journal is
+        // already closed by then -- see ~ExperimentService -- this
+        // check is belt and braces for callback/destructor races.)
+        if (r->error == kShutdownJobError)
+            return;
+        if (r->error == kCancelledJobError)
+            journalStore->appendCancelled(done);
+        else
+            journalStore->appendCompleted(done, r->failed());
+    });
 }
 
 ServiceStats
@@ -67,6 +189,33 @@ ExperimentService::bindMetrics(metrics::MetricsRegistry &registry)
         "quma_trace_events_dropped_total",
         "Trace events lost to the bounded capture buffer.", {},
         [this] { return static_cast<double>(traceStore.dropped()); });
+    if (journalStore) {
+        journalStore->bindMetrics(registry);
+        // Recovery ran once, at construction: constant series that
+        // let an operator see a restart recovered (or hit damage)
+        // from the scrape alone.
+        registry.counterFn("quma_journal_records_corrupt_total",
+                           "Damaged journal records found by "
+                           "recovery (valid prefix was kept).",
+                           {}, [this] {
+                               return static_cast<double>(
+                                   recoveryReport.corruptRecords);
+                           });
+        registry.counterFn("quma_recovery_records_scanned_total",
+                           "Journal records scanned by recovery at "
+                           "startup.",
+                           {}, [this] {
+                               return static_cast<double>(
+                                   recoveryReport.recordsScanned);
+                           });
+        registry.counterFn("quma_recovery_jobs_recovered_total",
+                           "Un-completed jobs recovery re-submitted "
+                           "at startup.",
+                           {}, [this] {
+                               return static_cast<double>(
+                                   recoveredIdsStore.size());
+                           });
+    }
 }
 
 std::vector<JobResult>

@@ -16,10 +16,12 @@
 #ifndef QUMA_RUNTIME_SERVICE_HH
 #define QUMA_RUNTIME_SERVICE_HH
 
+#include <memory>
 #include <vector>
 
 #include "common/metrics.hh"
 #include "runtime/backend.hh"
+#include "runtime/journal.hh"
 #include "runtime/machine_pool.hh"
 #include "runtime/program_cache.hh"
 #include "runtime/scheduler.hh"
@@ -57,6 +59,17 @@ struct ServiceConfig
     std::size_t finishedHistoryLimit = 1024;
     /** Job-lifecycle trace buffer bound (events, not jobs). */
     std::size_t traceCapacity = 1 << 16;
+    /**
+     * Write-ahead job journal file ("" = durability off). On
+     * construction the service first RECOVERS the journal at this
+     * path -- every submitted-but-never-completed job found there is
+     * re-submitted (fresh ids; see recoveredIds()) -- and then
+     * journals every accepted submission and completion, so queued
+     * work survives a process crash. See docs/durability.md.
+     */
+    std::string journalPath = {};
+    /** Journal durability/latency trade-off (see FsyncPolicy). */
+    FsyncPolicy journalFsync = FsyncPolicy::Batch;
 };
 
 /** One-call snapshot across all three runtime layers. */
@@ -77,17 +90,19 @@ class ExperimentService : public IExperimentBackend
 {
   public:
     explicit ExperimentService(ServiceConfig config = {});
+    /** Closes the journal FIRST (see JobJournal::close), so jobs the
+     *  scheduler fails at shutdown stay pending on disk. */
+    ~ExperimentService() override;
 
-    JobId
-    submit(JobSpec spec) override
-    {
-        return sched.submit(std::move(spec));
-    }
-    std::optional<JobId>
-    trySubmit(JobSpec spec) override
-    {
-        return sched.trySubmit(std::move(spec));
-    }
+    JobId submit(JobSpec spec) override;
+    std::optional<JobId> trySubmit(JobSpec spec) override;
+    /**
+     * JobScheduler::submitFor with journaling: the serving layer's
+     * interruptible submit must journal exactly like submit() does,
+     * or remote work would not survive a crash.
+     */
+    std::optional<JobId> submitFor(const JobSpec &spec,
+                                   std::chrono::milliseconds timeout);
 
     JobStatus
     status(JobId id) const override
@@ -119,6 +134,19 @@ class ExperimentService : public IExperimentBackend
     JobTraceRecorder &trace() { return traceStore; }
     const JobTraceRecorder &trace() const { return traceStore; }
 
+    /** The write-ahead journal; null when journalPath was "". */
+    JobJournal *journal() { return journalStore.get(); }
+    /** What construction-time recovery found in the journal. */
+    const RecoveryReport &recovery() const { return recoveryReport; }
+    /**
+     * Fresh ids of the jobs recovery re-submitted, in original
+     * submission order (await these to finish the crashed queue).
+     */
+    const std::vector<JobId> &recoveredIds() const
+    {
+        return recoveredIdsStore;
+    }
+
     /** Snapshot of all three layers (what StatsFrame serializes). */
     ServiceStats stats() const;
 
@@ -130,11 +158,21 @@ class ExperimentService : public IExperimentBackend
     void bindMetrics(metrics::MetricsRegistry &registry);
 
   private:
+    /** Journal the job's eventual completion (no-op without a
+     *  journal). Registered AFTER the Submitted append, so the
+     *  single-writer queue keeps the record order causal. */
+    void subscribeJournal(JobId id);
+
     ProgramCache cacheStore;
     MachinePool poolStore;
     /** Before sched: SchedulerConfig::trace points here. */
     JobTraceRecorder traceStore;
+    /** Recovery runs before the journal reopens for appending (both
+     *  before sched: the ctor body re-submits into a live queue). */
+    RecoveryReport recoveryReport;
+    std::unique_ptr<JobJournal> journalStore;
     JobScheduler sched;
+    std::vector<JobId> recoveredIdsStore;
 };
 
 } // namespace quma::runtime

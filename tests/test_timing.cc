@@ -111,6 +111,91 @@ TEST(EventQueue, PopMatchingDropsStale)
     EXPECT_EQ(q.staleDropped(), 0u);
 }
 
+TEST(EventQueue, PopMatchingDropsAWholeStaleRunAtOnce)
+{
+    // Three orphans for labels that already passed, then the live
+    // run, then a future event: one pop clears the orphans, takes
+    // the full matching run, and leaves the future event queued.
+    EventQueue<PulseEvent> q(8);
+    q.push({1, 0x1, 0});
+    q.push({2, 0x1, 1});
+    q.push({2, 0x2, 2});
+    q.push({5, 0x1, 3});
+    q.push({5, 0x2, 4});
+    q.push({9, 0x1, 5});
+    std::vector<PulseEvent> fired;
+    std::size_t stale = 0;
+    q.popMatching(5, fired, stale);
+    EXPECT_EQ(stale, 3u);
+    EXPECT_EQ(q.staleDropped(), 3u);
+    ASSERT_EQ(fired.size(), 2u);
+    EXPECT_EQ(fired[0].label, 5u);
+    EXPECT_EQ(fired[1].label, 5u);
+    ASSERT_EQ(q.size(), 1u);
+    EXPECT_EQ(q.front().label, 9u);
+}
+
+TEST(EventQueue, PopMatchingLeavesFutureEventsUntouched)
+{
+    // Nothing matches and nothing is stale: the pop must be a
+    // complete no-op -- no fires, no drops, contents intact.
+    EventQueue<PulseEvent> q(8);
+    q.push({7, 0x1, 0});
+    q.push({8, 0x1, 1});
+    std::vector<PulseEvent> fired;
+    std::size_t stale = 0;
+    q.popMatching(3, fired, stale);
+    EXPECT_TRUE(fired.empty());
+    EXPECT_EQ(stale, 0u);
+    EXPECT_EQ(q.staleDropped(), 0u);
+    EXPECT_EQ(q.size(), 2u);
+    EXPECT_EQ(q.front().label, 7u);
+}
+
+TEST(EventQueue, PopMatchingOnlyDropsStaleAheadOfTheMatch)
+{
+    // An out-of-order laggard BEHIND the matching run is not touched
+    // by this pop -- stale dropping only clears the front run -- but
+    // the NEXT pop retires it, and the counters accumulate across
+    // both calls into the same out-param.
+    EventQueue<PulseEvent> q(8);
+    q.push({5, 0x1, 0});
+    q.push({3, 0x1, 1}); // out of order: still behind label 5
+    std::vector<PulseEvent> fired;
+    std::size_t stale = 0;
+    q.popMatching(5, fired, stale);
+    ASSERT_EQ(fired.size(), 1u);
+    EXPECT_EQ(fired[0].label, 5u);
+    EXPECT_EQ(stale, 0u);
+    ASSERT_EQ(q.size(), 1u);
+    EXPECT_EQ(q.front().label, 3u);
+
+    q.popMatching(6, fired, stale);
+    EXPECT_EQ(fired.size(), 1u); // nothing new fired
+    EXPECT_EQ(stale, 1u);        // ...but the laggard was retired
+    EXPECT_EQ(q.staleDropped(), 1u);
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, StaleDropCounterAccumulatesAcrossPops)
+{
+    EventQueue<PulseEvent> q(8);
+    std::vector<PulseEvent> fired;
+    std::size_t stale = 0;
+    for (TimingLabel label : {1u, 2u, 3u, 4u}) {
+        q.push({label, 0x1, 0});
+        q.popMatching(label + 1, fired, stale);
+    }
+    EXPECT_TRUE(fired.empty());
+    EXPECT_EQ(stale, 4u);
+    EXPECT_EQ(q.staleDropped(), 4u);
+    // clearStats() resets the counter, not the queue's behaviour.
+    q.clearStats();
+    q.push({1, 0x1, 0});
+    q.popMatching(2, fired, stale);
+    EXPECT_EQ(q.staleDropped(), 1u);
+}
+
 TEST(TimingControllerStats, QueueStatsReportStaleDrops)
 {
     // A queued pulse for label 1, but no time point ever broadcasts
