@@ -28,6 +28,7 @@
  * QUMA_BENCH_NET_WORKERS (service workers, default 4).
  */
 
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <map>
@@ -293,6 +294,50 @@ main(int argc, char **argv)
     json.metric("net_pipelined_jobs_per_sec_1c", pipelinedRate,
                 "jobs/s");
     json.metric("net_pipelined_speedup_1c", speedup);
+
+    // --- progress streaming overhead (wire v4) --------------------
+    //
+    // The same pipelined batch, now with a progress callback on the
+    // awaitMany: every await additionally registers a server-side
+    // progress subscription and at minimum one 100% ProgressFrame
+    // per job crosses the wire ahead of its result. The ratio to
+    // the progress-off run above prices the whole v4 progress path
+    // -- subscription, notifier traffic, extra frames -- on the
+    // worst case for overhead (light jobs, where the added frames
+    // are largest relative to the work).
+    double progressRate;
+    {
+        net::QumaClient client("127.0.0.1", port);
+        auto start = std::chrono::steady_clock::now();
+        std::vector<runtime::JobId> ids = client.submitAll(light);
+        std::map<runtime::JobId, std::uint64_t> seedOf;
+        for (std::size_t i = 0; i < ids.size(); ++i)
+            seedOf.emplace(ids[i], light[i].seed);
+        std::map<std::uint64_t, runtime::JobResult> got;
+        std::atomic<std::size_t> frames{0};
+        for (auto &[id, result] : client.awaitMany(
+                 ids, [&frames](runtime::JobId, std::uint64_t,
+                                std::uint64_t) {
+                     frames.fetch_add(1, std::memory_order_relaxed);
+                 }))
+            got.emplace(seedOf.at(id), std::move(result));
+        double seconds = secondsSince(start);
+        progressRate = static_cast<double>(pipeJobs) / seconds;
+        std::printf("progress-on: %7.3f s   %8.1f jobs/sec   "
+                    "(%zu progress frames)\n",
+                    seconds, progressRate, frames.load());
+        if (got != lightReference) {
+            std::printf("PROGRESS DETERMINISM VIOLATION\n");
+            return 1;
+        }
+    }
+    double overhead = pipelinedRate / progressRate;
+    std::printf("progress streaming overhead at 1 connection: "
+                "%.3fx\n",
+                overhead);
+    json.metric("net_progress_on_jobs_per_sec_1c", progressRate,
+                "jobs/s");
+    json.metric("net_progress_overhead_1c", overhead);
 
     json.writeTo(jsonPath);
     return 0;

@@ -14,6 +14,14 @@
  *   $ ./example_quma_serve --port 7777 &
  *   $ ./example_quma_remote_sweep --port 7777 [--host 127.0.0.1]
  *                                 [--points N] [--rounds N]
+ *                                 [--progress] [--trace-out FILE]
+ *
+ * --progress prints live per-job shard progress as the server pushes
+ * it (wire v4 ProgressFrames; rate-limited server-side). --trace-out
+ * FILE records client spans, pulls the server's job-lifecycle trace
+ * over the wire, and writes ONE merged clock-aligned Chrome trace
+ * JSON to FILE (QumaClient::mergedChromeTrace; the server needs
+ * --trace for its half, but the client half works regardless).
  *
  * Used by the CI metrics-scrape job as the load generator behind a
  * /metrics validation (.github/workflows/ci.yml).
@@ -48,6 +56,15 @@ argStr(int argc, char **argv, const char *flag, const char *fallback)
     return fallback;
 }
 
+bool
+argFlag(int argc, char **argv, const char *flag)
+{
+    for (int i = 1; i < argc; ++i)
+        if (std::strcmp(argv[i], flag) == 0)
+            return true;
+    return false;
+}
+
 } // namespace
 
 int
@@ -61,16 +78,23 @@ main(int argc, char **argv)
         static_cast<std::size_t>(argNum(argc, argv, "--points", 8));
     auto rounds =
         static_cast<std::size_t>(argNum(argc, argv, "--rounds", 16));
+    auto shards =
+        static_cast<std::uint32_t>(argNum(argc, argv, "--shards", 1));
     std::string host = argStr(argc, argv, "--host", "127.0.0.1");
+    bool progress = argFlag(argc, argv, "--progress");
+    const char *traceOut = argStr(argc, argv, "--trace-out", nullptr);
     if (port == 0) {
         std::fprintf(stderr,
                      "usage: %s --port N [--host H] [--points N] "
-                     "[--rounds N]\n",
+                     "[--rounds N] [--shards N] [--progress] "
+                     "[--trace-out FILE]\n",
                      argv[0]);
         return 2;
     }
 
     net::QumaClient client(host, port);
+    if (traceOut)
+        client.enableSpans();
 
     // One job per amplitude-error point. Identical machine config
     // across points would defeat the sweep, so each point's error is
@@ -81,7 +105,10 @@ main(int argc, char **argv)
     for (std::size_t i = 0; i < points; ++i) {
         experiments::AllxyConfig cfg;
         cfg.rounds = rounds;
-        cfg.shards = 1;
+        // Sharded jobs (--shards > 1) execute round by round and so
+        // stream INCREMENTAL progress; a 1-shard job is one machine
+        // run and reports a single 100% frame at completion.
+        cfg.shards = shards;
         cfg.amplitudeError =
             0.05 * static_cast<double>(i) /
             static_cast<double>(points > 1 ? points - 1 : 1);
@@ -95,8 +122,22 @@ main(int argc, char **argv)
     std::vector<runtime::JobId> ids =
         client.submitAll(std::move(specs));
 
+    // Live progress, if asked for: the server pushes per-job shard
+    // progress down this connection (wire v4); the callback runs on
+    // the client's reader thread (stdio locks per call, so the
+    // lines never shear against the result prints below).
+    net::QumaClient::ProgressFn onProgress;
+    if (progress)
+        onProgress = [](runtime::JobId id, std::uint64_t done,
+                        std::uint64_t total) {
+            std::printf("progress: job %llu %llu/%llu rounds\n",
+                        static_cast<unsigned long long>(id),
+                        static_cast<unsigned long long>(done),
+                        static_cast<unsigned long long>(total));
+        };
+
     std::size_t streamed = 0;
-    for (const auto &[id, result] : client.awaitMany(ids)) {
+    for (const auto &[id, result] : client.awaitMany(ids, onProgress)) {
         ++streamed;
         if (result.failed()) {
             std::printf("job %llu FAILED: %s\n",
@@ -130,5 +171,24 @@ main(int argc, char **argv)
     core::LinkStats link = client.linkStats();
     std::printf("wire traffic: %zu bytes up / %zu bytes down\n",
                 link.bytesUp, link.bytesDown);
+
+    if (traceOut) {
+        // One merged trace: client spans + the server's lifecycle
+        // events pulled over the wire, clock-aligned into the client
+        // timebase (docs/observability.md has the recipe).
+        std::string json = client.mergedChromeTrace();
+        if (std::FILE *f = std::fopen(traceOut, "w")) {
+            std::fwrite(json.data(), 1, json.size(), f);
+            std::fclose(f);
+            std::printf("trace: %zu client spans merged with server "
+                        "dump -> %s (traceId %016llx)\n",
+                        client.spans().size(), traceOut,
+                        static_cast<unsigned long long>(
+                            client.traceId()));
+        } else {
+            std::printf("trace: could not open %s\n", traceOut);
+            return 1;
+        }
+    }
     return 0;
 }

@@ -23,9 +23,15 @@
  * OBSERVABILITY. --metrics-port N additionally serves Prometheus
  * text exposition on `GET http://127.0.0.1:N/metrics` (0 = pick an
  * ephemeral port, printed on startup; docs/observability.md lists
- * the families). --trace FILE enables job-lifecycle tracing and
- * writes the capture as Chrome trace-event JSON to FILE at shutdown
- * (load it in chrome://tracing or Perfetto).
+ * the families) plus the live introspection pages: /healthz
+ * (liveness + journal/recovery state), /statusz (a JSON snapshot of
+ * service and serving stats) and /tracez (the current job-lifecycle
+ * trace as Chrome trace JSON, without restarting anything). --trace
+ * FILE enables job-lifecycle tracing and writes the capture as
+ * Chrome trace-event JSON to FILE at shutdown (load it in
+ * chrome://tracing or Perfetto); /tracez serves the same dump live
+ * and v4 clients can pull-and-merge it over the wire
+ * (QumaClient::mergedChromeTrace).
  *
  * DURABILITY (docs/durability.md). --journal FILE write-ahead
  * journals every accepted job; on startup, submitted-but-unfinished
@@ -157,6 +163,74 @@ main(int argc, char **argv)
         metricsBound = mlistener->port();
         metricsEndpoint = std::make_unique<net::MetricsEndpoint>(
             registry, std::move(mlistener));
+
+        // The introspection surface: three live pages next to
+        // /metrics. Handlers render on the endpoint's acceptor
+        // thread against components that outlive it (the endpoint
+        // is stopped first at shutdown).
+        const bool traced = traceFile != nullptr;
+        metricsEndpoint->addHandler(
+            "/healthz", "application/json",
+            [&service, traced] {
+                const runtime::RecoveryReport &rec =
+                    service.recovery();
+                char buf[256];
+                std::snprintf(
+                    buf, sizeof buf,
+                    "{\"status\":\"ok\",\"journal\":%s,"
+                    "\"recoveredJobs\":%zu,"
+                    "\"corruptRecords\":%zu,"
+                    "\"traceEnabled\":%s}\n",
+                    service.journal() ? "true" : "false",
+                    service.recoveredIds().size(),
+                    rec.corruptRecords, traced ? "true" : "false");
+                return std::string(buf);
+            });
+        metricsEndpoint->addHandler(
+            "/statusz", "application/json", [&service, &server] {
+                runtime::ServiceStats st = service.stats();
+                net::QumaServer::Stats sv = server.stats();
+                char buf[1024];
+                std::snprintf(
+                    buf, sizeof buf,
+                    "{\"scheduler\":{\"submitted\":%zu,"
+                    "\"completed\":%zu,\"failed\":%zu,"
+                    "\"cancelled\":%zu,\"queueHighWater\":%zu,"
+                    "\"shardsExecuted\":%zu,\"shardsStolen\":%zu,"
+                    "\"roundsStolen\":%zu},"
+                    "\"pool\":{\"machinesCreated\":%zu,"
+                    "\"acquisitions\":%zu,\"reuseHits\":%zu},"
+                    "\"cache\":{\"programHits\":%zu,"
+                    "\"programMisses\":%zu},"
+                    "\"effectiveQueueCapacity\":%zu,"
+                    "\"server\":{\"connectionsAccepted\":%zu,"
+                    "\"connectionsActive\":%zu,"
+                    "\"requestsServed\":%zu,\"errorsReturned\":%zu,"
+                    "\"resultsStreamed\":%zu,"
+                    "\"progressFramesPushed\":%zu,"
+                    "\"bytesUp\":%zu,\"bytesDown\":%zu}}\n",
+                    st.scheduler.submitted, st.scheduler.completed,
+                    st.scheduler.failed, st.scheduler.cancelled,
+                    st.scheduler.queueHighWater,
+                    st.scheduler.shardsExecuted,
+                    st.scheduler.shardsStolen,
+                    st.scheduler.roundsStolen,
+                    st.pool.machinesCreated, st.pool.acquisitions,
+                    st.pool.reuseHits, st.cache.programHits,
+                    st.cache.programMisses,
+                    st.effectiveQueueCapacity,
+                    sv.connectionsAccepted, sv.connectionsActive,
+                    sv.requestsServed, sv.errorsReturned,
+                    sv.resultsStreamed, sv.progressFramesPushed,
+                    sv.link.bytesUp, sv.link.bytesDown);
+                return std::string(buf);
+            });
+        metricsEndpoint->addHandler(
+            "/tracez", "application/json", [&service] {
+                // The same dump --trace writes at shutdown, served
+                // live (empty unless tracing is enabled).
+                return service.trace().chromeTraceJson();
+            });
     }
 
     std::printf("quma_serve: listening on %s:%u (%u workers, "

@@ -1,14 +1,33 @@
 #include "net/client.hh"
 
 #include <algorithm>
+#include <cstdio>
+#include <random>
 
 #include "common/logging.hh"
+#include "runtime/trace.hh"
 
 namespace quma::net {
 
+namespace {
+
+/** A fresh non-zero trace id per client instance (0 = "no trace"
+ *  on the wire, so it is never handed out). */
+std::uint64_t
+randomTraceId()
+{
+    std::random_device rd;
+    const std::uint64_t v =
+        (static_cast<std::uint64_t>(rd()) << 32) ^ rd();
+    return v ? v : 1;
+}
+
+} // namespace
+
 QumaClient::QumaClient(std::unique_ptr<ByteStream> stream_,
                        double link_bytes_per_second)
-    : stream(std::move(stream_)), meter(link_bytes_per_second)
+    : stream(std::move(stream_)), meter(link_bytes_per_second),
+      traceIdValue(randomTraceId())
 {
     if (!stream)
         fatal("QumaClient needs a connected stream");
@@ -44,6 +63,68 @@ QumaClient::linkStats() const
     return meter.stats();
 }
 
+std::uint64_t
+QumaClient::clientNowNanos() const
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - epoch)
+            .count());
+}
+
+void
+QumaClient::noteSubmitSent(std::uint64_t rid, std::uint64_t span_id,
+                           std::uint64_t nanos)
+{
+    if (!spansEnabled.load(std::memory_order_relaxed))
+        return;
+    std::lock_guard<std::mutex> lock(spanMu);
+    ClientSpan span;
+    span.spanId = span_id;
+    span.submitNanos = nanos;
+    pendingSpans[rid] = span;
+}
+
+void
+QumaClient::noteSubmitAcked(std::uint64_t rid, runtime::JobId id)
+{
+    if (!spansEnabled.load(std::memory_order_relaxed))
+        return;
+    std::lock_guard<std::mutex> lock(spanMu);
+    auto it = pendingSpans.find(rid);
+    if (it == pendingSpans.end())
+        return;
+    ClientSpan span = it->second;
+    pendingSpans.erase(it);
+    span.job = id;
+    span.ackNanos = clientNowNanos();
+    ackedSpans[id] = span;
+}
+
+void
+QumaClient::noteResultDecoded(runtime::JobId id)
+{
+    if (!spansEnabled.load(std::memory_order_relaxed))
+        return;
+    std::lock_guard<std::mutex> lock(spanMu);
+    auto it = ackedSpans.find(id);
+    if (it != ackedSpans.end() && it->second.resultNanos == 0)
+        it->second.resultNanos = clientNowNanos();
+}
+
+std::vector<QumaClient::ClientSpan>
+QumaClient::spans() const
+{
+    std::lock_guard<std::mutex> lock(spanMu);
+    std::vector<ClientSpan> out;
+    out.reserve(ackedSpans.size() + pendingSpans.size());
+    for (const auto &[id, span] : ackedSpans)
+        out.push_back(span);
+    for (const auto &[rid, span] : pendingSpans)
+        out.push_back(span);
+    return out;
+}
+
 void
 QumaClient::failAllLocked(const std::string &why)
 {
@@ -71,6 +152,36 @@ QumaClient::readerLoop()
             if (fh.length > 0 &&
                 !stream->recvAll(body.data(), body.size()))
                 throw WireError("connection closed mid-frame");
+
+            if (fh.type == MsgType::ProgressFrame) {
+                // Server-push progress: routed by the await's
+                // requestId, BEFORE the unsolicited-reply check --
+                // a ProgressFrame answers no request 1:1, so one
+                // landing after its await finished (or for an
+                // await without a callback) just evaporates.
+                std::shared_ptr<const ProgressFn> handler;
+                {
+                    std::lock_guard<std::mutex> lock(mu);
+                    meter.record(sizeof(header) + body.size(),
+                                 false);
+                    auto it = progressHandlers.find(fh.requestId);
+                    if (it != progressHandlers.end())
+                        handler = it->second;
+                }
+                if (!handler)
+                    continue;
+                Reader r(body);
+                ProgressFrameData p = decodeProgressFrame(r);
+                r.expectEnd();
+                try {
+                    // Outside mu: the callback may call back into
+                    // this client without deadlock.
+                    (*handler)(p.job, p.roundsDone, p.roundsTotal);
+                } catch (const std::exception &ex) {
+                    warn("progress callback threw: ", ex.what());
+                }
+                continue;
+            }
 
             std::lock_guard<std::mutex> lock(mu);
             meter.record(sizeof(header) + body.size(), false);
@@ -246,11 +357,20 @@ QumaClient::submit(runtime::JobSpec spec)
 {
     Writer w;
     encodeJobSpec(w, spec);
+    // v4: the trace context rides AFTER the spec, so the spec codec
+    // (shared with the server's journal) stays format-stable.
+    const std::uint64_t spanId = nextSpanId.fetch_add(1) + 1;
+    encodeTraceContext(w, TraceContext{traceIdValue, spanId});
+    const std::uint64_t t0 = clientNowNanos();
+    const std::uint64_t rid =
+        sendRequest(MsgType::SubmitRequest, w);
+    noteSubmitSent(rid, spanId, t0);
     std::vector<std::uint8_t> body =
-        roundTrip(MsgType::SubmitRequest, w, MsgType::SubmitReply);
+        waitReply(rid, MsgType::SubmitReply);
     Reader r(body);
     runtime::JobId id = r.u64();
     r.expectEnd();
+    noteSubmitAcked(rid, id);
     return id;
 }
 
@@ -265,7 +385,13 @@ QumaClient::submitAll(std::vector<runtime::JobSpec> specs)
     for (const runtime::JobSpec &spec : specs) {
         Writer w;
         encodeJobSpec(w, spec);
-        rids.push_back(sendRequest(MsgType::SubmitRequest, w));
+        const std::uint64_t spanId = nextSpanId.fetch_add(1) + 1;
+        encodeTraceContext(w, TraceContext{traceIdValue, spanId});
+        const std::uint64_t t0 = clientNowNanos();
+        const std::uint64_t rid =
+            sendRequest(MsgType::SubmitRequest, w);
+        noteSubmitSent(rid, spanId, t0);
+        rids.push_back(rid);
     }
     // Phase 2: collect the ids (replies arrive in server order,
     // routing by requestId makes the order irrelevant). If one
@@ -280,6 +406,7 @@ QumaClient::submitAll(std::vector<runtime::JobSpec> specs)
             Reader r(body);
             ids.push_back(r.u64());
             r.expectEnd();
+            noteSubmitAcked(rids[i], ids.back());
         } catch (...) {
             abandonSlots(rids.data() + i + 1, rids.size() - i - 1);
             throw;
@@ -293,14 +420,25 @@ QumaClient::trySubmit(runtime::JobSpec spec)
 {
     Writer w;
     encodeJobSpec(w, spec);
-    std::vector<std::uint8_t> body = roundTrip(
-        MsgType::TrySubmitRequest, w, MsgType::TrySubmitReply);
+    const std::uint64_t spanId = nextSpanId.fetch_add(1) + 1;
+    encodeTraceContext(w, TraceContext{traceIdValue, spanId});
+    const std::uint64_t t0 = clientNowNanos();
+    const std::uint64_t rid =
+        sendRequest(MsgType::TrySubmitRequest, w);
+    noteSubmitSent(rid, spanId, t0);
+    std::vector<std::uint8_t> body =
+        waitReply(rid, MsgType::TrySubmitReply);
     Reader r(body);
     bool accepted = r.boolean();
     runtime::JobId id = r.u64();
     r.expectEnd();
-    if (!accepted)
+    if (!accepted) {
+        // Rejected: drop the half-open span, nothing ran.
+        std::lock_guard<std::mutex> lock(spanMu);
+        pendingSpans.erase(rid);
         return std::nullopt;
+    }
+    noteSubmitAcked(rid, id);
     return id;
 }
 
@@ -350,6 +488,7 @@ QumaClient::await(runtime::JobId id)
     Reader r(body);
     runtime::JobResult result = decodeJobResult(r);
     r.expectEnd();
+    noteResultDecoded(id);
     return result;
 }
 
@@ -376,6 +515,7 @@ QumaClient::awaitAll(const std::vector<runtime::JobId> &ids)
             Reader r(body);
             out.push_back(decodeJobResult(r));
             r.expectEnd();
+            noteResultDecoded(ids[i]);
         } catch (...) {
             // One await failed (e.g. an aged-out id fataling):
             // late pushes for the rest must not leak in the slot
@@ -391,10 +531,16 @@ void
 QumaClient::awaitStreaming(
     const std::vector<runtime::JobId> &ids,
     const std::function<void(runtime::JobId, runtime::JobResult)>
-        &deliver)
+        &deliver,
+    const ProgressFn &progress)
 {
     if (!deliver)
         fatal("awaitStreaming needs a delivery callback");
+    // One shared handler for the whole sweep; registered per await
+    // requestId so the reader can route ProgressFrames to it.
+    std::shared_ptr<const ProgressFn> progressShared =
+        progress ? std::make_shared<const ProgressFn>(progress)
+                 : nullptr;
     // Arrival watermark taken BEFORE the requests leave: any reply
     // to them bumps arrivalSeq past it. The wait predicate is then
     // O(1) -- "has anything arrived since my last scan" -- instead
@@ -410,7 +556,16 @@ QumaClient::awaitStreaming(
     for (runtime::JobId id : ids) {
         Writer w;
         w.u64(id);
-        pending.emplace(sendRequest(MsgType::AwaitRequest, w), id);
+        const std::uint64_t rid =
+            sendRequest(MsgType::AwaitRequest, w);
+        if (progressShared) {
+            // Registered after the request leaves: a push racing
+            // this window is dropped by the reader, which is fine
+            // under the best-effort progress contract.
+            std::lock_guard<std::mutex> lock(mu);
+            progressHandlers.emplace(rid, progressShared);
+        }
+        pending.emplace(rid, id);
     }
     // On any throw below (error reply, decode failure, a throwing
     // deliver callback), the outstanding awaits must not leak.
@@ -426,6 +581,14 @@ QumaClient::awaitStreaming(
             rids.reserve(pending->size());
             for (const auto &[rid, id] : *pending)
                 rids.push_back(rid);
+            {
+                // Late ProgressFrames for the unwound awaits must
+                // not invoke a dead callback; without a handler the
+                // reader drops them silently.
+                std::lock_guard<std::mutex> lock(client->mu);
+                for (std::uint64_t rid : rids)
+                    client->progressHandlers.erase(rid);
+            }
             client->abandonSlots(rids.data(), rids.size());
         }
     } abandonGuard{this, &pending};
@@ -459,6 +622,9 @@ QumaClient::awaitStreaming(
                     {seq, it->second,
                      consumeSlotLocked(it->first,
                                        MsgType::AwaitReply)});
+                // Terminal reply consumed: any later ProgressFrame
+                // under this rid is late by definition and drops.
+                progressHandlers.erase(it->first);
                 it = pending.erase(it);
             }
         }
@@ -472,21 +638,24 @@ QumaClient::awaitStreaming(
             Reader r(a.body);
             runtime::JobResult result = decodeJobResult(r);
             r.expectEnd();
+            noteResultDecoded(a.id);
             deliver(a.id, std::move(result));
         }
     }
 }
 
 std::vector<std::pair<runtime::JobId, runtime::JobResult>>
-QumaClient::awaitMany(const std::vector<runtime::JobId> &ids)
+QumaClient::awaitMany(const std::vector<runtime::JobId> &ids,
+                      const ProgressFn &progress)
 {
     std::vector<std::pair<runtime::JobId, runtime::JobResult>> out;
     out.reserve(ids.size());
-    awaitStreaming(ids,
-                   [&out](runtime::JobId id,
-                          runtime::JobResult result) {
-                       out.emplace_back(id, std::move(result));
-                   });
+    awaitStreaming(
+        ids,
+        [&out](runtime::JobId id, runtime::JobResult result) {
+            out.emplace_back(id, std::move(result));
+        },
+        progress);
     return out;
 }
 
@@ -513,6 +682,95 @@ QumaClient::stats()
     StatsFrame stats = decodeStatsFrame(r);
     r.expectEnd();
     return stats;
+}
+
+std::int64_t
+QumaClient::clockSync()
+{
+    // Classic midpoint alignment: bracket one round trip with the
+    // client clock and assume the server sampled halfway through.
+    // The estimate's error is bounded by half the RTT asymmetry --
+    // microseconds on loopback, and spans/events here are rendered
+    // at microsecond granularity anyway.
+    const std::uint64_t t0 = clientNowNanos();
+    Writer w;
+    std::vector<std::uint8_t> body = roundTrip(
+        MsgType::ClockSyncRequest, w, MsgType::ClockSyncReply);
+    const std::uint64_t t1 = clientNowNanos();
+    Reader r(body);
+    ClockSyncFrame f = decodeClockSyncFrame(r);
+    r.expectEnd();
+    return static_cast<std::int64_t>(f.serverNanos) -
+           static_cast<std::int64_t>((t0 + t1) / 2);
+}
+
+std::string
+QumaClient::mergedChromeTrace()
+{
+    // server_nanos ~= client_nanos + offset, so shifting server
+    // events by -offset lands them on the CLIENT timebase the spans
+    // below already use.
+    const std::int64_t offset = clockSync();
+    Writer w;
+    std::vector<std::uint8_t> body = roundTrip(
+        MsgType::TraceDumpRequest, w, MsgType::TraceDumpReply);
+    Reader r(body);
+    TraceDumpFrame dump = decodeTraceDumpFrame(r);
+    r.expectEnd();
+
+    std::unordered_map<runtime::JobId, std::uint64_t> serverIds(
+        dump.traceIds.begin(), dump.traceIds.end());
+    std::string out = "{\"traceEvents\":[";
+    // pid 1: the server's lifecycle events, clock-shifted.
+    std::string server = runtime::renderChromeEvents(
+        dump.events, serverIds, -offset, 1);
+    out += server;
+    bool first = server.empty();
+    auto emit = [&out, &first](const char *text) {
+        if (!first)
+            out += ',';
+        first = false;
+        out += text;
+    };
+    // pid 2: this client's spans, already on the client timebase.
+    char line[320];
+    for (const ClientSpan &s : spans()) {
+        const std::uint64_t end =
+            s.resultNanos ? s.resultNanos : s.ackNanos;
+        if (end > s.submitNanos) {
+            std::snprintf(
+                line, sizeof line,
+                "{\"name\":\"job %llu %s\",\"ph\":\"X\","
+                "\"ts\":%.3f,\"dur\":%.3f,\"pid\":2,"
+                "\"tid\":%llu,\"args\":{\"job\":%llu,"
+                "\"span\":%llu,\"traceId\":\"%016llx\"}}",
+                static_cast<unsigned long long>(s.job),
+                s.resultNanos ? "round trip" : "submit (pending)",
+                static_cast<double>(s.submitNanos) / 1e3,
+                static_cast<double>(end - s.submitNanos) / 1e3,
+                static_cast<unsigned long long>(s.job),
+                static_cast<unsigned long long>(s.job),
+                static_cast<unsigned long long>(s.spanId),
+                static_cast<unsigned long long>(traceIdValue));
+            emit(line);
+        }
+        if (s.ackNanos > 0) {
+            std::snprintf(
+                line, sizeof line,
+                "{\"name\":\"submit acked\",\"ph\":\"i\","
+                "\"ts\":%.3f,\"pid\":2,\"tid\":%llu,\"s\":\"t\","
+                "\"args\":{\"job\":%llu,\"span\":%llu,"
+                "\"traceId\":\"%016llx\"}}",
+                static_cast<double>(s.ackNanos) / 1e3,
+                static_cast<unsigned long long>(s.job),
+                static_cast<unsigned long long>(s.job),
+                static_cast<unsigned long long>(s.spanId),
+                static_cast<unsigned long long>(traceIdValue));
+            emit(line);
+        }
+    }
+    out += "]}";
+    return out;
 }
 
 } // namespace quma::net

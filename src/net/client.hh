@@ -26,6 +26,15 @@
  *    results stream in completion order, which awaitMany() exposes
  *    directly and awaitAll() reorders to argument order.
  *
+ * OBSERVABILITY (wire v4). Every Submit carries this client's
+ * trace context (a random per-client traceId plus a per-submit
+ * spanId), so the server's job-lifecycle trace records under the
+ * client's trace; enableSpans() additionally records client-side
+ * spans (submit -> ack -> result) and mergedChromeTrace() joins
+ * both sides into one clock-aligned Chrome trace JSON. awaitMany /
+ * awaitStreaming accept an optional progress callback fed by
+ * server-pushed ProgressFrames (rounds completed / total per job).
+ *
  * Error mapping: ErrorReply{UnknownJob} surfaces as fatal(), exactly
  * like the local scheduler's unknown-id path; other error codes and
  * any framing violation surface as WireError. A dead connection
@@ -35,6 +44,8 @@
 #ifndef QUMA_NET_CLIENT_HH
 #define QUMA_NET_CLIENT_HH
 
+#include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <functional>
 #include <memory>
@@ -54,6 +65,36 @@ namespace quma::net {
 class QumaClient final : public runtime::IExperimentBackend
 {
   public:
+    /**
+     * Per-job progress delivery: (job, roundsDone, roundsTotal).
+     * Invoked on the client's reader thread as ProgressFrame pushes
+     * land (wire v4) -- keep it cheap and non-blocking; a throwing
+     * callback is caught and logged, never fails the connection.
+     * Best-effort by contract: a job that finishes before its await
+     * registers may produce no progress at all, and pushes are
+     * rate-limited server-side.
+     */
+    using ProgressFn = std::function<void(
+        runtime::JobId, std::uint64_t, std::uint64_t)>;
+
+    /**
+     * One client-side span of a remote job's life, in CLIENT steady
+     * nanos (same timebase clockSync() aligns against the server):
+     * submit on the wire -> SubmitReply decoded -> result decoded.
+     * Recorded only while enableSpans() is on.
+     */
+    struct ClientSpan
+    {
+        runtime::JobId job = 0;
+        /** Client-generated span id (travels in the v4 Submit's
+         *  trace context alongside traceId()). */
+        std::uint64_t spanId = 0;
+        std::uint64_t submitNanos = 0;
+        std::uint64_t ackNanos = 0;
+        /** 0 until the result was decoded on this client. */
+        std::uint64_t resultNanos = 0;
+    };
+
     /**
      * Speak the wire protocol over an established stream.
      * @param link_bytes_per_second modeled rate for linkStats()
@@ -94,17 +135,50 @@ class QumaClient final : public runtime::IExperimentBackend
      * pair as it lands instead of collecting.
      */
     std::vector<std::pair<runtime::JobId, runtime::JobResult>>
-    awaitMany(const std::vector<runtime::JobId> &ids);
+    awaitMany(const std::vector<runtime::JobId> &ids,
+              const ProgressFn &progress = {});
     void awaitStreaming(
         const std::vector<runtime::JobId> &ids,
         const std::function<void(runtime::JobId,
-                                 runtime::JobResult)> &deliver);
+                                 runtime::JobResult)> &deliver,
+        const ProgressFn &progress = {});
 
     /** Remote-side cancel of a still-queued job. */
     bool cancel(runtime::JobId id);
 
     /** Snapshot of the serving runtime's scheduler/pool stats. */
     StatsFrame stats();
+
+    /**
+     * The trace id this client stamps into every v4 Submit (random
+     * per client instance): the server records job lifecycle events
+     * under it, so one id names the whole distributed trace.
+     */
+    std::uint64_t traceId() const { return traceIdValue; }
+
+    /** Start recording ClientSpans (one per submit from here on).
+     *  Off by default: the log grows unbounded while enabled. */
+    void enableSpans() { spansEnabled.store(true); }
+    /** Everything recorded so far (acked spans first). */
+    std::vector<ClientSpan> spans() const;
+
+    /**
+     * Estimate the server trace clock as an offset from this
+     * client's span clock: one ClockSync round trip, reply mapped
+     * onto the midpoint. Returns `offset` such that
+     * server_nanos ~= client_nanos + offset (docs/observability.md
+     * documents the recipe and its half-RTT error bound).
+     */
+    std::int64_t clockSync();
+
+    /**
+     * ONE Chrome/Perfetto trace-event JSON merging the server's
+     * on-demand trace dump (clock-shifted into this client's
+     * timebase via clockSync(); pid 1) with this client's recorded
+     * spans (pid 2). Jobs submitted by this client carry its
+     * traceId() in both halves.
+     */
+    std::string mergedChromeTrace();
 
     /** Wire traffic of this connection (bytesUp = toward server). */
     core::LinkStats linkStats() const;
@@ -167,6 +241,13 @@ class QumaClient final : public runtime::IExperimentBackend
     /** Slot -> payload with the shared error mapping applied. */
     std::vector<std::uint8_t> consumeSlotLocked(
         std::uint64_t request_id, MsgType expected_reply) const;
+    /** Nanos on this client's span clock (steady, epoch = ctor). */
+    std::uint64_t clientNowNanos() const;
+    /** Span bookkeeping (no-ops while spans are disabled). */
+    void noteSubmitSent(std::uint64_t rid, std::uint64_t span_id,
+                        std::uint64_t nanos);
+    void noteSubmitAcked(std::uint64_t rid, runtime::JobId id);
+    void noteResultDecoded(runtime::JobId id);
 
     /** Guards slots, nextRequestId, meter, readerDown. */
     mutable std::mutex mu;
@@ -182,6 +263,30 @@ class QumaClient final : public runtime::IExperimentBackend
     mutable bool readerDown = false;
     mutable std::string readerFailure;
     mutable core::LinkMeter meter;
+    /**
+     * ProgressFrame routing, by the awaiting requestId (guarded by
+     * mu; handlers invoked OUTSIDE it on the reader thread, hence
+     * the shared_ptr copy). A push with no handler -- late, or for
+     * a progress-less await -- simply evaporates: unlike a result
+     * reply, a ProgressFrame answers no request 1:1, so it can
+     * never trip the unsolicited-reply teardown.
+     */
+    mutable std::unordered_map<std::uint64_t,
+                               std::shared_ptr<const ProgressFn>>
+        progressHandlers;
+
+    /** Trace identity + span clock (see traceId()/spans()). */
+    const std::uint64_t traceIdValue;
+    const std::chrono::steady_clock::time_point epoch{
+        std::chrono::steady_clock::now()};
+    std::atomic<bool> spansEnabled{false};
+    std::atomic<std::uint64_t> nextSpanId{0};
+    /** Guards the two span maps (never nested with mu). */
+    mutable std::mutex spanMu;
+    /** Submit sent, reply not yet decoded: keyed by requestId. */
+    std::unordered_map<std::uint64_t, ClientSpan> pendingSpans;
+    /** Acked (job id known): keyed by job. */
+    std::unordered_map<runtime::JobId, ClientSpan> ackedSpans;
 
     /** Metric handles; no-ops until bound. Mutable: the const
      *  request surface still counts its traffic. */

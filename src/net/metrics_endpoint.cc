@@ -1,6 +1,7 @@
 #include "net/metrics_endpoint.hh"
 
 #include <cstddef>
+#include <optional>
 #include <string>
 
 #include "common/logging.hh"
@@ -17,16 +18,22 @@ constexpr std::size_t kMaxRequestBytes = 8192;
 constexpr const char *kContentType =
     "text/plain; version=0.0.4; charset=utf-8";
 
+/**
+ * One full response. `head_only` keeps the body off the wire while
+ * Content-Length still states its size -- the HEAD contract, which
+ * lets a liveness probe check a page without paying for its bytes.
+ */
 std::string
-httpResponse(const std::string &status, const std::string &body)
+httpResponse(const std::string &status,
+             const std::string &content_type, const std::string &body,
+             bool head_only = false)
 {
     std::string out = "HTTP/1.0 " + status + "\r\n";
-    out += "Content-Type: ";
-    out += kContentType;
-    out += "\r\n";
+    out += "Content-Type: " + content_type + "\r\n";
     out += "Content-Length: " + std::to_string(body.size()) + "\r\n";
     out += "Connection: close\r\n\r\n";
-    out += body;
+    if (!head_only)
+        out += body;
     return out;
 }
 
@@ -73,6 +80,19 @@ MetricsEndpoint::scrapesServed() const
 }
 
 void
+MetricsEndpoint::addHandler(const std::string &path,
+                            const std::string &content_type,
+                            std::function<std::string()> render)
+{
+    if (path.empty() || path.front() != '/')
+        fatal("handler path must start with '/': '", path, "'");
+    if (!render)
+        fatal("handler for '", path, "' needs a render function");
+    std::lock_guard<std::mutex> lock(mu);
+    handlers[path] = Handler{content_type, std::move(render)};
+}
+
+void
 MetricsEndpoint::acceptLoop()
 {
     for (;;) {
@@ -112,8 +132,9 @@ MetricsEndpoint::serveScrape(ByteStream &stream)
     while (request.find("\r\n\r\n") == std::string::npos &&
            request.find("\n\n") == std::string::npos) {
         if (request.size() >= kMaxRequestBytes) {
-            std::string r =
-                httpResponse("400 Bad Request", "request too large\n");
+            std::string r = httpResponse("400 Bad Request",
+                                         kContentType,
+                                         "request too large\n");
             stream.sendAll(
                 reinterpret_cast<const std::uint8_t *>(r.data()),
                 r.size());
@@ -139,18 +160,48 @@ MetricsEndpoint::serveScrape(ByteStream &stream)
                            ? std::string()
                            : line.substr(sp1 + 1, sp2 - sp1 - 1);
 
+    // HEAD routes exactly like GET; only the body is withheld.
+    const bool head = method == "HEAD";
     std::string response;
-    if (method != "GET" || path.empty()) {
-        response = httpResponse("400 Bad Request",
-                                "only GET requests are served\n");
-    } else if (path != "/metrics") {
-        response = httpResponse("404 Not Found",
-                                "try GET /metrics\n");
-    } else {
+    if ((method != "GET" && !head) || path.empty()) {
         response =
-            httpResponse("200 OK", registry.renderPrometheus());
-        std::lock_guard<std::mutex> lock(mu);
-        ++scrapes;
+            httpResponse("400 Bad Request", kContentType,
+                         "only GET and HEAD are served\n", head);
+    } else {
+        // Copy the handler out so its render runs without mu: a
+        // render may read stats from the very runtime whose metric
+        // callbacks could otherwise interleave with this lock.
+        std::optional<Handler> handler;
+        {
+            std::lock_guard<std::mutex> lock(mu);
+            auto it = handlers.find(path);
+            if (it != handlers.end())
+                handler = it->second;
+        }
+        if (handler) {
+            try {
+                response = httpResponse("200 OK",
+                                        handler->contentType,
+                                        handler->render(), head);
+                std::lock_guard<std::mutex> lock(mu);
+                ++scrapes;
+            } catch (const std::exception &ex) {
+                response = httpResponse(
+                    "500 Internal Server Error", kContentType,
+                    std::string("handler failed: ") + ex.what() +
+                        "\n",
+                    head);
+            }
+        } else if (path == "/metrics") {
+            response = httpResponse("200 OK", kContentType,
+                                    registry.renderPrometheus(),
+                                    head);
+            std::lock_guard<std::mutex> lock(mu);
+            ++scrapes;
+        } else {
+            response = httpResponse("404 Not Found", kContentType,
+                                    "try GET /metrics\n", head);
+        }
     }
     stream.sendAll(
         reinterpret_cast<const std::uint8_t *>(response.data()),

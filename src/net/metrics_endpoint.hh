@@ -6,11 +6,21 @@
  * Listener (TCP in quma_serve, the in-process loopback in tests):
  * `GET /metrics` answers 200 with the registry's Prometheus text
  * exposition (v0.0.4), any other path answers 404, anything that is
- * not a well-formed GET answers 400. Every response closes the
- * connection (HTTP/1.0 semantics) -- no keep-alive, no chunking, no
- * header parsing beyond the request line, which is all a Prometheus
- * scraper (or curl) needs and all a quantum-experiment server should
- * carry.
+ * not a well-formed GET or HEAD answers 400. Every response closes
+ * the connection explicitly (`Connection: close`, HTTP/1.0
+ * semantics) -- no keep-alive, no chunking, no header parsing beyond
+ * the request line, which is all a Prometheus scraper (or curl)
+ * needs and all a quantum-experiment server should carry.
+ *
+ * INTROSPECTION. addHandler() grows the same surface into a live
+ * introspection endpoint: quma_serve registers /healthz (liveness +
+ * journal/recovery state), /statusz (a JSON snapshot of service and
+ * server stats) and /tracez (an on-demand Chrome-trace dump) without
+ * this class knowing any of them. Handlers render per request on the
+ * acceptor thread, so they inherit the serial, load-bounded scrape
+ * discipline. HEAD answers like GET with the body withheld
+ * (Content-Length still states the would-be size), so probes can
+ * check liveness without paying for a render's bytes on the wire.
  *
  * The endpoint serves scrapes SERIALLY on its one acceptor thread: a
  * scrape is a single registry render (microseconds) and serializing
@@ -27,8 +37,11 @@
 #ifndef QUMA_NET_METRICS_ENDPOINT_HH
 #define QUMA_NET_METRICS_ENDPOINT_HH
 
+#include <functional>
+#include <map>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
 
 #include "common/metrics.hh"
@@ -55,10 +68,28 @@ class MetricsEndpoint
      *  acceptor (idempotent). */
     void stop();
 
-    /** Scrapes answered 200 since construction. */
+    /** Scrapes answered 200 since construction (any path). */
     std::size_t scrapesServed() const;
 
+    /**
+     * Serve `GET <path>` (and its HEAD) with `render()`'s output as
+     * `content_type`. The handler runs on the acceptor thread, one
+     * request at a time; exceptions it throws surface as a 500 with
+     * the connection kept serving. Registering "/metrics" replaces
+     * the built-in exposition render. Thread-safe, but meant for
+     * setup time; must not be called from inside a handler.
+     */
+    void addHandler(const std::string &path,
+                    const std::string &content_type,
+                    std::function<std::string()> render);
+
   private:
+    struct Handler
+    {
+        std::string contentType;
+        std::function<std::string()> render;
+    };
+
     void acceptLoop();
     /** Read one request, write one response, close. */
     void serveScrape(ByteStream &stream);
@@ -71,6 +102,9 @@ class MetricsEndpoint
     /** The stream being served right now (stop() closes it). */
     ByteStream *active = nullptr;
     std::size_t scrapes = 0;
+    /** Registered introspection pages, by exact path (guarded by
+     *  mu; the render runs OUTSIDE it on a copied handler). */
+    std::map<std::string, Handler> handlers;
     std::thread acceptor;
 };
 

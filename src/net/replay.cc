@@ -31,7 +31,11 @@ splitFrame(const std::vector<std::uint8_t> &frame)
         return std::nullopt;
     try {
         SplitFrame out;
-        out.header = decodeFrameHeader(frame.data());
+        // Captures recorded by an older (v3) server must stay
+        // replayable: accept every compatible version, exactly like
+        // the live server's reader.
+        checkFramePrefixCompat(frame.data());
+        out.header = decodeFrameHeaderUnchecked(frame.data());
         if (frame.size() != kFrameHeaderBytes + out.header.length)
             return std::nullopt;
         out.payload.assign(frame.begin() + kFrameHeaderBytes,
@@ -141,7 +145,11 @@ replayCapture(const CaptureFile &capture, const ReplayOptions &options)
                 std::uint8_t header[kFrameHeaderBytes];
                 if (!stream->recvAll(header, kFrameHeaderBytes))
                     break;
-                FrameHeader fh = decodeFrameHeader(header);
+                // Replies mirror the replayed frames' version (the
+                // server answers a v3 request in v3), so the reader
+                // accepts every compatible version too.
+                checkFramePrefixCompat(header);
+                FrameHeader fh = decodeFrameHeaderUnchecked(header);
                 std::vector<std::uint8_t> payload(fh.length);
                 if (fh.length > 0 &&
                     !stream->recvAll(payload.data(), payload.size()))

@@ -201,9 +201,13 @@ QumaServer::stats() const
     // counters only absorbs a connection's streamed count when it
     // ends (and zeroes it there); live connections contribute here,
     // so a long-lived client's pushes are visible mid-session.
-    for (const auto &conn : connections)
+    for (const auto &conn : connections) {
         s.resultsStreamed +=
             conn->state->streamed.load(std::memory_order_relaxed);
+        s.progressFramesPushed +=
+            conn->state->progressPushed.load(
+                std::memory_order_relaxed);
+    }
     s.link = meter.stats();
     return s;
 }
@@ -244,9 +248,10 @@ QumaServer::bindMetrics(metrics::MetricsRegistry &registry)
             std::lock_guard<std::mutex> lock(mu);
             return static_cast<double>(counters.requestsServed);
         });
-    static constexpr const char *kTypeNames[8] = {
-        "other", "submit", "try_submit", "status",
-        "poll",  "await",  "stats",      "cancel"};
+    static constexpr const char *kTypeNames[10] = {
+        "other", "submit",     "try_submit", "status", "poll",
+        "await", "stats",      "cancel",     "clock_sync",
+        "trace_dump"};
     for (std::size_t t = 0; t < std::size(kTypeNames); ++t)
         registry.counterFn(
             "quma_server_requests_total",
@@ -274,6 +279,11 @@ QumaServer::bindMetrics(metrics::MetricsRegistry &registry)
         "AwaitReply frames pushed by completion subscriptions.", {},
         [this] {
             return static_cast<double>(stats().resultsStreamed);
+        });
+    registry.counterFn(
+        "quma_server_progress_frames_total",
+        "ProgressFrame pushes delivered to v4 peers.", {}, [this] {
+            return static_cast<double>(stats().progressFramesPushed);
         });
     registry.gaugeFn(
         "quma_server_outbox_frames",
@@ -406,8 +416,10 @@ QumaServer::writerLoop(ByteStream &stream, ConnState &state)
                 // connection's wire encoding behind one core.
                 Writer w;
                 encodeJobResult(w, *entry->result);
-                entry->frame = sealFrame(MsgType::AwaitReply,
-                                         entry->requestId, w);
+                entry->frame = sealFrame(
+                    MsgType::AwaitReply, entry->requestId, w,
+                    state.peerVersion.load(
+                        std::memory_order_relaxed));
                 entry->result.reset();
             }
             stream.sendAll(entry->frame.data(),
@@ -490,6 +502,8 @@ QumaServer::serveConnection(Connection &conn)
     // connection twice.
     counters.resultsStreamed +=
         state.streamed.exchange(0, std::memory_order_relaxed);
+    counters.progressFramesPushed +=
+        state.progressPushed.exchange(0, std::memory_order_relaxed);
     --counters.connectionsActive;
     conn.finished = true;
 }
@@ -499,7 +513,10 @@ QumaServer::queueFrame(ConnState &state, MsgType type,
                        std::uint64_t request_id, const Writer &payload)
 {
     if (!state.outbox.push(
-            {sealFrame(type, request_id, payload), nullptr, 0})) {
+            {sealFrame(type, request_id, payload,
+                       state.peerVersion.load(
+                           std::memory_order_relaxed)),
+             nullptr, 0})) {
         // Closed -- normal teardown, or a slow-consumer overflow
         // that just closed it. Closing the stream (idempotent)
         // guarantees the wedged writer and the reader both unblock
@@ -533,7 +550,13 @@ QumaServer::serveRequest(ByteStream &stream,
     if (!stream.recvAll(header, kFrameHeaderPrefixBytes))
         return false; // clean EOF between frames
     try {
-        checkFramePrefix(header);
+        // v3 and v4 share the byte-identical header layout, so one
+        // compat check both validates the prefix and tells this
+        // connection which dialect to speak back (replies are sealed
+        // at the peer's version; v4-only extras are withheld from v3
+        // peers).
+        state->peerVersion.store(checkFramePrefixCompat(header),
+                                 std::memory_order_relaxed);
     } catch (const WireVersionError &ex) {
         // A legacy (or future) peer: its framing is foreign -- v1
         // frames have no requestId at all -- so this connection
@@ -545,11 +568,11 @@ QumaServer::serveRequest(ByteStream &stream,
                    WireErrorCode::VersionMismatch, ex.what());
         return false;
     }
-    // Same version as ours: the rest of the v2 header is on the way.
+    // A compatible version: the rest of the header is on the way.
     if (!stream.recvAll(header + kFrameHeaderPrefixBytes,
                         kFrameHeaderBytes - kFrameHeaderPrefixBytes))
         throw WireError("connection closed mid-header");
-    FrameHeader fh = decodeFrameHeader(header);
+    FrameHeader fh = decodeFrameHeaderUnchecked(header);
     std::vector<std::uint8_t> payload(fh.length);
     if (fh.length > 0 &&
         !stream.recvAll(payload.data(), payload.size()))
@@ -602,6 +625,12 @@ QumaServer::dispatchRequest(ByteStream &stream,
     switch (header.type) {
     case MsgType::SubmitRequest: {
         runtime::JobSpec spec = decodeJobSpec(r);
+        // v4 appends the client's trace context AFTER the spec, so
+        // decodeJobSpec (and with it the journal record format)
+        // stays byte-identical to v3.
+        TraceContext tc;
+        if (state->peerVersion.load(std::memory_order_relaxed) >= 4)
+            tc = decodeTraceContext(r);
         r.expectEnd();
         try {
             std::optional<runtime::JobId> id;
@@ -621,6 +650,11 @@ QumaServer::dispatchRequest(ByteStream &stream,
                     throw ConnectionLost{};
             }
             state->noteSubmitted(*id);
+            // Tie the server-side lifecycle events to the client's
+            // trace, so one merged dump shows both sides. No-op
+            // while tracing is off.
+            if (tc.traceId != 0)
+                service.trace().setTraceId(*id, tc.traceId);
             Writer w;
             w.u64(*id);
             queueFrame(*state, MsgType::SubmitReply, rid, w);
@@ -634,12 +668,18 @@ QumaServer::dispatchRequest(ByteStream &stream,
     }
     case MsgType::TrySubmitRequest: {
         runtime::JobSpec spec = decodeJobSpec(r);
+        TraceContext tc;
+        if (state->peerVersion.load(std::memory_order_relaxed) >= 4)
+            tc = decodeTraceContext(r);
         r.expectEnd();
         try {
             std::optional<runtime::JobId> id =
                 service.trySubmit(std::move(spec));
-            if (id)
+            if (id) {
                 state->noteSubmitted(*id);
+                if (tc.traceId != 0)
+                    service.trace().setTraceId(*id, tc.traceId);
+            }
             Writer w;
             w.boolean(id.has_value());
             w.u64(id.value_or(0));
@@ -700,6 +740,40 @@ QumaServer::dispatchRequest(ByteStream &stream,
             // push finds a closed outbox (or nothing at all) and
             // evaporates without touching the server.
             std::weak_ptr<ConnState> weak = state;
+            if (state->peerVersion.load(std::memory_order_relaxed) >=
+                4) {
+                // v4 peers also get rate-limited progress pushes
+                // under the await's requestId. Best-effort by
+                // contract (an already-finished job simply gets
+                // none), and sealed frames -- not deferred entries
+                // -- because a progress payload is three u64s:
+                // encoding on the notifier thread is cheaper than a
+                // writer-side deferral round trip.
+                service.scheduler().subscribeProgress(
+                    id, [weak, rid](runtime::JobId job,
+                                    std::size_t done,
+                                    std::size_t total) {
+                        std::shared_ptr<ConnState> st = weak.lock();
+                        if (!st)
+                            return;
+                        Writer w;
+                        encodeProgressFrame(
+                            w, ProgressFrameData{job, done, total});
+                        if (st->outbox.push(
+                                {sealFrame(
+                                     MsgType::ProgressFrame, rid, w,
+                                     st->peerVersion.load(
+                                         std::memory_order_relaxed)),
+                                 nullptr, 0}))
+                            st->progressPushed.fetch_add(
+                                1, std::memory_order_relaxed);
+                        else
+                            // Dead or overflowed connection: the
+                            // push evaporated; unwedge its threads
+                            // (idempotent).
+                            st->closeStream();
+                    });
+            }
             service.scheduler().subscribe(
                 id,
                 [weak, rid, id](
@@ -734,6 +808,33 @@ QumaServer::dispatchRequest(ByteStream &stream,
             queueError(*state, rid, WireErrorCode::UnknownJob,
                        ex.what());
         }
+        return true;
+    }
+    case MsgType::ClockSyncRequest: {
+        r.expectEnd();
+        // The clock-alignment handshake: the client brackets this
+        // round trip with its own steady clock and maps the reply
+        // onto the midpoint (docs/observability.md). Answered inline
+        // on the reader, so queueing delay stays out of the sample.
+        Writer w;
+        encodeClockSyncFrame(
+            w, ClockSyncFrame{service.trace().nowNanos()});
+        queueFrame(*state, MsgType::ClockSyncReply, rid, w);
+        return true;
+    }
+    case MsgType::TraceDumpRequest: {
+        r.expectEnd();
+        // On-demand trace dump: raw events (server timebase), the
+        // job->traceId associations, and the drop count. Raw rather
+        // than rendered JSON so the client can clock-shift and merge
+        // with its own spans.
+        TraceDumpFrame dump;
+        dump.events = service.trace().events();
+        dump.traceIds = service.trace().traceIdPairs();
+        dump.dropped = service.trace().dropped();
+        Writer w;
+        encodeTraceDumpFrame(w, dump);
+        queueFrame(*state, MsgType::TraceDumpReply, rid, w);
         return true;
     }
     case MsgType::StatsRequest: {

@@ -43,10 +43,22 @@
  * teardown is deterministic -- no detached thread ever touches a
  * dead server (the pre-v2 detached design could).
  *
- * VERSIONING. A frame claiming a foreign wire version is answered
- * with an ErrorReply{VersionMismatch} carrying requestId 0 (the
+ * VERSIONING. Frames stamped v3 or v4 are both served: the reader
+ * remembers the peer's version per connection, seals every reply at
+ * that version, and withholds the v4-only extras (Submit trace
+ * context, ProgressFrame pushes) from v3 peers. A frame claiming any
+ * other wire version is answered with an
+ * ErrorReply{VersionMismatch} carrying requestId 0 (the
  * connection-level id) and the connection is closed: a legacy v1
  * client fails with a diagnosis instead of hanging.
+ *
+ * PROGRESS STREAMING (v4). An AwaitRequest from a v4 peer also
+ * registers a JobScheduler progress subscription: rate-limited
+ * ProgressFrame pushes (rounds completed / total) ride the same
+ * outbox under the await's requestId, always ahead of the terminal
+ * AwaitReply (the scheduler queues the forced 100% notification
+ * before the completion). Like result pushes, progress pushes hold
+ * the connection weakly and evaporate on a dead connection.
  *
  * ACCOUNTING. Every frame in either direction is metered through a
  * core::LinkMeter, pricing the serving traffic in the same
@@ -115,12 +127,14 @@ class QumaServer
         std::size_t jobsCancelledOnDisconnect = 0;
         /** AwaitReply frames pushed by completion subscriptions. */
         std::size_t resultsStreamed = 0;
+        /** ProgressFrame pushes delivered to v4 peers' outboxes. */
+        std::size_t progressFramesPushed = 0;
         /**
          * Requests by frame type, indexed by the request MsgType
-         * value (1..7); slot 0 counts non-request frame types that
+         * value (1..9); slot 0 counts non-request frame types that
          * reached dispatch.
          */
-        std::array<std::size_t, 8> requestsByType{};
+        std::array<std::size_t, 10> requestsByType{};
         /** Wire traffic (bytesUp = client-to-server requests). */
         core::LinkStats link;
     };
@@ -231,6 +245,20 @@ class QumaServer
          *  stats() reads it without nesting this->mu inside the
          *  server mutex. */
         std::atomic<std::size_t> streamed{0};
+        /** ProgressFrame pushes accepted by this connection's
+         *  outbox (same accounting pattern as `streamed`). */
+        std::atomic<std::size_t> progressPushed{0};
+        /**
+         * The peer's negotiated wire version: stamped from the first
+         * byte-compatible frame prefix the reader accepts (v3 or
+         * v4). Every reply on this connection is sealed at THIS
+         * version, and v4-only extras (trace context in Submit
+         * payloads, ProgressFrame pushes) are gated on >= 4, so a v3
+         * client sees exactly the v3 protocol. Atomic because the
+         * writer thread and scheduler-notifier pushers read it while
+         * the reader updates it.
+         */
+        std::atomic<std::uint16_t> peerVersion{kWireVersion};
         /**
          * Teardown hook for pushers: set by the reader while the
          * connection lives (guarded by mu, cleared before the

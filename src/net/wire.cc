@@ -186,14 +186,14 @@ Reader::expectEnd() const
 
 std::vector<std::uint8_t>
 sealFrame(MsgType type, std::uint64_t request_id,
-          const Writer &payload)
+          const Writer &payload, std::uint16_t version)
 {
     const std::vector<std::uint8_t> &body = payload.bytes();
     if (body.size() > kMaxPayloadBytes)
         throw WireError("payload exceeds the frame size cap");
     Writer header;
     header.u32(kWireMagic);
-    header.u16(kWireVersion);
+    header.u16(version);
     header.u16(static_cast<std::uint16_t>(type));
     header.u32(static_cast<std::uint32_t>(body.size()));
     header.u64(request_id);
@@ -215,6 +215,8 @@ knownMsgType(std::uint16_t t)
     case MsgType::AwaitRequest:
     case MsgType::StatsRequest:
     case MsgType::CancelRequest:
+    case MsgType::ClockSyncRequest:
+    case MsgType::TraceDumpRequest:
     case MsgType::SubmitReply:
     case MsgType::TrySubmitReply:
     case MsgType::StatusReply:
@@ -222,6 +224,9 @@ knownMsgType(std::uint16_t t)
     case MsgType::AwaitReply:
     case MsgType::StatsReply:
     case MsgType::CancelReply:
+    case MsgType::ClockSyncReply:
+    case MsgType::TraceDumpReply:
+    case MsgType::ProgressFrame:
     case MsgType::ErrorReply:
         return true;
     }
@@ -230,29 +235,53 @@ knownMsgType(std::uint16_t t)
 
 } // namespace
 
-void
-checkFramePrefix(const std::uint8_t *prefix)
+namespace {
+
+[[noreturn]] void
+throwVersionError(std::uint16_t version)
+{
+    throw WireVersionError(
+        "unsupported wire version " + std::to_string(version) +
+            " (speaking " + std::to_string(kWireVersion) +
+            (version < kWireVersion
+                 ? "; v2 frames carry a requestId the peer does "
+                   "not send)"
+                 : ")"),
+        version);
+}
+
+std::uint16_t
+readPrefixVersion(const std::uint8_t *prefix)
 {
     Reader r(prefix, kFrameHeaderPrefixBytes);
     std::uint32_t magic = r.u32();
     if (magic != kWireMagic)
         throw WireError("bad frame magic");
-    std::uint16_t version = r.u16();
+    return r.u16();
+}
+
+} // namespace
+
+void
+checkFramePrefix(const std::uint8_t *prefix)
+{
+    std::uint16_t version = readPrefixVersion(prefix);
     if (version != kWireVersion)
-        throw WireVersionError(
-            "unsupported wire version " + std::to_string(version) +
-                " (speaking " + std::to_string(kWireVersion) +
-                (version < kWireVersion
-                     ? "; v2 frames carry a requestId the peer does "
-                       "not send)"
-                     : ")"),
-            version);
+        throwVersionError(version);
+}
+
+std::uint16_t
+checkFramePrefixCompat(const std::uint8_t *prefix)
+{
+    std::uint16_t version = readPrefixVersion(prefix);
+    if (version < kMinCompatWireVersion || version > kWireVersion)
+        throwVersionError(version);
+    return version;
 }
 
 FrameHeader
-decodeFrameHeader(const std::uint8_t *header)
+decodeFrameHeaderUnchecked(const std::uint8_t *header)
 {
-    checkFramePrefix(header);
     Reader r(header + 6, kFrameHeaderBytes - 6);
     std::uint16_t type = r.u16();
     if (!knownMsgType(type))
@@ -264,6 +293,13 @@ decodeFrameHeader(const std::uint8_t *header)
                         " exceeds the size cap");
     std::uint64_t requestId = r.u64();
     return FrameHeader{static_cast<MsgType>(type), length, requestId};
+}
+
+FrameHeader
+decodeFrameHeader(const std::uint8_t *header)
+{
+    checkFramePrefix(header);
+    return decodeFrameHeaderUnchecked(header);
 }
 
 // --- machine configuration --------------------------------------------------
@@ -606,6 +642,116 @@ decodeErrorFrame(Reader &r)
     e.code = static_cast<WireErrorCode>(code);
     e.message = r.str();
     return e;
+}
+
+// --- v4 observability payloads ----------------------------------------------
+
+void
+encodeTraceContext(Writer &w, const TraceContext &ctx)
+{
+    w.u64(ctx.traceId);
+    w.u64(ctx.spanId);
+}
+
+TraceContext
+decodeTraceContext(Reader &r)
+{
+    TraceContext ctx;
+    ctx.traceId = r.u64();
+    ctx.spanId = r.u64();
+    return ctx;
+}
+
+void
+encodeProgressFrame(Writer &w, const ProgressFrameData &p)
+{
+    w.u64(p.job);
+    w.u64(p.roundsDone);
+    w.u64(p.roundsTotal);
+}
+
+ProgressFrameData
+decodeProgressFrame(Reader &r)
+{
+    ProgressFrameData p;
+    p.job = r.u64();
+    p.roundsDone = r.u64();
+    p.roundsTotal = r.u64();
+    if (p.roundsDone > p.roundsTotal)
+        throw WireError("progress frame claims " +
+                        std::to_string(p.roundsDone) + "/" +
+                        std::to_string(p.roundsTotal) + " rounds");
+    return p;
+}
+
+void
+encodeClockSyncFrame(Writer &w, const ClockSyncFrame &c)
+{
+    w.u64(c.serverNanos);
+}
+
+ClockSyncFrame
+decodeClockSyncFrame(Reader &r)
+{
+    ClockSyncFrame c;
+    c.serverNanos = r.u64();
+    return c;
+}
+
+void
+encodeTraceDumpFrame(Writer &w, const TraceDumpFrame &dump)
+{
+    if (dump.events.size() > kMaxPayloadBytes / 21 ||
+        dump.traceIds.size() > kMaxPayloadBytes / 16)
+        throw WireError("trace dump too large for a wire frame");
+    w.u32(static_cast<std::uint32_t>(dump.events.size()));
+    for (const runtime::TraceEvent &e : dump.events) {
+        w.u64(e.job);
+        w.u32(e.shard);
+        w.u8(static_cast<std::uint8_t>(e.phase));
+        w.u64(e.nanos);
+    }
+    w.u32(static_cast<std::uint32_t>(dump.traceIds.size()));
+    for (const auto &[job, traceId] : dump.traceIds) {
+        w.u64(job);
+        w.u64(traceId);
+    }
+    w.u64(dump.dropped);
+}
+
+TraceDumpFrame
+decodeTraceDumpFrame(Reader &r)
+{
+    TraceDumpFrame dump;
+    std::uint32_t nEvents = r.u32();
+    // 21 bytes per serialized event: size-check the claim up front.
+    if (static_cast<std::size_t>(nEvents) * 21 > r.remaining())
+        throw WireError("trace event list larger than its frame");
+    dump.events.reserve(nEvents);
+    for (std::uint32_t i = 0; i < nEvents; ++i) {
+        runtime::TraceEvent e;
+        e.job = r.u64();
+        e.shard = r.u32();
+        std::uint8_t phase = r.u8();
+        if (phase > static_cast<std::uint8_t>(
+                        runtime::TracePhase::ResultPushed))
+            throw WireError("unknown trace phase " +
+                            std::to_string(phase));
+        e.phase = static_cast<runtime::TracePhase>(phase);
+        e.nanos = r.u64();
+        dump.events.push_back(e);
+    }
+    std::uint32_t nIds = r.u32();
+    if (static_cast<std::size_t>(nIds) * 16 > r.remaining())
+        throw WireError("trace id list larger than its frame");
+    dump.traceIds.reserve(nIds);
+    for (std::uint32_t i = 0; i < nIds; ++i) {
+        runtime::JobId job = r.u64();
+        std::uint64_t traceId = r.u64();
+        dump.traceIds.emplace_back(job, traceId);
+    }
+    dump.dropped = r.u64();
+    return dump;
 }
 
 } // namespace quma::net

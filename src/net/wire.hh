@@ -52,6 +52,7 @@
 #include "runtime/job.hh"
 #include "runtime/machine_pool.hh"
 #include "runtime/scheduler.hh"
+#include "runtime/trace.hh"
 
 namespace quma::net {
 
@@ -92,8 +93,20 @@ inline constexpr std::uint32_t kWireMagic = 0x414D7551u;
  *     completion-pushed Await replies).
  * v3: StatsFrame carries program/LUT-cache stats and the pool's
  *     machine-reset count (header layout unchanged from v2).
+ * v4: Submit/TrySubmit payloads append a trace context
+ *     (traceId + spanId), new ClockSync and TraceDump exchanges,
+ *     and server-pushed ProgressFrames on awaited jobs (header
+ *     layout unchanged from v2). Servers still serve v3 peers --
+ *     see kMinCompatWireVersion.
  */
-inline constexpr std::uint16_t kWireVersion = 3;
+inline constexpr std::uint16_t kWireVersion = 4;
+/**
+ * Oldest peer version a server still serves (per connection): a v3
+ * client gets v3-stamped replies, no trace context is read from its
+ * Submit frames, and no progress frames are pushed at it. Anything
+ * older gets the usual VersionMismatch error frame.
+ */
+inline constexpr std::uint16_t kMinCompatWireVersion = 3;
 /** Hard per-frame payload cap; larger lengths are rejected. */
 inline constexpr std::uint32_t kMaxPayloadBytes = 64u << 20;
 /** Serialized frame header size in bytes (v2+: requestId included). */
@@ -131,7 +144,10 @@ inline constexpr std::uint64_t kMaxWireRoundBins = 1ull << 26;
 /**
  * Frame types. Requests occupy [1, 63], replies [64, 126]; 127 is
  * the error reply. A reply's type is its request's type + 64, which
- * clients use to reject mismatched responses.
+ * clients use to reject mismatched responses. ProgressFrame (v4)
+ * sits in the reply range but answers no request 1:1: the server
+ * pushes any number of them under an AwaitRequest's id before the
+ * terminal AwaitReply.
  */
 enum class MsgType : std::uint16_t
 {
@@ -142,6 +158,8 @@ enum class MsgType : std::uint16_t
     AwaitRequest = 5,
     StatsRequest = 6,
     CancelRequest = 7,
+    ClockSyncRequest = 8,
+    TraceDumpRequest = 9,
 
     SubmitReply = 65,
     TrySubmitReply = 66,
@@ -150,6 +168,11 @@ enum class MsgType : std::uint16_t
     AwaitReply = 69,
     StatsReply = 70,
     CancelReply = 71,
+    ClockSyncReply = 72,
+    TraceDumpReply = 73,
+
+    /** Server-push: shard progress for an awaited job (v4). */
+    ProgressFrame = 80,
 
     ErrorReply = 127,
 };
@@ -241,10 +264,17 @@ struct FrameHeader
     std::uint64_t requestId = kConnectionRequestId;
 };
 
-/** Serialize a complete frame (header + payload). */
+/**
+ * Serialize a complete frame (header + payload). `version` is the
+ * version stamped into the header: a server answering a v3 peer
+ * seals its replies at the peer's version (the v3 client's strict
+ * header check would reject a v4 stamp). The header LAYOUT is
+ * identical for every version >= 2, so only the stamp varies.
+ */
 std::vector<std::uint8_t> sealFrame(MsgType type,
                                     std::uint64_t request_id,
-                                    const Writer &payload);
+                                    const Writer &payload,
+                                    std::uint16_t version = kWireVersion);
 
 /**
  * Validate the version-independent prefix (kFrameHeaderPrefixBytes):
@@ -255,12 +285,28 @@ std::vector<std::uint8_t> sealFrame(MsgType type,
 void checkFramePrefix(const std::uint8_t *prefix);
 
 /**
+ * The serving side's prefix check: accepts any version in
+ * [kMinCompatWireVersion, kWireVersion] and RETURNS the peer's
+ * version so the connection can adapt (reply stamps, optional v4
+ * fields). Throws like checkFramePrefix outside that window.
+ */
+std::uint16_t checkFramePrefixCompat(const std::uint8_t *prefix);
+
+/**
  * Validate and decode the kFrameHeaderBytes header bytes; throws
  * WireError on bad magic, unknown type or oversized length, and
  * WireVersionError on a foreign version (so the caller can answer
  * the legacy peer before hanging up).
  */
 FrameHeader decodeFrameHeader(const std::uint8_t *header);
+
+/**
+ * Decode type/length/requestId from a header whose prefix was
+ * already validated by checkFramePrefixCompat -- the serving path
+ * for connections that may legitimately speak an older (compatible)
+ * version than kWireVersion.
+ */
+FrameHeader decodeFrameHeaderUnchecked(const std::uint8_t *header);
 
 /** Error frame payload. */
 struct ErrorFrame
@@ -277,6 +323,59 @@ struct StatsFrame
     /** Program/LUT cache counters (v3). */
     runtime::ProgramCache::Stats cache;
     std::size_t effectiveQueueCapacity = 0;
+};
+
+/**
+ * Trace context a v4 client appends to every Submit/TrySubmit
+ * payload: traceId names the whole client session (every job of one
+ * sweep shares it), spanId names this request (the client uses its
+ * requestId). The server records the job's lifecycle under this
+ * trace, which is what lets the client merge both sides into one
+ * trace-event file. All-zero means "no trace" and is legal.
+ */
+struct TraceContext
+{
+    std::uint64_t traceId = 0;
+    std::uint64_t spanId = 0;
+};
+
+/**
+ * Server-pushed shard progress for an awaited job (v4): rounds the
+ * scheduler has completed out of the spec's total, across every
+ * shard including stolen ranges. Monotonic per job; the terminal
+ * AwaitReply -- not a 100% frame -- is the completion signal.
+ */
+struct ProgressFrameData
+{
+    runtime::JobId job = 0;
+    std::uint64_t roundsDone = 0;
+    std::uint64_t roundsTotal = 0;
+};
+
+/**
+ * Clock-sync reply payload (v4): the server's trace clock "now"
+ * (JobTraceRecorder::nowNanos) sampled while serving the request.
+ * The client brackets the round trip with its own clock and derives
+ * the offset that maps server trace timestamps into its timebase
+ * (see docs/observability.md, "clock alignment").
+ */
+struct ClockSyncFrame
+{
+    std::uint64_t serverNanos = 0;
+};
+
+/**
+ * Trace-dump reply payload (v4): the server's buffered lifecycle
+ * events plus the job -> traceId associations, in the server's
+ * timebase. Raw events rather than rendered JSON so the client can
+ * clock-shift and merge without parsing.
+ */
+struct TraceDumpFrame
+{
+    std::vector<runtime::TraceEvent> events;
+    std::vector<std::pair<runtime::JobId, std::uint64_t>> traceIds;
+    /** Events lost to the bounded server buffer. */
+    std::uint64_t dropped = 0;
 };
 
 // --- message payload codecs -------------------------------------------------
@@ -301,6 +400,18 @@ StatsFrame decodeStatsFrame(Reader &r);
 
 void encodeErrorFrame(Writer &w, const ErrorFrame &error);
 ErrorFrame decodeErrorFrame(Reader &r);
+
+void encodeTraceContext(Writer &w, const TraceContext &ctx);
+TraceContext decodeTraceContext(Reader &r);
+
+void encodeProgressFrame(Writer &w, const ProgressFrameData &p);
+ProgressFrameData decodeProgressFrame(Reader &r);
+
+void encodeClockSyncFrame(Writer &w, const ClockSyncFrame &c);
+ClockSyncFrame decodeClockSyncFrame(Reader &r);
+
+void encodeTraceDumpFrame(Writer &w, const TraceDumpFrame &dump);
+TraceDumpFrame decodeTraceDumpFrame(Reader &r);
 
 void encodeMachineConfig(Writer &w, const core::MachineConfig &mc);
 core::MachineConfig decodeMachineConfig(Reader &r);

@@ -6,6 +6,7 @@
 
 #include <array>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <fstream>
 #include <unordered_map>
@@ -421,6 +422,17 @@ JobJournal::bindMetrics(metrics::MetricsRegistry &registry)
         {}, [this] {
             return static_cast<double>(stats().appendErrors);
         });
+    registry.gaugeFn("quma_journal_queue_depth",
+                     "Records queued for the journal writer thread.",
+                     {}, [this] {
+                         std::lock_guard<std::mutex> lock(mu);
+                         return static_cast<double>(pending.size());
+                     });
+    fsyncLatency = registry.histogram(
+        "quma_journal_fsync_seconds",
+        "Journal fsync() latency (the durability gate of "
+        "FsyncPolicy::Always submissions).",
+        metrics::latencyBucketsSeconds());
 }
 
 void
@@ -472,10 +484,15 @@ JobJournal::writerLoop()
             (cfg.fsync != FsyncPolicy::None || someone_waiting);
         bool did_fsync = false;
         if (want_fsync) {
+            const auto t0 = std::chrono::steady_clock::now();
             if (::fsync(fd) == 0)
                 did_fsync = true;
             else
                 io_error = true;
+            fsyncLatency.observe(
+                std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count());
         }
 
         {

@@ -283,6 +283,10 @@ class JobJournal
     std::uint64_t durableSeq = 0;
     bool closed = false;
     JournalStats counters;
+    /** Bound by bindMetrics (quma_journal_fsync_seconds); the
+     *  default-constructed histogram is a no-op, so the writer can
+     *  observe unconditionally. */
+    metrics::Histogram fsyncLatency;
     std::thread writer;
 };
 

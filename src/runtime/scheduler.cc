@@ -120,13 +120,69 @@ JobScheduler::subscribe(JobId id, CompletionCallback callback)
             e.jobStatus == JobStatus::Failed) {
             // Already finished: deliver through the same notifier
             // thread so the ordering contract holds either way.
-            notifyQueue.push_back(
-                {id, std::make_shared<const JobResult>(e.result),
-                 std::move(callback)});
+            Notification n;
+            n.id = id;
+            n.result = std::make_shared<const JobResult>(e.result);
+            n.callback = std::move(callback);
+            notifyQueue.push_back(std::move(n));
         } else {
             subscriptions[id].push_back(std::move(callback));
             return;
         }
+    }
+    cvNotify.notify_all();
+}
+
+void
+JobScheduler::subscribeProgress(JobId id, ProgressCallback callback)
+{
+    if (!callback)
+        fatal("subscribeProgress needs a callback");
+    std::lock_guard<std::mutex> lock(mu);
+    auto it = entries.find(id);
+    // Best-effort by design: an id that aged out of retention, or a
+    // job that already finished, simply never notifies -- its
+    // completion push (or UnknownJob error) is the remaining signal.
+    if (it == entries.end())
+        return;
+    const Entry &e = it->second;
+    if (e.jobStatus == JobStatus::Done ||
+        e.jobStatus == JobStatus::Failed)
+        return;
+    progressSubs[id].push_back(std::move(callback));
+    progressSubCount.fetch_add(1, std::memory_order_relaxed);
+}
+
+void
+JobScheduler::noteRoundsDoneLocked(JobId id, Entry &entry,
+                                   std::size_t rounds)
+{
+    entry.roundsDone += rounds;
+    if (progressSubCount.load(std::memory_order_relaxed) > 0)
+        queueProgressLocked(id, entry, /*force=*/false);
+}
+
+void
+JobScheduler::queueProgressLocked(JobId id, Entry &entry, bool force)
+{
+    auto it = progressSubs.find(id);
+    if (it == progressSubs.end() || !entry.spec)
+        return;
+    auto now = std::chrono::steady_clock::now();
+    if (!force &&
+        entry.lastProgressAt !=
+            std::chrono::steady_clock::time_point{} &&
+        now - entry.lastProgressAt < cfg.progressInterval)
+        return;
+    entry.lastProgressAt = now;
+    for (const ProgressCallback &cb : it->second) {
+        Notification n;
+        n.id = id;
+        n.progress = cb;
+        n.roundsDone = entry.roundsDone;
+        n.roundsTotal = entry.spec->rounds;
+        notifyQueue.push_back(std::move(n));
+        ++counters.progressNotifications;
     }
     cvNotify.notify_all();
 }
@@ -142,8 +198,13 @@ JobScheduler::queueNotificationsLocked(JobId id,
     // job; the copy (not the entry) is what the notifier hands out,
     // so bounded retention may evict the entry meanwhile.
     auto shared = std::make_shared<const JobResult>(result);
-    for (CompletionCallback &cb : it->second)
-        notifyQueue.push_back({id, shared, std::move(cb)});
+    for (CompletionCallback &cb : it->second) {
+        Notification n;
+        n.id = id;
+        n.result = shared;
+        n.callback = std::move(cb);
+        notifyQueue.push_back(std::move(n));
+    }
     subscriptions.erase(it);
     cvNotify.notify_all();
 }
@@ -163,13 +224,22 @@ JobScheduler::notifierLoop()
         lock.unlock();
         // Outside the mutex: the callback may call back into the
         // scheduler (poll, stats, even subscribe) without deadlock.
-        try {
-            n.callback(n.id, n.result);
-        } catch (const std::exception &ex) {
-            warn("completion callback for job ", n.id,
-                 " threw: ", ex.what());
+        if (n.progress) {
+            try {
+                n.progress(n.id, n.roundsDone, n.roundsTotal);
+            } catch (const std::exception &ex) {
+                warn("progress callback for job ", n.id,
+                     " threw: ", ex.what());
+            }
+        } else {
+            try {
+                n.callback(n.id, n.result);
+            } catch (const std::exception &ex) {
+                warn("completion callback for job ", n.id,
+                     " threw: ", ex.what());
+            }
+            traceRecord(n.id, TracePhase::ResultPushed);
         }
-        traceRecord(n.id, TracePhase::ResultPushed);
         lock.lock();
     }
 }
@@ -638,6 +708,14 @@ JobScheduler::finishLocked(JobId id, JobResult &&result,
     if (record_latency)
         noteLatencyLocked(e);
     bool failed = result.failed();
+    // Final progress push, unthrottled and ahead of the completion
+    // notification in the FIFO notifier queue: subscribers always see
+    // done == total before the result lands. A non-sharded job (one
+    // machine run, no per-round loop) reports exactly this one frame.
+    if (!failed && e.spec) {
+        e.roundsDone = e.spec->rounds;
+        queueProgressLocked(id, e, /*force=*/true);
+    }
     e.result = std::move(result);
     e.jobStatus = failed ? JobStatus::Failed : JobStatus::Done;
     // Free the program/source copies and any shard bookkeeping.
@@ -654,6 +732,15 @@ JobScheduler::finishLocked(JobId id, JobResult &&result,
         ms.completed.inc();
     }
     traceRecord(id, TracePhase::Finished);
+    // A finished job's progress subscriptions end here; the queued
+    // progress notifications (including the forced 100% one) are
+    // already ahead of the completion push in the notifier queue.
+    auto ps = progressSubs.find(id);
+    if (ps != progressSubs.end()) {
+        progressSubCount.fetch_sub(ps->second.size(),
+                                   std::memory_order_relaxed);
+        progressSubs.erase(ps);
+    }
     // Push the result to completion subscribers (the notifier thread
     // delivers outside the mutex). Before the retention loop below:
     // it may evict this very entry.
@@ -694,7 +781,7 @@ JobScheduler::deliverShardLocked(JobId id, std::uint32_t shard,
     e.partials[shard] = std::move(partial);
     quma_assert(e.shardsRemaining > 0, "shard delivered twice");
     if (--e.shardsRemaining == 0)
-        mergeShardsLocked(id);
+        mergeShardsLocked(id); // finishLocked forces the 100% push
 }
 
 /**
@@ -838,6 +925,15 @@ JobScheduler::runShard(const JobSpec &spec, core::QumaMachine &machine,
         }
 
         bool first = true;
+        // The previous iteration's round is counted as DONE under
+        // the next claim's mutex hold (the loop re-enters it even to
+        // discover the shard is exhausted), so the progress counter
+        // rides the lock the stealing mode already takes. The
+        // non-stealing loop is lock-free per round: it accumulates
+        // locally and only takes the mutex while subscribers exist
+        // (or once at the end, to reconcile the job counter).
+        bool countPrev = false;
+        std::size_t uncountedRounds = 0;
         for (;;) {
             std::size_t r;
             if (cfg.workSteal) {
@@ -851,6 +947,10 @@ JobScheduler::runShard(const JobSpec &spec, core::QumaMachine &machine,
                 if (it == entries.end())
                     break;
                 Entry &e = it->second;
+                if (countPrev) {
+                    noteRoundsDoneLocked(id, e);
+                    countPrev = false;
+                }
                 if (shard >= e.progress.size())
                     break; // job already finished/failed
                 ShardProgress &pr = e.progress[shard];
@@ -895,6 +995,29 @@ JobScheduler::runShard(const JobSpec &spec, core::QumaMachine &machine,
             auto st = machine.stats();
             sample.absorb(st, machineSaturated(st));
             p.range.end = r + 1;
+            if (cfg.workSteal) {
+                countPrev = true;
+            } else {
+                ++uncountedRounds;
+                if (progressSubCount.load(
+                        std::memory_order_relaxed) > 0) {
+                    std::lock_guard<std::mutex> note(mu);
+                    auto it = entries.find(id);
+                    if (it != entries.end()) {
+                        noteRoundsDoneLocked(id, it->second,
+                                             uncountedRounds);
+                        uncountedRounds = 0;
+                    }
+                }
+            }
+        }
+        if (uncountedRounds > 0) {
+            // Rounds completed while nobody listened still count:
+            // the final forced push at finish reports the truth.
+            std::lock_guard<std::mutex> note(mu);
+            auto it = entries.find(id);
+            if (it != entries.end())
+                it->second.roundsDone += uncountedRounds;
         }
     } catch (const std::exception &ex) {
         p = ShardPartial{};

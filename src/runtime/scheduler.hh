@@ -169,6 +169,15 @@ struct SchedulerConfig
      * keeps one and the thief always gets one).
      */
     std::size_t minStealRounds = 4;
+    /**
+     * Minimum spacing between progress notifications per job (see
+     * subscribeProgress). The first completed round after a
+     * subscription notifies immediately; later rounds are coalesced
+     * to at most one notification per interval, plus a final
+     * unthrottled one when the job's last round completes. Zero
+     * notifies on every completed round (tests).
+     */
+    std::chrono::milliseconds progressInterval{50};
 };
 
 class JobScheduler
@@ -216,6 +225,9 @@ class JobScheduler
         std::size_t staleEventDrops = 0;
         /** trySubmit rejections below the hard bound (admission). */
         std::size_t admissionSoftRejects = 0;
+        /** Progress notifications queued to subscribers (not
+         *  serialized into StatsFrame; a serving-side observable). */
+        std::size_t progressNotifications = 0;
         /** Saturation EWMA at the time of the snapshot. */
         double machineSaturation = 0.0;
         /** Pool-acquisition wait EWMA (seconds) at the snapshot. */
@@ -307,6 +319,31 @@ class JobScheduler
      */
     void subscribe(JobId id, CompletionCallback callback);
 
+    /**
+     * Repeating progress callback: (job, roundsDone, roundsTotal)
+     * snapshots taken under the scheduler mutex, so successive
+     * deliveries for one job are monotonically non-decreasing --
+     * work stealing moves unclaimed rounds between shards but never
+     * un-completes one. roundsTotal is the spec's round count.
+     */
+    using ProgressCallback =
+        std::function<void(JobId, std::size_t, std::size_t)>;
+
+    /**
+     * Register `callback` for round-completion progress on a
+     * round-structured job, rate-limited by
+     * SchedulerConfig::progressInterval. Unlike subscribe() this is
+     * BEST-EFFORT and not one-shot: callbacks fire zero or more
+     * times (an opaque or already-finished job never notifies; the
+     * completion push, not a 100% notification, is the terminal
+     * signal) and ride the same notifier thread in queue order --
+     * every progress notification for a job is delivered before its
+     * completion notification. Unknown ids are ignored rather than
+     * fatal: the serving layer subscribes in a race with bounded
+     * retention. Subscriptions end with the job.
+     */
+    void subscribeProgress(JobId id, ProgressCallback callback);
+
     Stats stats() const;
 
     /**
@@ -393,6 +430,15 @@ class JobScheduler
         /** Parallel to shardRanges (work-stealing claim state). */
         std::vector<ShardProgress> progress;
         std::size_t shardsRemaining = 0;
+        /** Rounds completed across every shard, stolen ranges
+         *  included -- the per-shard claim windows cannot serve
+         *  here because delivery zeroes them. Mutated under mu
+         *  only, so progress snapshots are monotonic per job. */
+        std::size_t roundsDone = 0;
+        /** Last progress-notification instant (rate limiting);
+         *  epoch = never notified, so the first round after a
+         *  subscription notifies immediately. */
+        std::chrono::steady_clock::time_point lastProgressAt{};
     };
 
     /** One queued unit of work: a whole opaque job or one shard. */
@@ -402,14 +448,19 @@ class JobScheduler
         std::uint32_t shard = 0;
     };
 
-    /** One queued completion push: the callback plus a private copy
-     *  of the result (retention may evict the entry before the
-     *  notifier thread gets to it). */
+    /** One queued completion OR progress push: a completion carries
+     *  the callback plus a private copy of the result (retention may
+     *  evict the entry before the notifier thread gets to it); a
+     *  progress push carries the progress callback and a
+     *  (roundsDone, roundsTotal) snapshot instead. */
     struct Notification
     {
         JobId id = 0;
         std::shared_ptr<const JobResult> result;
         CompletionCallback callback;
+        ProgressCallback progress;
+        std::size_t roundsDone = 0;
+        std::size_t roundsTotal = 0;
     };
 
     /** Machine-sampled signals aggregated over one task's runs. */
@@ -434,6 +485,12 @@ class JobScheduler
     void notifierLoop();
     /** Move the job's subscriptions into the notifier queue. */
     void queueNotificationsLocked(JobId id, const JobResult &result);
+    /** Count completed rounds and maybe queue progress pushes. */
+    void noteRoundsDoneLocked(JobId id, Entry &entry,
+                              std::size_t rounds = 1);
+    /** Queue a progress snapshot for every subscriber (rate-limited
+     *  unless `force` -- the final 100% push is forced). */
+    void queueProgressLocked(JobId id, Entry &entry, bool force);
     JobResult runJob(const JobSpec &spec, core::QumaMachine &machine,
                      RunSample &sample);
     ShardPartial runShard(const JobSpec &spec,
@@ -530,6 +587,13 @@ class JobScheduler
     /** Completion subscriptions still waiting for their job. */
     std::unordered_map<JobId, std::vector<CompletionCallback>>
         subscriptions;
+    /** Progress subscriptions of still-running jobs (NOT one-shot;
+     *  erased when the job finishes). */
+    std::unordered_map<JobId, std::vector<ProgressCallback>>
+        progressSubs;
+    /** Live progress-subscription count: lets the non-stealing
+     *  round loop skip the mutex entirely when nobody listens. */
+    std::atomic<std::size_t> progressSubCount{0};
     /** Fired-but-undelivered notifications, completion order. */
     std::deque<Notification> notifyQueue;
     std::condition_variable cvNotify;

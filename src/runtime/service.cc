@@ -57,6 +57,7 @@ schedulerConfigOf(const ServiceConfig &cfg, JobTraceRecorder *trace)
     sc.poolWaitAlpha = cfg.poolWaitAlpha;
     sc.workSteal = cfg.workSteal;
     sc.minStealRounds = cfg.minStealRounds;
+    sc.progressInterval = cfg.progressInterval;
     sc.finishedHistoryLimit = cfg.finishedHistoryLimit;
     return sc;
 }

@@ -55,6 +55,9 @@ struct ServiceConfig
     /** Work stealing between shards (see SchedulerConfig). */
     bool workSteal = true;
     std::size_t minStealRounds = 4;
+    /** Per-job progress-notification rate limit (see
+     *  SchedulerConfig::progressInterval; 0 = every round). */
+    std::chrono::milliseconds progressInterval{50};
     /** Completion-order ring kept by finishedIds(). */
     std::size_t finishedHistoryLimit = 1024;
     /** Job-lifecycle trace buffer bound (events, not jobs). */

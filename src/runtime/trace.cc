@@ -56,6 +56,43 @@ JobTraceRecorder::record(JobId job, TracePhase phase,
     buf.push_back({job, shard, phase, nanos});
 }
 
+void
+JobTraceRecorder::setTraceId(JobId job, std::uint64_t traceId)
+{
+    if (!enabled() || traceId == 0)
+        return;
+    std::lock_guard<std::mutex> lock(mu);
+    // Bounded like the event buffer: an association for a job whose
+    // events were all dropped would never be rendered anyway.
+    if (traceIds.size() >= cap && !traceIds.count(job))
+        return;
+    traceIds[job] = traceId;
+}
+
+std::uint64_t
+JobTraceRecorder::traceIdOf(JobId job) const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    auto it = traceIds.find(job);
+    return it == traceIds.end() ? 0 : it->second;
+}
+
+std::vector<std::pair<JobId, std::uint64_t>>
+JobTraceRecorder::traceIdPairs() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    return {traceIds.begin(), traceIds.end()};
+}
+
+std::uint64_t
+JobTraceRecorder::nowNanos() const
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - epoch)
+            .count());
+}
+
 std::vector<TraceEvent>
 JobTraceRecorder::events() const
 {
@@ -82,18 +119,50 @@ JobTraceRecorder::clear()
 {
     std::lock_guard<std::mutex> lock(mu);
     buf.clear();
+    traceIds.clear();
     droppedCount = 0;
 }
 
 std::string
 JobTraceRecorder::chromeTraceJson() const
 {
-    std::vector<TraceEvent> snapshot = events();
+    std::vector<TraceEvent> snapshot;
+    std::unordered_map<JobId, std::uint64_t> ids;
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        snapshot = buf;
+        ids = traceIds;
+    }
+    return "{\"traceEvents\":[" +
+           renderChromeEvents(snapshot, ids, 0, 1) + "]}";
+}
 
-    std::string out = "{\"traceEvents\":[";
+std::string
+renderChromeEvents(
+    const std::vector<TraceEvent> &events,
+    const std::unordered_map<JobId, std::uint64_t> &traceIds,
+    std::int64_t shift_nanos, int pid)
+{
+    std::string out;
     bool first = true;
-    char line[256];
+    char line[384];
+    char trace[40];
 
+    // The optional ,"traceId":"..." args suffix for a job.
+    auto traceArg = [&traceIds, &trace](JobId job) -> const char * {
+        auto it = traceIds.find(job);
+        if (it == traceIds.end() || it->second == 0)
+            return "";
+        std::snprintf(trace, sizeof trace,
+                      ",\"traceId\":\"%016llx\"",
+                      static_cast<unsigned long long>(it->second));
+        return trace;
+    };
+    auto usOf = [shift_nanos](std::uint64_t nanos) {
+        return static_cast<double>(static_cast<std::int64_t>(nanos) +
+                                   shift_nanos) /
+               1e3;
+    };
     auto emit = [&out, &first](const char *text) {
         if (!first)
             out += ',';
@@ -106,8 +175,7 @@ JobTraceRecorder::chromeTraceJson() const
     // instant events below.
     std::map<std::pair<JobId, std::uint32_t>, std::uint64_t> open;
 
-    for (const TraceEvent &e : snapshot) {
-        double us = static_cast<double>(e.nanos) / 1e3;
+    for (const TraceEvent &e : events) {
         if (e.phase == TracePhase::ShardStart) {
             open[{e.job, e.shard}] = e.nanos;
             continue;
@@ -115,18 +183,17 @@ JobTraceRecorder::chromeTraceJson() const
         if (e.phase == TracePhase::ShardFinish) {
             auto it = open.find({e.job, e.shard});
             if (it != open.end()) {
-                double beginUs = static_cast<double>(it->second) / 1e3;
                 double durUs =
                     static_cast<double>(e.nanos - it->second) / 1e3;
                 std::snprintf(line, sizeof line,
                               "{\"name\":\"shard %u\",\"ph\":\"X\","
-                              "\"ts\":%.3f,\"dur\":%.3f,\"pid\":1,"
+                              "\"ts\":%.3f,\"dur\":%.3f,\"pid\":%d,"
                               "\"tid\":%llu,\"args\":{\"job\":%llu,"
-                              "\"shard\":%u}}",
-                              e.shard, beginUs, durUs,
+                              "\"shard\":%u%s}}",
+                              e.shard, usOf(it->second), durUs, pid,
                               static_cast<unsigned long long>(e.job),
                               static_cast<unsigned long long>(e.job),
-                              e.shard);
+                              e.shard, traceArg(e.job));
                 emit(line);
                 open.erase(it);
                 continue;
@@ -134,11 +201,12 @@ JobTraceRecorder::chromeTraceJson() const
         }
         std::snprintf(line, sizeof line,
                       "{\"name\":\"%s\",\"ph\":\"i\",\"ts\":%.3f,"
-                      "\"pid\":1,\"tid\":%llu,\"s\":\"t\","
-                      "\"args\":{\"job\":%llu,\"shard\":%u}}",
-                      tracePhaseName(e.phase), us,
+                      "\"pid\":%d,\"tid\":%llu,\"s\":\"t\","
+                      "\"args\":{\"job\":%llu,\"shard\":%u%s}}",
+                      tracePhaseName(e.phase), usOf(e.nanos), pid,
                       static_cast<unsigned long long>(e.job),
-                      static_cast<unsigned long long>(e.job), e.shard);
+                      static_cast<unsigned long long>(e.job), e.shard,
+                      traceArg(e.job));
         emit(line);
     }
 
@@ -147,16 +215,15 @@ JobTraceRecorder::chromeTraceJson() const
     for (const auto &[key, nanos] : open) {
         std::snprintf(line, sizeof line,
                       "{\"name\":\"shard %u (running)\",\"ph\":\"i\","
-                      "\"ts\":%.3f,\"pid\":1,\"tid\":%llu,\"s\":\"t\","
-                      "\"args\":{\"job\":%llu,\"shard\":%u}}",
-                      key.second, static_cast<double>(nanos) / 1e3,
+                      "\"ts\":%.3f,\"pid\":%d,\"tid\":%llu,\"s\":\"t\","
+                      "\"args\":{\"job\":%llu,\"shard\":%u%s}}",
+                      key.second, usOf(nanos), pid,
                       static_cast<unsigned long long>(key.first),
                       static_cast<unsigned long long>(key.first),
-                      key.second);
+                      key.second, traceArg(key.first));
         emit(line);
     }
 
-    out += "]}";
     return out;
 }
 

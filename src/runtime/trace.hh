@@ -35,6 +35,8 @@
 #include <cstdint>
 #include <mutex>
 #include <string>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "runtime/job.hh"
@@ -99,6 +101,25 @@ class JobTraceRecorder
     /** Append one event (no-op while disabled; bounded). */
     void record(JobId job, TracePhase phase, std::uint32_t shard = 0);
 
+    /**
+     * Associate a job with a client-provided distributed traceId
+     * (0 = none; no-op while disabled, bounded like the buffer).
+     * Events need no per-event copy: the dump joins on job id.
+     */
+    void setTraceId(JobId job, std::uint64_t traceId);
+    /** The job's distributed traceId, or 0 when none was recorded. */
+    std::uint64_t traceIdOf(JobId job) const;
+    /** Snapshot of every job -> traceId association. */
+    std::vector<std::pair<JobId, std::uint64_t>> traceIdPairs() const;
+
+    /**
+     * "Now" on the recorder's trace clock: steady-clock nanoseconds
+     * since the epoch, the timebase of every buffered event. What
+     * the wire ClockSync exchange samples so a remote client can
+     * shift this recorder's timestamps into its own trace clock.
+     */
+    std::uint64_t nowNanos() const;
+
     /** Snapshot of the captured events, in record order. */
     std::vector<TraceEvent> events() const;
     std::size_t eventCount() const;
@@ -121,8 +142,24 @@ class JobTraceRecorder
     const std::chrono::steady_clock::time_point epoch;
     mutable std::mutex mu;
     std::vector<TraceEvent> buf;
+    std::unordered_map<JobId, std::uint64_t> traceIds;
     std::size_t droppedCount = 0;
 };
+
+/**
+ * Render trace events as the comma-joined bodies of a Chrome
+ * trace-event array (no envelope): ShardStart/ShardFinish pairs as
+ * "X" slices, the rest as instants. `traceIds` annotates each job's
+ * args with its distributed traceId (jobs absent from the map get
+ * none); `shift_nanos` is added to every timestamp, which is how a
+ * client folds a server dump into its own trace clock; `pid` keys
+ * the Perfetto process track ("server" and "client" halves of a
+ * merged trace use different pids). Returns "" for no events.
+ */
+std::string renderChromeEvents(
+    const std::vector<TraceEvent> &events,
+    const std::unordered_map<JobId, std::uint64_t> &traceIds,
+    std::int64_t shift_nanos, int pid);
 
 } // namespace quma::runtime
 

@@ -10,6 +10,7 @@
 #include <gtest/gtest.h>
 
 #include <sstream>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -371,6 +372,116 @@ TEST(MetricsEndpoint, ServesScrapesSerially)
                   std::string::npos);
     }
     EXPECT_EQ(endpoint.scrapesServed(), 3u);
+}
+
+TEST(MetricsEndpoint, NotFoundBodyAndLengthAreExact)
+{
+    // Regression pin: the 404 carries its hint body with an exact
+    // Content-Length and an explicit Connection: close.
+    metrics::MetricsRegistry reg;
+    auto listener = std::make_unique<net::LoopbackListener>();
+    net::LoopbackListener *lp = listener.get();
+    net::MetricsEndpoint endpoint(reg, std::move(listener));
+    std::string response =
+        httpExchange(*lp, "GET /nosuch HTTP/1.0\r\n\r\n");
+    EXPECT_NE(response.find("HTTP/1.0 404 Not Found\r\n"),
+              std::string::npos);
+    EXPECT_NE(response.find("Connection: close\r\n"),
+              std::string::npos);
+    std::size_t split = response.find("\r\n\r\n");
+    ASSERT_NE(split, std::string::npos);
+    EXPECT_EQ(response.substr(split + 4), "try GET /metrics\n");
+    EXPECT_NE(response.find("Content-Length: 17\r\n"),
+              std::string::npos);
+}
+
+TEST(MetricsEndpoint, HeadAnswersHeadersOnly)
+{
+    metrics::MetricsRegistry reg;
+    reg.counter("quma_head_total", "help").inc(3);
+    auto listener = std::make_unique<net::LoopbackListener>();
+    net::LoopbackListener *lp = listener.get();
+    net::MetricsEndpoint endpoint(reg, std::move(listener));
+
+    // The GET body's size is what HEAD must state...
+    std::string get =
+        httpExchange(*lp, "GET /metrics HTTP/1.0\r\n\r\n");
+    std::size_t split = get.find("\r\n\r\n");
+    ASSERT_NE(split, std::string::npos);
+    const std::string body = get.substr(split + 4);
+
+    // ...while sending zero body bytes itself.
+    std::string head =
+        httpExchange(*lp, "HEAD /metrics HTTP/1.0\r\n\r\n");
+    EXPECT_NE(head.find("HTTP/1.0 200 OK\r\n"), std::string::npos);
+    EXPECT_NE(head.find("Content-Length: " +
+                        std::to_string(body.size()) + "\r\n"),
+              std::string::npos);
+    split = head.find("\r\n\r\n");
+    ASSERT_NE(split, std::string::npos);
+    EXPECT_EQ(head.substr(split + 4), "");
+    // HEAD routes like GET: both counted as served scrapes.
+    EXPECT_EQ(endpoint.scrapesServed(), 2u);
+}
+
+TEST(MetricsEndpoint, RegisteredHandlerServesItsPath)
+{
+    metrics::MetricsRegistry reg;
+    auto listener = std::make_unique<net::LoopbackListener>();
+    net::LoopbackListener *lp = listener.get();
+    net::MetricsEndpoint endpoint(reg, std::move(listener));
+    int renders = 0;
+    endpoint.addHandler("/healthz", "application/json",
+                        [&renders] {
+                            ++renders;
+                            return std::string(
+                                "{\"status\":\"ok\"}\n");
+                        });
+
+    std::string response =
+        httpExchange(*lp, "GET /healthz HTTP/1.0\r\n\r\n");
+    EXPECT_NE(response.find("HTTP/1.0 200 OK\r\n"),
+              std::string::npos);
+    EXPECT_NE(response.find("Content-Type: application/json\r\n"),
+              std::string::npos);
+    EXPECT_NE(response.find("{\"status\":\"ok\"}"),
+              std::string::npos);
+    EXPECT_EQ(renders, 1);
+
+    // HEAD still renders (for the length) but ships no body.
+    response = httpExchange(*lp, "HEAD /healthz HTTP/1.0\r\n\r\n");
+    std::size_t split = response.find("\r\n\r\n");
+    ASSERT_NE(split, std::string::npos);
+    EXPECT_EQ(response.substr(split + 4), "");
+    EXPECT_EQ(renders, 2);
+
+    // Unregistered paths still 404; /metrics still serves.
+    response = httpExchange(*lp, "GET /statusz HTTP/1.0\r\n\r\n");
+    EXPECT_NE(response.find("404 Not Found"), std::string::npos);
+    response = httpExchange(*lp, "GET /metrics HTTP/1.0\r\n\r\n");
+    EXPECT_NE(response.find("HTTP/1.0 200 OK\r\n"),
+              std::string::npos);
+}
+
+TEST(MetricsEndpoint, ThrowingHandlerIs500AndEndpointSurvives)
+{
+    metrics::MetricsRegistry reg;
+    auto listener = std::make_unique<net::LoopbackListener>();
+    net::LoopbackListener *lp = listener.get();
+    net::MetricsEndpoint endpoint(reg, std::move(listener));
+    endpoint.addHandler("/boom", "text/plain",
+                        []() -> std::string {
+                            throw std::runtime_error("render died");
+                        });
+    std::string response =
+        httpExchange(*lp, "GET /boom HTTP/1.0\r\n\r\n");
+    EXPECT_NE(response.find("HTTP/1.0 500 Internal Server Error"),
+              std::string::npos);
+    EXPECT_NE(response.find("render died"), std::string::npos);
+    // The endpoint keeps serving after the failed render.
+    response = httpExchange(*lp, "GET /metrics HTTP/1.0\r\n\r\n");
+    EXPECT_NE(response.find("HTTP/1.0 200 OK\r\n"),
+              std::string::npos);
 }
 
 // --- runtime integration ----------------------------------------------------

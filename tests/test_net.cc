@@ -20,7 +20,9 @@
 
 #include <chrono>
 #include <map>
+#include <mutex>
 #include <thread>
+#include <tuple>
 
 #include "common/logging.hh"
 #include "experiments/allxy.hh"
@@ -744,6 +746,9 @@ TEST(Loopback, MalformedPayloadGetsBadRequestAndKeepsConnection)
     // A healthy submit first, so the connection owns a queued job.
     Writer submit;
     encodeJobSpec(submit, shotJob(2, 9));
+    // A v4-stamped Submit must carry a trace context (zeros = "no
+    // trace").
+    encodeTraceContext(submit, TraceContext{});
     std::vector<std::uint8_t> frame =
         sealFrame(MsgType::SubmitRequest, 1, submit);
     raw->sendAll(frame.data(), frame.size());
@@ -1194,6 +1199,295 @@ TEST(Tcp, CoherenceSweepFanOutPipelinedMatchesLocal)
     EXPECT_EQ(onRemote.delaysNs, onLocal.delaysNs);
     EXPECT_EQ(onRemote.population, onLocal.population);
     EXPECT_EQ(onRemote.fit.tau, onLocal.fit.tau);
+}
+
+// --- wire v4 observability: tracing, progress, back-compat ------------------
+
+TEST(Wire, ObservabilityPayloadsRoundTrip)
+{
+    Writer w;
+    encodeTraceContext(w, TraceContext{0xabcdef0123456789ull, 42});
+    Reader r(w.bytes());
+    TraceContext tc = decodeTraceContext(r);
+    EXPECT_EQ(tc.traceId, 0xabcdef0123456789ull);
+    EXPECT_EQ(tc.spanId, 42u);
+
+    Writer pw;
+    encodeProgressFrame(pw, ProgressFrameData{7, 96, 128});
+    Reader pr(pw.bytes());
+    ProgressFrameData p = decodeProgressFrame(pr);
+    EXPECT_EQ(p.job, 7u);
+    EXPECT_EQ(p.roundsDone, 96u);
+    EXPECT_EQ(p.roundsTotal, 128u);
+
+    // done > total is not a progress report, it is a bug on the
+    // wire.
+    Writer bad;
+    encodeProgressFrame(bad, ProgressFrameData{7, 129, 128});
+    Reader br(bad.bytes());
+    EXPECT_THROW(decodeProgressFrame(br), WireError);
+
+    Writer cw;
+    encodeClockSyncFrame(cw, ClockSyncFrame{123456789});
+    Reader cr(cw.bytes());
+    EXPECT_EQ(decodeClockSyncFrame(cr).serverNanos, 123456789u);
+
+    TraceDumpFrame dump;
+    dump.events.push_back({3, 1, runtime::TracePhase::ShardStart, 50});
+    dump.events.push_back({3, 1, runtime::TracePhase::ShardFinish, 90});
+    dump.traceIds.emplace_back(3, 0x5eed);
+    dump.dropped = 2;
+    Writer dw;
+    encodeTraceDumpFrame(dw, dump);
+    Reader dr(dw.bytes());
+    TraceDumpFrame out = decodeTraceDumpFrame(dr);
+    ASSERT_EQ(out.events.size(), 2u);
+    EXPECT_EQ(out.events[0].job, 3u);
+    EXPECT_EQ(out.events[1].phase, runtime::TracePhase::ShardFinish);
+    EXPECT_EQ(out.events[1].nanos, 90u);
+    ASSERT_EQ(out.traceIds.size(), 1u);
+    EXPECT_EQ(out.traceIds[0].second, 0x5eedu);
+    EXPECT_EQ(out.dropped, 2u);
+}
+
+TEST(Loopback, SubmitCarriesTraceContextToServerRecorder)
+{
+    // The distributed-trace join point: a v4 submit carries the
+    // client's traceId, and the server's recorder files the job
+    // under it -- that association is what the merged trace joins
+    // on.
+    ExperimentService service({.workers = 1});
+    service.trace().enable();
+    auto listener = std::make_unique<LoopbackListener>();
+    LoopbackListener *accept_side = listener.get();
+    QumaServer server(service, std::move(listener));
+    QumaClient client(accept_side->connect());
+
+    ASSERT_NE(client.traceId(), 0u);
+    runtime::JobId id = client.submit(shotJob(2, 1));
+    EXPECT_EQ(service.trace().traceIdOf(id), client.traceId());
+    client.await(id);
+
+    // The clock-sync handshake completes (the offset magnitude is
+    // environment-dependent, the round trip must simply succeed).
+    (void)client.clockSync();
+}
+
+TEST(Loopback, ProgressStreamsMonotonicallyBitIdenticalEverywhere)
+{
+    // THE progress acceptance sweep: the same sharded AllXY job at
+    // every shards x workers x stealing combination must (a) stream
+    // monotonic progress ending exactly at done == total ahead of
+    // the result, and (b) produce the bit-identical JobResult the
+    // quiet in-process run produces -- observability must never
+    // perturb the physics.
+    experiments::AllxyConfig cfg;
+    cfg.rounds = 32;
+    cfg.seed = 0xa11c;
+
+    // One quiet in-process reference PER spec: a sharded job runs
+    // round-by-round with per-round RNG streams, a 1-shard job as a
+    // single machine run, so the bit-identity contract is per spec
+    // (any workers x stealing x progress), not across shard counts.
+    std::map<std::uint32_t, JobResult> localByShards;
+    for (std::uint32_t shards : {1u, 4u}) {
+        cfg.shards = shards;
+        localByShards[shards] = ExperimentService({.workers = 2})
+                                    .runSync(experiments::allxyJob(cfg));
+        ASSERT_FALSE(localByShards[shards].failed());
+    }
+
+    for (bool steal : {false, true}) {
+        for (unsigned workers : {1u, 4u}) {
+            for (std::uint32_t shards : {1u, 4u}) {
+                ServiceConfig sc;
+                sc.workers = workers;
+                sc.workSteal = steal;
+                sc.progressInterval = std::chrono::milliseconds(0);
+                ExperimentService service(sc);
+                auto listener =
+                    std::make_unique<LoopbackListener>();
+                LoopbackListener *accept_side = listener.get();
+                QumaServer server(service, std::move(listener));
+                QumaClient client(accept_side->connect());
+
+                cfg.shards = shards;
+                JobSpec spec = experiments::allxyJob(cfg);
+                std::vector<runtime::JobId> ids =
+                    client.submitAll({spec});
+                std::mutex mu;
+                std::vector<std::pair<std::uint64_t, std::uint64_t>>
+                    seen;
+                auto streamed = client.awaitMany(
+                    ids, [&](runtime::JobId job, std::uint64_t done,
+                             std::uint64_t total) {
+                        std::lock_guard<std::mutex> lock(mu);
+                        EXPECT_EQ(job, ids[0]);
+                        seen.emplace_back(done, total);
+                    });
+
+                // awaitMany returned, so every queued progress
+                // notification was delivered first (FIFO notifier).
+                std::lock_guard<std::mutex> lock(mu);
+                ASSERT_FALSE(seen.empty())
+                    << "no progress at shards=" << shards
+                    << " workers=" << workers << " steal=" << steal;
+                std::uint64_t prev = 0;
+                for (auto &[done, total] : seen) {
+                    EXPECT_EQ(total, spec.rounds);
+                    EXPECT_GE(done, prev) << "progress went backwards";
+                    EXPECT_LE(done, total);
+                    prev = done;
+                }
+                EXPECT_EQ(seen.back().first, spec.rounds)
+                    << "final frame must report done == total";
+
+                ASSERT_EQ(streamed.size(), 1u);
+                EXPECT_EQ(streamed[0].second, localByShards[shards])
+                    << "progress streaming perturbed the result at "
+                    << "shards=" << shards << " workers=" << workers
+                    << " steal=" << steal;
+            }
+        }
+    }
+}
+
+TEST(Loopback, DisconnectMidSweepLeavesOtherConnectionsStreaming)
+{
+    // Two clients await progress-streaming jobs on one server; one
+    // vanishes mid-sweep. Its queued progress pushes must evaporate
+    // (weak ConnState, closed outbox) while the surviving
+    // connection keeps streaming progress and results undisturbed.
+    ServiceConfig sc;
+    sc.workers = 2;
+    sc.startPaused = true;
+    sc.progressInterval = std::chrono::milliseconds(0);
+    ExperimentService service(sc);
+    auto listener = std::make_unique<LoopbackListener>();
+    LoopbackListener *accept_side = listener.get();
+    QumaServer server(service, std::move(listener));
+
+    experiments::AllxyConfig cfg;
+    cfg.rounds = 24;
+    cfg.shards = 2;
+    cfg.seed = 0xd15c;
+
+    auto doomed = std::make_unique<QumaClient>(accept_side->connect());
+    QumaClient survivor(accept_side->connect());
+
+    std::vector<runtime::JobId> doomedIds =
+        doomed->submitAll({experiments::allxyJob(cfg)});
+    cfg.seed = 0xa11e;
+    std::vector<runtime::JobId> aliveIds =
+        survivor.submitAll({experiments::allxyJob(cfg)});
+
+    // Both awaits (and their progress subscriptions) must be
+    // registered while the service is still paused.
+    std::thread doomedWaiter([&] {
+        try {
+            doomed->awaitMany(doomedIds,
+                              [](runtime::JobId, std::uint64_t,
+                                 std::uint64_t) {});
+        } catch (const std::exception &) {
+            // Killed by the disconnect below.
+        }
+    });
+    std::mutex mu;
+    std::size_t aliveProgress = 0;
+    std::vector<std::pair<runtime::JobId, JobResult>> aliveResults;
+    std::thread aliveWaiter([&] {
+        aliveResults = survivor.awaitMany(
+            aliveIds, [&](runtime::JobId, std::uint64_t,
+                          std::uint64_t) {
+                std::lock_guard<std::mutex> lock(mu);
+                ++aliveProgress;
+            });
+    });
+    for (int i = 0; i < 1000; ++i) {
+        if (server.stats().requestsServed >= 4)
+            break;
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    ASSERT_GE(server.stats().requestsServed, 4u);
+
+    // The doomed connection dies BEFORE any of its jobs ran: its
+    // progress subscriptions now target a dead outbox.
+    doomed->disconnect();
+    doomedWaiter.join();
+    doomed.reset();
+
+    service.start();
+    aliveWaiter.join();
+
+    ASSERT_EQ(aliveResults.size(), 1u);
+    EXPECT_FALSE(aliveResults[0].second.failed());
+    std::lock_guard<std::mutex> lock(mu);
+    EXPECT_GE(aliveProgress, 1u)
+        << "survivor stopped receiving progress";
+}
+
+/** Read one frame tolerant of any compatible version stamp. */
+std::tuple<std::uint16_t, FrameHeader, std::vector<std::uint8_t>>
+recvFrameCompat(ByteStream &stream)
+{
+    std::uint8_t header[kFrameHeaderBytes];
+    EXPECT_TRUE(stream.recvAll(header, sizeof(header)));
+    std::uint16_t version = checkFramePrefixCompat(header);
+    FrameHeader fh = decodeFrameHeaderUnchecked(header);
+    std::vector<std::uint8_t> payload(fh.length);
+    if (fh.length > 0) {
+        EXPECT_TRUE(stream.recvAll(payload.data(), payload.size()));
+    }
+    return {version, fh, std::move(payload)};
+}
+
+TEST(Loopback, V3ClientIsServedWithoutProgressFrames)
+{
+    // The backward-compat pin: a v3 peer submits WITHOUT a trace
+    // context and awaits WITHOUT progress pushes; every reply it
+    // gets back is sealed at v3 (its strict header check rejects a
+    // v4 stamp), and the awaited result is the job's result frame,
+    // never a ProgressFrame it cannot decode.
+    ServiceConfig sc;
+    sc.workers = 1;
+    sc.progressInterval = std::chrono::milliseconds(0);
+    ExperimentService service(sc);
+    auto listener = std::make_unique<LoopbackListener>();
+    LoopbackListener *accept_side = listener.get();
+    QumaServer server(service, std::move(listener));
+
+    std::unique_ptr<ByteStream> raw = accept_side->connect();
+    // A v3 submit: JobSpec only, no appended trace context.
+    Writer submit;
+    encodeJobSpec(submit, shotJob(4, 0x33));
+    std::vector<std::uint8_t> frame =
+        sealFrame(MsgType::SubmitRequest, 1, submit, 3);
+    raw->sendAll(frame.data(), frame.size());
+    auto [sver, sfh, sbody] = recvFrameCompat(*raw);
+    EXPECT_EQ(sver, 3u) << "reply to a v3 peer must be v3-stamped";
+    ASSERT_EQ(sfh.type, MsgType::SubmitReply);
+    Reader sr(sbody);
+    runtime::JobId id = sr.u64();
+    sr.expectEnd();
+
+    Writer await;
+    await.u64(id);
+    frame = sealFrame(MsgType::AwaitRequest, 2, await, 3);
+    raw->sendAll(frame.data(), frame.size());
+    auto [aver, afh, abody] = recvFrameCompat(*raw);
+    EXPECT_EQ(aver, 3u);
+    // The FIRST push after a v3 await is the result, not progress:
+    // the server must not subscribe progress for a v3 peer even
+    // with the rate limit at zero.
+    ASSERT_EQ(afh.type, MsgType::AwaitReply);
+    EXPECT_EQ(afh.requestId, 2u);
+    Reader ar(abody);
+    JobResult result = decodeJobResult(ar);
+    EXPECT_FALSE(result.failed());
+
+    // And no trace association was recorded for the v3 job.
+    EXPECT_EQ(service.trace().traceIdOf(id), 0u);
+    EXPECT_EQ(server.stats().progressFramesPushed, 0u);
 }
 
 } // namespace
