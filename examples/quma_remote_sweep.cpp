@@ -15,6 +15,14 @@
  *   $ ./example_quma_remote_sweep --port 7777 [--host 127.0.0.1]
  *                                 [--points N] [--rounds N]
  *                                 [--progress] [--trace-out FILE]
+ *                                 [--dump FILE]
+ *
+ * --dump FILE writes every result bin as exact hex floats (%a),
+ * keyed by SUBMISSION index rather than job id -- so two runs are
+ * byte-diffable no matter what ids were minted or in what order
+ * results streamed back. The CI fleet job diffs a gateway-routed
+ * sweep against a direct single-server run with it (bit-identity
+ * through the fleet; docs/fleet.md).
  *
  * --progress prints live per-job shard progress as the server pushes
  * it (wire v4 ProgressFrames; rate-limited server-side). --trace-out
@@ -31,6 +39,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "experiments/allxy.hh"
@@ -83,11 +92,12 @@ main(int argc, char **argv)
     std::string host = argStr(argc, argv, "--host", "127.0.0.1");
     bool progress = argFlag(argc, argv, "--progress");
     const char *traceOut = argStr(argc, argv, "--trace-out", nullptr);
+    const char *dumpFile = argStr(argc, argv, "--dump", nullptr);
     if (port == 0) {
         std::fprintf(stderr,
                      "usage: %s --port N [--host H] [--points N] "
                      "[--rounds N] [--shards N] [--progress] "
-                     "[--trace-out FILE]\n",
+                     "[--trace-out FILE] [--dump FILE]\n",
                      argv[0]);
         return 2;
     }
@@ -136,9 +146,19 @@ main(int argc, char **argv)
                         static_cast<unsigned long long>(total));
         };
 
+    // id -> submission index, so the --dump artifact is ordered by
+    // the sweep point, not by whatever ids the server (or a gateway
+    // in front of it) minted.
+    std::unordered_map<runtime::JobId, std::size_t> indexOf;
+    for (std::size_t i = 0; i < ids.size(); ++i)
+        indexOf.emplace(ids[i], i);
+    std::vector<runtime::JobResult> byIndex(ids.size());
+
     std::size_t streamed = 0;
     for (const auto &[id, result] : client.awaitMany(ids, onProgress)) {
         ++streamed;
+        if (dumpFile)
+            byIndex[indexOf.at(id)] = result;
         if (result.failed()) {
             std::printf("job %llu FAILED: %s\n",
                         static_cast<unsigned long long>(id),
@@ -171,6 +191,35 @@ main(int argc, char **argv)
     core::LinkStats link = client.linkStats();
     std::printf("wire traffic: %zu bytes up / %zu bytes down\n",
                 link.bytesUp, link.bytesDown);
+
+    if (dumpFile) {
+        // Exact hex floats (%a) keyed by sweep-point index: two runs
+        // of the same sweep are `diff`-equal iff bit-identical.
+        std::FILE *f = std::fopen(dumpFile, "w");
+        if (!f) {
+            std::printf("dump: could not open %s\n", dumpFile);
+            return 1;
+        }
+        for (std::size_t i = 0; i < byIndex.size(); ++i) {
+            const runtime::JobResult &r = byIndex[i];
+            if (r.failed()) {
+                std::fprintf(f, "point %zu FAILED %s\n", i,
+                             r.error.c_str());
+                continue;
+            }
+            std::fprintf(f, "point %zu samples %zu\n", i,
+                         r.sampleCount);
+            for (std::size_t b = 0; b < r.averages.size(); ++b)
+                std::fprintf(f, "point %zu avg %zu %a\n", i, b,
+                             r.averages[b]);
+            for (std::size_t b = 0; b < r.bitAverages.size(); ++b)
+                std::fprintf(f, "point %zu bit %zu %a\n", i, b,
+                             r.bitAverages[b]);
+        }
+        std::fclose(f);
+        std::printf("dump: %zu points -> %s\n", byIndex.size(),
+                    dumpFile);
+    }
 
     if (traceOut) {
         // One merged trace: client spans + the server's lifecycle

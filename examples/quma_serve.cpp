@@ -13,7 +13,11 @@
  *   $ ./example_quma_serve [--port N] [--workers N] [--queue N]
  *                          [--metrics-port N] [--trace FILE] [--public]
  *                          [--journal FILE] [--journal-fsync MODE]
- *                          [--capture DIR]
+ *                          [--capture DIR] [--name NAME]
+ *
+ * --name NAME gives the instance a stable identity in a fleet
+ * (surfaced on /healthz and /statusz; the quma_gateway front door
+ * labels its per-backend metrics with it -- docs/fleet.md).
  *
  * Default is an ephemeral port on 127.0.0.1 (printed on startup);
  * --public binds all interfaces instead. On shutdown the serving
@@ -102,6 +106,7 @@ main(int argc, char **argv)
     const char *journalFsync =
         argValue(argc, argv, "--journal-fsync");
     const char *captureDir = argValue(argc, argv, "--capture");
+    const char *instanceName = argValue(argc, argv, "--name");
 
     // The registry is declared BEFORE the components whose gauge
     // callbacks it will render (and is only enabled when somebody
@@ -113,6 +118,8 @@ main(int argc, char **argv)
     sc.queueCapacity = queue;
     if (journalFile)
         sc.journalPath = journalFile;
+    if (instanceName)
+        sc.instanceName = instanceName;
     if (journalFsync) {
         auto policy = runtime::fsyncPolicyFromName(journalFsync);
         if (!policy) {
@@ -138,6 +145,12 @@ main(int argc, char **argv)
                         rec.recordsScanned,
                         service.recoveredIds().size(),
                         rec.corruptRecords);
+        const runtime::CompactionReport &cr = service.compaction();
+        if (cr.performed)
+            std::printf("compaction: journal rewritten %zu -> %zu "
+                        "records (%zu -> %zu bytes)\n",
+                        cr.recordsBefore, cr.recordsAfter,
+                        cr.bytesBefore, cr.bytesAfter);
     }
 
     net::ServerConfig server_cfg;
@@ -177,13 +190,19 @@ main(int argc, char **argv)
                 char buf[256];
                 std::snprintf(
                     buf, sizeof buf,
-                    "{\"status\":\"ok\",\"journal\":%s,"
+                    "{\"status\":\"ok\",\"instance\":\"%s\","
+                    "\"journal\":%s,"
                     "\"recoveredJobs\":%zu,"
                     "\"corruptRecords\":%zu,"
+                    "\"journalCompacted\":%s,"
                     "\"traceEnabled\":%s}\n",
+                    service.instanceName().c_str(),
                     service.journal() ? "true" : "false",
                     service.recoveredIds().size(),
-                    rec.corruptRecords, traced ? "true" : "false");
+                    rec.corruptRecords,
+                    service.compaction().performed ? "true"
+                                                   : "false",
+                    traced ? "true" : "false");
                 return std::string(buf);
             });
         metricsEndpoint->addHandler(
@@ -193,7 +212,8 @@ main(int argc, char **argv)
                 char buf[1024];
                 std::snprintf(
                     buf, sizeof buf,
-                    "{\"scheduler\":{\"submitted\":%zu,"
+                    "{\"instance\":\"%s\","
+                    "\"scheduler\":{\"submitted\":%zu,"
                     "\"completed\":%zu,\"failed\":%zu,"
                     "\"cancelled\":%zu,\"queueHighWater\":%zu,"
                     "\"shardsExecuted\":%zu,\"shardsStolen\":%zu,"
@@ -209,6 +229,7 @@ main(int argc, char **argv)
                     "\"resultsStreamed\":%zu,"
                     "\"progressFramesPushed\":%zu,"
                     "\"bytesUp\":%zu,\"bytesDown\":%zu}}\n",
+                    service.instanceName().c_str(),
                     st.scheduler.submitted, st.scheduler.completed,
                     st.scheduler.failed, st.scheduler.cancelled,
                     st.scheduler.queueHighWater,
@@ -233,8 +254,10 @@ main(int argc, char **argv)
             });
     }
 
-    std::printf("quma_serve: listening on %s:%u (%u workers, "
+    std::printf("quma_serve%s%s: listening on %s:%u (%u workers, "
                 "queue %zu)\n",
+                instanceName ? " " : "",
+                instanceName ? instanceName : "",
                 open ? "0.0.0.0" : "127.0.0.1", bound, workers, queue);
     if (metricsEndpoint)
         std::printf("metrics: http://%s:%u/metrics\n",

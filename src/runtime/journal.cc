@@ -7,6 +7,7 @@
 #include <array>
 #include <cerrno>
 #include <chrono>
+#include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <unordered_map>
@@ -238,6 +239,81 @@ recoverJournal(const std::string &path)
     for (std::optional<RecoveredJob> &slot : order)
         if (slot)
             report.pending.push_back(std::move(*slot));
+    return report;
+}
+
+// --- compaction -------------------------------------------------------------
+
+CompactionReport
+compactJournal(const std::string &path,
+               const RecoveryReport &recovered)
+{
+    CompactionReport report;
+    report.recordsBefore = recovered.recordsScanned;
+    report.recordsAfter = recovered.pending.size();
+    if (!recovered.magicValid)
+        return report; // foreign or absent file: never touch it
+
+    {
+        struct stat st{};
+        if (::stat(path.c_str(), &st) == 0)
+            report.bytesBefore = static_cast<std::size_t>(st.st_size);
+    }
+
+    // The live suffix: magic + one Submitted record per pending job,
+    // under its surviving journal id (a Resubmitted chain collapses
+    // to its last id -- recovery treats both spellings identically).
+    std::vector<std::uint8_t> bytes(kJournalMagic.begin(),
+                                    kJournalMagic.end());
+    for (const RecoveredJob &job : recovered.pending) {
+        net::Writer w;
+        w.u64(job.journalId);
+        net::encodeJobSpec(w, job.spec);
+        appendRecord(
+            bytes,
+            static_cast<std::uint16_t>(JournalRecordType::Submitted),
+            w.bytes());
+    }
+
+    // Temp + fsync + rename: atomic replacement, crash-safe.
+    const std::string tmp = path + ".compact";
+    int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd < 0) {
+        warn("journal: compaction cannot open '" + tmp +
+             "': " + std::strerror(errno));
+        return report;
+    }
+    std::size_t written = 0;
+    while (written < bytes.size()) {
+        ssize_t n = ::write(fd, bytes.data() + written,
+                            bytes.size() - written);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            warn("journal: compaction write to '" + tmp +
+                 "' failed: " + std::strerror(errno));
+            ::close(fd);
+            ::unlink(tmp.c_str());
+            return report;
+        }
+        written += static_cast<std::size_t>(n);
+    }
+    if (::fsync(fd) != 0) {
+        warn("journal: compaction fsync of '" + tmp +
+             "' failed: " + std::strerror(errno));
+        ::close(fd);
+        ::unlink(tmp.c_str());
+        return report;
+    }
+    ::close(fd);
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        warn("journal: compaction rename onto '" + path +
+             "' failed: " + std::strerror(errno));
+        ::unlink(tmp.c_str());
+        return report;
+    }
+    report.performed = true;
+    report.bytesAfter = bytes.size();
     return report;
 }
 

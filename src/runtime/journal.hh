@@ -192,6 +192,35 @@ struct RecoveryReport
  */
 RecoveryReport recoverJournal(const std::string &path);
 
+/** What compactJournal() did (or declined to do). */
+struct CompactionReport
+{
+    /** True when the file was rewritten to its live suffix. */
+    bool performed = false;
+    std::size_t recordsBefore = 0;
+    /** One Submitted record per still-pending job. */
+    std::size_t recordsAfter = 0;
+    std::size_t bytesBefore = 0;
+    std::size_t bytesAfter = 0;
+};
+
+/**
+ * Rewrite the journal at `path` down to its LIVE SUFFIX: a fresh
+ * magic plus one Submitted record per job in `recovered.pending`
+ * (retired submissions, their completion/cancellation markers, and
+ * any damaged tail all disappear; Resubmitted chains collapse to
+ * their final id). The rewrite goes through a temp file + fsync +
+ * rename, so a crash mid-compaction leaves either the old journal or
+ * the new one, never a torn hybrid. Recovery of the compacted file
+ * yields the identical pending set (pinned by tests/test_journal.cc).
+ *
+ * Never throws; on any I/O failure the original file is left intact
+ * and `performed` stays false. Call only between recovery and the
+ * JobJournal reopen (nothing may be appending).
+ */
+CompactionReport compactJournal(const std::string &path,
+                                const RecoveryReport &recovered);
+
 /**
  * The append side: an append-only record file fed through one writer
  * thread. Thread-safe; appends after close() are counted no-ops.

@@ -20,8 +20,29 @@ namespace {
  *    new records extend readable data instead of hiding behind
  *    garbage (a second restart would otherwise re-run retired work).
  */
+/**
+ * Recovery-time compaction: once the retired records (everything
+ * recovery did NOT return as pending) reach the configured trigger,
+ * rewrite the journal to its live suffix before reopening it. A
+ * compacted file also subsumes tail-truncation: the rewrite drops
+ * the damage along with the retired records.
+ */
+CompactionReport
+maybeCompact(const ServiceConfig &cfg, const RecoveryReport &rec)
+{
+    if (cfg.journalPath.empty() || cfg.journalCompactMinRetired == 0 ||
+        !rec.magicValid)
+        return {};
+    const std::size_t retired =
+        rec.recordsScanned - rec.pending.size();
+    if (retired < cfg.journalCompactMinRetired)
+        return {};
+    return compactJournal(cfg.journalPath, rec);
+}
+
 std::unique_ptr<JobJournal>
-openJournal(const ServiceConfig &cfg, const RecoveryReport &rec)
+openJournal(const ServiceConfig &cfg, const RecoveryReport &rec,
+            const CompactionReport &compacted)
 {
     if (cfg.journalPath.empty())
         return nullptr;
@@ -29,7 +50,8 @@ openJournal(const ServiceConfig &cfg, const RecoveryReport &rec)
         fatal("journal: '" + cfg.journalPath +
               "' exists but is not a journal file; refusing to "
               "append to it");
-    if (rec.corruptRecords > 0 && rec.magicValid &&
+    if (!compacted.performed && rec.corruptRecords > 0 &&
+        rec.magicValid &&
         ::truncate(cfg.journalPath.c_str(),
                    static_cast<off_t>(rec.validPrefixBytes)) != 0)
         warn("journal: cannot truncate damaged tail of '" +
@@ -73,9 +95,12 @@ ExperimentService::ExperimentService(ServiceConfig config)
       recoveryReport(config.journalPath.empty()
                          ? RecoveryReport{}
                          : recoverJournal(config.journalPath)),
-      journalStore(openJournal(config, recoveryReport)),
+      compactionReport(maybeCompact(config, recoveryReport)),
+      journalStore(openJournal(config, recoveryReport,
+                               compactionReport)),
       sched(schedulerConfigOf(config, &traceStore), poolStore,
-            cacheStore)
+            cacheStore),
+      instanceNameStore(config.instanceName)
 {
     // Re-drive what the crashed process never finished. One atomic
     // Resubmitted record per job retires the stale pending entry and

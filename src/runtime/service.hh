@@ -73,6 +73,21 @@ struct ServiceConfig
     std::string journalPath = {};
     /** Journal durability/latency trade-off (see FsyncPolicy). */
     FsyncPolicy journalFsync = FsyncPolicy::Batch;
+    /**
+     * Recovery-time journal compaction trigger: when at least this
+     * many RETIRED records (completions, cancellations, and the
+     * submissions they closed -- everything but the live suffix)
+     * are found, the journal is rewritten to just its pending jobs
+     * before reopening (compactJournal). 0 disables compaction.
+     */
+    std::size_t journalCompactMinRetired = 1024;
+    /**
+     * Stable identity of this service instance in a fleet ("" =
+     * anonymous). The gateway's per-backend metrics and the
+     * /healthz//statusz pages surface it, so an operator can tell
+     * WHICH backend a fleet-level symptom points at.
+     */
+    std::string instanceName = {};
 };
 
 /** One-call snapshot across all three runtime layers. */
@@ -141,6 +156,17 @@ class ExperimentService : public IExperimentBackend
     JobJournal *journal() { return journalStore.get(); }
     /** What construction-time recovery found in the journal. */
     const RecoveryReport &recovery() const { return recoveryReport; }
+    /** What recovery-time compaction did (performed=false when the
+     *  retired-record count was under the trigger). */
+    const CompactionReport &compaction() const
+    {
+        return compactionReport;
+    }
+    /** ServiceConfig::instanceName ("" = anonymous). */
+    const std::string &instanceName() const
+    {
+        return instanceNameStore;
+    }
     /**
      * Fresh ids of the jobs recovery re-submitted, in original
      * submission order (await these to finish the crashed queue).
@@ -173,9 +199,13 @@ class ExperimentService : public IExperimentBackend
     /** Recovery runs before the journal reopens for appending (both
      *  before sched: the ctor body re-submits into a live queue). */
     RecoveryReport recoveryReport;
+    /** Compaction (if triggered) rewrites the file between recovery
+     *  and the reopen below -- declaration order is the sequencing. */
+    CompactionReport compactionReport;
     std::unique_ptr<JobJournal> journalStore;
     JobScheduler sched;
     std::vector<JobId> recoveredIdsStore;
+    std::string instanceNameStore;
 };
 
 } // namespace quma::runtime

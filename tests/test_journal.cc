@@ -12,6 +12,7 @@
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdint>
@@ -510,6 +511,179 @@ TEST(ServiceJournal, SecondCrashRecoversExactlyOnce)
     }
     RecoveryReport rec = recoverJournal(path);
     EXPECT_TRUE(rec.pending.empty());
+    std::remove(path.c_str());
+}
+
+// --- compaction -------------------------------------------------------------
+
+/**
+ * A journal with history: six jobs run to completion (12 retired
+ * records), then a crash with two queued submits (2 live records).
+ */
+std::string
+journalWithRetiredHistory(const std::string &tag)
+{
+    const std::string path = tempPath(tag);
+    {
+        ServiceConfig sc;
+        sc.workers = 2;
+        sc.journalPath = path;
+        ExperimentService svc(sc);
+        std::vector<JobId> ids;
+        for (unsigned i = 0; i < 6; ++i)
+            ids.push_back(svc.submit(shotJob(2, 100 + i)));
+        for (const JobResult &r : svc.awaitAll(ids))
+            EXPECT_FALSE(r.failed());
+        EXPECT_TRUE(waitFor([&] {
+            return svc.journal()->stats().recordsAppended >= 12;
+        }));
+    }
+    {
+        ServiceConfig sc;
+        sc.startPaused = true;
+        sc.journalPath = path;
+        ExperimentService svc(sc);
+        // The prior history must NOT trip recovery-time compaction
+        // here: this service crashes with work queued, and the test
+        // wants the un-compacted file. (Default trigger is 1024.)
+        EXPECT_FALSE(svc.compaction().performed);
+        svc.submit(matrixJob(2, 0x11f3));
+        svc.submit(shotJob(3, 0xdead));
+        svc.journal()->sync();
+    }
+    return path;
+}
+
+TEST(JournalCompaction, CompactedJournalRecoversIdentically)
+{
+    const std::string path = journalWithRetiredHistory("compact");
+
+    RecoveryReport before = recoverJournal(path);
+    EXPECT_EQ(before.recordsScanned, 14u);
+    ASSERT_EQ(before.pending.size(), 2u);
+
+    CompactionReport report = compactJournal(path, before);
+    EXPECT_TRUE(report.performed);
+    EXPECT_EQ(report.recordsBefore, 14u);
+    EXPECT_EQ(report.recordsAfter, 2u);
+    EXPECT_LT(report.bytesAfter, report.bytesBefore);
+
+    // The compacted file recovers the SAME live set: same journal
+    // ids, byte-identical specs, nothing retired resurrected.
+    RecoveryReport after = recoverJournal(path);
+    EXPECT_TRUE(after.magicValid);
+    EXPECT_EQ(after.recordsScanned, 2u);
+    EXPECT_EQ(after.corruptRecords, 0u);
+    ASSERT_EQ(after.pending.size(), before.pending.size());
+    for (std::size_t i = 0; i < after.pending.size(); ++i) {
+        EXPECT_EQ(after.pending[i].journalId,
+                  before.pending[i].journalId);
+        EXPECT_EQ(*JobJournal::encodeSpec(after.pending[i].spec),
+                  *JobJournal::encodeSpec(before.pending[i].spec))
+            << "compaction changed pending spec " << i;
+    }
+    std::remove(path.c_str());
+}
+
+TEST(JournalCompaction, RecoveryTimeTriggerCompactsAndRunsPending)
+{
+    const std::string path = journalWithRetiredHistory("trigger");
+    const JobResult pinnedMatrix = [] {
+        ExperimentService svc({.workers = 1});
+        return svc.runSync(matrixJob(2, 0x11f3));
+    }();
+
+    ServiceConfig sc;
+    sc.workers = 2;
+    sc.journalPath = path;
+    sc.journalCompactMinRetired = 8; // 12 retired >= 8: compact
+    ExperimentService svc(sc);
+    EXPECT_TRUE(svc.compaction().performed);
+    EXPECT_EQ(svc.compaction().recordsAfter, 2u);
+    ASSERT_EQ(svc.recoveredIds().size(), 2u);
+    std::vector<JobResult> results =
+        svc.awaitAll(svc.recoveredIds());
+    for (const JobResult &r : results)
+        EXPECT_FALSE(r.failed());
+    // Compaction must not perturb recovered execution: the matrix
+    // job still reproduces its uninterrupted result bit for bit.
+    EXPECT_EQ(results.at(0), pinnedMatrix);
+    std::remove(path.c_str());
+}
+
+TEST(JournalCompaction, BelowThresholdLeavesTheJournalAlone)
+{
+    const std::string path = journalWithRetiredHistory("below");
+    const std::vector<std::uint8_t> original = readFileBytes(path);
+    {
+        ServiceConfig sc;
+        sc.startPaused = true;
+        sc.journalPath = path;
+        sc.journalCompactMinRetired = 64; // 12 retired < 64: keep
+        ExperimentService svc(sc);
+        EXPECT_FALSE(svc.compaction().performed);
+        EXPECT_EQ(svc.recoveredIds().size(), 2u);
+        svc.journal()->sync();
+    }
+    // No rewrite happened: the original file is still a prefix (the
+    // recovery only APPENDED its Resubmitted records after it).
+    const std::vector<std::uint8_t> after = readFileBytes(path);
+    ASSERT_GE(after.size(), original.size());
+    EXPECT_TRUE(std::equal(original.begin(), original.end(),
+                           after.begin()));
+    std::remove(path.c_str());
+}
+
+TEST(JournalCompaction, PendingSurvivesCompactionPlusSecondCrash)
+{
+    const std::string path = journalWithRetiredHistory("recrash");
+    { // recovery WITH compaction that itself crashes before running
+        ServiceConfig sc;
+        sc.startPaused = true;
+        sc.journalPath = path;
+        sc.journalCompactMinRetired = 8;
+        ExperimentService svc(sc);
+        EXPECT_TRUE(svc.compaction().performed);
+        EXPECT_EQ(svc.recoveredIds().size(), 2u);
+        svc.journal()->sync();
+    }
+    { // second recovery off the compacted file: the Resubmitted
+      // records retired the compacted ids -- still exactly two
+        ServiceConfig sc;
+        sc.workers = 2;
+        sc.journalPath = path;
+        ExperimentService svc(sc);
+        EXPECT_GE(svc.recovery().resubmitted, 2u);
+        ASSERT_EQ(svc.recoveredIds().size(), 2u);
+        for (const JobResult &r : svc.awaitAll(svc.recoveredIds()))
+            EXPECT_FALSE(r.failed());
+        EXPECT_TRUE(waitFor([&] {
+            return recoverJournal(path).pending.empty();
+        }));
+    }
+    std::remove(path.c_str());
+}
+
+TEST(JournalCompaction, CompactionSubsumesDamagedTailTruncation)
+{
+    const std::string path = journalWithRetiredHistory("damage");
+    // Garbage after the last valid record: recovery reports the
+    // damage, compaction rewrites it away entirely.
+    std::vector<std::uint8_t> bytes = readFileBytes(path);
+    for (int i = 0; i < 24; ++i)
+        bytes.push_back(0xA5);
+    writeFileBytes(path, bytes);
+
+    RecoveryReport damaged = recoverJournal(path);
+    EXPECT_GT(damaged.corruptRecords, 0u);
+    ASSERT_EQ(damaged.pending.size(), 2u);
+
+    CompactionReport report = compactJournal(path, damaged);
+    EXPECT_TRUE(report.performed);
+    RecoveryReport clean = recoverJournal(path);
+    EXPECT_EQ(clean.corruptRecords, 0u);
+    EXPECT_EQ(clean.pending.size(), 2u);
+    EXPECT_EQ(clean.validPrefixBytes, readFileBytes(path).size());
     std::remove(path.c_str());
 }
 

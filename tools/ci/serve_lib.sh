@@ -1,0 +1,70 @@
+# Shared helpers for CI jobs that boot the serving binaries as
+# daemons (metrics-scrape, durability, fleet). Source this from the
+# build directory:
+#
+#     source ../tools/ci/serve_lib.sh
+#
+# Every serving example runs until stdin EOF, so each daemon gets a
+# dedicated stdin FIFO held open by a `sleep` writer: shutdown is an
+# explicit EOF (stop_daemon), never an implicit close -- and a crash
+# is an explicit SIGKILL (kill9_daemon), never a half-shutdown. The
+# FIFO doubles as the daemon's command console: write lines to
+# stdin_<NAME> to drive it (e.g. the gateway's drain/undrain).
+#
+#     boot_daemon NAME LOG CMD...   start CMD < stdin_NAME > LOG
+#     wait_for_line LOG PATTERN     poll LOG until PATTERN appears
+#     wait_http URL                 poll URL until curl -sf succeeds
+#     stop_daemon NAME              EOF stdin, wait for a clean exit
+#     kill9_daemon NAME             SIGKILL, like a real crash
+#
+# PIDs are tracked in DAEMON_<NAME> / HOLDER_<NAME>; NAME must be a
+# valid shell identifier (use be_a, not be-a).
+
+boot_daemon() {
+    local name=$1 log=$2
+    shift 2
+    mkfifo "stdin_${name}"
+    sleep 600 > "stdin_${name}" &
+    eval "HOLDER_${name}=\$!"
+    "$@" < "stdin_${name}" > "$log" 2>&1 &
+    eval "DAEMON_${name}=\$!"
+}
+
+wait_for_line() {
+    local log=$1 pattern=$2 tries=${3:-100}
+    local i
+    for i in $(seq 1 "$tries"); do
+        grep -q "$pattern" "$log" 2>/dev/null && return 0
+        sleep 0.1
+    done
+    echo "timeout waiting for '$pattern' in $log" >&2
+    cat "$log" >&2 || true
+    return 1
+}
+
+wait_http() {
+    local url=$1 tries=${2:-100}
+    local i
+    for i in $(seq 1 "$tries"); do
+        curl -sf "$url" > /dev/null && return 0
+        sleep 0.2
+    done
+    echo "timeout waiting for $url" >&2
+    return 1
+}
+
+stop_daemon() {
+    local name=$1 holder pid
+    eval "holder=\$HOLDER_${name}"
+    eval "pid=\$DAEMON_${name}"
+    kill "$holder" 2>/dev/null || true
+    wait "$pid"
+}
+
+kill9_daemon() {
+    local name=$1 holder pid
+    eval "holder=\$HOLDER_${name}"
+    eval "pid=\$DAEMON_${name}"
+    kill -9 "$pid"
+    kill "$holder" 2>/dev/null || true
+}
